@@ -1,0 +1,16 @@
+//! # intelliqos-baseline
+//!
+//! The comparison baseline for the `intelliqos` reproduction of Corsava
+//! & Getov (IPDPS 2003): a BMC-Patrol/SystemEdge-like **notify-only
+//! centralized monitor** (resident footprint per Figures 3–4, human
+//! detection latencies per §4) and the **manual operations** repair
+//! pipeline (≈2 h simple / ≈4 h complex incidents). Together these
+//! generate the paper's "year 1" — the world before intelliagents.
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod patrol;
+
+pub use ops::{resolve_manually, ManualIncident, ManualRepairModel};
+pub use patrol::{HumanDetectionModel, ResidentMonitorFootprint};

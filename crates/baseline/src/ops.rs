@@ -1,0 +1,230 @@
+//! The manual-operations (human repair) model.
+//!
+//! §4, year 1: "It could take up to 2 hours at a time for a service or
+//! server restart, as faults had to be diagnosed … a number of people
+//! had to be notified about the problem before any decisive action was
+//! taken … Often experts from more than one areas had to be called in
+//! together … The whole troubleshooting procedure (and subsequent
+//! downtime) could take an average of 4 hours in such cases."
+//!
+//! The pipeline for one incident under manual operations:
+//!
+//! ```text
+//! onset → (latent escalation?) → noticed → on-call paged →
+//!   diagnose+repair (≈2 h simple / ≈4 h complex) → service restored
+//! ```
+
+use intelliqos_simkern::{SimDuration, SimRng, SimTime};
+
+use intelliqos_cluster::faults::Complexity;
+
+use crate::patrol::HumanDetectionModel;
+
+/// Repair-time model for human operators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManualRepairModel {
+    /// Mean end-to-end repair for a simple fault (one admin).
+    pub simple_mean: SimDuration,
+    /// Mean for a complex fault (multiple experts called in).
+    pub complex_mean: SimDuration,
+    /// Extra delay to locate and page the on-call person at night — the
+    /// paper's "time-delays caused by operators … trying to locate the
+    /// on-call people during the night".
+    pub night_paging_mean: SimDuration,
+}
+
+impl Default for ManualRepairModel {
+    fn default() -> Self {
+        ManualRepairModel {
+            simple_mean: SimDuration::from_hours(2),
+            complex_mean: SimDuration::from_hours(4),
+            night_paging_mean: SimDuration::from_mins(45),
+        }
+    }
+}
+
+impl ManualRepairModel {
+    /// Sample the diagnose-and-repair duration (excludes detection).
+    pub fn sample_repair(&self, complexity: Complexity, rng: &mut SimRng) -> SimDuration {
+        let mean = match complexity {
+            Complexity::Simple => self.simple_mean,
+            Complexity::Complex => self.complex_mean,
+        }
+        .as_secs() as f64;
+        let sigma = 0.4f64;
+        let median = mean / (sigma * sigma / 2.0).exp();
+        SimDuration::from_secs_f64(rng.lognormal_median(median, sigma).max(600.0))
+    }
+
+    /// Sample the paging delay for a fault noticed at `when`.
+    pub fn sample_paging(&self, when: SimTime, rng: &mut SimRng) -> SimDuration {
+        if when.is_business_hours() {
+            // Admins are on site.
+            SimDuration::from_secs_f64(rng.uniform(60.0, 600.0))
+        } else {
+            let mean = self.night_paging_mean.as_secs() as f64;
+            SimDuration::from_secs_f64(rng.lognormal_median(mean * 0.8, 0.5).max(120.0))
+        }
+    }
+}
+
+/// A fully resolved manual incident timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManualIncident {
+    /// Fault onset.
+    pub onset: SimTime,
+    /// When somebody noticed.
+    pub noticed: SimTime,
+    /// When the right people were engaged.
+    pub engaged: SimTime,
+    /// When service was restored.
+    pub restored: SimTime,
+}
+
+impl ManualIncident {
+    /// Total downtime of the incident.
+    pub fn downtime(&self) -> SimDuration {
+        self.restored.since(self.onset)
+    }
+}
+
+/// Resolve one incident end-to-end under manual operations.
+pub fn resolve_manually(
+    onset: SimTime,
+    latent: bool,
+    complexity: Complexity,
+    detection: &HumanDetectionModel,
+    repair: &ManualRepairModel,
+    rng: &mut SimRng,
+) -> ManualIncident {
+    let escalation = if latent {
+        detection.latent_escalation_delay(rng)
+    } else {
+        SimDuration::ZERO
+    };
+    let visible_at = onset + escalation;
+    let noticed = visible_at + detection.sample_delay(visible_at, rng);
+    let engaged = noticed + repair.sample_paging(noticed, rng);
+    let restored = engaged + repair.sample_repair(complexity, rng);
+    ManualIncident { onset, noticed, engaged, restored }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (HumanDetectionModel, ManualRepairModel) {
+        (HumanDetectionModel::default(), ManualRepairModel::default())
+    }
+
+    #[test]
+    fn repair_means_match_paper() {
+        let (_, repair) = models();
+        let mut rng = SimRng::stream(1, "repair");
+        let n = 5000;
+        let simple: f64 = (0..n)
+            .map(|_| repair.sample_repair(Complexity::Simple, &mut rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64;
+        let complex: f64 = (0..n)
+            .map(|_| repair.sample_repair(Complexity::Complex, &mut rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((simple - 2.0).abs() < 0.15, "simple = {simple}h");
+        assert!((complex - 4.0).abs() < 0.3, "complex = {complex}h");
+    }
+
+    #[test]
+    fn business_hours_incident_is_hours_not_days() {
+        let (det, rep) = models();
+        let mut rng = SimRng::stream(2, "inc");
+        let onset = SimTime::from_hours(10); // Monday 10:00
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                resolve_manually(onset, false, Complexity::Simple, &det, &rep, &mut rng)
+                    .downtime()
+                    .as_hours_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        // ≈1 h detect + ~0.1 h page + ≈2 h repair ⇒ ≈3 h.
+        assert!((2.5..=4.0).contains(&mean), "mean = {mean}h");
+    }
+
+    #[test]
+    fn weekend_incident_is_dominated_by_detection() {
+        let (det, rep) = models();
+        let mut rng = SimRng::stream(3, "weekend");
+        let onset = SimTime::from_days(5) + SimDuration::from_hours(3); // Saturday 03:00
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                resolve_manually(onset, false, Complexity::Simple, &det, &rep, &mut rng)
+                    .downtime()
+                    .as_hours_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((24.0..=32.0).contains(&mean), "mean = {mean}h");
+    }
+
+    #[test]
+    fn latent_faults_take_longer() {
+        let (det, rep) = models();
+        let onset = SimTime::from_hours(10);
+        let n = 2000;
+        let mut rng = SimRng::stream(4, "latent");
+        let plain: f64 = (0..n)
+            .map(|_| {
+                resolve_manually(onset, false, Complexity::Simple, &det, &rep, &mut rng)
+                    .downtime()
+                    .as_hours_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        let mut rng = SimRng::stream(4, "latent");
+        let latent: f64 = (0..n)
+            .map(|_| {
+                resolve_manually(onset, true, Complexity::Simple, &det, &rep, &mut rng)
+                    .downtime()
+                    .as_hours_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(latent > plain + 3.0, "plain = {plain}h latent = {latent}h");
+    }
+
+    #[test]
+    fn timeline_is_monotone() {
+        let (det, rep) = models();
+        let mut rng = SimRng::stream(5, "mono");
+        for h in 0..48 {
+            let onset = SimTime::from_hours(h);
+            let inc = resolve_manually(onset, h % 3 == 0, Complexity::Complex, &det, &rep, &mut rng);
+            assert!(inc.onset <= inc.noticed);
+            assert!(inc.noticed <= inc.engaged);
+            assert!(inc.engaged <= inc.restored);
+            assert!(!inc.downtime().is_zero());
+        }
+    }
+
+    #[test]
+    fn paging_is_fast_during_business_hours() {
+        let (_, rep) = models();
+        let mut rng = SimRng::stream(6, "page");
+        let day = SimTime::from_hours(11);
+        let night = SimTime::from_hours(2);
+        let n = 1000;
+        let day_mean: f64 = (0..n)
+            .map(|_| rep.sample_paging(day, &mut rng).as_mins_f64())
+            .sum::<f64>()
+            / n as f64;
+        let night_mean: f64 = (0..n)
+            .map(|_| rep.sample_paging(night, &mut rng).as_mins_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(day_mean < 10.0, "day = {day_mean}m");
+        assert!(night_mean > 25.0, "night = {night_mean}m");
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the simulation kernel: these bound
+//! the cost of the primitives every simulated year leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use intelliqos_simkern::{CircularQueue, EventQueue, SimDuration, SimRng, SimTime, TimeSeries};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_secs((i * 7919) % 86_400 + 86_400), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("event_queue/cancel_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let tokens: Vec<_> = (0..1000u64)
+                .map(|i| q.schedule(SimTime::from_secs(i + 1), i))
+                .collect();
+            for t in tokens.iter().step_by(2) {
+                q.cancel(*t);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exponential_1k", |b| {
+        let mut rng = SimRng::stream(1, "bench");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.exponential(300.0);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rng/lognormal_1k", |b| {
+        let mut rng = SimRng::stream(1, "bench");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.lognormal_median(7200.0, 0.5);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_collections(c: &mut Criterion) {
+    c.bench_function("circular_queue/push_wrap_10k", |b| {
+        b.iter(|| {
+            let mut q = CircularQueue::new(512);
+            for i in 0..10_000u32 {
+                q.push(i);
+            }
+            black_box(q.len())
+        })
+    });
+    c.bench_function("timeseries/push_and_resample", |b| {
+        b.iter(|| {
+            let mut ts = TimeSeries::new();
+            for i in 0..2_000u64 {
+                ts.push(SimTime::from_secs(i * 30), (i % 100) as f64);
+            }
+            black_box(ts.resample_mean(SimTime::ZERO, SimDuration::from_mins(30), 32))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_collections);
+criterion_main!(benches);

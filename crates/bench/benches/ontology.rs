@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the ontology layer: flat-ASCII codec
+//! throughput, full-datacenter DGSPL generation, shortlist ranking, and
+//! causal rule inference — the operations the admin servers repeat every
+//! 15 minutes across 215 hosts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use intelliqos_core::rulesets;
+use intelliqos_ontology::dgspl::Dgspl;
+use intelliqos_ontology::dlsp::{Dlsp, DlspService};
+use intelliqos_ontology::flat::FlatDoc;
+use intelliqos_ontology::rules::FactBase;
+
+fn site_dlsps(n: usize) -> Vec<Dlsp> {
+    (0..n)
+        .map(|i| Dlsp {
+            hostname: format!("db{i:03}"),
+            generated_at_secs: 900,
+            model: if i % 3 == 0 { "Sun-E10000".into() } else { "Sun-E4500".into() },
+            os: "Solaris".into(),
+            cpus: 8,
+            ram_gb: 8,
+            load_score: (i % 13) as f64 / 13.0,
+            free_mem_mb: 2048.0,
+            cpu_idle_pct: 60.0,
+            users: (i % 7) as u32,
+            location: "London".into(),
+            site: "LDN-DC1".into(),
+            services: vec![DlspService {
+                name: format!("trades-db-{i:03}"),
+                app_type: "db-oracle".into(),
+                version: "8.1.7".into(),
+                status: "running".into(),
+                latency_ms: Some(120.0),
+            }],
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let dlsps = site_dlsps(215);
+    let dgspl = Dgspl::from_dlsps(&dlsps, 900, |_, cpus| cpus as f64 * 0.9);
+    let text = dgspl.to_doc().to_text();
+    c.bench_function("codec/dgspl_serialize_215", |b| {
+        b.iter(|| black_box(dgspl.to_doc().to_text()))
+    });
+    c.bench_function("codec/dgspl_parse_215", |b| {
+        b.iter(|| black_box(Dgspl::parse_text(&text).unwrap()))
+    });
+    let dlsp_text = dlsps[0].to_doc().to_text();
+    c.bench_function("codec/dlsp_roundtrip", |b| {
+        b.iter(|| {
+            let d = Dlsp::parse_text(&dlsp_text).unwrap();
+            black_box(d.to_doc().to_lines())
+        })
+    });
+    c.bench_function("codec/flatdoc_parse", |b| {
+        b.iter(|| black_box(FlatDoc::parse_text(&text).unwrap()))
+    });
+}
+
+fn bench_dgspl(c: &mut Criterion) {
+    let dlsps = site_dlsps(215);
+    c.bench_function("dgspl/generate_from_215_dlsps", |b| {
+        b.iter(|| black_box(Dgspl::from_dlsps(&dlsps, 900, |_, cpus| cpus as f64 * 0.9)))
+    });
+    let dgspl = Dgspl::from_dlsps(&dlsps, 900, |_, cpus| cpus as f64 * 0.9);
+    c.bench_function("dgspl/shortlist_215", |b| {
+        b.iter(|| black_box(dgspl.shortlist("db-oracle").len()))
+    });
+    c.bench_function("dgspl/replacement_shortlist_215", |b| {
+        b.iter(|| {
+            black_box(
+                dgspl
+                    .replacement_shortlist("db-oracle", "Sun-E4500", 7.2, 8)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let engine = rulesets::service_rules();
+    c.bench_function("rules/diagnose_crashed_service", |b| {
+        b.iter(|| {
+            let mut facts = FactBase::new();
+            facts.assert_fact("probe", "refused");
+            facts.assert_fact("procs_missing", 3.0);
+            facts.assert_fact("cpu_util", 0.4);
+            black_box(engine.diagnose(&mut facts))
+        })
+    });
+    c.bench_function("rules/healthy_no_fire", |b| {
+        b.iter(|| {
+            let mut facts = FactBase::new();
+            facts.assert_fact("probe", "ok");
+            facts.assert_fact("procs_missing", 0.0);
+            black_box(engine.infer(&mut facts).len())
+        })
+    });
+    let hw = rulesets::hardware_rules();
+    c.bench_function("rules/hardware_18_rules_infer", |b| {
+        b.iter(|| {
+            let mut facts = FactBase::new();
+            for class in ["cpu", "memory", "board", "disk", "nic", "psu"] {
+                facts.assert_fact(format!("degraded_{class}"), 0.0);
+                facts.assert_fact(format!("failed_{class}"), 0.0);
+            }
+            facts.assert_fact("degraded_disk", 1.0);
+            black_box(hw.infer(&mut facts).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_dgspl, bench_rules);
+criterion_main!(benches);

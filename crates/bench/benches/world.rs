@@ -1,0 +1,37 @@
+//! Criterion macro-benchmark: whole-world simulation throughput — one
+//! simulated day of the small datacenter under each management mode.
+//! This is the number that bounds how fast the figure harnesses run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use intelliqos_core::{ManagementMode, ScenarioConfig, World};
+use intelliqos_simkern::{SimDuration, SimTime, DAY};
+
+fn one_day(mode: ManagementMode) -> f64 {
+    let mut cfg = ScenarioConfig::small(3, mode);
+    cfg.horizon = SimDuration::from_days(1);
+    let mut w = World::build(cfg);
+    w.run_until(SimTime::from_secs(DAY));
+    w.ledger.total_downtime_hours()
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("one_day_small_manual", |b| {
+        b.iter(|| black_box(one_day(ManagementMode::ManualOps)))
+    });
+    g.bench_function("one_day_small_agents", |b| {
+        b.iter(|| black_box(one_day(ManagementMode::Intelliagents)))
+    });
+    g.bench_function("build_small_world", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::small(3, ManagementMode::Intelliagents);
+            black_box(World::build(cfg).now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Quick calibration probe for the Figure 2 scenario (not a shipped bench).
+use intelliqos_core::{run_scenario, ManagementMode, ScenarioConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let t0 = std::time::Instant::now();
+        let report = run_scenario(ScenarioConfig::financial_site(seed, mode));
+        println!("== seed {seed} mode {mode:?} ({:.1?})", t0.elapsed());
+        for line in report.figure2_table() {
+            println!("{line}");
+        }
+        println!(
+            "jobs: submitted={} completed={} failed={} resub={} db_crashes={} open={}",
+            report.lsf.submitted, report.lsf.completed, report.lsf.failed,
+            report.lsf.resubmitted, report.db_crashes, report.open_incidents
+        );
+    }
+}

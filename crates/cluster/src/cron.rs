@@ -1,0 +1,192 @@
+//! Simulated cron.
+//!
+//! Intelliagents "are 'awakened' every X minutes … by local to each host
+//! Unix crons" (§3.3). This is a minimal periodic scheduler: each entry
+//! has a period, a phase offset (so 200 servers don't all wake at the
+//! same second), and an opaque command tag the server-level driver
+//! dispatches on.
+
+use intelliqos_simkern::{SimDuration, SimTime};
+
+/// One crontab line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CronEntry<C> {
+    /// How often the job fires.
+    pub period: SimDuration,
+    /// Offset of the first firing from the epoch.
+    pub offset: SimDuration,
+    /// What to run (dispatched by the owner).
+    pub command: C,
+    /// Disabled entries never fire (a human-error fault can disable the
+    /// agent crontab — which the admin servers then detect via missing
+    /// flags).
+    pub enabled: bool,
+}
+
+/// A server's crontab.
+#[derive(Debug, Clone, Default)]
+pub struct Crontab<C> {
+    entries: Vec<CronEntry<C>>,
+}
+
+impl<C> Crontab<C> {
+    /// Empty crontab.
+    pub fn new() -> Self {
+        Crontab { entries: Vec::new() }
+    }
+
+    /// Add an entry; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the period is zero.
+    pub fn add(&mut self, period: SimDuration, offset: SimDuration, command: C) -> usize {
+        assert!(!period.is_zero(), "cron period must be positive");
+        self.entries.push(CronEntry { period, offset, command, enabled: true });
+        self.entries.len() - 1
+    }
+
+    /// Enable or disable an entry by index. Returns false for a bad index.
+    pub fn set_enabled(&mut self, idx: usize, enabled: bool) -> bool {
+        if let Some(e) = self.entries.get_mut(idx) {
+            e.enabled = enabled;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[CronEntry<C>] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Next firing time of entry `idx` strictly after `now`.
+    pub fn next_fire(&self, idx: usize, now: SimTime) -> Option<SimTime> {
+        let e = self.entries.get(idx)?;
+        if !e.enabled {
+            return None;
+        }
+        let period = e.period.as_secs();
+        let first = e.offset.as_secs();
+        let now_s = now.as_secs();
+        let next = if now_s < first {
+            first
+        } else {
+            let k = (now_s - first) / period + 1;
+            first + k * period
+        };
+        Some(SimTime::from_secs(next))
+    }
+
+    /// Every `(index, command)` due to fire strictly after `prev` and at
+    /// or before `now` — the driver calls this once per tick with the
+    /// previous tick's time.
+    pub fn due(&self, prev: SimTime, now: SimTime) -> Vec<(usize, &C)> {
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.enabled {
+                continue;
+            }
+            let period = e.period.as_secs();
+            let first = e.offset.as_secs();
+            // Fire times are first + k*period. Count how many land in
+            // (prev, now]. At most one per tick matters for our drivers,
+            // but report one entry per firing for correctness.
+            if now.as_secs() < first {
+                continue;
+            }
+            let k_hi = (now.as_secs() - first) / period;
+            let k_lo = if prev.as_secs() < first {
+                0
+            } else {
+                (prev.as_secs() - first) / period + 1
+            };
+            for _k in k_lo..=k_hi {
+                out.push((i, &e.command));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn next_fire_respects_offset_and_period() {
+        let mut c = Crontab::new();
+        let idx = c.add(mins(5), mins(2), "agent");
+        assert_eq!(c.next_fire(idx, SimTime::ZERO), Some(SimTime::from_mins(2)));
+        assert_eq!(
+            c.next_fire(idx, SimTime::from_mins(2)),
+            Some(SimTime::from_mins(7))
+        );
+        assert_eq!(
+            c.next_fire(idx, SimTime::from_mins(6)),
+            Some(SimTime::from_mins(7))
+        );
+    }
+
+    #[test]
+    fn due_finds_all_firings_in_window() {
+        let mut c = Crontab::new();
+        c.add(mins(5), mins(0), "a");
+        c.add(mins(10), mins(3), "b");
+        // Window (0, 15]: a fires at 5, 10, 15; b fires at 3, 13.
+        let due = c.due(SimTime::ZERO, SimTime::from_mins(15));
+        let a_count = due.iter().filter(|(_, cmd)| **cmd == "a").count();
+        let b_count = due.iter().filter(|(_, cmd)| **cmd == "b").count();
+        assert_eq!(a_count, 3);
+        assert_eq!(b_count, 2);
+    }
+
+    #[test]
+    fn due_is_exclusive_of_prev_inclusive_of_now() {
+        let mut c = Crontab::new();
+        c.add(mins(5), mins(0), "a");
+        // prev exactly on a fire time must not re-fire it.
+        let due = c.due(SimTime::from_mins(5), SimTime::from_mins(10));
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn disabled_entries_never_fire() {
+        let mut c = Crontab::new();
+        let idx = c.add(mins(5), mins(0), "a");
+        assert!(c.set_enabled(idx, false));
+        assert!(c.next_fire(idx, SimTime::ZERO).is_none());
+        assert!(c.due(SimTime::ZERO, SimTime::from_mins(30)).is_empty());
+        assert!(!c.set_enabled(99, false));
+    }
+
+    #[test]
+    fn window_before_first_fire_is_empty() {
+        let mut c = Crontab::new();
+        c.add(mins(5), mins(30), "late");
+        assert!(c.due(SimTime::ZERO, SimTime::from_mins(29)).is_empty());
+        let due = c.due(SimTime::from_mins(29), SimTime::from_mins(30));
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let mut c = Crontab::new();
+        c.add(SimDuration::ZERO, SimDuration::ZERO, "bad");
+    }
+}

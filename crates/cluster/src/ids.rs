@@ -1,0 +1,128 @@
+//! Strongly-typed identifiers for datacenter entities.
+//!
+//! Everything in the simulated datacenter is addressed by a small
+//! integer id wrapped in a newtype, so cross-references between crates
+//! never hand out borrows into each other's state — the usual
+//! borrow-checker-friendly ECS-ish pattern for large simulations.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index (useful as a vector index).
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{:03}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical server in the datacenter.
+    ServerId,
+    "srv"
+);
+id_type!(
+    /// A process in some server's process table (unique per server).
+    Pid,
+    "pid"
+);
+id_type!(
+    /// A physical disk attached to a server.
+    DiskId,
+    "dsk"
+);
+id_type!(
+    /// A network interface card on a server.
+    NicId,
+    "nic"
+);
+id_type!(
+    /// A network segment (the private agent LAN or a public LAN).
+    SegmentId,
+    "lan"
+);
+
+/// Geographical site, as carried in DGSPL entries
+/// (`<…, Geographical Location, Site Name>`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Geographical location, e.g. "London".
+    pub location: String,
+    /// Site name, e.g. "LDN-DC1".
+    pub name: String,
+}
+
+impl Site {
+    /// Convenience constructor.
+    pub fn new(location: impl Into<String>, name: impl Into<String>) -> Self {
+        Site {
+            location: location.into(),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.location, self.name)
+    }
+}
+
+/// Simulated IPv4-ish address on the datacenter networks. Servers get
+/// one address per attached segment (the paper's hosts sit on both the
+/// private agent LAN and one or more public LANs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpAddr {
+    /// Network segment this address lives on.
+    pub segment: SegmentId,
+    /// Host number within the segment.
+    pub host: u32,
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "10.{}.{}.{}", self.segment.0, self.host / 256, self.host % 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId(7).to_string(), "srv007");
+        assert_eq!(Pid(42).to_string(), "pid042");
+        assert_eq!(SegmentId(0).to_string(), "lan000");
+        assert_eq!(
+            IpAddr { segment: SegmentId(1), host: 300 }.to_string(),
+            "10.1.1.44"
+        );
+        assert_eq!(Site::new("London", "LDN-DC1").to_string(), "London/LDN-DC1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(ServerId(1) < ServerId(2));
+        assert_eq!(ServerId(9).index(), 9);
+        assert_eq!(ServerId::from(3u32), ServerId(3));
+    }
+}

@@ -1,0 +1,37 @@
+//! # intelliqos-cluster
+//!
+//! The datacenter substrate for the `intelliqos` reproduction of Corsava
+//! & Getov (IPDPS 2003): simulated Unix servers with hardware models,
+//! OS-metric dynamics, process tables with microstate accounting,
+//! capacity-limited filesystems, cron, the private-agent/public network
+//! fabric, and the exogenous fault injector.
+//!
+//! Intelliagents (in `intelliqos-core`) only ever interact with this
+//! substrate the way the paper's shell agents interacted with real
+//! machines: by reading tool observables ([`os::OsObservables`]),
+//! listing process tables, reading/writing ASCII files, and sending
+//! traffic over the fabric.
+
+#![warn(missing_docs)]
+
+pub mod cron;
+pub mod faults;
+pub mod fs;
+pub mod hardware;
+pub mod ids;
+pub mod net;
+pub mod os;
+pub mod process;
+pub mod server;
+
+pub use cron::{CronEntry, Crontab};
+pub use faults::{
+    Complexity, FaultCategory, FaultEvent, FaultInjector, FaultMechanism, FaultRates, TargetClass,
+};
+pub use fs::{FsError, SimFile, SimFs};
+pub use hardware::{ComponentHealth, HardwareComponent, HardwareSpec, OsKind, ServerModel};
+pub use ids::{DiskId, IpAddr, NicId, Pid, SegmentId, ServerId, Site};
+pub use net::{Delivery, Fabric, NetError, Segment, SegmentKind, FAST_ETHERNET_BPS};
+pub use os::{LoadVector, OsObservables, OS_BASELINE_MEM_GB};
+pub use process::{Microstates, ProcState, Process, ProcessTable};
+pub use server::{Server, ServerState, REBOOT_DURATION};

@@ -1,0 +1,407 @@
+//! Datacenter networks.
+//!
+//! The paper's topology (Figure 1): every host and resource attaches to
+//! a **private intelliagent network** and one or more **public LANs**.
+//! All agent traffic rides the private network "to avoid putting any
+//! performance/load overheads to the public LANs"; if the private
+//! network fails, agents "automatically re-route their communication
+//! traffic over the public LAN".
+//!
+//! We model segments with finite bandwidth (100Base-T at the customer
+//! site), per-window byte accounting (for the ABL-NET ablation), segment
+//! up/down state, and a firewall whose misconfiguration can block
+//! traffic between attached hosts — one of the paper's fault categories
+//! the agents could *not* heal.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use intelliqos_simkern::{SimDuration, SimTime};
+
+use crate::ids::{SegmentId, ServerId};
+
+/// Purpose of a network segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// The dedicated intelliagent LAN.
+    PrivateAgent,
+    /// A public production LAN.
+    Public,
+}
+
+/// One LAN segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Identity.
+    pub id: SegmentId,
+    /// Purpose.
+    pub kind: SegmentKind,
+    /// Usable bandwidth in bytes/second (100Base-T ≈ 12.5 MB/s raw; we
+    /// default to ~10 MB/s usable).
+    pub bandwidth_bps: u64,
+    /// Whether the segment is up.
+    pub up: bool,
+    /// Base one-way latency in milliseconds.
+    pub base_latency_ms: f64,
+    /// Bytes offered in the current accounting window.
+    window_bytes: u64,
+    /// Start of the current accounting window.
+    window_start: SimTime,
+    /// Length of the accounting window.
+    window_len: SimDuration,
+    /// Completed-window utilisation history (fraction of bandwidth).
+    history: Vec<(SimTime, f64)>,
+}
+
+/// Usable bytes/second on 100Base-T Ethernet.
+pub const FAST_ETHERNET_BPS: u64 = 10_000_000;
+
+impl Segment {
+    fn new(id: SegmentId, kind: SegmentKind, now: SimTime) -> Self {
+        Segment {
+            id,
+            kind,
+            bandwidth_bps: FAST_ETHERNET_BPS,
+            up: true,
+            base_latency_ms: 0.3,
+            window_bytes: 0,
+            window_start: now,
+            window_len: SimDuration::from_mins(5),
+            history: Vec::new(),
+        }
+    }
+
+    /// Close out accounting windows up to `now`.
+    fn roll_window(&mut self, now: SimTime) {
+        while now.since(self.window_start) >= self.window_len {
+            let window_capacity =
+                (self.bandwidth_bps * self.window_len.as_secs()).max(1);
+            let util = self.window_bytes as f64 / window_capacity as f64;
+            self.history.push((self.window_start, util));
+            self.window_start += self.window_len;
+            self.window_bytes = 0;
+        }
+    }
+
+    /// Utilisation (fraction of bandwidth) of the most recently
+    /// completed window, if any.
+    pub fn last_window_utilization(&self) -> Option<f64> {
+        self.history.last().map(|&(_, u)| u)
+    }
+
+    /// Completed-window utilisation history.
+    pub fn utilization_history(&self) -> &[(SimTime, f64)] {
+        &self.history
+    }
+
+    /// Mean utilisation across all completed windows (0 when none).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.history.is_empty() {
+            0.0
+        } else {
+            self.history.iter().map(|&(_, u)| u).sum::<f64>() / self.history.len() as f64
+        }
+    }
+
+    /// Effective one-way latency at the current instantaneous load
+    /// (simple congestion inflation).
+    pub fn current_latency_ms(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.window_start).as_secs().max(1);
+        let inst = self.window_bytes as f64 / (self.bandwidth_bps * elapsed) as f64;
+        self.base_latency_ms * (1.0 + 4.0 * inst.min(1.0))
+    }
+}
+
+/// Why a transmission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No segment connects the two hosts.
+    NoRoute(ServerId, ServerId),
+    /// The firewall blocks this pair on every connecting segment.
+    FirewallBlocked(SegmentId),
+    /// All candidate segments are down.
+    SegmentDown,
+}
+
+/// Outcome of a successful transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Segment the traffic actually used.
+    pub via: SegmentId,
+    /// Whether the traffic fell back to a public LAN because the
+    /// private network was unavailable.
+    pub rerouted: bool,
+    /// One-way latency experienced, in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The datacenter fabric.
+#[derive(Debug, Clone, Default)]
+pub struct Fabric {
+    segments: BTreeMap<SegmentId, Segment>,
+    /// Which servers attach to which segments.
+    attachments: BTreeMap<ServerId, BTreeSet<SegmentId>>,
+    /// Firewall: blocked (segment, server) pairs — a misconfigured rule
+    /// cuts a host off a segment.
+    blocked: BTreeSet<(SegmentId, ServerId)>,
+    next_segment: u32,
+}
+
+impl Fabric {
+    /// Empty fabric.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Create a segment.
+    pub fn add_segment(&mut self, kind: SegmentKind, now: SimTime) -> SegmentId {
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        self.segments.insert(id, Segment::new(id, kind, now));
+        id
+    }
+
+    /// Attach a server to a segment.
+    pub fn attach(&mut self, server: ServerId, segment: SegmentId) {
+        self.attachments.entry(server).or_default().insert(segment);
+    }
+
+    /// Segment accessor.
+    pub fn segment(&self, id: SegmentId) -> Option<&Segment> {
+        self.segments.get(&id)
+    }
+
+    /// Mutable segment accessor.
+    pub fn segment_mut(&mut self, id: SegmentId) -> Option<&mut Segment> {
+        self.segments.get_mut(&id)
+    }
+
+    /// All segments of a kind, id order.
+    pub fn segments_of(&self, kind: SegmentKind) -> Vec<SegmentId> {
+        self.segments
+            .values()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Bring a segment up or down.
+    pub fn set_segment_up(&mut self, id: SegmentId, up: bool) -> bool {
+        if let Some(s) = self.segments.get_mut(&id) {
+            s.up = up;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install (or remove) a firewall block for `server` on `segment` —
+    /// the "firewall configuration error" fault category.
+    pub fn set_firewall_block(&mut self, segment: SegmentId, server: ServerId, blocked: bool) {
+        if blocked {
+            self.blocked.insert((segment, server));
+        } else {
+            self.blocked.remove(&(segment, server));
+        }
+    }
+
+    /// Is `server` currently firewall-blocked on `segment`?
+    pub fn is_blocked(&self, segment: SegmentId, server: ServerId) -> bool {
+        self.blocked.contains(&(segment, server))
+    }
+
+    /// Segments shared by both endpoints, id order.
+    fn shared_segments(&self, a: ServerId, b: ServerId) -> Vec<SegmentId> {
+        match (self.attachments.get(&a), self.attachments.get(&b)) {
+            (Some(sa), Some(sb)) => sa.intersection(sb).copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Transmit `bytes` from `src` to `dst`, preferring segments of
+    /// `prefer` kind and falling back to any other shared segment when
+    /// the preferred ones are down or blocked. Byte accounting lands on
+    /// the segment actually used.
+    pub fn transmit(
+        &mut self,
+        src: ServerId,
+        dst: ServerId,
+        bytes: u64,
+        prefer: SegmentKind,
+        now: SimTime,
+    ) -> Result<Delivery, NetError> {
+        let shared = self.shared_segments(src, dst);
+        if shared.is_empty() {
+            return Err(NetError::NoRoute(src, dst));
+        }
+        let usable = |fab: &Fabric, id: SegmentId| -> bool {
+            let seg = &fab.segments[&id];
+            seg.up && !fab.is_blocked(id, src) && !fab.is_blocked(id, dst)
+        };
+        let preferred: Vec<SegmentId> = shared
+            .iter()
+            .copied()
+            .filter(|id| self.segments[id].kind == prefer)
+            .collect();
+        let chosen = preferred
+            .iter()
+            .copied()
+            .find(|&id| usable(self, id))
+            .map(|id| (id, false))
+            .or_else(|| {
+                shared
+                    .iter()
+                    .copied()
+                    .filter(|id| self.segments[id].kind != prefer)
+                    .find(|&id| usable(self, id))
+                    .map(|id| (id, true))
+            });
+        let Some((via, rerouted)) = chosen else {
+            // Distinguish "everything down" from "firewall blocked".
+            let any_up = shared.iter().any(|id| self.segments[id].up);
+            return if any_up {
+                let blocked_on = shared
+                    .iter()
+                    .copied()
+                    .find(|&id| {
+                        self.segments[&id].up
+                            && (self.is_blocked(id, src) || self.is_blocked(id, dst))
+                    })
+                    .unwrap_or(shared[0]);
+                Err(NetError::FirewallBlocked(blocked_on))
+            } else {
+                Err(NetError::SegmentDown)
+            };
+        };
+        let seg = self.segments.get_mut(&via).expect("chosen segment exists");
+        seg.roll_window(now);
+        seg.window_bytes += bytes;
+        let latency_ms = seg.current_latency_ms(now);
+        Ok(Delivery { via, rerouted, latency_ms })
+    }
+
+    /// Roll every segment's accounting window forward to `now` (call at
+    /// end of run so the final windows are recorded).
+    pub fn roll_all_windows(&mut self, now: SimTime) {
+        for seg in self.segments.values_mut() {
+            seg.roll_window(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_host_fabric() -> (Fabric, ServerId, ServerId, SegmentId, SegmentId) {
+        let mut f = Fabric::new();
+        let private = f.add_segment(SegmentKind::PrivateAgent, SimTime::ZERO);
+        let public = f.add_segment(SegmentKind::Public, SimTime::ZERO);
+        let (a, b) = (ServerId(0), ServerId(1));
+        for s in [a, b] {
+            f.attach(s, private);
+            f.attach(s, public);
+        }
+        (f, a, b, private, public)
+    }
+
+    #[test]
+    fn agent_traffic_prefers_private() {
+        let (mut f, a, b, private, _) = two_host_fabric();
+        let d = f
+            .transmit(a, b, 1000, SegmentKind::PrivateAgent, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.via, private);
+        assert!(!d.rerouted);
+    }
+
+    #[test]
+    fn reroutes_to_public_when_private_down() {
+        let (mut f, a, b, private, public) = two_host_fabric();
+        f.set_segment_up(private, false);
+        let d = f
+            .transmit(a, b, 1000, SegmentKind::PrivateAgent, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.via, public);
+        assert!(d.rerouted);
+    }
+
+    #[test]
+    fn all_segments_down_is_an_error() {
+        let (mut f, a, b, private, public) = two_host_fabric();
+        f.set_segment_up(private, false);
+        f.set_segment_up(public, false);
+        assert_eq!(
+            f.transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO),
+            Err(NetError::SegmentDown)
+        );
+    }
+
+    #[test]
+    fn firewall_block_cuts_host_off() {
+        let (mut f, a, b, private, public) = two_host_fabric();
+        f.set_firewall_block(private, a, true);
+        // Falls back to public (firewall only broken on private).
+        let d = f
+            .transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.via, public);
+        // Block public too: now it's a firewall error.
+        f.set_firewall_block(public, a, true);
+        assert!(matches!(
+            f.transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO),
+            Err(NetError::FirewallBlocked(_))
+        ));
+        // Unblock heals.
+        f.set_firewall_block(private, a, false);
+        assert!(f.transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn no_shared_segment_is_no_route() {
+        let mut f = Fabric::new();
+        let s1 = f.add_segment(SegmentKind::Public, SimTime::ZERO);
+        let s2 = f.add_segment(SegmentKind::Public, SimTime::ZERO);
+        f.attach(ServerId(0), s1);
+        f.attach(ServerId(1), s2);
+        assert!(matches!(
+            f.transmit(ServerId(0), ServerId(1), 1, SegmentKind::Public, SimTime::ZERO),
+            Err(NetError::NoRoute(_, _))
+        ));
+    }
+
+    #[test]
+    fn window_accounting_records_utilization() {
+        let (mut f, a, b, private, _) = two_host_fabric();
+        // 5-minute window at 10 MB/s = 3e9 bytes capacity. Send 10% of it.
+        let cap = FAST_ETHERNET_BPS * 300;
+        f.transmit(a, b, cap / 10, SegmentKind::PrivateAgent, SimTime::ZERO)
+            .unwrap();
+        f.roll_all_windows(SimTime::from_mins(5));
+        let seg = f.segment(private).unwrap();
+        let u = seg.last_window_utilization().unwrap();
+        assert!((u - 0.1).abs() < 1e-9, "u = {u}");
+        assert!(seg.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn latency_inflates_with_load() {
+        let (mut f, a, b, _, _) = two_host_fabric();
+        let quiet = f
+            .transmit(a, b, 1_000, SegmentKind::PrivateAgent, SimTime::from_secs(1))
+            .unwrap();
+        // Saturate the instantaneous window.
+        f.transmit(a, b, FAST_ETHERNET_BPS * 10, SegmentKind::PrivateAgent, SimTime::from_secs(1))
+            .unwrap();
+        let busy = f
+            .transmit(a, b, 1_000, SegmentKind::PrivateAgent, SimTime::from_secs(1))
+            .unwrap();
+        assert!(busy.latency_ms > quiet.latency_ms);
+    }
+
+    #[test]
+    fn segments_of_filters_by_kind() {
+        let (f, _, _, private, public) = two_host_fabric();
+        assert_eq!(f.segments_of(SegmentKind::PrivateAgent), vec![private]);
+        assert_eq!(f.segments_of(SegmentKind::Public), vec![public]);
+    }
+}

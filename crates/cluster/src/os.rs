@@ -1,0 +1,316 @@
+//! Operating-system observable metrics and their dynamics.
+//!
+//! Intelliagents never see "the truth" of a server — they see what
+//! `vmstat`, `iostat`, `sar` and friends print. This module turns the
+//! server's hidden state (aggregate CPU / memory / I/O demand against
+//! the hardware capacity) into exactly the observables §3.6 of the paper
+//! lists:
+//!
+//! * memory: scan rate (`sr`), page-outs (`po`), page faults, free memory;
+//! * CPU: run-queue length, overall idle %, blocked processes on I/O;
+//! * disk: read/write service times (`asvc_t`, `wsvc_t`) and throughput.
+//!
+//! The dynamics are deliberately simple queueing-flavoured formulas: a
+//! saturated CPU grows a run queue, memory pressure wakes the page
+//! scanner, a saturated disk's service times blow up. What matters for
+//! the reproduction is that the *observable consequences* of overload
+//! and runaway processes look to an agent like they look on a real Unix
+//! box — thresholds fire on the same signals the paper's agents used.
+
+use intelliqos_simkern::SimRng;
+
+use crate::hardware::HardwareSpec;
+
+/// Hidden aggregate load placed on a server by its processes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadVector {
+    /// CPU demand in compute-power units (same unit as
+    /// [`HardwareSpec::compute_power`]). May exceed capacity.
+    pub cpu_demand: f64,
+    /// Resident memory demand in GB (includes the OS baseline).
+    pub mem_demand_gb: f64,
+    /// Disk I/O demand as a fraction of the disk subsystem's capacity
+    /// (1.0 = the disks are exactly saturated).
+    pub io_demand: f64,
+    /// Number of runnable processes contributing to the CPU demand.
+    pub runnable_procs: u32,
+}
+
+impl LoadVector {
+    /// Sum of two load vectors.
+    pub fn plus(self, other: LoadVector) -> LoadVector {
+        LoadVector {
+            cpu_demand: self.cpu_demand + other.cpu_demand,
+            mem_demand_gb: self.mem_demand_gb + other.mem_demand_gb,
+            io_demand: self.io_demand + other.io_demand,
+            runnable_procs: self.runnable_procs + other.runnable_procs,
+        }
+    }
+}
+
+/// One sample of what the standard Unix tools report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsObservables {
+    /// CPU utilisation, 0–100 %.
+    pub cpu_util_pct: f64,
+    /// CPU idle, 0–100 % (complement of utilisation).
+    pub cpu_idle_pct: f64,
+    /// Processes waiting for a CPU (`vmstat` r column).
+    pub run_queue: f64,
+    /// Processes blocked on I/O (`vmstat` b column).
+    pub blocked_procs: f64,
+    /// Free memory in MB.
+    pub free_mem_mb: f64,
+    /// Page scan rate, pages/s (`vmstat` sr).
+    pub scan_rate: f64,
+    /// Page-outs per second (`vmstat` po).
+    pub page_outs: f64,
+    /// Page faults per second.
+    pub page_faults: f64,
+    /// Average read service time, ms (`iostat` asvc_t).
+    pub asvc_t_ms: f64,
+    /// Average write service time, ms (`iostat` wsvc_t).
+    pub wsvc_t_ms: f64,
+    /// Disk throughput in MB/s.
+    pub disk_throughput_mbps: f64,
+}
+
+/// Memory the OS itself keeps resident, in GB.
+pub const OS_BASELINE_MEM_GB: f64 = 0.5;
+
+/// Unloaded disk service time in milliseconds (period-typical 10k RPM
+/// SCSI).
+pub const DISK_BASE_SVC_MS: f64 = 6.0;
+
+/// Per-disk streaming throughput in MB/s.
+pub const DISK_BASE_THROUGHPUT_MBPS: f64 = 25.0;
+
+impl OsObservables {
+    /// Compute the observables for `load` on `spec`, with small
+    /// measurement jitter drawn from `rng` (tools never report perfectly
+    /// smooth numbers, and thresholds must tolerate that).
+    pub fn observe(spec: &HardwareSpec, load: &LoadVector, rng: &mut SimRng) -> OsObservables {
+        let capacity = spec.compute_power().max(1e-9);
+        let u = (load.cpu_demand / capacity).max(0.0);
+        let jitter = |rng: &mut SimRng, x: f64, rel: f64| -> f64 {
+            (x * (1.0 + rng.normal(0.0, rel))).max(0.0)
+        };
+
+        let cpu_util_pct = jitter(rng, (u.min(1.0)) * 100.0, 0.02).min(100.0);
+        let cpu_idle_pct = (100.0 - cpu_util_pct).max(0.0);
+
+        // Excess demand queues up roughly in proportion to how far past
+        // saturation we are, bounded by how many processes are runnable.
+        let excess = (u - 1.0).max(0.0);
+        let run_queue = jitter(rng, excess * spec.cpus as f64, 0.10)
+            .min(load.runnable_procs as f64);
+
+        // Memory: free = RAM − demand; the page scanner wakes as free
+        // memory approaches zero (Solaris-style lotsfree behaviour).
+        let ram_gb = spec.ram_gb as f64;
+        let free_gb = (ram_gb - load.mem_demand_gb).max(0.0);
+        let free_mem_mb = jitter(rng, free_gb * 1024.0, 0.01);
+        let lotsfree_gb = (ram_gb / 16.0).max(0.0625);
+        let pressure = if free_gb < lotsfree_gb {
+            1.0 - free_gb / lotsfree_gb
+        } else {
+            0.0
+        };
+        let scan_rate = jitter(rng, pressure * 4000.0, 0.15);
+        let page_outs = jitter(rng, pressure * 800.0, 0.15);
+        let page_faults = jitter(rng, 20.0 + pressure * 3000.0 + u * 50.0, 0.10);
+
+        // Disk: M/M/1-flavoured service-time inflation near saturation.
+        let io_u = load.io_demand.max(0.0);
+        let slowdown = 1.0 / (1.0 - io_u.min(0.95)).max(0.05);
+        let asvc_t_ms = jitter(rng, DISK_BASE_SVC_MS * slowdown, 0.08);
+        let wsvc_t_ms = jitter(rng, DISK_BASE_SVC_MS * 1.3 * slowdown, 0.08);
+        let disk_capacity = spec.disks as f64 * DISK_BASE_THROUGHPUT_MBPS;
+        let disk_throughput_mbps = jitter(rng, io_u.min(1.0) * disk_capacity, 0.05);
+
+        // Processes block on I/O when the disks are slow and on memory
+        // when the scanner is running.
+        let blocked_procs = jitter(
+            rng,
+            io_u.min(2.0) * 2.0 + pressure * 5.0,
+            0.20,
+        );
+
+        OsObservables {
+            cpu_util_pct,
+            cpu_idle_pct,
+            run_queue,
+            blocked_procs,
+            free_mem_mb,
+            scan_rate,
+            page_outs,
+            page_faults,
+            asvc_t_ms,
+            wsvc_t_ms,
+            disk_throughput_mbps,
+        }
+    }
+
+    /// Crude single-number health score in [0, 1] used by status agents
+    /// for DGSPL load reporting: 0 = idle, 1 = fully saturated or worse.
+    pub fn load_score(&self) -> f64 {
+        let cpu = self.cpu_util_pct / 100.0 + self.run_queue * 0.05;
+        let mem = (self.scan_rate / 4000.0).min(1.5);
+        let io = ((self.asvc_t_ms / DISK_BASE_SVC_MS) - 1.0).max(0.0) * 0.1;
+        (cpu.max(mem) + io).min(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ServerModel;
+
+    fn rng() -> SimRng {
+        SimRng::stream(1, "os-test")
+    }
+
+    fn spec() -> HardwareSpec {
+        HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6)
+    }
+
+    #[test]
+    fn idle_server_is_quiet() {
+        let mut r = rng();
+        let o = OsObservables::observe(
+            &spec(),
+            &LoadVector {
+                cpu_demand: 0.0,
+                mem_demand_gb: OS_BASELINE_MEM_GB,
+                io_demand: 0.0,
+                runnable_procs: 0,
+            },
+            &mut r,
+        );
+        assert!(o.cpu_util_pct < 1.0);
+        assert!(o.cpu_idle_pct > 99.0);
+        assert_eq!(o.run_queue, 0.0);
+        assert!(o.scan_rate < 1.0);
+        assert!(o.page_outs < 1.0);
+        assert!(o.free_mem_mb > 7000.0);
+        assert!(o.asvc_t_ms < 8.0);
+    }
+
+    #[test]
+    fn saturated_cpu_builds_run_queue() {
+        let mut r = rng();
+        let cap = spec().compute_power();
+        let o = OsObservables::observe(
+            &spec(),
+            &LoadVector {
+                cpu_demand: cap * 2.0, // 200 % demand
+                mem_demand_gb: 2.0,
+                io_demand: 0.1,
+                runnable_procs: 64,
+            },
+            &mut r,
+        );
+        assert!(o.cpu_util_pct > 95.0);
+        assert!(o.run_queue > 4.0, "run_queue = {}", o.run_queue);
+    }
+
+    #[test]
+    fn run_queue_bounded_by_runnable_procs() {
+        let mut r = rng();
+        let cap = spec().compute_power();
+        let o = OsObservables::observe(
+            &spec(),
+            &LoadVector {
+                cpu_demand: cap * 10.0,
+                mem_demand_gb: 1.0,
+                io_demand: 0.0,
+                runnable_procs: 3,
+            },
+            &mut r,
+        );
+        assert!(o.run_queue <= 3.0);
+    }
+
+    #[test]
+    fn memory_pressure_wakes_scanner() {
+        let mut r = rng();
+        let o = OsObservables::observe(
+            &spec(),
+            &LoadVector {
+                cpu_demand: 1.0,
+                mem_demand_gb: 7.95, // nearly all of 8 GB
+                io_demand: 0.1,
+                runnable_procs: 10,
+            },
+            &mut r,
+        );
+        assert!(o.scan_rate > 1000.0, "scan_rate = {}", o.scan_rate);
+        assert!(o.page_outs > 200.0, "page_outs = {}", o.page_outs);
+        assert!(o.free_mem_mb < 200.0);
+    }
+
+    #[test]
+    fn ample_memory_means_no_scanning() {
+        let mut r = rng();
+        let o = OsObservables::observe(
+            &spec(),
+            &LoadVector {
+                cpu_demand: 1.0,
+                mem_demand_gb: 4.0,
+                io_demand: 0.1,
+                runnable_procs: 10,
+            },
+            &mut r,
+        );
+        assert_eq!(o.scan_rate, 0.0);
+        assert_eq!(o.page_outs, 0.0);
+    }
+
+    #[test]
+    fn disk_saturation_inflates_service_times() {
+        let mut r = rng();
+        let quiet = OsObservables::observe(
+            &spec(),
+            &LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.1, runnable_procs: 4 },
+            &mut r,
+        );
+        let busy = OsObservables::observe(
+            &spec(),
+            &LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.95, runnable_procs: 4 },
+            &mut r,
+        );
+        assert!(busy.asvc_t_ms > quiet.asvc_t_ms * 5.0,
+            "quiet = {} busy = {}", quiet.asvc_t_ms, busy.asvc_t_ms);
+        assert!(busy.wsvc_t_ms > busy.asvc_t_ms); // writes are slower
+        assert!(busy.blocked_procs > quiet.blocked_procs);
+    }
+
+    #[test]
+    fn load_score_orders_conditions() {
+        let mut r = rng();
+        let cap = spec().compute_power();
+        let idle = OsObservables::observe(
+            &spec(),
+            &LoadVector { cpu_demand: 0.5, mem_demand_gb: 1.0, io_demand: 0.05, runnable_procs: 2 },
+            &mut r,
+        );
+        let slammed = OsObservables::observe(
+            &spec(),
+            &LoadVector { cpu_demand: cap * 1.5, mem_demand_gb: 7.9, io_demand: 0.9, runnable_procs: 50 },
+            &mut r,
+        );
+        assert!(idle.load_score() < 0.3);
+        assert!(slammed.load_score() > 0.9);
+    }
+
+    #[test]
+    fn load_vector_addition() {
+        let a = LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.1, runnable_procs: 3 };
+        let b = LoadVector { cpu_demand: 0.5, mem_demand_gb: 1.0, io_demand: 0.2, runnable_procs: 2 };
+        let c = a.plus(b);
+        assert_eq!(c.cpu_demand, 1.5);
+        assert_eq!(c.mem_demand_gb, 3.0);
+        assert!((c.io_demand - 0.3).abs() < 1e-12);
+        assert_eq!(c.runnable_procs, 5);
+    }
+}

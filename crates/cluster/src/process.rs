@@ -1,0 +1,368 @@
+//! Per-server process table with microstate accounting.
+//!
+//! Service intelliagents identify applications by "process names and
+//! numbers" from the SLKT, and the performance intelliagents classify
+//! measurements "per user name, per command name and arguments, per user
+//! and command name". Microstate accounting (§3.5) gives nanosecond-
+//! resolution user/system/wait splits per process — we track those
+//! splits as accumulated nanoseconds.
+
+use std::collections::BTreeMap;
+
+use intelliqos_simkern::{SimDuration, SimTime};
+
+use crate::ids::Pid;
+use crate::os::LoadVector;
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable or running.
+    Running,
+    /// Sleeping (idle daemon).
+    Sleeping,
+    /// Blocked on I/O.
+    Blocked,
+    /// Zombie — exited but not reaped; a classic symptom the agents'
+    /// "what's different" diagnosis picks up.
+    Zombie,
+}
+
+/// Microstate accounting counters, in nanoseconds, as Solaris exposes
+/// through `/proc` usage structs. "The accuracy of microstate
+/// measurements is microsecond resolution and the overhead is
+/// sub-microsecond" (§3.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Microstates {
+    /// Time executing user code.
+    pub user_ns: u64,
+    /// Time executing system calls.
+    pub system_ns: u64,
+    /// Time waiting for CPU (latency).
+    pub wait_cpu_ns: u64,
+    /// Time blocked on I/O or page faults.
+    pub blocked_ns: u64,
+}
+
+impl Microstates {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.user_ns + self.system_ns + self.wait_cpu_ns + self.blocked_ns
+    }
+
+    /// Fraction of accounted time actually on-CPU (user + system).
+    pub fn on_cpu_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            (self.user_ns + self.system_ns) as f64 / t as f64
+        }
+    }
+}
+
+/// One entry in the process table.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id, unique within the server for its lifetime.
+    pub pid: Pid,
+    /// Command name, e.g. `oracle`, `httpd`, `lsf_mbatchd`,
+    /// `intelliagent_cpu`.
+    pub name: String,
+    /// Command arguments (performance agents classify by name+args).
+    pub args: String,
+    /// Owning user name.
+    pub user: String,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// CPU demand in compute-power units while `Running`.
+    pub cpu_demand: f64,
+    /// Resident memory in MB.
+    pub mem_mb: f64,
+    /// Disk I/O demand (fraction of the server's disk capacity).
+    pub io_demand: f64,
+    /// When the process started.
+    pub started_at: SimTime,
+    /// Accumulated microstate counters.
+    pub micro: Microstates,
+}
+
+impl Process {
+    /// The load this process currently places on its server.
+    pub fn load(&self) -> LoadVector {
+        match self.state {
+            ProcState::Running => LoadVector {
+                cpu_demand: self.cpu_demand,
+                mem_demand_gb: self.mem_mb / 1024.0,
+                io_demand: self.io_demand,
+                runnable_procs: 1,
+            },
+            ProcState::Blocked => LoadVector {
+                cpu_demand: 0.0,
+                mem_demand_gb: self.mem_mb / 1024.0,
+                io_demand: self.io_demand,
+                runnable_procs: 0,
+            },
+            ProcState::Sleeping => LoadVector {
+                cpu_demand: 0.0,
+                mem_demand_gb: self.mem_mb / 1024.0,
+                io_demand: 0.0,
+                runnable_procs: 0,
+            },
+            ProcState::Zombie => LoadVector::default(),
+        }
+    }
+
+    /// Advance microstate accounting across `dt`, splitting the elapsed
+    /// time according to the process state and a crude 70/30 user/system
+    /// split while on CPU. `cpu_starved` is the fraction of wanted CPU
+    /// the scheduler could not deliver (run-queue pressure).
+    pub fn account(&mut self, dt: SimDuration, cpu_starved: f64) {
+        let ns = dt.as_secs() * 1_000_000_000;
+        match self.state {
+            ProcState::Running => {
+                let starved = cpu_starved.clamp(0.0, 1.0);
+                let on_cpu = ((1.0 - starved) * ns as f64) as u64;
+                self.micro.user_ns += on_cpu * 7 / 10;
+                self.micro.system_ns += on_cpu - on_cpu * 7 / 10;
+                self.micro.wait_cpu_ns += ns - on_cpu;
+            }
+            ProcState::Blocked => self.micro.blocked_ns += ns,
+            ProcState::Sleeping | ProcState::Zombie => {}
+        }
+    }
+}
+
+/// A server's process table.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessTable {
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ProcessTable { procs: BTreeMap::new(), next_pid: 1 }
+    }
+
+    /// Spawn a process; returns its pid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        args: impl Into<String>,
+        user: impl Into<String>,
+        cpu_demand: f64,
+        mem_mb: f64,
+        io_demand: f64,
+        now: SimTime,
+    ) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Process {
+                pid,
+                name: name.into(),
+                args: args.into(),
+                user: user.into(),
+                state: ProcState::Running,
+                cpu_demand,
+                mem_mb,
+                io_demand,
+                started_at: now,
+                micro: Microstates::default(),
+            },
+        );
+        pid
+    }
+
+    /// Kill a process outright (it disappears from the table).
+    pub fn kill(&mut self, pid: Pid) -> Option<Process> {
+        self.procs.remove(&pid)
+    }
+
+    /// Turn a process into a zombie (exited, unreaped).
+    pub fn make_zombie(&mut self, pid: Pid) -> bool {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.state = ProcState::Zombie;
+            p.cpu_demand = 0.0;
+            p.io_demand = 0.0;
+            p.mem_mb = 0.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up by pid.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable lookup by pid.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// All processes, pid order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+
+    /// All processes, mutable.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.procs.values_mut()
+    }
+
+    /// Number of live entries (including zombies).
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Processes whose command name matches exactly — the `pgrep -x`
+    /// the agents use for "is the application process present".
+    pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Process> {
+        self.procs.values().filter(move |p| p.name == name)
+    }
+
+    /// Count of non-zombie processes with the given name.
+    pub fn live_count(&self, name: &str) -> usize {
+        self.by_name(name)
+            .filter(|p| p.state != ProcState::Zombie)
+            .count()
+    }
+
+    /// Processes owned by a user (per-user workgroup accounting).
+    pub fn by_user<'a>(&'a self, user: &'a str) -> impl Iterator<Item = &'a Process> {
+        self.procs.values().filter(move |p| p.user == user)
+    }
+
+    /// Aggregate load placed on the server by every process.
+    pub fn total_load(&self) -> LoadVector {
+        self.procs
+            .values()
+            .fold(LoadVector::default(), |acc, p| acc.plus(p.load()))
+    }
+
+    /// Count of zombies (a diagnosis signal).
+    pub fn zombie_count(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state == ProcState::Zombie)
+            .count()
+    }
+
+    /// Remove every process (server crash / reboot).
+    pub fn clear(&mut self) {
+        self.procs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_two() -> (ProcessTable, Pid, Pid) {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("oracle", "-db trades", "oracle", 2.0, 2048.0, 0.3, SimTime::ZERO);
+        let b = t.spawn("httpd", "-p 8080", "web", 0.2, 128.0, 0.02, SimTime::ZERO);
+        (t, a, b)
+    }
+
+    #[test]
+    fn pids_are_unique_and_monotone() {
+        let (t, a, b) = table_with_two();
+        assert_ne!(a, b);
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_and_user() {
+        let (t, _, _) = table_with_two();
+        assert_eq!(t.by_name("oracle").count(), 1);
+        assert_eq!(t.by_name("oracl").count(), 0); // exact match only
+        assert_eq!(t.by_user("web").count(), 1);
+        assert_eq!(t.live_count("oracle"), 1);
+    }
+
+    #[test]
+    fn total_load_sums_running_processes() {
+        let (t, _, _) = table_with_two();
+        let l = t.total_load();
+        assert!((l.cpu_demand - 2.2).abs() < 1e-12);
+        assert!((l.mem_demand_gb - (2048.0 + 128.0) / 1024.0).abs() < 1e-12);
+        assert_eq!(l.runnable_procs, 2);
+    }
+
+    #[test]
+    fn zombies_carry_no_load_and_are_counted() {
+        let (mut t, a, _) = table_with_two();
+        assert!(t.make_zombie(a));
+        assert_eq!(t.zombie_count(), 1);
+        assert_eq!(t.live_count("oracle"), 0);
+        let l = t.total_load();
+        assert!((l.cpu_demand - 0.2).abs() < 1e-12);
+        // Zombie stays in the table until reaped/killed.
+        assert_eq!(t.len(), 2);
+        assert!(t.kill(a).is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn blocked_process_contributes_memory_and_io_only() {
+        let (mut t, a, _) = table_with_two();
+        t.get_mut(a).unwrap().state = ProcState::Blocked;
+        let l = t.total_load();
+        assert!((l.cpu_demand - 0.2).abs() < 1e-12);
+        assert!(l.io_demand > 0.3); // oracle still doing I/O
+        assert_eq!(l.runnable_procs, 1);
+    }
+
+    #[test]
+    fn microstate_accounting_splits_time() {
+        let (mut t, a, _) = table_with_two();
+        let p = t.get_mut(a).unwrap();
+        p.account(SimDuration::from_secs(10), 0.25);
+        let ns = 10 * 1_000_000_000u64;
+        assert_eq!(p.micro.total_ns(), ns);
+        assert_eq!(p.micro.wait_cpu_ns, ns / 4);
+        assert!(p.micro.user_ns > p.micro.system_ns);
+        assert!((p.micro.on_cpu_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_accounting_goes_to_blocked_bucket() {
+        let (mut t, a, _) = table_with_two();
+        let p = t.get_mut(a).unwrap();
+        p.state = ProcState::Blocked;
+        p.account(SimDuration::from_secs(3), 0.0);
+        assert_eq!(p.micro.blocked_ns, 3_000_000_000);
+        assert_eq!(p.micro.user_ns, 0);
+    }
+
+    #[test]
+    fn kill_missing_pid_is_none() {
+        let mut t = ProcessTable::new();
+        assert!(t.kill(Pid(99)).is_none());
+        assert!(!t.make_zombie(Pid(99)));
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let (mut t, _, _) = table_with_two();
+        t.clear();
+        assert!(t.is_empty());
+        // New pids keep increasing after a clear (like a real kernel
+        // within one boot).
+        let p = t.spawn("x", "", "root", 0.1, 1.0, 0.0, SimTime::ZERO);
+        assert!(p.0 >= 3);
+    }
+}

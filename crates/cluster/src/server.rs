@@ -1,0 +1,351 @@
+//! The server aggregate: hardware + OS + processes + filesystem + cron.
+
+use std::collections::BTreeMap;
+
+use intelliqos_simkern::{SimDuration, SimRng, SimTime};
+
+use crate::cron::Crontab;
+use crate::fs::SimFs;
+use crate::hardware::{ComponentHealth, HardwareComponent, HardwareSpec, OsKind};
+use crate::ids::{ServerId, Site};
+use crate::os::{LoadVector, OsObservables, OS_BASELINE_MEM_GB};
+use crate::process::ProcessTable;
+
+/// Power/OS state of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Running normally.
+    Up,
+    /// Crashed / powered off; needs a reboot to recover.
+    Down,
+    /// Rebooting; becomes `Up` at the contained time.
+    Rebooting {
+        /// When the reboot completes.
+        until: SimTime,
+    },
+}
+
+/// How long a full reboot takes (boot + fsck + service bring-up happens
+/// separately at the service layer).
+pub const REBOOT_DURATION: SimDuration = SimDuration(8 * 60);
+
+/// One simulated Unix server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Identity within the datacenter.
+    pub id: ServerId,
+    /// Hostname, e.g. `db042`.
+    pub hostname: String,
+    /// Hardware configuration.
+    pub spec: HardwareSpec,
+    /// Geographic site.
+    pub site: Site,
+    /// Power state.
+    pub state: ServerState,
+    /// Process table (empty while down).
+    pub procs: ProcessTable,
+    /// Local filesystem.
+    pub fs: SimFs,
+    /// Crontab; commands are opaque tags dispatched by the world driver.
+    pub cron: Crontab<String>,
+    /// Health of each hardware component instance.
+    components: BTreeMap<HardwareComponent, Vec<ComponentHealth>>,
+    /// Interactive users currently logged in (reported in DGSPL).
+    pub users_logged_in: u32,
+    /// Extra CPU demand from sources not in the process table (e.g. a
+    /// runaway-load performance fault), in compute-power units.
+    pub external_cpu_demand: f64,
+    /// Extra memory demand (GB) from such sources (e.g. a leak).
+    pub external_mem_gb: f64,
+    /// Extra I/O demand fraction from such sources.
+    pub external_io_demand: f64,
+    /// NTP synchronised — the paper assumes yes; human error can break
+    /// it, confusing timestamp joins until repaired.
+    pub ntp_synced: bool,
+}
+
+impl Server {
+    /// A fresh, booted server with the standard filesystem layout and
+    /// one healthy instance of each hardware component class (CPUs and
+    /// disks get one instance per unit in the spec).
+    pub fn new(id: ServerId, hostname: impl Into<String>, spec: HardwareSpec, site: Site) -> Self {
+        let mut components = BTreeMap::new();
+        for class in HardwareComponent::ALL {
+            let count = match class {
+                HardwareComponent::Cpu => spec.cpus,
+                HardwareComponent::Disk => spec.disks,
+                HardwareComponent::Memory => (spec.ram_gb / 2).max(1),
+                HardwareComponent::Board | HardwareComponent::Nic => 2,
+                HardwareComponent::PowerSupply => 2,
+            };
+            components.insert(class, vec![ComponentHealth::Healthy; count as usize]);
+        }
+        Server {
+            id,
+            hostname: hostname.into(),
+            spec,
+            site,
+            state: ServerState::Up,
+            procs: ProcessTable::new(),
+            fs: SimFs::with_standard_layout(),
+            cron: Crontab::new(),
+            components,
+            users_logged_in: 0,
+            external_cpu_demand: 0.0,
+            external_mem_gb: 0.0,
+            external_io_demand: 0.0,
+            ntp_synced: true,
+        }
+    }
+
+    /// Is the server up?
+    pub fn is_up(&self) -> bool {
+        matches!(self.state, ServerState::Up)
+    }
+
+    /// Hard crash: processes die, state goes down.
+    pub fn crash(&mut self) {
+        self.procs.clear();
+        self.state = ServerState::Down;
+    }
+
+    /// Begin a reboot; completes at `now + REBOOT_DURATION`.
+    pub fn begin_reboot(&mut self, now: SimTime) -> SimTime {
+        self.procs.clear();
+        let until = now + REBOOT_DURATION;
+        self.state = ServerState::Rebooting { until };
+        until
+    }
+
+    /// Finish a reboot if its completion time has arrived.
+    pub fn maybe_complete_reboot(&mut self, now: SimTime) -> bool {
+        if let ServerState::Rebooting { until } = self.state {
+            if now >= until {
+                self.state = ServerState::Up;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Component health slots for a class.
+    pub fn components(&self, class: HardwareComponent) -> &[ComponentHealth] {
+        self.components.get(&class).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Set the health of one component instance. Returns false on a bad
+    /// index.
+    pub fn set_component_health(
+        &mut self,
+        class: HardwareComponent,
+        index: usize,
+        health: ComponentHealth,
+    ) -> bool {
+        if let Some(slot) = self.components.get_mut(&class).and_then(|v| v.get_mut(index)) {
+            *slot = health;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Count of failed instances of a class.
+    pub fn failed_count(&self, class: HardwareComponent) -> usize {
+        self.components(class)
+            .iter()
+            .filter(|h| **h == ComponentHealth::Failed)
+            .count()
+    }
+
+    /// Count of degraded instances of a class (latent hardware faults —
+    /// correctable errors in logs).
+    pub fn degraded_count(&self, class: HardwareComponent) -> usize {
+        self.components(class)
+            .iter()
+            .filter(|h| **h == ComponentHealth::Degraded)
+            .count()
+    }
+
+    /// Effective hardware spec after offlining failed CPUs/disks. A
+    /// failed board or both PSUs take the machine down entirely — the
+    /// caller handles that via [`Server::fatal_hardware_fault`].
+    pub fn effective_spec(&self) -> HardwareSpec {
+        let mut spec = self.spec;
+        spec.cpus = spec.cpus.saturating_sub(self.failed_count(HardwareComponent::Cpu) as u32).max(1);
+        spec.disks = spec
+            .disks
+            .saturating_sub(self.failed_count(HardwareComponent::Disk) as u32)
+            .max(1);
+        let failed_mem = self.failed_count(HardwareComponent::Memory) as u32 * 2;
+        spec.ram_gb = spec.ram_gb.saturating_sub(failed_mem).max(1);
+        spec
+    }
+
+    /// True when a hardware failure is fatal to the whole machine: any
+    /// failed board, or every PSU gone.
+    pub fn fatal_hardware_fault(&self) -> bool {
+        self.failed_count(HardwareComponent::Board) > 0
+            || (!self.components(HardwareComponent::PowerSupply).is_empty()
+                && self.failed_count(HardwareComponent::PowerSupply)
+                    == self.components(HardwareComponent::PowerSupply).len())
+    }
+
+    /// Aggregate hidden load: OS baseline + process table + external
+    /// fault-injected demand.
+    pub fn load(&self) -> LoadVector {
+        let mut l = self.procs.total_load();
+        l.mem_demand_gb += OS_BASELINE_MEM_GB + self.external_mem_gb;
+        l.cpu_demand += self.external_cpu_demand;
+        l.io_demand += self.external_io_demand;
+        l
+    }
+
+    /// Sample the observable OS metrics (what the Unix tools would
+    /// print). Returns `None` when the server is not up — tools cannot
+    /// run on a dead machine, which is itself a diagnostic signal.
+    pub fn observe(&self, rng: &mut SimRng) -> Option<OsObservables> {
+        if !self.is_up() {
+            return None;
+        }
+        Some(OsObservables::observe(&self.effective_spec(), &self.load(), rng))
+    }
+
+    /// CPU utilisation fraction (0–1+) implied by current load — the
+    /// hidden truth, used by crash-probability models.
+    pub fn cpu_utilization(&self) -> f64 {
+        let cap = self.effective_spec().compute_power().max(1e-9);
+        self.load().cpu_demand / cap
+    }
+
+    /// Memory utilisation fraction (0–1+).
+    pub fn mem_utilization(&self) -> f64 {
+        let ram = self.effective_spec().ram_gb as f64;
+        self.load().mem_demand_gb / ram.max(1e-9)
+    }
+
+    /// Operating system of this server.
+    pub fn os(&self) -> OsKind {
+        self.spec.model.os()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ServerModel;
+
+    fn server() -> Server {
+        Server::new(
+            ServerId(1),
+            "db001",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN-DC1"),
+        )
+    }
+
+    #[test]
+    fn new_server_is_up_and_healthy() {
+        let s = server();
+        assert!(s.is_up());
+        assert_eq!(s.components(HardwareComponent::Cpu).len(), 8);
+        assert_eq!(s.components(HardwareComponent::Disk).len(), 6);
+        assert_eq!(s.failed_count(HardwareComponent::Cpu), 0);
+        assert!(!s.fatal_hardware_fault());
+        assert!(s.fs.exists("/logs") || s.fs.list("/logs").is_empty()); // layout present
+    }
+
+    #[test]
+    fn crash_clears_processes() {
+        let mut s = server();
+        s.procs.spawn("oracle", "", "oracle", 1.0, 512.0, 0.1, SimTime::ZERO);
+        s.crash();
+        assert!(!s.is_up());
+        assert!(s.procs.is_empty());
+        assert!(s.observe(&mut SimRng::stream(0, "t")).is_none());
+    }
+
+    #[test]
+    fn reboot_cycle() {
+        let mut s = server();
+        s.crash();
+        let until = s.begin_reboot(SimTime::from_mins(10));
+        assert_eq!(until, SimTime::from_mins(18));
+        assert!(!s.maybe_complete_reboot(SimTime::from_mins(17)));
+        assert!(!s.is_up());
+        assert!(s.maybe_complete_reboot(SimTime::from_mins(18)));
+        assert!(s.is_up());
+        // Idempotent afterwards.
+        assert!(!s.maybe_complete_reboot(SimTime::from_mins(19)));
+    }
+
+    #[test]
+    fn failed_cpu_reduces_effective_power() {
+        let mut s = server();
+        let full = s.effective_spec().compute_power();
+        assert!(s.set_component_health(HardwareComponent::Cpu, 0, ComponentHealth::Failed));
+        assert!(s.set_component_health(HardwareComponent::Cpu, 1, ComponentHealth::Failed));
+        let reduced = s.effective_spec().compute_power();
+        assert!(reduced < full);
+        assert_eq!(s.effective_spec().cpus, 6);
+        assert!(!s.fatal_hardware_fault()); // CPUs offline, machine survives
+    }
+
+    #[test]
+    fn board_failure_is_fatal() {
+        let mut s = server();
+        s.set_component_health(HardwareComponent::Board, 0, ComponentHealth::Failed);
+        assert!(s.fatal_hardware_fault());
+    }
+
+    #[test]
+    fn psu_redundancy() {
+        let mut s = server();
+        s.set_component_health(HardwareComponent::PowerSupply, 0, ComponentHealth::Failed);
+        assert!(!s.fatal_hardware_fault()); // one PSU left
+        s.set_component_health(HardwareComponent::PowerSupply, 1, ComponentHealth::Failed);
+        assert!(s.fatal_hardware_fault());
+    }
+
+    #[test]
+    fn degraded_components_are_latent() {
+        let mut s = server();
+        s.set_component_health(HardwareComponent::Memory, 0, ComponentHealth::Degraded);
+        assert_eq!(s.degraded_count(HardwareComponent::Memory), 1);
+        // Degraded ≠ failed: no capacity impact yet.
+        assert_eq!(s.effective_spec().ram_gb, 8);
+    }
+
+    #[test]
+    fn load_includes_os_baseline_and_external() {
+        let mut s = server();
+        assert!(s.load().mem_demand_gb >= OS_BASELINE_MEM_GB);
+        s.external_cpu_demand = 3.0;
+        s.external_mem_gb = 2.0;
+        let l = s.load();
+        assert!(l.cpu_demand >= 3.0);
+        assert!(l.mem_demand_gb >= 2.5);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let mut s = server();
+        // Demand exactly equal to capacity ⇒ utilisation 1.0.
+        s.external_cpu_demand = s.effective_spec().compute_power();
+        assert!((s.cpu_utilization() - 1.0).abs() < 1e-9);
+        assert!(s.mem_utilization() > 0.0);
+    }
+
+    #[test]
+    fn observe_reflects_runaway_external_load() {
+        let mut s = server();
+        s.external_cpu_demand = s.effective_spec().compute_power() * 2.0;
+        let o = s.observe(&mut SimRng::stream(1, "obs")).unwrap();
+        assert!(o.cpu_util_pct > 90.0);
+    }
+
+    #[test]
+    fn set_component_health_bad_index() {
+        let mut s = server();
+        assert!(!s.set_component_health(HardwareComponent::Board, 99, ComponentHealth::Failed));
+    }
+}

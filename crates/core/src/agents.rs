@@ -1,0 +1,847 @@
+//! The intelliagent framework: six categories × five parts.
+//!
+//! §3.3: "Each intelliagent has 5 major parts: a) Monitoring,
+//! b) Diagnosing, c) Self-Healing/Action/Repair, d) Communication/
+//! Logging, e) Self-maintenance … Each of the five intelliagent parts
+//! can get activated or deactivated." Categories: hardware, operating
+//! system/network, resource, application/service, status, performance.
+//!
+//! Every run follows the same shape: **monitor** (gather observables),
+//! **diagnose** (causal rules over the facts), **heal** (execute the
+//! prescribed repair actions), **communicate** (flags + notifications),
+//! **self-maintain** (clean old flags). A disabled part short-circuits
+//! its stage — the ABL-PARTS ablation flips these switches.
+
+use intelliqos_simkern::{SimRng, SimTime};
+
+use intelliqos_cluster::hardware::{ComponentHealth, HardwareComponent};
+use intelliqos_cluster::server::Server;
+
+use intelliqos_ontology::rules::{Diagnosis, FactBase, FactValue, RepairAction};
+
+use intelliqos_services::instance::{ServiceId, ServiceStatus};
+use intelliqos_services::probe::{probe, ProbeResult};
+use intelliqos_services::registry::ServiceRegistry;
+
+use crate::flags::{clear_flags, write_flag, FlagOutcome};
+use crate::notify::{Channel, NotificationBus, Severity};
+use crate::rulesets;
+
+/// The six agent categories of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AgentKind {
+    /// Hardware components (CPU, memory, boards …).
+    Hardware,
+    /// Operating system and network aspects.
+    OsNetwork,
+    /// Resources: disks, virtual memory, network cards.
+    Resource,
+    /// Applications/services, local and global.
+    Service,
+    /// Status profiles (DLSP generation).
+    Status,
+    /// Performance and availability collection.
+    Performance,
+}
+
+impl AgentKind {
+    /// All categories.
+    pub const ALL: [AgentKind; 6] = [
+        AgentKind::Hardware,
+        AgentKind::OsNetwork,
+        AgentKind::Resource,
+        AgentKind::Service,
+        AgentKind::Status,
+        AgentKind::Performance,
+    ];
+
+    /// The agent's name (flag directory, process name).
+    pub fn name(self) -> &'static str {
+        match self {
+            AgentKind::Hardware => "intelliagent_hardware",
+            AgentKind::OsNetwork => "intelliagent_osnet",
+            AgentKind::Resource => "intelliagent_resource",
+            AgentKind::Service => "intelliagent_service",
+            AgentKind::Status => "intelliagent_status",
+            AgentKind::Performance => "intelliagent_perf",
+        }
+    }
+}
+
+/// Which of the five parts are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentParts {
+    /// a) Monitoring.
+    pub monitoring: bool,
+    /// b) Diagnosing.
+    pub diagnosing: bool,
+    /// c) Self-healing/action/repair.
+    pub healing: bool,
+    /// d) Communication/logging.
+    pub communication: bool,
+    /// e) Self-maintenance.
+    pub self_maintenance: bool,
+}
+
+impl Default for AgentParts {
+    fn default() -> Self {
+        AgentParts {
+            monitoring: true,
+            diagnosing: true,
+            healing: true,
+            communication: true,
+            self_maintenance: true,
+        }
+    }
+}
+
+impl AgentParts {
+    /// All parts on.
+    pub fn all() -> Self {
+        AgentParts::default()
+    }
+
+    /// Monitoring/communication only — detect and tell, never touch
+    /// (what a notify-only deployment looks like).
+    pub fn detect_only() -> Self {
+        AgentParts { healing: false, ..AgentParts::default() }
+    }
+}
+
+/// What one service-agent pass concluded about one service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceFinding {
+    /// Which service.
+    pub service: ServiceId,
+    /// Service name.
+    pub name: String,
+    /// Raw probe outcome.
+    pub probe: ProbeResult,
+    /// The diagnosis, if any rule fired.
+    pub diagnosis: Option<Diagnosis>,
+    /// Repair initiated: when `Some(t)`, the service start/bounce was
+    /// kicked off and will reach `Running` at `t` (the world schedules a
+    /// `ServiceReady` event there).
+    pub repair_completes: Option<SimTime>,
+    /// Humans were paged about it.
+    pub escalated: bool,
+}
+
+/// Outcome of one agent wake-up on one server.
+#[derive(Debug, Clone, Default)]
+pub struct AgentRunReport {
+    /// Services probed healthy this run (no finding records are kept
+    /// for them — this is the overwhelmingly common case and the run
+    /// happens millions of times per simulated year).
+    pub ok_services: u32,
+    /// Per-service findings for services that probed unhealthy.
+    pub findings: Vec<ServiceFinding>,
+    /// Local repairs executed immediately (kill/rotate/offline/ntp…).
+    pub local_repairs: Vec<RepairAction>,
+    /// Faults detected but escalated to humans.
+    pub escalations: Vec<String>,
+}
+
+impl AgentRunReport {
+    /// Did this run detect anything at all?
+    pub fn found_anything(&self) -> bool {
+        !self.local_repairs.is_empty()
+            || !self.escalations.is_empty()
+            || self.findings.iter().any(|f| f.diagnosis.is_some())
+    }
+}
+
+/// Substitute the service name into rule action placeholders.
+fn bind_action(action: &RepairAction, svc_name: &str, extra: &str) -> RepairAction {
+    let bind = |s: &str| -> String {
+        s.replace("$svc", svc_name).replace("$proc", extra).replace("$mount", extra)
+    };
+    match action {
+        RepairAction::RestartService(s) => RepairAction::RestartService(bind(s)),
+        RepairAction::BounceService(s) => RepairAction::BounceService(bind(s)),
+        RepairAction::RestoreService(s) => RepairAction::RestoreService(bind(s)),
+        RepairAction::KillProcess(s) => RepairAction::KillProcess(bind(s)),
+        RepairAction::RotateLogs(s) => RepairAction::RotateLogs(bind(s)),
+        RepairAction::Remount(s) => RepairAction::Remount(bind(s)),
+        RepairAction::OfflineComponent(s) => RepairAction::OfflineComponent(bind(s)),
+        RepairAction::NotifyHumans(s) => RepairAction::NotifyHumans(bind(s)),
+        other => other.clone(),
+    }
+}
+
+/// The **service intelliagent**: probe every service hosted on this
+/// server, diagnose failures through the causal rules, and heal —
+/// restart crashed services, bounce hung ones, restore corrupted ones.
+/// §3.4: "Their aim is to ensure that local services run at all times
+/// and if not restart them."
+#[allow(clippy::too_many_arguments)]
+pub fn run_service_agent(
+    server: &mut Server,
+    registry: &mut ServiceRegistry,
+    parts: AgentParts,
+    bus: &mut NotificationBus,
+    rng: &mut SimRng,
+    now: SimTime,
+) -> AgentRunReport {
+    let mut report = AgentRunReport::default();
+    if !parts.monitoring {
+        return report;
+    }
+    if parts.self_maintenance {
+        clear_flags(&mut server.fs, AgentKind::Service.name());
+    }
+    let rules = rulesets::service_rules_cached();
+    let ids = registry.ids_on_server(server.id);
+    let mut worst: Option<FlagOutcome> = None;
+    for id in ids {
+        let probe_result = {
+            let svc = registry.get(id).expect("listed id exists");
+            probe(svc, server, rng)
+        };
+        let probe_text = match probe_result {
+            ProbeResult::Ok { .. } => {
+                report.ok_services += 1;
+                continue;
+            }
+            ProbeResult::Timeout => "timeout",
+            ProbeResult::ConnectionRefused => "refused",
+            ProbeResult::QueryError => "query-error",
+        };
+        let (name, status, mount_missing) = {
+            let svc = registry.get(id).expect("listed id exists");
+            let missing_mount = svc
+                .spec
+                .required_mounts
+                .iter()
+                .find(|m| !server.fs.is_mounted(m))
+                .cloned();
+            (svc.spec.name.clone(), svc.status, missing_mount)
+        };
+        let mut finding = ServiceFinding {
+            service: id,
+            name: name.clone(),
+            probe: probe_result,
+            diagnosis: None,
+            repair_completes: None,
+            escalated: false,
+        };
+        if parts.diagnosing {
+            let mut facts = FactBase::new();
+            facts.assert_fact("probe", probe_text);
+            let missing = {
+                let svc = registry.get(id).expect("listed id exists");
+                svc.process_mismatches(server).len() as f64
+            };
+            facts.assert_fact("procs_missing", missing);
+            facts.assert_fact(
+                "starting",
+                matches!(status, ServiceStatus::Starting { .. }),
+            );
+            if let Some(m) = &mount_missing {
+                facts.assert_fact("mount_missing", true);
+                facts.assert_fact("mount", FactValue::Text(m.clone()));
+            }
+            facts.assert_fact("cpu_util", server.cpu_utilization());
+            if let Some(diag) = rules.diagnose(&mut facts) {
+                if parts.healing {
+                    for action in &diag.actions {
+                        let bound =
+                            bind_action(action, &name, mount_missing.as_deref().unwrap_or(""));
+                        match &bound {
+                            RepairAction::Remount(m) => {
+                                server.fs.set_mounted(m, true);
+                            }
+                            RepairAction::RestartService(_) => {
+                                let svc = registry.get_mut(id).expect("id exists");
+                                // A hung instance must be stopped first.
+                                if svc.status == ServiceStatus::Hung {
+                                    svc.stop(server);
+                                }
+                                if let Ok(ready) = svc.start(server, now) {
+                                    finding.repair_completes = Some(ready);
+                                }
+                            }
+                            RepairAction::BounceService(_) => {
+                                let svc = registry.get_mut(id).expect("id exists");
+                                svc.stop(server);
+                                if let Ok(ready) = svc.start(server, now) {
+                                    finding.repair_completes = Some(ready);
+                                }
+                            }
+                            RepairAction::RestoreService(_) => {
+                                let svc = registry.get_mut(id).expect("id exists");
+                                svc.restore();
+                                if let Ok(ready) = svc.start(server, now) {
+                                    // Restores take an extra backout window
+                                    // beyond the plain startup sequence.
+                                    let ready = ready
+                                        + intelliqos_simkern::SimDuration::from_mins(20);
+                                    finding.repair_completes = Some(ready);
+                                }
+                            }
+                            RepairAction::NotifyHumans(why) => {
+                                finding.escalated = true;
+                                if parts.communication {
+                                    bus.page(
+                                        now,
+                                        server.hostname.clone(),
+                                        format!("{name}: {why}"),
+                                        format!("diagnosis: {}", diag.cause),
+                                    );
+                                }
+                                report.escalations.push(format!("{name}: {why}"));
+                            }
+                            _ => {}
+                        }
+                    }
+                } else if parts.communication {
+                    // Detect-only deployments still tell humans.
+                    finding.escalated = true;
+                    bus.page(
+                        now,
+                        server.hostname.clone(),
+                        format!("{name}: {}", diag.cause),
+                        "healing disabled; manual action required",
+                    );
+                    report.escalations.push(name.clone());
+                }
+                finding.diagnosis = Some(diag);
+            }
+        }
+        let outcome = if finding.repair_completes.is_some() {
+            FlagOutcome::Repaired
+        } else if finding.escalated {
+            FlagOutcome::Escalated
+        } else if finding.diagnosis.is_some() {
+            FlagOutcome::FaultDetected
+        } else {
+            FlagOutcome::Ok
+        };
+        worst = Some(match worst {
+            None => outcome,
+            Some(_) if outcome != FlagOutcome::Ok => outcome,
+            Some(prev) => prev,
+        });
+        report.findings.push(finding);
+    }
+    if parts.communication {
+        let flag = worst.unwrap_or(FlagOutcome::Ok);
+        let detail = report
+            .findings
+            .iter()
+            .find(|f| f.diagnosis.is_some())
+            .map(|f| f.name.clone());
+        let _ = write_flag(
+            &mut server.fs,
+            AgentKind::Service.name(),
+            flag,
+            detail.as_deref(),
+            now,
+        );
+    }
+    report
+}
+
+/// The **OS/network + resource intelliagents** (run together each
+/// wake-up): kill runaway processes, evict memory hogs, rotate full
+/// logs, reap zombies, fix NTP. Returns the local repairs executed.
+pub fn run_os_resource_agents(
+    server: &mut Server,
+    expected_procs: &[String],
+    parts: AgentParts,
+    bus: &mut NotificationBus,
+    now: SimTime,
+) -> AgentRunReport {
+    let mut report = AgentRunReport::default();
+    if !parts.monitoring {
+        return report;
+    }
+    if parts.self_maintenance {
+        clear_flags(&mut server.fs, AgentKind::OsNetwork.name());
+        clear_flags(&mut server.fs, AgentKind::Resource.name());
+    }
+    let capacity = server.effective_spec().compute_power();
+    let ram_mb = server.effective_spec().ram_gb as f64 * 1024.0;
+    // Fast path: a quiet server needs no fact base, no rules, just the
+    // OK flags. This is the common case ~99.9 % of wake-ups.
+    let quiet = server.ntp_synced
+        && server.procs.zombie_count() <= 10
+        && server.fs.usage_fraction("/logs").unwrap_or(0.0) <= 0.9
+        && !server.procs.iter().any(|p| {
+            p.name != "lsf_job"
+                && !expected_procs.iter().any(|e| e == &p.name)
+                && (p.cpu_demand / capacity.max(1e-9) > 0.3
+                    || p.mem_mb / ram_mb.max(1e-9) > 0.3)
+        });
+    if quiet {
+        if parts.communication {
+            let _ = write_flag(&mut server.fs, AgentKind::OsNetwork.name(), FlagOutcome::Ok, None, now);
+            let _ = write_flag(&mut server.fs, AgentKind::Resource.name(), FlagOutcome::Ok, None, now);
+        }
+        return report;
+    }
+    // Monitoring: find suspect processes — big consumers whose command
+    // name is neither an SLKT daemon nor a batch job.
+    let is_expected =
+        |name: &str| -> bool { name == "lsf_job" || expected_procs.iter().any(|p| p == name) };
+    let mut runaway: Option<(String, f64)> = None;
+    let mut leaky: Option<(String, f64)> = None;
+    for p in server.procs.iter() {
+        if is_expected(&p.name) {
+            continue;
+        }
+        let cpu_frac = p.cpu_demand / capacity.max(1e-9);
+        let mem_frac = p.mem_mb / ram_mb.max(1e-9);
+        if cpu_frac > runaway.as_ref().map(|r| r.1).unwrap_or(0.0) {
+            runaway = Some((p.name.clone(), cpu_frac));
+        }
+        if mem_frac > leaky.as_ref().map(|l| l.1).unwrap_or(0.0) {
+            leaky = Some((p.name.clone(), mem_frac));
+        }
+    }
+    let mut facts = FactBase::new();
+    if let Some((name, frac)) = &runaway {
+        facts.assert_fact("runaway_proc", FactValue::Text(name.clone()));
+        facts.assert_fact("runaway_cpu_frac", *frac);
+    }
+    if let Some((name, frac)) = &leaky {
+        facts.assert_fact("leaky_proc", FactValue::Text(name.clone()));
+        facts.assert_fact("leaky_mem_frac", *frac);
+    }
+    facts.assert_fact(
+        "fs_usage_logs",
+        server.fs.usage_fraction("/logs").unwrap_or(0.0),
+    );
+    facts.assert_fact("zombie_count", server.procs.zombie_count() as f64);
+    facts.assert_fact("ntp_synced", server.ntp_synced);
+
+    if !parts.diagnosing {
+        return report;
+    }
+    let mut diagnoses = rulesets::os_net_rules_cached().infer(&mut facts);
+    diagnoses.extend(rulesets::resource_rules_cached().infer(&mut facts));
+    for diag in &diagnoses {
+        for action in &diag.actions {
+            let extra = match action {
+                RepairAction::KillProcess(_) => {
+                    if diag.rule_id == "os-runaway" {
+                        runaway.as_ref().map(|r| r.0.clone()).unwrap_or_default()
+                    } else {
+                        leaky.as_ref().map(|l| l.0.clone()).unwrap_or_default()
+                    }
+                }
+                _ => String::new(),
+            };
+            let bound = bind_action(action, "", &extra);
+            if !parts.healing {
+                if parts.communication {
+                    bus.page(now, server.hostname.clone(), diag.cause.clone(), "healing disabled");
+                    report.escalations.push(diag.cause.clone());
+                }
+                continue;
+            }
+            match &bound {
+                RepairAction::KillProcess(name) if name == "zombies" => {
+                    let zombies: Vec<_> = server
+                        .procs
+                        .iter()
+                        .filter(|p| p.state == intelliqos_cluster::process::ProcState::Zombie)
+                        .map(|p| p.pid)
+                        .collect();
+                    for pid in zombies {
+                        server.procs.kill(pid);
+                    }
+                    report.local_repairs.push(bound.clone());
+                }
+                RepairAction::KillProcess(name) if !name.is_empty() => {
+                    let pids: Vec<_> = server.procs.by_name(name).map(|p| p.pid).collect();
+                    for pid in pids {
+                        server.procs.kill(pid);
+                    }
+                    report.local_repairs.push(bound.clone());
+                }
+                RepairAction::RotateLogs(_) => {
+                    // Remove application debris under /logs, preserving the
+                    // agent flag tree and the perf archives.
+                    let victims: Vec<String> = server
+                        .fs
+                        .list("/logs")
+                        .into_iter()
+                        .filter(|p| {
+                            !p.starts_with("/logs/intelliagents") && !p.starts_with("/logs/perf")
+                        })
+                        .map(|s| s.to_string())
+                        .collect();
+                    for v in victims {
+                        let _ = server.fs.remove(&v);
+                    }
+                    report.local_repairs.push(bound.clone());
+                }
+                RepairAction::FixNtp => {
+                    server.ntp_synced = true;
+                    report.local_repairs.push(bound.clone());
+                }
+                RepairAction::NotifyHumans(why) => {
+                    if parts.communication {
+                        bus.page(now, server.hostname.clone(), why.clone(), diag.cause.clone());
+                    }
+                    report.escalations.push(why.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    if parts.communication {
+        let outcome = if !report.local_repairs.is_empty() {
+            FlagOutcome::Repaired
+        } else if !report.escalations.is_empty() {
+            FlagOutcome::Escalated
+        } else {
+            FlagOutcome::Ok
+        };
+        let _ = write_flag(&mut server.fs, AgentKind::OsNetwork.name(), outcome, None, now);
+        let _ = write_flag(&mut server.fs, AgentKind::Resource.name(), outcome, None, now);
+    }
+    report
+}
+
+/// The **hardware intelliagent**: scrape component health (stand-in for
+/// parsing console/syslog error counters), offline what can be offlined,
+/// page engineers for the rest.
+pub fn run_hardware_agent(
+    server: &mut Server,
+    parts: AgentParts,
+    bus: &mut NotificationBus,
+    now: SimTime,
+) -> AgentRunReport {
+    let mut report = AgentRunReport::default();
+    if !parts.monitoring {
+        return report;
+    }
+    if parts.self_maintenance {
+        clear_flags(&mut server.fs, AgentKind::Hardware.name());
+    }
+    // Fast path: all components healthy (the overwhelmingly common
+    // wake-up) — write the OK flag and go back to sleep.
+    let all_healthy = HardwareComponent::ALL
+        .iter()
+        .all(|&c| server.degraded_count(c) == 0 && server.failed_count(c) == 0);
+    if all_healthy {
+        if parts.communication {
+            let _ = write_flag(&mut server.fs, AgentKind::Hardware.name(), FlagOutcome::Ok, None, now);
+        }
+        return report;
+    }
+    let mut facts = FactBase::new();
+    for class in HardwareComponent::ALL {
+        facts.assert_fact(
+            format!("degraded_{class}"),
+            server.degraded_count(class) as f64,
+        );
+        facts.assert_fact(format!("failed_{class}"), server.failed_count(class) as f64);
+    }
+    if !parts.diagnosing {
+        return report;
+    }
+    let diagnoses = rulesets::hardware_rules_cached().infer(&mut facts);
+    for diag in &diagnoses {
+        for action in &diag.actions {
+            match action {
+                RepairAction::OfflineComponent(class_name) if parts.healing => {
+                    let class = HardwareComponent::ALL
+                        .into_iter()
+                        .find(|c| c.to_string() == *class_name);
+                    if let Some(class) = class {
+                        // Proactively offline every degraded instance.
+                        let degraded: Vec<usize> = server
+                            .components(class)
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, h)| **h == ComponentHealth::Degraded)
+                            .map(|(i, _)| i)
+                            .collect();
+                        for i in degraded {
+                            server.set_component_health(class, i, ComponentHealth::Failed);
+                        }
+                        report.local_repairs.push(action.clone());
+                    }
+                }
+                RepairAction::NotifyHumans(why) => {
+                    if parts.communication {
+                        bus.send(
+                            now,
+                            Channel::Email,
+                            Severity::Warning,
+                            server.hostname.clone(),
+                            why.clone(),
+                            diag.cause.clone(),
+                        );
+                    }
+                    report.escalations.push(why.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    if parts.communication {
+        let outcome = if !report.local_repairs.is_empty() {
+            FlagOutcome::Repaired
+        } else if !report.escalations.is_empty() {
+            FlagOutcome::Escalated
+        } else {
+            FlagOutcome::Ok
+        };
+        let _ = write_flag(&mut server.fs, AgentKind::Hardware.name(), outcome, None, now);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::{ServerId, Site};
+    use intelliqos_services::spec::{DbEngine, ServiceSpec};
+
+    fn setup() -> (Server, ServiceRegistry, ServiceId, NotificationBus, SimRng) {
+        let mut server = Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        );
+        let mut reg = ServiceRegistry::new();
+        let id = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        reg.start(id, &mut server, SimTime::ZERO).unwrap();
+        reg.complete_pending_starts(SimTime::from_secs(1600));
+        (server, reg, id, NotificationBus::new(), SimRng::stream(1, "agent"))
+    }
+
+    #[test]
+    fn healthy_service_yields_ok_flag_and_no_action() {
+        let (mut server, mut reg, _, mut bus, mut rng) = setup();
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            AgentParts::all(),
+            &mut bus,
+            &mut rng,
+            SimTime::from_mins(10),
+        );
+        assert!(!report.found_anything());
+        assert_eq!(report.ok_services, 1);
+        assert!(report.findings.is_empty());
+        let flags = crate::flags::read_flags(&server.fs, "intelliagent_service");
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].outcome, FlagOutcome::Ok);
+    }
+
+    #[test]
+    fn crashed_service_gets_restarted() {
+        let (mut server, mut reg, id, mut bus, mut rng) = setup();
+        reg.get_mut(id).unwrap().crash(&mut server);
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            AgentParts::all(),
+            &mut bus,
+            &mut rng,
+            SimTime::from_mins(10),
+        );
+        let f = &report.findings[0];
+        assert_eq!(f.diagnosis.as_ref().unwrap().rule_id, "svc-crashed");
+        let ready = f.repair_completes.unwrap();
+        assert_eq!(ready, SimTime::from_mins(10) + SimTime::from_secs(1600).since(SimTime::ZERO));
+        assert!(matches!(
+            reg.get(id).unwrap().status,
+            ServiceStatus::Starting { .. }
+        ));
+        reg.complete_pending_starts(ready);
+        assert!(reg.get(id).unwrap().status.is_serving());
+        let flags = crate::flags::read_flags(&server.fs, "intelliagent_service");
+        assert_eq!(flags[0].outcome, FlagOutcome::Repaired);
+    }
+
+    #[test]
+    fn hung_service_gets_bounced() {
+        let (mut server, mut reg, id, mut bus, mut rng) = setup();
+        reg.get_mut(id).unwrap().hang();
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            AgentParts::all(),
+            &mut bus,
+            &mut rng,
+            SimTime::from_mins(10),
+        );
+        assert_eq!(
+            report.findings[0].diagnosis.as_ref().unwrap().rule_id,
+            "svc-hung"
+        );
+        assert!(report.findings[0].repair_completes.is_some());
+    }
+
+    #[test]
+    fn corrupted_service_gets_restored_with_extra_delay() {
+        let (mut server, mut reg, id, mut bus, mut rng) = setup();
+        reg.get_mut(id).unwrap().corrupt(&mut server);
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            AgentParts::all(),
+            &mut bus,
+            &mut rng,
+            SimTime::from_mins(10),
+        );
+        let ready = report.findings[0].repair_completes.unwrap();
+        // startup (120 s) + restore window (20 min).
+        assert_eq!(ready.as_secs(), 600 + 1600 + 1200);
+    }
+
+    #[test]
+    fn healing_disabled_pages_instead() {
+        let (mut server, mut reg, id, mut bus, mut rng) = setup();
+        reg.get_mut(id).unwrap().crash(&mut server);
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            AgentParts::detect_only(),
+            &mut bus,
+            &mut rng,
+            SimTime::from_mins(10),
+        );
+        assert!(report.findings[0].repair_completes.is_none());
+        assert!(report.findings[0].escalated);
+        assert!(bus.count_severity(Severity::Critical) > 0);
+        // Service stays crashed.
+        assert_eq!(reg.get(id).unwrap().status, ServiceStatus::Crashed);
+    }
+
+    #[test]
+    fn runaway_process_is_killed() {
+        let (mut server, _, _, mut bus, _) = setup();
+        let cap = server.effective_spec().compute_power();
+        server.procs.spawn("runaway", "", "app", cap * 1.2, 64.0, 0.0, SimTime::ZERO);
+        let expected = vec!["ora_pmon".to_string(), "ora_dbw".to_string(), "ora_lsnr".to_string()];
+        let report = run_os_resource_agents(
+            &mut server,
+            &expected,
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
+        assert!(report
+            .local_repairs
+            .iter()
+            .any(|a| matches!(a, RepairAction::KillProcess(n) if n == "runaway")));
+        assert_eq!(server.procs.live_count("runaway"), 0);
+        // SLKT daemons untouched.
+        assert_eq!(server.procs.live_count("ora_pmon"), 1);
+    }
+
+    #[test]
+    fn lsf_jobs_are_never_killed_as_runaways() {
+        let (mut server, _, _, mut bus, _) = setup();
+        let cap = server.effective_spec().compute_power();
+        server.procs.spawn("lsf_job", "datamine", "analyst01", cap * 2.0, 4096.0, 0.5, SimTime::ZERO);
+        let report = run_os_resource_agents(
+            &mut server,
+            &[],
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
+        assert!(report.local_repairs.is_empty());
+        assert_eq!(server.procs.live_count("lsf_job"), 1);
+    }
+
+    #[test]
+    fn full_logs_get_rotated() {
+        let (mut server, _, _, mut bus, _) = setup();
+        server.fs.add_mount("/logs", 10_000);
+        // Leave the agent trees alone; fill with app debris past the
+        // 90 % rotation threshold.
+        let mut i = 0;
+        while server.fs.usage_fraction("/logs").unwrap() < 0.92 {
+            if server
+                .fs
+                .append(format!("/logs/app_trace_{i}"), "x".repeat(499), SimTime::ZERO)
+                .is_err()
+            {
+                break;
+            }
+            i += 1;
+        }
+        assert!(server.fs.usage_fraction("/logs").unwrap() > 0.9);
+        let report = run_os_resource_agents(
+            &mut server,
+            &[],
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
+        assert!(report
+            .local_repairs
+            .iter()
+            .any(|a| matches!(a, RepairAction::RotateLogs(_))));
+        assert!(server.fs.usage_fraction("/logs").unwrap() < 0.5);
+    }
+
+    #[test]
+    fn ntp_gets_fixed() {
+        let (mut server, _, _, mut bus, _) = setup();
+        server.ntp_synced = false;
+        let report = run_os_resource_agents(
+            &mut server,
+            &[],
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
+        assert!(server.ntp_synced);
+        assert!(report.local_repairs.contains(&RepairAction::FixNtp));
+    }
+
+    #[test]
+    fn hardware_agent_offlines_degraded_cpu() {
+        let (mut server, _, _, mut bus, _) = setup();
+        server.set_component_health(HardwareComponent::Cpu, 2, ComponentHealth::Degraded);
+        let report = run_hardware_agent(&mut server, AgentParts::all(), &mut bus, SimTime::from_mins(5));
+        assert!(report
+            .local_repairs
+            .iter()
+            .any(|a| matches!(a, RepairAction::OfflineComponent(c) if c == "cpu")));
+        assert_eq!(server.degraded_count(HardwareComponent::Cpu), 0);
+        assert_eq!(server.failed_count(HardwareComponent::Cpu), 1); // offlined
+        assert_eq!(server.effective_spec().cpus, 7);
+    }
+
+    #[test]
+    fn hardware_agent_escalates_board_problems() {
+        let (mut server, _, _, mut bus, _) = setup();
+        server.set_component_health(HardwareComponent::Board, 0, ComponentHealth::Degraded);
+        let report = run_hardware_agent(&mut server, AgentParts::all(), &mut bus, SimTime::from_mins(5));
+        assert!(report.local_repairs.is_empty());
+        assert!(!report.escalations.is_empty());
+        assert!(bus.count_channel(Channel::Email) > 0);
+    }
+
+    #[test]
+    fn monitoring_disabled_does_nothing() {
+        let (mut server, mut reg, id, mut bus, mut rng) = setup();
+        reg.get_mut(id).unwrap().crash(&mut server);
+        let parts = AgentParts { monitoring: false, ..AgentParts::all() };
+        let report =
+            run_service_agent(&mut server, &mut reg, parts, &mut bus, &mut rng, SimTime::ZERO);
+        assert!(report.findings.is_empty());
+        assert_eq!(reg.get(id).unwrap().status, ServiceStatus::Crashed);
+    }
+
+    #[test]
+    fn agent_kind_names_are_distinct() {
+        let mut names: Vec<&str> = AgentKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,310 @@
+//! The downtime ledger: incidents, categories, and the Figure 2
+//! accounting.
+//!
+//! Every fault — exogenous or endogenous — opens an **incident** in the
+//! category Figure 2 charts it under. The incident records when it was
+//! detected and when service was restored; total downtime per category
+//! is the sum of incident durations, exactly the "breakdown in hours
+//! based on the type of errors that caused downtime" the customer
+//! reported.
+
+use std::collections::BTreeMap;
+
+use intelliqos_cluster::faults::FaultCategory;
+use intelliqos_simkern::{SimDuration, SimTime};
+
+/// Incident identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IncidentId(pub u64);
+
+impl std::fmt::Display for IncidentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inc{:05}", self.0)
+    }
+}
+
+/// One tracked incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Identity.
+    pub id: IncidentId,
+    /// Figure 2 category.
+    pub category: FaultCategory,
+    /// Free-form description (mechanism, target).
+    pub description: String,
+    /// Fault onset.
+    pub onset: SimTime,
+    /// When monitoring/humans first knew.
+    pub detected: Option<SimTime>,
+    /// When service was restored.
+    pub restored: Option<SimTime>,
+    /// Whether repair was automatic (agent) or manual (human).
+    pub auto_repaired: bool,
+}
+
+impl Incident {
+    /// Detection latency, if detected.
+    pub fn detection_latency(&self) -> Option<SimDuration> {
+        self.detected.map(|d| d.since(self.onset))
+    }
+
+    /// Repair time (detected → restored), if both known.
+    pub fn repair_time(&self) -> Option<SimDuration> {
+        match (self.detected, self.restored) {
+            (Some(d), Some(r)) => Some(r.since(d)),
+            _ => None,
+        }
+    }
+
+    /// Total downtime (onset → restored), if closed.
+    pub fn downtime(&self) -> Option<SimDuration> {
+        self.restored.map(|r| r.since(self.onset))
+    }
+}
+
+/// Aggregate statistics for one category.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CategoryTotals {
+    /// Closed incidents.
+    pub incidents: u64,
+    /// Total downtime hours.
+    pub downtime_hours: f64,
+    /// Total detection-latency hours.
+    pub detection_hours: f64,
+    /// Total repair hours.
+    pub repair_hours: f64,
+    /// How many were auto-repaired.
+    pub auto_repaired: u64,
+}
+
+impl CategoryTotals {
+    /// Mean downtime per incident (0 when none).
+    pub fn mean_downtime_hours(&self) -> f64 {
+        if self.incidents == 0 {
+            0.0
+        } else {
+            self.downtime_hours / self.incidents as f64
+        }
+    }
+
+    /// Mean detection latency per incident (0 when none).
+    pub fn mean_detection_hours(&self) -> f64 {
+        if self.incidents == 0 {
+            0.0
+        } else {
+            self.detection_hours / self.incidents as f64
+        }
+    }
+}
+
+/// The ledger.
+#[derive(Debug, Clone, Default)]
+pub struct DowntimeLedger {
+    incidents: BTreeMap<IncidentId, Incident>,
+    next: u64,
+}
+
+impl DowntimeLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        DowntimeLedger::default()
+    }
+
+    /// Open a new incident at fault onset.
+    pub fn open(
+        &mut self,
+        category: FaultCategory,
+        description: impl Into<String>,
+        onset: SimTime,
+    ) -> IncidentId {
+        let id = IncidentId(self.next);
+        self.next += 1;
+        self.incidents.insert(
+            id,
+            Incident {
+                id,
+                category,
+                description: description.into(),
+                onset,
+                detected: None,
+                restored: None,
+                auto_repaired: false,
+            },
+        );
+        id
+    }
+
+    /// Record detection (first knowledge). Idempotent — the earliest
+    /// detection wins.
+    pub fn detect(&mut self, id: IncidentId, at: SimTime) -> bool {
+        if let Some(inc) = self.incidents.get_mut(&id) {
+            if inc.detected.is_none() {
+                inc.detected = Some(at);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Close the incident at restoration. Detection defaults to the
+    /// restore instant if it was never recorded.
+    pub fn restore(&mut self, id: IncidentId, at: SimTime, auto: bool) -> bool {
+        if let Some(inc) = self.incidents.get_mut(&id) {
+            if inc.restored.is_none() {
+                inc.restored = Some(at);
+                if inc.detected.is_none() {
+                    inc.detected = Some(at);
+                }
+                inc.auto_repaired = auto;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Incident accessor.
+    pub fn get(&self, id: IncidentId) -> Option<&Incident> {
+        self.incidents.get(&id)
+    }
+
+    /// All incidents (id order).
+    pub fn incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.values()
+    }
+
+    /// Incidents still open.
+    pub fn open_incidents(&self) -> Vec<&Incident> {
+        self.incidents.values().filter(|i| i.restored.is_none()).collect()
+    }
+
+    /// Per-category totals over closed incidents.
+    pub fn totals(&self) -> BTreeMap<FaultCategory, CategoryTotals> {
+        let mut out: BTreeMap<FaultCategory, CategoryTotals> = BTreeMap::new();
+        for inc in self.incidents.values() {
+            let Some(downtime) = inc.downtime() else { continue };
+            let t = out.entry(inc.category).or_default();
+            t.incidents += 1;
+            t.downtime_hours += downtime.as_hours_f64();
+            if let Some(d) = inc.detection_latency() {
+                t.detection_hours += d.as_hours_f64();
+            }
+            if let Some(r) = inc.repair_time() {
+                t.repair_hours += r.as_hours_f64();
+            }
+            if inc.auto_repaired {
+                t.auto_repaired += 1;
+            }
+        }
+        out
+    }
+
+    /// Total downtime hours over all closed incidents.
+    pub fn total_downtime_hours(&self) -> f64 {
+        self.totals().values().map(|t| t.downtime_hours).sum()
+    }
+
+    /// Render the Figure 2 style breakdown, category order of the
+    /// figure legend.
+    pub fn figure2_rows(&self) -> Vec<(FaultCategory, f64)> {
+        let totals = self.totals();
+        FaultCategory::ALL
+            .iter()
+            .map(|c| {
+                (
+                    *c,
+                    totals.get(c).map(|t| t.downtime_hours).unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_simkern::SimDuration;
+
+    #[test]
+    fn incident_lifecycle() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::HumanError, "killed oracle", SimTime::from_hours(1));
+        assert_eq!(l.open_incidents().len(), 1);
+        assert!(l.detect(id, SimTime::from_hours(2)));
+        assert!(l.restore(id, SimTime::from_hours(4), false));
+        let inc = l.get(id).unwrap();
+        assert_eq!(inc.detection_latency(), Some(SimDuration::from_hours(1)));
+        assert_eq!(inc.repair_time(), Some(SimDuration::from_hours(2)));
+        assert_eq!(inc.downtime(), Some(SimDuration::from_hours(3)));
+        assert!(l.open_incidents().is_empty());
+    }
+
+    #[test]
+    fn earliest_detection_wins() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::LsfError, "x", SimTime::ZERO);
+        l.detect(id, SimTime::from_mins(5));
+        l.detect(id, SimTime::from_mins(50));
+        assert_eq!(l.get(id).unwrap().detected, Some(SimTime::from_mins(5)));
+    }
+
+    #[test]
+    fn restore_defaults_detection() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::Hardware, "x", SimTime::ZERO);
+        l.restore(id, SimTime::from_hours(2), true);
+        {
+            let inc = l.get(id).unwrap();
+            assert_eq!(inc.detected, Some(SimTime::from_hours(2)));
+            assert!(inc.auto_repaired);
+        }
+        // Second restore is a no-op.
+        l.restore(id, SimTime::from_hours(9), false);
+        assert_eq!(l.get(id).unwrap().restored, Some(SimTime::from_hours(2)));
+    }
+
+    #[test]
+    fn totals_aggregate_per_category() {
+        let mut l = DowntimeLedger::new();
+        for i in 0..3u64 {
+            let id = l.open(FaultCategory::MidJobDbCrash, "crash", SimTime::from_hours(i * 10));
+            l.detect(id, SimTime::from_hours(i * 10 + 1));
+            l.restore(id, SimTime::from_hours(i * 10 + 3), i % 2 == 0);
+        }
+        let open = l.open(FaultCategory::MidJobDbCrash, "still down", SimTime::from_hours(99));
+        let _ = open; // open incidents don't count
+        let t = l.totals()[&FaultCategory::MidJobDbCrash];
+        assert_eq!(t.incidents, 3);
+        assert!((t.downtime_hours - 9.0).abs() < 1e-9);
+        assert!((t.detection_hours - 3.0).abs() < 1e-9);
+        assert!((t.repair_hours - 6.0).abs() < 1e-9);
+        assert_eq!(t.auto_repaired, 2);
+        assert!((t.mean_downtime_hours() - 3.0).abs() < 1e-9);
+        assert!((l.total_downtime_hours() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_rows_cover_all_categories() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::FrontEndError, "hang", SimTime::ZERO);
+        l.restore(id, SimTime::from_hours(2), true);
+        let rows = l.figure2_rows();
+        assert_eq!(rows.len(), 8);
+        let fe = rows
+            .iter()
+            .find(|(c, _)| *c == FaultCategory::FrontEndError)
+            .unwrap();
+        assert!((fe.1 - 2.0).abs() < 1e-9);
+        // Untouched categories report zero.
+        let hw = rows.iter().find(|(c, _)| *c == FaultCategory::Hardware).unwrap();
+        assert_eq!(hw.1, 0.0);
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let mut l = DowntimeLedger::new();
+        assert!(!l.detect(IncidentId(42), SimTime::ZERO));
+        assert!(!l.restore(IncidentId(42), SimTime::ZERO, false));
+    }
+}

@@ -1,0 +1,45 @@
+//! # intelliqos-core
+//!
+//! The paper's primary contribution, reproduced: the **intelliagent**
+//! self-healing QoS-management layer for Unix application clusters
+//! (Corsava & Getov, IPDPS 2003).
+//!
+//! * [`agents`] — six agent categories × five activatable parts:
+//!   monitor → diagnose (causal rules) → self-heal → communicate/log →
+//!   self-maintain.
+//! * [`flags`] — the flag-file run protocol under
+//!   `/logs/intelliagents/<agent>`.
+//! * [`status`] — DLSP generation by the status intelliagent.
+//! * [`admin`] — the HA administration-server pair: flag monitoring,
+//!   DLSP pool, DGSPL generation.
+//! * [`resched`] — DGSPL-shortlist job rescheduling ("best choice
+//!   always first", SLKT power ordering).
+//! * [`rulesets`] — the accumulated troubleshooting procedures as
+//!   causal rule sets.
+//! * [`notify`] — email/SMS/SystemEdge notification bus.
+//! * [`downtime`] — the incident ledger behind Figure 2.
+//! * [`scenario`] / [`world`] — deterministic whole-datacenter
+//!   scenarios with paired before/after (manual vs intelliagent) runs.
+
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod agents;
+pub mod downtime;
+pub mod flags;
+pub mod notify;
+pub mod ontogen;
+pub mod resched;
+pub mod rulesets;
+pub mod scenario;
+pub mod status;
+pub mod world;
+
+pub use admin::AdminPair;
+pub use agents::{AgentKind, AgentParts, AgentRunReport, ServiceFinding};
+pub use downtime::{CategoryTotals, DowntimeLedger, Incident, IncidentId};
+pub use flags::{Flag, FlagOutcome};
+pub use notify::{Channel, Notification, NotificationBus, Severity};
+pub use resched::DgsplSelector;
+pub use scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
+pub use world::{run_scenario, World, WorldEvent};

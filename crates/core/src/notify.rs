@@ -1,0 +1,161 @@
+//! The notification bus: email/SMS to humans, SystemEdge integration.
+//!
+//! §3.4: when agents cannot resolve a problem "they notify human
+//! administrators (usually via email or SMS)". §4: "Intelliagent error
+//! reporting mechanisms were integrated with SystemEdge and
+//! notifications were presented to operators from within the SystemEdge
+//! graphical user interface." The bus records every message with its
+//! channel so experiments can audit who was told what, when.
+
+use intelliqos_simkern::SimTime;
+
+/// Delivery channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Email to nominated administrators.
+    Email,
+    /// SMS page to the on-call person.
+    Sms,
+    /// Event surfaced in the SystemEdge console.
+    SystemEdgeConsole,
+}
+
+/// Message urgency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (daily summaries).
+    Info,
+    /// Threshold breach / degraded service.
+    Warning,
+    /// Service down, human action required.
+    Critical,
+}
+
+/// One recorded notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// When it was sent.
+    pub at: SimTime,
+    /// Channel used.
+    pub channel: Channel,
+    /// Urgency.
+    pub severity: Severity,
+    /// Originating host (agent location) or "admin".
+    pub origin: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+}
+
+/// The datacenter-wide notification log.
+#[derive(Debug, Clone, Default)]
+pub struct NotificationBus {
+    log: Vec<Notification>,
+}
+
+impl NotificationBus {
+    /// Empty bus.
+    pub fn new() -> Self {
+        NotificationBus::default()
+    }
+
+    /// Send (record) a notification.
+    pub fn send(
+        &mut self,
+        at: SimTime,
+        channel: Channel,
+        severity: Severity,
+        origin: impl Into<String>,
+        subject: impl Into<String>,
+        body: impl Into<String>,
+    ) {
+        self.log.push(Notification {
+            at,
+            channel,
+            severity,
+            origin: origin.into(),
+            subject: subject.into(),
+            body: body.into(),
+        });
+    }
+
+    /// Convenience: critical page via SMS + SystemEdge console.
+    pub fn page(
+        &mut self,
+        at: SimTime,
+        origin: impl Into<String> + Clone,
+        subject: impl Into<String> + Clone,
+        body: impl Into<String> + Clone,
+    ) {
+        self.send(
+            at,
+            Channel::Sms,
+            Severity::Critical,
+            origin.clone(),
+            subject.clone(),
+            body.clone(),
+        );
+        self.send(at, Channel::SystemEdgeConsole, Severity::Critical, origin, subject, body);
+    }
+
+    /// Full log.
+    pub fn log(&self) -> &[Notification] {
+        &self.log
+    }
+
+    /// Count by severity.
+    pub fn count_severity(&self, severity: Severity) -> usize {
+        self.log.iter().filter(|n| n.severity == severity).count()
+    }
+
+    /// Count by channel.
+    pub fn count_channel(&self, channel: Channel) -> usize {
+        self.log.iter().filter(|n| n.channel == channel).count()
+    }
+
+    /// Notifications within a time window.
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> Vec<&Notification> {
+        self.log.iter().filter(|n| n.at >= from && n.at < to).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_query() {
+        let mut bus = NotificationBus::new();
+        bus.send(
+            SimTime::from_mins(5),
+            Channel::Email,
+            Severity::Info,
+            "db001",
+            "daily summary",
+            "all well",
+        );
+        bus.page(SimTime::from_mins(10), "db002", "db down", "restart failed");
+        assert_eq!(bus.log().len(), 3);
+        assert_eq!(bus.count_severity(Severity::Critical), 2);
+        assert_eq!(bus.count_channel(Channel::Sms), 1);
+        assert_eq!(bus.count_channel(Channel::SystemEdgeConsole), 1);
+    }
+
+    #[test]
+    fn window_filter() {
+        let mut bus = NotificationBus::new();
+        for m in [1u64, 5, 9, 15] {
+            bus.send(
+                SimTime::from_mins(m),
+                Channel::Email,
+                Severity::Warning,
+                "x",
+                "s",
+                "b",
+            );
+        }
+        let w = bus.in_window(SimTime::from_mins(5), SimTime::from_mins(15));
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! Standard causal rule sets for each intelliagent category.
+//!
+//! §4: "Every time a fault was dealt with manually, we added a new
+//! troubleshooting procedure to the intelliagent source code and updated
+//! static ontologies accordingly" — these rule sets are the accumulated
+//! procedures. Each builder returns a [`RuleEngine`] an agent evaluates
+//! against the facts its monitoring stage gathered.
+
+use std::sync::OnceLock;
+
+use intelliqos_ontology::rules::{FactValue, Predicate, RepairAction, Rule, RuleEngine};
+
+/// Cached [`service_rules`] (agents evaluate these millions of times a
+/// simulated year; the rule set itself is immutable).
+pub fn service_rules_cached() -> &'static RuleEngine {
+    static E: OnceLock<RuleEngine> = OnceLock::new();
+    E.get_or_init(service_rules)
+}
+
+/// Cached [`resource_rules`].
+pub fn resource_rules_cached() -> &'static RuleEngine {
+    static E: OnceLock<RuleEngine> = OnceLock::new();
+    E.get_or_init(resource_rules)
+}
+
+/// Cached [`os_net_rules`].
+pub fn os_net_rules_cached() -> &'static RuleEngine {
+    static E: OnceLock<RuleEngine> = OnceLock::new();
+    E.get_or_init(os_net_rules)
+}
+
+/// Cached [`hardware_rules`].
+pub fn hardware_rules_cached() -> &'static RuleEngine {
+    static E: OnceLock<RuleEngine> = OnceLock::new();
+    E.get_or_init(hardware_rules)
+}
+
+/// Rules for the **service intelliagent** diagnosing one service. Facts
+/// it expects:
+///
+/// * `probe` — text: `ok` / `refused` / `timeout` / `query-error`;
+/// * `procs_missing` — number of SLKT process groups missing;
+/// * `starting` — flag: the startup script is still running;
+/// * `mount_missing` — flag: a required filesystem is not mounted;
+/// * `cpu_util` — the host's CPU utilisation fraction;
+/// * `service` — text: the service name (interpolated into actions by
+///   the caller; rules use the placeholder `$svc`).
+pub fn service_rules() -> RuleEngine {
+    let mut e = RuleEngine::new();
+    e.add_rule(Rule {
+        id: "svc-mount-missing".into(),
+        when: vec![Predicate::IsTrue("mount_missing".into())],
+        assert: vec![],
+        cause: Some("required filesystem unmounted".into()),
+        actions: vec![
+            RepairAction::Remount("$mount".into()),
+            RepairAction::RestartService("$svc".into()),
+        ],
+        priority: 30,
+    });
+    e.add_rule(Rule {
+        id: "svc-crashed".into(),
+        when: vec![
+            Predicate::TextEq("probe".into(), "refused".into()),
+            Predicate::NumGt("procs_missing".into(), 0.0),
+            Predicate::NotTrue("starting".into()),
+            Predicate::NotTrue("mount_missing".into()),
+        ],
+        assert: vec![("crash_evidence".into(), FactValue::Flag(true))],
+        cause: Some("service crashed (processes gone)".into()),
+        actions: vec![RepairAction::RestartService("$svc".into())],
+        priority: 20,
+    });
+    e.add_rule(Rule {
+        id: "svc-listener-wedged".into(),
+        when: vec![
+            Predicate::TextEq("probe".into(), "refused".into()),
+            Predicate::NumLt("procs_missing".into(), 1.0),
+            Predicate::NotTrue("starting".into()),
+            Predicate::NotTrue("mount_missing".into()),
+        ],
+        assert: vec![],
+        cause: Some("listener wedged (processes present, port dead)".into()),
+        actions: vec![RepairAction::BounceService("$svc".into())],
+        priority: 15,
+    });
+    e.add_rule(Rule {
+        id: "svc-overloaded-host".into(),
+        when: vec![
+            Predicate::TextEq("probe".into(), "timeout".into()),
+            Predicate::NumGt("cpu_util".into(), 1.1),
+        ],
+        assert: vec![],
+        cause: Some("host overloaded; service slow, restart would not help".into()),
+        actions: vec![RepairAction::NotifyHumans("host overloaded".into())],
+        priority: 18, // outranks the hang rule when overload is evident
+    });
+    e.add_rule(Rule {
+        id: "svc-hung".into(),
+        when: vec![
+            Predicate::TextEq("probe".into(), "timeout".into()),
+            Predicate::NumLt("procs_missing".into(), 1.0),
+            Predicate::NotTrue("starting".into()),
+        ],
+        assert: vec![],
+        cause: Some("service hung (processes present, no response)".into()),
+        actions: vec![RepairAction::BounceService("$svc".into())],
+        priority: 10,
+    });
+    e.add_rule(Rule {
+        id: "svc-host-dead".into(),
+        when: vec![
+            Predicate::TextEq("probe".into(), "timeout".into()),
+            Predicate::NumGt("procs_missing".into(), 90.0), // sentinel: no process table at all
+        ],
+        assert: vec![],
+        cause: Some("host not responding".into()),
+        actions: vec![RepairAction::NotifyHumans("host down".into())],
+        priority: 25,
+    });
+    e.add_rule(Rule {
+        id: "svc-corrupted".into(),
+        when: vec![Predicate::TextEq("probe".into(), "query-error".into())],
+        assert: vec![],
+        cause: Some("on-disk corruption (connects, queries fail)".into()),
+        actions: vec![RepairAction::RestoreService("$svc".into())],
+        priority: 22,
+    });
+    e
+}
+
+/// Rules for the **resource intelliagent** (disks, memory, zombies).
+/// Facts: `fs_usage_logs`, `zombie_count`, `leaky_proc` (text name of a
+/// non-SLKT process holding outsized memory), `leaky_mem_frac`.
+pub fn resource_rules() -> RuleEngine {
+    let mut e = RuleEngine::new();
+    e.add_rule(Rule {
+        id: "res-logs-full".into(),
+        when: vec![Predicate::NumGt("fs_usage_logs".into(), 0.9)],
+        assert: vec![],
+        cause: Some("/logs filesystem nearly full".into()),
+        actions: vec![RepairAction::RotateLogs("/logs".into())],
+        priority: 20,
+    });
+    e.add_rule(Rule {
+        id: "res-memory-hog".into(),
+        when: vec![
+            Predicate::Exists("leaky_proc".into()),
+            Predicate::NumGt("leaky_mem_frac".into(), 0.3),
+        ],
+        assert: vec![],
+        cause: Some("unexpected process holding outsized memory (leak)".into()),
+        actions: vec![RepairAction::KillProcess("$proc".into())],
+        priority: 18,
+    });
+    e.add_rule(Rule {
+        id: "res-zombie-storm".into(),
+        when: vec![Predicate::NumGt("zombie_count".into(), 10.0)],
+        assert: vec![],
+        cause: Some("zombie accumulation (parent not reaping)".into()),
+        actions: vec![RepairAction::KillProcess("zombies".into())],
+        priority: 10,
+    });
+    e
+}
+
+/// Rules for the **OS/network intelliagent**. Facts: `run_queue`,
+/// `cpu_idle_pct`, `runaway_proc` (text), `runaway_cpu_frac`,
+/// `ntp_synced` (flag), `private_net_ok` (flag),
+/// `firewall_blocked` (flag).
+pub fn os_net_rules() -> RuleEngine {
+    let mut e = RuleEngine::new();
+    e.add_rule(Rule {
+        id: "os-runaway".into(),
+        when: vec![
+            Predicate::Exists("runaway_proc".into()),
+            Predicate::NumGt("runaway_cpu_frac".into(), 0.3),
+        ],
+        assert: vec![],
+        cause: Some("runaway process saturating CPU".into()),
+        actions: vec![RepairAction::KillProcess("$proc".into())],
+        priority: 20,
+    });
+    e.add_rule(Rule {
+        id: "os-ntp-broken".into(),
+        when: vec![Predicate::NotTrue("ntp_synced".into())],
+        assert: vec![],
+        cause: Some("NTP out of sync".into()),
+        actions: vec![RepairAction::FixNtp],
+        priority: 8,
+    });
+    e.add_rule(Rule {
+        id: "net-private-down".into(),
+        when: vec![Predicate::NotTrue("private_net_ok".into())],
+        assert: vec![],
+        cause: Some("private agent network unreachable".into()),
+        actions: vec![
+            RepairAction::ReroutePublic,
+            RepairAction::NotifyHumans("private agent LAN down".into()),
+        ],
+        priority: 15,
+    });
+    e.add_rule(Rule {
+        id: "net-firewall-block".into(),
+        when: vec![Predicate::IsTrue("firewall_blocked".into())],
+        assert: vec![],
+        cause: Some("firewall rule blocks this host".into()),
+        actions: vec![RepairAction::NotifyHumans("firewall misconfiguration".into())],
+        priority: 17,
+    });
+    e
+}
+
+/// Rules for the **hardware intelliagent**. Facts: per component class,
+/// `degraded_<class>` and `failed_<class>` counts.
+pub fn hardware_rules() -> RuleEngine {
+    let mut e = RuleEngine::new();
+    for class in ["cpu", "disk", "nic"] {
+        e.add_rule(Rule {
+            id: format!("hw-degraded-{class}"),
+            when: vec![Predicate::NumGt(format!("degraded_{class}"), 0.0)],
+            assert: vec![],
+            cause: Some(format!("{class} throwing correctable errors")),
+            actions: vec![
+                RepairAction::OfflineComponent(class.to_string()),
+                RepairAction::NotifyHumans(format!("{class} offlined, replace at leisure")),
+            ],
+            priority: 12,
+        });
+    }
+    for class in ["memory", "board", "psu"] {
+        e.add_rule(Rule {
+            id: format!("hw-degraded-{class}"),
+            when: vec![Predicate::NumGt(format!("degraded_{class}"), 0.0)],
+            assert: vec![],
+            cause: Some(format!("{class} throwing correctable errors (not offlinable)")),
+            actions: vec![RepairAction::NotifyHumans(format!(
+                "{class} degrading, schedule replacement"
+            ))],
+            priority: 14,
+        });
+    }
+    for class in ["cpu", "memory", "board", "disk", "nic", "psu"] {
+        e.add_rule(Rule {
+            id: format!("hw-failed-{class}"),
+            when: vec![Predicate::NumGt(format!("failed_{class}"), 0.0)],
+            assert: vec![],
+            cause: Some(format!("{class} failed")),
+            actions: vec![RepairAction::NotifyHumans(format!("{class} failure, engineer needed"))],
+            priority: 16,
+        });
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_ontology::rules::FactBase;
+
+    fn facts(pairs: &[(&str, FactValue)]) -> FactBase {
+        let mut f = FactBase::new();
+        for (k, v) in pairs {
+            f.assert_fact(*k, v.clone());
+        }
+        f
+    }
+
+    #[test]
+    fn crashed_service_prescribes_restart() {
+        let e = service_rules();
+        let mut f = facts(&[
+            ("probe", FactValue::Text("refused".into())),
+            ("procs_missing", FactValue::Num(3.0)),
+        ]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert_eq!(d.rule_id, "svc-crashed");
+        assert!(matches!(d.actions[0], RepairAction::RestartService(_)));
+    }
+
+    #[test]
+    fn starting_service_is_left_alone() {
+        let e = service_rules();
+        let mut f = facts(&[
+            ("probe", FactValue::Text("refused".into())),
+            ("procs_missing", FactValue::Num(0.0)),
+            ("starting", FactValue::Flag(true)),
+        ]);
+        assert!(e.diagnose(&mut f).is_none());
+    }
+
+    #[test]
+    fn hang_vs_overload_discrimination() {
+        let e = service_rules();
+        // Plain hang: bounce.
+        let mut f = facts(&[
+            ("probe", FactValue::Text("timeout".into())),
+            ("procs_missing", FactValue::Num(0.0)),
+            ("cpu_util", FactValue::Num(0.4)),
+        ]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "svc-hung");
+        // Overloaded host: do NOT bounce.
+        let mut f = facts(&[
+            ("probe", FactValue::Text("timeout".into())),
+            ("procs_missing", FactValue::Num(0.0)),
+            ("cpu_util", FactValue::Num(1.6)),
+        ]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert_eq!(d.rule_id, "svc-overloaded-host");
+        assert!(matches!(d.actions[0], RepairAction::NotifyHumans(_)));
+    }
+
+    #[test]
+    fn corruption_prescribes_restore() {
+        let e = service_rules();
+        let mut f = facts(&[("probe", FactValue::Text("query-error".into()))]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert_eq!(d.rule_id, "svc-corrupted");
+        assert!(matches!(d.actions[0], RepairAction::RestoreService(_)));
+    }
+
+    #[test]
+    fn mount_missing_outranks_crash() {
+        let e = service_rules();
+        let mut f = facts(&[
+            ("probe", FactValue::Text("refused".into())),
+            ("procs_missing", FactValue::Num(3.0)),
+            ("mount_missing", FactValue::Flag(true)),
+        ]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert_eq!(d.rule_id, "svc-mount-missing");
+        assert!(matches!(d.actions[0], RepairAction::Remount(_)));
+    }
+
+    #[test]
+    fn resource_rules_fire() {
+        let e = resource_rules();
+        let mut f = facts(&[("fs_usage_logs", FactValue::Num(0.96))]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "res-logs-full");
+        let mut f = facts(&[
+            ("leaky_proc", FactValue::Text("leaky".into())),
+            ("leaky_mem_frac", FactValue::Num(0.8)),
+        ]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "res-memory-hog");
+        let mut f = facts(&[("zombie_count", FactValue::Num(50.0))]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "res-zombie-storm");
+    }
+
+    #[test]
+    fn os_net_rules_fire() {
+        let e = os_net_rules();
+        let mut f = facts(&[
+            ("runaway_proc", FactValue::Text("runaway".into())),
+            ("runaway_cpu_frac", FactValue::Num(0.9)),
+            ("ntp_synced", FactValue::Flag(true)),
+            ("private_net_ok", FactValue::Flag(true)),
+        ]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "os-runaway");
+        let mut f = facts(&[
+            ("ntp_synced", FactValue::Flag(false)),
+            ("private_net_ok", FactValue::Flag(true)),
+        ]);
+        assert_eq!(e.diagnose(&mut f).unwrap().rule_id, "os-ntp-broken");
+        let mut f = facts(&[
+            ("ntp_synced", FactValue::Flag(true)),
+            ("private_net_ok", FactValue::Flag(false)),
+        ]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert_eq!(d.rule_id, "net-private-down");
+        assert_eq!(d.actions[0], RepairAction::ReroutePublic);
+    }
+
+    #[test]
+    fn hardware_rules_distinguish_offlinable() {
+        let e = hardware_rules();
+        let mut f = facts(&[("degraded_cpu", FactValue::Num(1.0))]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert!(matches!(d.actions[0], RepairAction::OfflineComponent(_)));
+        let mut f = facts(&[("degraded_board", FactValue::Num(1.0))]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert!(matches!(d.actions[0], RepairAction::NotifyHumans(_)));
+        let mut f = facts(&[("failed_psu", FactValue::Num(1.0))]);
+        let d = e.diagnose(&mut f).unwrap();
+        assert!(matches!(d.actions[0], RepairAction::NotifyHumans(_)));
+    }
+
+    #[test]
+    fn healthy_facts_fire_nothing() {
+        for engine in [service_rules(), resource_rules(), os_net_rules(), hardware_rules()] {
+            let mut f = facts(&[
+                ("probe", FactValue::Text("ok".into())),
+                ("procs_missing", FactValue::Num(0.0)),
+                ("cpu_util", FactValue::Num(0.3)),
+                ("fs_usage_logs", FactValue::Num(0.2)),
+                ("zombie_count", FactValue::Num(0.0)),
+                ("ntp_synced", FactValue::Flag(true)),
+                ("private_net_ok", FactValue::Flag(true)),
+            ]);
+            assert!(engine.diagnose(&mut f).is_none());
+        }
+    }
+}

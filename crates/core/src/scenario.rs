@@ -1,0 +1,235 @@
+//! Scenario configuration, presets, and the run report.
+//!
+//! A scenario is a pure function of `(ScenarioConfig, seed)`. The
+//! [`financial_site`](ScenarioConfig::financial_site) preset reproduces
+//! the paper's customer environment (100 database + 55 transaction + 60
+//! front-end servers, LSF batch analytics, 24×7 operation); the paired
+//! **before/after** experiment of Figure 2 runs it once under
+//! [`ManagementMode::ManualOps`] and once under
+//! [`ManagementMode::Intelliagents`] with the same seed — the exogenous
+//! fault tape and the workload tape are identical in both runs.
+
+use std::collections::BTreeMap;
+
+use intelliqos_cluster::faults::{FaultCategory, FaultRates};
+use intelliqos_lsf::workload::WorkloadConfig;
+use intelliqos_simkern::{SimDuration, YEAR};
+
+use crate::agents::AgentParts;
+use crate::downtime::CategoryTotals;
+
+/// Who runs the datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagementMode {
+    /// Year 1: BMC-Patrol-style notify-only monitoring + human repair.
+    ManualOps,
+    /// Year 2: the intelliagent layer (plus humans for what agents
+    /// cannot heal).
+    Intelliagents,
+}
+
+/// Policy used when *resubmitting* failed batch jobs (initial
+/// submissions are always the users' manual sticky choices, as at the
+/// customer site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReschedPolicy {
+    /// The paper's DGSPL shortlist, best choice first.
+    Dgspl,
+    /// Uniform random over acceptable servers.
+    Random,
+    /// The analysts pick their favourites again.
+    ManualSticky,
+}
+
+/// Full scenario parameterisation.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; every stochastic stream derives from it.
+    pub seed: u64,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Who manages the datacenter.
+    pub mode: ManagementMode,
+    /// Database servers (the LSF execution tier).
+    pub db_servers: u32,
+    /// Transaction-processing servers.
+    pub tx_servers: u32,
+    /// Front-end application servers.
+    pub fe_servers: u32,
+    /// Agent cron cadence — the paper's X (5 minutes).
+    pub agent_period: SimDuration,
+    /// Admin flag-check cadence — X+5.
+    pub admin_period: SimDuration,
+    /// DGSPL regeneration cadence (~15 minutes).
+    pub dgspl_period: SimDuration,
+    /// Overload-crash hazard evaluation cadence.
+    pub crash_sweep_period: SimDuration,
+    /// End-to-end dummy-transaction cadence (15–30 minutes in §3.6).
+    pub e2e_period: SimDuration,
+    /// Performance-collection cadence ("every 10 or 15 minutes", §3.5).
+    pub perf_period: SimDuration,
+    /// Per-database-server concurrent job limit.
+    pub job_limit_per_server: u32,
+    /// Exogenous fault rates.
+    pub fault_rates: FaultRates,
+    /// Analyst workload.
+    pub workload: WorkloadConfig,
+    /// Which agent parts are active (ABL-PARTS flips these).
+    pub agent_parts: AgentParts,
+    /// Resubmission policy (T-RESCHED compares these).
+    pub resched: ReschedPolicy,
+}
+
+impl ScenarioConfig {
+    /// The paper's customer site, full scale, one simulated year.
+    pub fn financial_site(seed: u64, mode: ManagementMode) -> Self {
+        ScenarioConfig {
+            seed,
+            horizon: SimDuration::from_secs(YEAR),
+            mode,
+            db_servers: 100,
+            tx_servers: 55,
+            fe_servers: 60,
+            agent_period: SimDuration::from_mins(5),
+            admin_period: SimDuration::from_mins(10),
+            dgspl_period: SimDuration::from_mins(15),
+            // Deliberately not a multiple of the agent period: hazard
+            // evaluation must not phase-lock with the sweeps, or crash
+            // onsets land exactly on detection instants and measured
+            // latency collapses to zero.
+            crash_sweep_period: SimDuration::from_mins(13),
+            e2e_period: SimDuration::from_mins(20),
+            perf_period: SimDuration::from_mins(15),
+            job_limit_per_server: 3,
+            fault_rates: FaultRates::default(),
+            workload: WorkloadConfig::default(),
+            agent_parts: AgentParts::all(),
+            resched: ReschedPolicy::Dgspl,
+        }
+    }
+
+    /// A small datacenter for tests and quick experiments: 8 database,
+    /// 3 transaction, 3 front-end servers, two simulated weeks.
+    pub fn small(seed: u64, mode: ManagementMode) -> Self {
+        let mut cfg = ScenarioConfig::financial_site(seed, mode);
+        cfg.db_servers = 8;
+        cfg.tx_servers = 3;
+        cfg.fe_servers = 3;
+        cfg.horizon = SimDuration::from_days(14);
+        // The full-site rates would give a two-week window only a
+        // couple of faults; scale them up so short runs still exercise
+        // every mechanism.
+        cfg.fault_rates = cfg.fault_rates.scaled(6.0);
+        // Scale the workload down with the server count so per-server
+        // pressure stays comparable.
+        cfg.workload.day_rate_per_hour = 3.0;
+        cfg.workload.night_rate_per_hour = 2.0;
+        cfg.workload.weekend_rate_per_hour = 1.0;
+        cfg.workload.analysts = 8;
+        cfg
+    }
+
+    /// Total servers including the two administration servers.
+    pub fn total_servers(&self) -> u32 {
+        self.db_servers + self.tx_servers + self.fe_servers + 2
+    }
+}
+
+/// Per-category detection/repair summary row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryRow {
+    /// The category.
+    pub category: FaultCategory,
+    /// Aggregates.
+    pub totals: CategoryTotals,
+}
+
+/// What a scenario run reports.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Mode the run used.
+    pub mode: ManagementMode,
+    /// Downtime hours per Figure 2 category (figure legend order).
+    pub downtime_hours: Vec<(FaultCategory, f64)>,
+    /// Full per-category aggregates.
+    pub categories: BTreeMap<FaultCategory, CategoryTotals>,
+    /// Total downtime hours across categories.
+    pub total_downtime_hours: f64,
+    /// Total closed incidents.
+    pub incidents: u64,
+    /// LSF counters.
+    pub lsf: intelliqos_lsf::cluster::LsfStats,
+    /// Endogenous database mid-job crashes that occurred.
+    pub db_crashes: u64,
+    /// Notifications sent (email + SMS + console).
+    pub notifications: usize,
+    /// Incidents still open at the horizon (excluded from totals).
+    pub open_incidents: usize,
+    /// Threshold breaches recorded by the performance intelliagents.
+    pub threshold_breaches: u64,
+}
+
+impl ScenarioReport {
+    /// Downtime hours for one category.
+    pub fn hours(&self, cat: FaultCategory) -> f64 {
+        self.downtime_hours
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, h)| *h)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean detection latency (hours) for one category.
+    pub fn mean_detection_hours(&self, cat: FaultCategory) -> f64 {
+        self.categories
+            .get(&cat)
+            .map(|t| t.mean_detection_hours())
+            .unwrap_or(0.0)
+    }
+
+    /// Render the Figure 2 style table as ASCII lines.
+    pub fn figure2_table(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "{:<16} {:>10} {:>10} {:>12} {:>10}",
+            "category", "hours", "incidents", "mean-detect", "auto-fix"
+        ));
+        for (cat, hours) in &self.downtime_hours {
+            let t = self.categories.get(cat).copied().unwrap_or_default();
+            lines.push(format!(
+                "{:<16} {:>10.1} {:>10} {:>11.2}h {:>10}",
+                cat.label(),
+                hours,
+                t.incidents,
+                t.mean_detection_hours(),
+                t.auto_repaired,
+            ));
+        }
+        lines.push(format!("{:<16} {:>10.1}", "TOTAL", self.total_downtime_hours));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn financial_site_matches_paper_shape() {
+        let cfg = ScenarioConfig::financial_site(1, ManagementMode::ManualOps);
+        assert_eq!(cfg.db_servers, 100);
+        assert_eq!(cfg.tx_servers, 55);
+        assert_eq!(cfg.fe_servers, 60);
+        assert_eq!(cfg.total_servers(), 217);
+        assert_eq!(cfg.agent_period, SimDuration::from_mins(5));
+        assert_eq!(cfg.admin_period, SimDuration::from_mins(10));
+        assert_eq!(cfg.horizon.as_secs(), YEAR);
+    }
+
+    #[test]
+    fn small_preset_is_small() {
+        let cfg = ScenarioConfig::small(1, ManagementMode::Intelliagents);
+        assert!(cfg.total_servers() < 20);
+        assert!(cfg.horizon < SimDuration::from_days(30));
+    }
+}

@@ -1,0 +1,265 @@
+//! Constraint stores: min/max bounds on observed variables.
+//!
+//! §3.3: "The data structures they use are flat ASCII textual ontologies
+//! which contain minimum and maximum software and hardware related
+//! variables … Our static ontologies represent the constraints in the
+//! reasoning." A [`ConstraintStore`] is that ontology fragment: named
+//! variables with bounds, checked against a fact snapshot, yielding the
+//! violations that seed the causal rules. §3.6: "Every time a baseline
+//! setting was not proven to be correct, we adjusted it accordingly" —
+//! hence the adjustable-bounds API.
+
+use std::collections::BTreeMap;
+
+use crate::flat::{FlatDoc, FlatError, FlatRecord};
+
+/// Bounds on one variable. Either side may be open.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bounds {
+    /// Inclusive minimum, if bounded below.
+    pub min: Option<f64>,
+    /// Inclusive maximum, if bounded above.
+    pub max: Option<f64>,
+}
+
+impl Bounds {
+    /// Only an upper bound.
+    pub fn at_most(max: f64) -> Bounds {
+        Bounds { min: None, max: Some(max) }
+    }
+
+    /// Only a lower bound.
+    pub fn at_least(min: f64) -> Bounds {
+        Bounds { min: Some(min), max: None }
+    }
+
+    /// Both bounds.
+    pub fn between(min: f64, max: f64) -> Bounds {
+        Bounds { min: Some(min), max: Some(max) }
+    }
+
+    /// Does the value satisfy the bounds?
+    pub fn check(&self, value: f64) -> bool {
+        self.min.map(|m| value >= m).unwrap_or(true)
+            && self.max.map(|m| value <= m).unwrap_or(true)
+    }
+}
+
+/// How a value violated its bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Variable name.
+    pub var: String,
+    /// Observed value.
+    pub value: f64,
+    /// The bounds it broke.
+    pub bounds: Bounds,
+    /// True when the value exceeded `max` (as opposed to undershooting
+    /// `min`).
+    pub over: bool,
+}
+
+/// A named set of variable bounds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintStore {
+    bounds: BTreeMap<String, Bounds>,
+}
+
+impl ConstraintStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ConstraintStore::default()
+    }
+
+    /// Set (or replace) the bounds for a variable.
+    pub fn set(&mut self, var: impl Into<String>, bounds: Bounds) {
+        self.bounds.insert(var.into(), bounds);
+    }
+
+    /// Bounds for a variable.
+    pub fn get(&self, var: &str) -> Option<Bounds> {
+        self.bounds.get(var).copied()
+    }
+
+    /// Number of constrained variables.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Adaptive adjustment (§3.6): widen the violated side of a bound by
+    /// `factor` (e.g. 1.2 = 20 % slack) after a false alarm. Returns the
+    /// new bounds, or `None` when the variable is unconstrained.
+    pub fn relax(&mut self, var: &str, factor: f64) -> Option<Bounds> {
+        let b = self.bounds.get_mut(var)?;
+        if let Some(max) = b.max.as_mut() {
+            *max *= factor;
+        }
+        if let Some(min) = b.min.as_mut() {
+            *min /= factor;
+        }
+        Some(*b)
+    }
+
+    /// Check a fact snapshot; returns every violation, variable order.
+    pub fn check(&self, facts: &BTreeMap<String, f64>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (var, bounds) in &self.bounds {
+            if let Some(&value) = facts.get(var) {
+                if !bounds.check(value) {
+                    out.push(Violation {
+                        var: var.clone(),
+                        value,
+                        bounds: *bounds,
+                        over: bounds.max.map(|m| value > m).unwrap_or(false),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The OS-metric baseline set from §3.6, tuned for a healthy server:
+    /// memory scan rate / page-outs near zero, a bounded run queue,
+    /// minimum idle headroom, bounded blocked processes and disk service
+    /// times.
+    pub fn os_baselines() -> ConstraintStore {
+        let mut c = ConstraintStore::new();
+        c.set("scan_rate", Bounds::at_most(200.0));
+        c.set("page_outs", Bounds::at_most(50.0));
+        c.set("run_queue", Bounds::at_most(4.0));
+        c.set("cpu_idle_pct", Bounds::at_least(10.0));
+        c.set("blocked_procs", Bounds::at_most(5.0));
+        c.set("free_mem_mb", Bounds::at_least(128.0));
+        c.set("asvc_t_ms", Bounds::at_most(30.0));
+        c.set("wsvc_t_ms", Bounds::at_most(40.0));
+        c.set("fs_usage_frac", Bounds::at_most(0.9));
+        c.set("zombie_count", Bounds::at_most(10.0));
+        c
+    }
+
+    /// Serialise to the flat format.
+    pub fn to_doc(&self) -> FlatDoc {
+        let recs = self
+            .bounds
+            .iter()
+            .map(|(var, b)| {
+                let mut r = FlatRecord::new().set("var", var.clone());
+                if let Some(min) = b.min {
+                    r = r.set_num("min", min);
+                }
+                if let Some(max) = b.max {
+                    r = r.set_num("max", max);
+                }
+                r
+            })
+            .collect();
+        FlatDoc::new("constraints", 1).with_section("bounds", recs)
+    }
+
+    /// Parse from the flat format.
+    pub fn from_doc(doc: &FlatDoc) -> Result<ConstraintStore, FlatError> {
+        let mut c = ConstraintStore::new();
+        for r in doc.section("bounds").unwrap_or(&[]) {
+            if let Some(var) = r.get("var") {
+                c.set(
+                    var,
+                    Bounds { min: r.get_num("min"), max: r.get_num("max") },
+                );
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn bounds_checks() {
+        assert!(Bounds::at_most(5.0).check(5.0));
+        assert!(!Bounds::at_most(5.0).check(5.1));
+        assert!(Bounds::at_least(2.0).check(2.0));
+        assert!(!Bounds::at_least(2.0).check(1.9));
+        assert!(Bounds::between(1.0, 3.0).check(2.0));
+        assert!(!Bounds::between(1.0, 3.0).check(0.5));
+        assert!(Bounds::default().check(f64::MAX));
+    }
+
+    #[test]
+    fn violations_report_direction() {
+        let mut c = ConstraintStore::new();
+        c.set("run_queue", Bounds::at_most(4.0));
+        c.set("cpu_idle_pct", Bounds::at_least(10.0));
+        let v = c.check(&facts(&[("run_queue", 9.0), ("cpu_idle_pct", 2.0)]));
+        assert_eq!(v.len(), 2);
+        let idle = v.iter().find(|x| x.var == "cpu_idle_pct").unwrap();
+        let rq = v.iter().find(|x| x.var == "run_queue").unwrap();
+        assert!(!idle.over);
+        assert!(rq.over);
+    }
+
+    #[test]
+    fn unmentioned_facts_ignored() {
+        let c = ConstraintStore::os_baselines();
+        let v = c.check(&facts(&[("some_other_metric", 1e9)]));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn healthy_server_passes_os_baselines() {
+        let c = ConstraintStore::os_baselines();
+        let v = c.check(&facts(&[
+            ("scan_rate", 0.0),
+            ("page_outs", 0.0),
+            ("run_queue", 0.5),
+            ("cpu_idle_pct", 85.0),
+            ("blocked_procs", 0.2),
+            ("free_mem_mb", 4096.0),
+            ("asvc_t_ms", 7.0),
+            ("wsvc_t_ms", 9.0),
+            ("fs_usage_frac", 0.4),
+            ("zombie_count", 0.0),
+        ]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn thrashing_server_fails_memory_baselines() {
+        let c = ConstraintStore::os_baselines();
+        let v = c.check(&facts(&[
+            ("scan_rate", 3500.0),
+            ("page_outs", 700.0),
+            ("free_mem_mb", 40.0),
+        ]));
+        let vars: Vec<&str> = v.iter().map(|x| x.var.as_str()).collect();
+        assert_eq!(vars, vec!["free_mem_mb", "page_outs", "scan_rate"]);
+    }
+
+    #[test]
+    fn relax_widens_bounds() {
+        let mut c = ConstraintStore::new();
+        c.set("x", Bounds::between(10.0, 100.0));
+        let b = c.relax("x", 1.2).unwrap();
+        assert!((b.max.unwrap() - 120.0).abs() < 1e-9);
+        assert!((b.min.unwrap() - 10.0 / 1.2).abs() < 1e-9);
+        assert!(c.relax("ghost", 1.2).is_none());
+    }
+
+    #[test]
+    fn roundtrip_flat() {
+        let c = ConstraintStore::os_baselines();
+        let text = c.to_doc().to_text();
+        let back = ConstraintStore::from_doc(&FlatDoc::parse_text(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,214 @@
+//! Index Static Service Lists (ISSL).
+//!
+//! §3.1: ISSLs "contain very basic information about each server or
+//! resource IP address and services. They can contain up to 200 entries
+//! and are manually updated." They are the bootstrap map an
+//! administration server loads before anything dynamic exists.
+
+use crate::flat::{FlatDoc, FlatError, FlatRecord};
+
+/// The hard entry cap from the paper.
+pub const ISSL_MAX_ENTRIES: usize = 200;
+
+/// One manually maintained entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsslEntry {
+    /// Hostname.
+    pub hostname: String,
+    /// IP address (dotted string; the fabric's display form).
+    pub ip: String,
+    /// Names of the services expected on this host.
+    pub services: Vec<String>,
+}
+
+/// A full ISSL document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Issl {
+    entries: Vec<IsslEntry>,
+}
+
+/// Errors specific to ISSL handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsslError {
+    /// The 200-entry cap would be exceeded.
+    Full,
+    /// A parse-level problem.
+    Format(FlatError),
+    /// A record was missing a required field.
+    MissingField(&'static str),
+}
+
+impl std::fmt::Display for IsslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsslError::Full => write!(f, "ISSL is full ({ISSL_MAX_ENTRIES} entries)"),
+            IsslError::Format(e) => write!(f, "format error: {e}"),
+            IsslError::MissingField(k) => write!(f, "record missing field '{k}'"),
+        }
+    }
+}
+
+impl std::error::Error for IsslError {}
+
+impl Issl {
+    /// Empty list.
+    pub fn new() -> Self {
+        Issl::default()
+    }
+
+    /// Add an entry (manual update path). Enforces the 200-entry cap.
+    pub fn add(&mut self, entry: IsslEntry) -> Result<(), IsslError> {
+        if self.entries.len() >= ISSL_MAX_ENTRIES {
+            return Err(IsslError::Full);
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Remove by hostname; returns whether anything was removed.
+    pub fn remove(&mut self, hostname: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.hostname != hostname);
+        self.entries.len() != before
+    }
+
+    /// Lookup by hostname.
+    pub fn get(&self, hostname: &str) -> Option<&IsslEntry> {
+        self.entries.iter().find(|e| e.hostname == hostname)
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[IsslEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every host expected to run `service`.
+    pub fn hosts_of_service(&self, service: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.services.iter().any(|s| s == service))
+            .map(|e| e.hostname.as_str())
+            .collect()
+    }
+
+    /// Serialise to the flat format.
+    pub fn to_doc(&self) -> FlatDoc {
+        let records = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut r = FlatRecord::new()
+                    .set("hostname", e.hostname.clone())
+                    .set("ip", e.ip.clone());
+                for s in &e.services {
+                    r = r.set("service", s.clone());
+                }
+                r
+            })
+            .collect();
+        FlatDoc::new("issl", 1).with_section("servers", records)
+    }
+
+    /// Parse from the flat format.
+    pub fn from_doc(doc: &FlatDoc) -> Result<Issl, IsslError> {
+        let mut issl = Issl::new();
+        let records = doc.section("servers").unwrap_or(&[]);
+        for r in records {
+            let entry = IsslEntry {
+                hostname: r
+                    .get("hostname")
+                    .ok_or(IsslError::MissingField("hostname"))?
+                    .to_string(),
+                ip: r.get("ip").ok_or(IsslError::MissingField("ip"))?.to_string(),
+                services: r.get_all("service").iter().map(|s| s.to_string()).collect(),
+            };
+            issl.add(entry)?;
+        }
+        Ok(issl)
+    }
+
+    /// Parse from text.
+    pub fn parse_text(text: &str) -> Result<Issl, IsslError> {
+        let doc = FlatDoc::parse_text(text).map_err(IsslError::Format)?;
+        Issl::from_doc(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: usize) -> IsslEntry {
+        IsslEntry {
+            hostname: format!("db{i:03}"),
+            ip: format!("10.1.0.{i}"),
+            services: vec![format!("trades-db-{i}")],
+        }
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut issl = Issl::new();
+        issl.add(entry(1)).unwrap();
+        issl.add(entry(2)).unwrap();
+        assert_eq!(issl.len(), 2);
+        assert_eq!(issl.get("db001").unwrap().ip, "10.1.0.1");
+        assert!(issl.remove("db001"));
+        assert!(!issl.remove("db001"));
+        assert_eq!(issl.len(), 1);
+    }
+
+    #[test]
+    fn cap_at_200_entries() {
+        let mut issl = Issl::new();
+        for i in 0..200 {
+            issl.add(entry(i)).unwrap();
+        }
+        assert_eq!(issl.add(entry(999)), Err(IsslError::Full));
+        assert_eq!(issl.len(), 200);
+    }
+
+    #[test]
+    fn roundtrip_through_flat_text() {
+        let mut issl = Issl::new();
+        for i in 0..5 {
+            let mut e = entry(i);
+            e.services.push("web-shared".to_string());
+            issl.add(e).unwrap();
+        }
+        let text = issl.to_doc().to_text();
+        let back = Issl::parse_text(&text).unwrap();
+        assert_eq!(back, issl);
+    }
+
+    #[test]
+    fn hosts_of_service_query() {
+        let mut issl = Issl::new();
+        issl.add(entry(1)).unwrap();
+        issl.add(entry(2)).unwrap();
+        assert_eq!(issl.hosts_of_service("trades-db-2"), vec!["db002"]);
+        assert!(issl.hosts_of_service("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let text = "%DOC issl v1\n%SECTION servers\nhostname=x";
+        assert_eq!(Issl::parse_text(text), Err(IsslError::MissingField("ip")));
+    }
+
+    #[test]
+    fn empty_doc_parses_empty() {
+        let text = "%DOC issl v1";
+        assert!(Issl::parse_text(text).unwrap().is_empty());
+    }
+}

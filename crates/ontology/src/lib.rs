@@ -1,0 +1,34 @@
+//! # intelliqos-ontology
+//!
+//! Static and dynamic ontologies for the `intelliqos` reproduction of
+//! Corsava & Getov (IPDPS 2003):
+//!
+//! * the flat-ASCII, grep-friendly on-disk format ([`flat`]);
+//! * **ISSL** — index static service lists (≤200 manual entries);
+//! * **SLKT** — static local knowledge templates (should-be state);
+//! * **DLSP** — dynamic local service profiles (per-server snapshots);
+//! * **DGSPL** — dynamic global service profile lists (datacentre-wide
+//!   available-service tuples with best-first shortlists);
+//! * constraint stores (min/max baseline variables, §3.6) and the
+//!   forward-chaining causal rule engine (§3.3) the agents reason with.
+//!
+//! This crate is deliberately dependency-free: ontologies are pure data
+//! plus reasoning, exactly as the paper's flat files were.
+
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod dgspl;
+pub mod dlsp;
+pub mod flat;
+pub mod issl;
+pub mod rules;
+pub mod slkt;
+
+pub use constraint::{Bounds, ConstraintStore, Violation};
+pub use dgspl::{Dgspl, DgsplEntry, DgsplError};
+pub use dlsp::{Dlsp, DlspError, DlspService};
+pub use flat::{FlatDoc, FlatError, FlatRecord};
+pub use issl::{Issl, IsslEntry, IsslError, ISSL_MAX_ENTRIES};
+pub use rules::{Diagnosis, FactBase, FactValue, Predicate, RepairAction, Rule, RuleEngine};
+pub use slkt::{Slkt, SlktApp, SlktError, SlktHardware};

@@ -1,0 +1,405 @@
+//! The constraint-based causal rule engine.
+//!
+//! §3.3: "Intelliagents use constraint-based causal reasoning [13]" —
+//! the reference is Pearl's cause-and-effect reasoning, implemented in
+//! the paper as shell logic over ontology constraints. We reproduce the
+//! effective mechanism: **forward-chaining rules over a fact base**.
+//! Symptoms (facts) come from monitoring (probe outcomes, constraint
+//! violations, log evidence); rules map symptom patterns to causes and
+//! prescribed repair actions; derived facts let rules chain so that,
+//! e.g., `memory-pressure` + `process-leaking` together refine into a
+//! specific kill-and-restart prescription rather than a generic alarm.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fact value: numeric, boolean, or text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactValue {
+    /// Numeric measurement.
+    Num(f64),
+    /// Boolean flag.
+    Flag(bool),
+    /// Text (e.g. a status string).
+    Text(String),
+}
+
+impl From<f64> for FactValue {
+    fn from(v: f64) -> Self {
+        FactValue::Num(v)
+    }
+}
+impl From<bool> for FactValue {
+    fn from(v: bool) -> Self {
+        FactValue::Flag(v)
+    }
+}
+impl From<&str> for FactValue {
+    fn from(v: &str) -> Self {
+        FactValue::Text(v.to_string())
+    }
+}
+
+/// The working memory of one diagnosis episode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactBase {
+    facts: BTreeMap<String, FactValue>,
+}
+
+impl FactBase {
+    /// Empty fact base.
+    pub fn new() -> Self {
+        FactBase::default()
+    }
+
+    /// Assert a fact (replacing any previous value).
+    pub fn assert_fact(&mut self, name: impl Into<String>, value: impl Into<FactValue>) {
+        self.facts.insert(name.into(), value.into());
+    }
+
+    /// Fact lookup.
+    pub fn get(&self, name: &str) -> Option<&FactValue> {
+        self.facts.get(name)
+    }
+
+    /// Is a boolean fact asserted true?
+    pub fn is_true(&self, name: &str) -> bool {
+        matches!(self.facts.get(name), Some(FactValue::Flag(true)))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the base empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+/// A single condition over the fact base.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Numeric fact strictly greater than the threshold.
+    NumGt(String, f64),
+    /// Numeric fact strictly less than the threshold.
+    NumLt(String, f64),
+    /// Boolean fact is true.
+    IsTrue(String),
+    /// Boolean fact is false **or absent**.
+    NotTrue(String),
+    /// Text fact equals the value.
+    TextEq(String, String),
+    /// The fact exists at all.
+    Exists(String),
+}
+
+impl Predicate {
+    /// Evaluate against a fact base. Missing facts fail every predicate
+    /// except `NotTrue`.
+    pub fn eval(&self, facts: &FactBase) -> bool {
+        match self {
+            Predicate::NumGt(k, t) => {
+                matches!(facts.get(k), Some(FactValue::Num(v)) if v > t)
+            }
+            Predicate::NumLt(k, t) => {
+                matches!(facts.get(k), Some(FactValue::Num(v)) if v < t)
+            }
+            Predicate::IsTrue(k) => facts.is_true(k),
+            Predicate::NotTrue(k) => !facts.is_true(k),
+            Predicate::TextEq(k, want) => {
+                matches!(facts.get(k), Some(FactValue::Text(v)) if v == want)
+            }
+            Predicate::Exists(k) => facts.get(k).is_some(),
+        }
+    }
+}
+
+/// A repair action a rule prescribes, to be executed by the healing
+/// stage of an agent.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairAction {
+    /// Restart a named service.
+    RestartService(String),
+    /// Stop then start a named service (for hangs).
+    BounceService(String),
+    /// Restore a named service from backup, then start it.
+    RestoreService(String),
+    /// Kill processes by command name.
+    KillProcess(String),
+    /// Rotate (truncate) logs under a path to free disk.
+    RotateLogs(String),
+    /// Remount a filesystem.
+    Remount(String),
+    /// Re-enable the agent crontab.
+    RepairCrontab,
+    /// Re-sync NTP.
+    FixNtp,
+    /// Reboot the whole server (last resort).
+    RebootServer,
+    /// Re-route agent traffic over the public LAN.
+    ReroutePublic,
+    /// Resubmit failed batch jobs through the DGSPL shortlist.
+    ResubmitJobs,
+    /// Offline a failing hardware component (CPU/disk/NIC).
+    OfflineComponent(String),
+    /// Nothing self-healable: page a human with the diagnosis.
+    NotifyHumans(String),
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAction::RestartService(s) => write!(f, "restart-service {s}"),
+            RepairAction::BounceService(s) => write!(f, "bounce-service {s}"),
+            RepairAction::RestoreService(s) => write!(f, "restore-service {s}"),
+            RepairAction::KillProcess(p) => write!(f, "kill-process {p}"),
+            RepairAction::RotateLogs(p) => write!(f, "rotate-logs {p}"),
+            RepairAction::Remount(m) => write!(f, "remount {m}"),
+            RepairAction::RepairCrontab => write!(f, "repair-crontab"),
+            RepairAction::FixNtp => write!(f, "fix-ntp"),
+            RepairAction::RebootServer => write!(f, "reboot-server"),
+            RepairAction::ReroutePublic => write!(f, "reroute-public"),
+            RepairAction::ResubmitJobs => write!(f, "resubmit-jobs"),
+            RepairAction::OfflineComponent(c) => write!(f, "offline-component {c}"),
+            RepairAction::NotifyHumans(why) => write!(f, "notify-humans {why}"),
+        }
+    }
+}
+
+/// One causal rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Stable identifier (shows up in flags and logs).
+    pub id: String,
+    /// All predicates must hold for the rule to fire.
+    pub when: Vec<Predicate>,
+    /// Facts asserted when the rule fires (enables chaining).
+    pub assert: Vec<(String, FactValue)>,
+    /// Root cause the rule concludes, if it is a diagnosis rule.
+    pub cause: Option<String>,
+    /// Actions prescribed, in execution order.
+    pub actions: Vec<RepairAction>,
+    /// Higher wins when multiple diagnoses compete.
+    pub priority: i32,
+}
+
+/// A concluded diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// The rule that concluded it.
+    pub rule_id: String,
+    /// Root cause label.
+    pub cause: String,
+    /// Prescribed actions.
+    pub actions: Vec<RepairAction>,
+    /// Rule priority (for ranking).
+    pub priority: i32,
+}
+
+/// The rule engine: a rule set evaluated to fixpoint against a fact
+/// base.
+#[derive(Debug, Clone, Default)]
+pub struct RuleEngine {
+    rules: Vec<Rule>,
+}
+
+impl RuleEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        RuleEngine::default()
+    }
+
+    /// Add one rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the engine empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Forward-chain to fixpoint: repeatedly fire rules whose conditions
+    /// hold, asserting their facts, until nothing new fires. Each rule
+    /// fires at most once per episode. Returns the diagnoses ranked by
+    /// priority (desc), rule order as tiebreak.
+    pub fn infer(&self, facts: &mut FactBase) -> Vec<Diagnosis> {
+        let mut fired = vec![false; self.rules.len()];
+        let mut diagnoses = Vec::new();
+        // Fixpoint loop: bounded by rule count per iteration, and each
+        // iteration fires at least one new rule or stops.
+        loop {
+            let mut any = false;
+            for (i, rule) in self.rules.iter().enumerate() {
+                if fired[i] {
+                    continue;
+                }
+                if rule.when.iter().all(|p| p.eval(facts)) {
+                    fired[i] = true;
+                    any = true;
+                    for (k, v) in &rule.assert {
+                        facts.assert_fact(k.clone(), v.clone());
+                    }
+                    if let Some(cause) = &rule.cause {
+                        diagnoses.push(Diagnosis {
+                            rule_id: rule.id.clone(),
+                            cause: cause.clone(),
+                            actions: rule.actions.clone(),
+                            priority: rule.priority,
+                        });
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        diagnoses.sort_by_key(|d| std::cmp::Reverse(d.priority));
+        diagnoses
+    }
+
+    /// The best (highest-priority) diagnosis, if any.
+    pub fn diagnose(&self, facts: &mut FactBase) -> Option<Diagnosis> {
+        self.infer(facts).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leak_rules() -> RuleEngine {
+        let mut e = RuleEngine::new();
+        // Abstraction rule: raw metrics → memory-pressure.
+        e.add_rule(Rule {
+            id: "mem-pressure".into(),
+            when: vec![Predicate::NumGt("scan_rate".into(), 200.0)],
+            assert: vec![("memory_pressure".into(), FactValue::Flag(true))],
+            cause: None,
+            actions: vec![],
+            priority: 0,
+        });
+        // Generic diagnosis.
+        e.add_rule(Rule {
+            id: "generic-mem".into(),
+            when: vec![Predicate::IsTrue("memory_pressure".into())],
+            assert: vec![],
+            cause: Some("memory shortage".into()),
+            actions: vec![RepairAction::NotifyHumans("memory shortage".into())],
+            priority: 1,
+        });
+        // Specific chained diagnosis: pressure + a known leaking process.
+        e.add_rule(Rule {
+            id: "leaky-proc".into(),
+            when: vec![
+                Predicate::IsTrue("memory_pressure".into()),
+                Predicate::Exists("leaking_process".into()),
+            ],
+            assert: vec![],
+            cause: Some("process memory leak".into()),
+            actions: vec![
+                RepairAction::KillProcess("fe_calc".into()),
+                RepairAction::RestartService("analyst-fe".into()),
+            ],
+            priority: 10,
+        });
+        e
+    }
+
+    #[test]
+    fn chaining_reaches_specific_diagnosis() {
+        let e = leak_rules();
+        let mut facts = FactBase::new();
+        facts.assert_fact("scan_rate", 3000.0);
+        facts.assert_fact("leaking_process", "fe_calc");
+        let ds = e.infer(&mut facts);
+        assert_eq!(ds.len(), 2);
+        // The specific rule outranks the generic one.
+        assert_eq!(ds[0].rule_id, "leaky-proc");
+        assert_eq!(ds[0].cause, "process memory leak");
+        assert_eq!(ds[0].actions.len(), 2);
+        // Derived fact was asserted.
+        assert!(facts.is_true("memory_pressure"));
+    }
+
+    #[test]
+    fn generic_diagnosis_without_extra_evidence() {
+        let e = leak_rules();
+        let mut facts = FactBase::new();
+        facts.assert_fact("scan_rate", 3000.0);
+        let best = e.diagnose(&mut facts).unwrap();
+        assert_eq!(best.rule_id, "generic-mem");
+    }
+
+    #[test]
+    fn nothing_fires_on_healthy_facts() {
+        let e = leak_rules();
+        let mut facts = FactBase::new();
+        facts.assert_fact("scan_rate", 10.0);
+        assert!(e.infer(&mut facts).is_empty());
+        assert!(!facts.is_true("memory_pressure"));
+    }
+
+    #[test]
+    fn rules_fire_at_most_once() {
+        let mut e = RuleEngine::new();
+        e.add_rule(Rule {
+            id: "self-trigger".into(),
+            when: vec![Predicate::IsTrue("x".into())],
+            assert: vec![("x".into(), FactValue::Flag(true))], // re-asserts its own condition
+            cause: Some("loop".into()),
+            actions: vec![],
+            priority: 0,
+        });
+        let mut facts = FactBase::new();
+        facts.assert_fact("x", true);
+        let ds = e.infer(&mut facts);
+        assert_eq!(ds.len(), 1); // would loop forever if rules re-fired
+    }
+
+    #[test]
+    fn predicate_semantics() {
+        let mut f = FactBase::new();
+        f.assert_fact("n", 5.0);
+        f.assert_fact("t", "running");
+        f.assert_fact("b", false);
+        assert!(Predicate::NumGt("n".into(), 4.0).eval(&f));
+        assert!(!Predicate::NumGt("n".into(), 5.0).eval(&f));
+        assert!(Predicate::NumLt("n".into(), 6.0).eval(&f));
+        assert!(Predicate::TextEq("t".into(), "running".into()).eval(&f));
+        assert!(!Predicate::TextEq("t".into(), "crashed".into()).eval(&f));
+        assert!(!Predicate::IsTrue("b".into()).eval(&f));
+        assert!(Predicate::NotTrue("b".into()).eval(&f));
+        assert!(Predicate::NotTrue("absent".into()).eval(&f));
+        assert!(Predicate::Exists("t".into()).eval(&f));
+        assert!(!Predicate::Exists("absent".into()).eval(&f));
+        // Type mismatches fail closed.
+        assert!(!Predicate::NumGt("t".into(), 0.0).eval(&f));
+    }
+
+    #[test]
+    fn repair_action_display() {
+        assert_eq!(
+            RepairAction::RestartService("db".into()).to_string(),
+            "restart-service db"
+        );
+        assert_eq!(RepairAction::RepairCrontab.to_string(), "repair-crontab");
+    }
+
+    #[test]
+    fn fact_base_basics() {
+        let mut f = FactBase::new();
+        assert!(f.is_empty());
+        f.assert_fact("a", 1.0);
+        f.assert_fact("a", 2.0); // replace
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get("a"), Some(&FactValue::Num(2.0)));
+    }
+}

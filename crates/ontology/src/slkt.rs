@@ -1,0 +1,280 @@
+//! Static Local Knowledge Templates (SLKT).
+//!
+//! §3.1: SLKTs "contain information about what the server should be
+//! like hardware-wise, which applications it should run, all application
+//! external and internal dependencies and requirements (file systems,
+//! path names, application component startup sequences, binary location,
+//! application type, version, name, IP address, port it listens to — if
+//! any, application process names and numbers, etc.)."
+//!
+//! The SLKT is the agents' ground truth for *should-be* state; diagnosis
+//! is a diff between it and observed reality.
+
+use crate::flat::{FlatDoc, FlatError, FlatRecord};
+
+/// Expected hardware section of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlktHardware {
+    /// Model string, e.g. `Sun-E4500`.
+    pub model: String,
+    /// CPU count the box should have.
+    pub cpus: u32,
+    /// RAM in GB.
+    pub ram_gb: u32,
+    /// Disk count.
+    pub disks: u32,
+}
+
+/// One expected application on the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlktApp {
+    /// Service name, e.g. `trades-db-07`.
+    pub name: String,
+    /// Application type string, e.g. `db-oracle`.
+    pub app_type: String,
+    /// Version.
+    pub version: String,
+    /// Binary location.
+    pub binary_path: String,
+    /// Listening port (0 = none).
+    pub port: u16,
+    /// Expected process names and counts, `(name, count)`.
+    pub processes: Vec<(String, u32)>,
+    /// Startup sequence component names, in order.
+    pub startup_sequence: Vec<String>,
+    /// External dependencies (service names that must be up first).
+    pub depends_on: Vec<String>,
+    /// Required mounted filesystems.
+    pub mounts: Vec<String>,
+    /// Application-specific connectivity timeout, seconds.
+    pub connect_timeout_secs: u32,
+}
+
+/// A full per-server template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slkt {
+    /// Hostname the template describes.
+    pub hostname: String,
+    /// Host IP.
+    pub ip: String,
+    /// What the hardware should be.
+    pub hardware: SlktHardware,
+    /// Applications the host should run.
+    pub apps: Vec<SlktApp>,
+}
+
+/// SLKT parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlktError {
+    /// Underlying format problem.
+    Format(FlatError),
+    /// Missing required field.
+    MissingField(&'static str),
+    /// Bad `name:count` process syntax.
+    BadProcessSpec(String),
+}
+
+impl std::fmt::Display for SlktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlktError::Format(e) => write!(f, "format error: {e}"),
+            SlktError::MissingField(k) => write!(f, "missing field '{k}'"),
+            SlktError::BadProcessSpec(s) => write!(f, "bad process spec '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for SlktError {}
+
+impl Slkt {
+    /// Serialise to the flat format.
+    pub fn to_doc(&self) -> FlatDoc {
+        let host = vec![FlatRecord::new()
+            .set("hostname", self.hostname.clone())
+            .set("ip", self.ip.clone())
+            .set("model", self.hardware.model.clone())
+            .set_num("cpus", self.hardware.cpus as f64)
+            .set_num("ram_gb", self.hardware.ram_gb as f64)
+            .set_num("disks", self.hardware.disks as f64)];
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| {
+                let mut r = FlatRecord::new()
+                    .set("name", a.name.clone())
+                    .set("type", a.app_type.clone())
+                    .set("version", a.version.clone())
+                    .set("binary", a.binary_path.clone())
+                    .set_num("port", a.port as f64)
+                    .set_num("timeout_secs", a.connect_timeout_secs as f64);
+                for (p, c) in &a.processes {
+                    r = r.set("proc", format!("{p}:{c}"));
+                }
+                for s in &a.startup_sequence {
+                    r = r.set("startup", s.clone());
+                }
+                for d in &a.depends_on {
+                    r = r.set("depends", d.clone());
+                }
+                for m in &a.mounts {
+                    r = r.set("mount", m.clone());
+                }
+                r
+            })
+            .collect();
+        FlatDoc::new("slkt", 1)
+            .with_section("host", host)
+            .with_section("apps", apps)
+    }
+
+    /// Parse from the flat format.
+    pub fn from_doc(doc: &FlatDoc) -> Result<Slkt, SlktError> {
+        let host = doc
+            .section("host")
+            .and_then(|s| s.first())
+            .ok_or(SlktError::MissingField("host section"))?;
+        let hardware = SlktHardware {
+            model: host
+                .get("model")
+                .ok_or(SlktError::MissingField("model"))?
+                .to_string(),
+            cpus: host.get_u32("cpus").ok_or(SlktError::MissingField("cpus"))?,
+            ram_gb: host
+                .get_u32("ram_gb")
+                .ok_or(SlktError::MissingField("ram_gb"))?,
+            disks: host
+                .get_u32("disks")
+                .ok_or(SlktError::MissingField("disks"))?,
+        };
+        let mut apps = Vec::new();
+        for r in doc.section("apps").unwrap_or(&[]) {
+            let mut processes = Vec::new();
+            for spec in r.get_all("proc") {
+                let (name, count) = spec
+                    .split_once(':')
+                    .ok_or_else(|| SlktError::BadProcessSpec(spec.to_string()))?;
+                let count: u32 = count
+                    .parse()
+                    .map_err(|_| SlktError::BadProcessSpec(spec.to_string()))?;
+                processes.push((name.to_string(), count));
+            }
+            apps.push(SlktApp {
+                name: r.get("name").ok_or(SlktError::MissingField("name"))?.to_string(),
+                app_type: r.get("type").ok_or(SlktError::MissingField("type"))?.to_string(),
+                version: r
+                    .get("version")
+                    .ok_or(SlktError::MissingField("version"))?
+                    .to_string(),
+                binary_path: r
+                    .get("binary")
+                    .ok_or(SlktError::MissingField("binary"))?
+                    .to_string(),
+                port: r.get_u32("port").unwrap_or(0) as u16,
+                processes,
+                startup_sequence: r.get_all("startup").iter().map(|s| s.to_string()).collect(),
+                depends_on: r.get_all("depends").iter().map(|s| s.to_string()).collect(),
+                mounts: r.get_all("mount").iter().map(|s| s.to_string()).collect(),
+                connect_timeout_secs: r.get_u32("timeout_secs").unwrap_or(30),
+            });
+        }
+        Ok(Slkt {
+            hostname: host
+                .get("hostname")
+                .ok_or(SlktError::MissingField("hostname"))?
+                .to_string(),
+            ip: host.get("ip").ok_or(SlktError::MissingField("ip"))?.to_string(),
+            hardware,
+            apps,
+        })
+    }
+
+    /// Parse from text.
+    pub fn parse_text(text: &str) -> Result<Slkt, SlktError> {
+        let doc = FlatDoc::parse_text(text).map_err(SlktError::Format)?;
+        Slkt::from_doc(&doc)
+    }
+
+    /// Find the template for an app by name.
+    pub fn app(&self, name: &str) -> Option<&SlktApp> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+
+    /// SLKT "equal or higher power" test used by the rescheduler: can a
+    /// host with `other` hardware replace this one? Same-model with ≥
+    /// CPUs and ≥ RAM is the preferred form; the caller handles
+    /// cross-model power comparisons with real hardware specs.
+    pub fn replaceable_by_same_model(&self, other: &SlktHardware) -> bool {
+        other.model == self.hardware.model
+            && other.cpus >= self.hardware.cpus
+            && other.ram_gb >= self.hardware.ram_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Slkt {
+        Slkt {
+            hostname: "db007".into(),
+            ip: "10.1.0.7".into(),
+            hardware: SlktHardware { model: "Sun-E4500".into(), cpus: 8, ram_gb: 8, disks: 6 },
+            apps: vec![SlktApp {
+                name: "trades-db-07".into(),
+                app_type: "db-oracle".into(),
+                version: "8.1.7".into(),
+                binary_path: "/apps/db/bin".into(),
+                port: 1521,
+                processes: vec![("ora_pmon".into(), 1), ("ora_dbw".into(), 2)],
+                startup_sequence: vec!["listener".into(), "instance".into(), "recovery".into()],
+                depends_on: vec![],
+                mounts: vec!["/apps".into()],
+                connect_timeout_secs: 30,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let slkt = sample();
+        let text = slkt.to_doc().to_text();
+        let back = Slkt::parse_text(&text).unwrap();
+        assert_eq!(back, slkt);
+    }
+
+    #[test]
+    fn app_lookup() {
+        let slkt = sample();
+        assert!(slkt.app("trades-db-07").is_some());
+        assert!(slkt.app("ghost").is_none());
+        let app = slkt.app("trades-db-07").unwrap();
+        assert_eq!(app.processes[1], ("ora_dbw".to_string(), 2));
+        assert_eq!(app.startup_sequence.len(), 3);
+    }
+
+    #[test]
+    fn same_model_replacement_ordering() {
+        let slkt = sample();
+        let bigger = SlktHardware { model: "Sun-E4500".into(), cpus: 12, ram_gb: 16, disks: 6 };
+        let smaller = SlktHardware { model: "Sun-E4500".into(), cpus: 4, ram_gb: 8, disks: 6 };
+        let other_model = SlktHardware { model: "Sun-E10000".into(), cpus: 32, ram_gb: 32, disks: 12 };
+        assert!(slkt.replaceable_by_same_model(&bigger));
+        assert!(!slkt.replaceable_by_same_model(&smaller));
+        assert!(!slkt.replaceable_by_same_model(&other_model)); // cross-model handled elsewhere
+    }
+
+    #[test]
+    fn bad_process_spec_rejected() {
+        let text = "%DOC slkt v1\n%SECTION host\nhostname=h|ip=1|model=m|cpus=1|ram_gb=1|disks=1\n%SECTION apps\nname=a|type=t|version=v|binary=b|proc=oracle";
+        assert!(matches!(
+            Slkt::parse_text(text),
+            Err(SlktError::BadProcessSpec(_))
+        ));
+    }
+
+    #[test]
+    fn missing_host_section_rejected() {
+        let text = "%DOC slkt v1\n%SECTION apps\nname=a|type=t|version=v|binary=b";
+        assert!(matches!(Slkt::parse_text(text), Err(SlktError::MissingField(_))));
+    }
+}

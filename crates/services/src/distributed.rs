@@ -1,0 +1,208 @@
+//! Distributed multi-component applications and the end-to-end dummy
+//! transaction.
+//!
+//! §3.6: "For distributed applications we observed the time taken for a
+//! request to be served by the entire application from beginning to
+//! end. Every 15 to 30 minutes we initiated a dummy process to run
+//! through all application components, simulating a user and measure the
+//! total response time." A distributed app here is an ordered chain of
+//! service instances (the request path); the dummy transaction probes
+//! each in order and reports either the total latency or the *first
+//! failing component* — which is exactly the pinpointing signal the
+//! agents escalate on.
+
+use intelliqos_simkern::SimRng;
+
+use intelliqos_cluster::ids::ServerId;
+use intelliqos_cluster::server::Server;
+
+use crate::instance::ServiceId;
+use crate::probe::{probe, ProbeResult};
+use crate::registry::ServiceRegistry;
+
+/// A named, ordered chain of components forming one distributed service.
+#[derive(Debug, Clone)]
+pub struct DistributedApp {
+    /// Application name, e.g. `market-analytics`.
+    pub name: String,
+    /// Components in request-path order (front end last is typical, but
+    /// callers choose; the dummy transaction walks this order).
+    pub components: Vec<ServiceId>,
+}
+
+/// Outcome of an end-to-end dummy transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum E2eResult {
+    /// Every component answered; total latency in milliseconds.
+    Ok {
+        /// Sum of per-component probe latencies.
+        total_latency_ms: f64,
+    },
+    /// A component failed; the chain stops there.
+    FailedAt {
+        /// Which component failed.
+        component: ServiceId,
+        /// Its probe outcome.
+        result: ProbeResult,
+        /// Latency accumulated before the failure.
+        partial_latency_ms: f64,
+    },
+}
+
+impl E2eResult {
+    /// Success predicate.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, E2eResult::Ok { .. })
+    }
+}
+
+impl DistributedApp {
+    /// Build an app over the given component chain.
+    ///
+    /// # Panics
+    /// Panics on an empty chain.
+    pub fn new(name: impl Into<String>, components: Vec<ServiceId>) -> Self {
+        assert!(!components.is_empty(), "a distributed app needs components");
+        DistributedApp { name: name.into(), components }
+    }
+
+    /// Is every component currently serving? ("all interdependent
+    /// distributed application components must be up and running for the
+    /// distributed service to be considered healthy")
+    pub fn healthy(&self, registry: &ServiceRegistry) -> bool {
+        self.components.iter().all(|id| {
+            registry
+                .get(*id)
+                .map(|s| s.status.is_serving())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Run the dummy transaction: probe each component in order through
+    /// `servers` (a lookup from server id to server), stopping at the
+    /// first failure.
+    pub fn end_to_end<'a, F>(
+        &self,
+        registry: &ServiceRegistry,
+        mut server_of: F,
+        rng: &mut SimRng,
+    ) -> E2eResult
+    where
+        F: FnMut(ServerId) -> &'a Server,
+    {
+        let mut total = 0.0;
+        for &cid in &self.components {
+            let svc = registry
+                .get(cid)
+                .unwrap_or_else(|| panic!("distributed app references unknown {cid}"));
+            let server = server_of(svc.server);
+            match probe(svc, server, rng) {
+                ProbeResult::Ok { latency_ms } => total += latency_ms,
+                other => {
+                    return E2eResult::FailedAt {
+                        component: cid,
+                        result: other,
+                        partial_latency_ms: total,
+                    }
+                }
+            }
+        }
+        E2eResult::Ok { total_latency_ms: total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DbEngine, ServiceSpec};
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::Site;
+    use intelliqos_simkern::SimTime;
+
+    struct World {
+        servers: Vec<Server>,
+        reg: ServiceRegistry,
+        app: DistributedApp,
+        ids: (ServiceId, ServiceId, ServiceId),
+    }
+
+    fn world() -> World {
+        let mut servers: Vec<Server> = (0..3)
+            .map(|i| {
+                Server::new(
+                    ServerId(i),
+                    format!("host{i:03}"),
+                    HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+                    Site::new("London", "LDN"),
+                )
+            })
+            .collect();
+        let mut reg = ServiceRegistry::new();
+        let db = reg.deploy(ServiceSpec::database("db", DbEngine::Sybase), ServerId(0));
+        let web = reg.deploy(ServiceSpec::web_server("web"), ServerId(1));
+        let fe = reg.deploy(ServiceSpec::front_end("fe", "db", "web"), ServerId(2));
+        reg.start(db, &mut servers[0], SimTime::ZERO).unwrap();
+        reg.start(web, &mut servers[1], SimTime::ZERO).unwrap();
+        reg.complete_pending_starts(SimTime::from_secs(1600));
+        reg.start(fe, &mut servers[2], SimTime::from_secs(1600)).unwrap();
+        reg.complete_pending_starts(SimTime::from_secs(3200));
+        let app = DistributedApp::new("analytics", vec![db, web, fe]);
+        World { servers, reg, app, ids: (db, web, fe) }
+    }
+
+    #[test]
+    fn healthy_chain_succeeds_end_to_end() {
+        let w = world();
+        assert!(w.app.healthy(&w.reg));
+        let mut rng = SimRng::stream(1, "e2e");
+        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        match r {
+            E2eResult::Ok { total_latency_ms } => {
+                assert!(total_latency_ms > 100.0, "db+web+fe latency expected, got {total_latency_ms}")
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_pinpoints_first_broken_component() {
+        let mut w = world();
+        let (_, web, _) = w.ids;
+        // Hang the middle component.
+        w.reg.get_mut(web).unwrap().hang();
+        assert!(!w.app.healthy(&w.reg));
+        let mut rng = SimRng::stream(1, "e2e");
+        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        match r {
+            E2eResult::FailedAt { component, result, partial_latency_ms } => {
+                assert_eq!(component, web);
+                assert_eq!(result, ProbeResult::Timeout);
+                assert!(partial_latency_ms > 0.0); // the db leg already ran
+            }
+            other => panic!("expected FailedAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_component_failure_has_zero_partial_latency() {
+        let mut w = world();
+        let (db, _, _) = w.ids;
+        let server0 = &mut w.servers[0];
+        w.reg.get_mut(db).unwrap().crash(server0);
+        let mut rng = SimRng::stream(1, "e2e");
+        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        match r {
+            E2eResult::FailedAt { component, partial_latency_ms, .. } => {
+                assert_eq!(component, db);
+                assert_eq!(partial_latency_ms, 0.0);
+            }
+            other => panic!("expected FailedAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs components")]
+    fn empty_app_panics() {
+        let _ = DistributedApp::new("x", vec![]);
+    }
+}

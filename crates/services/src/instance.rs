@@ -1,0 +1,405 @@
+//! Service instances: the runtime state machine of one deployed service.
+//!
+//! The state machine mirrors what the paper's agents could actually
+//! distinguish through "trying to use the application and reading the
+//! exit code": running, starting (connection refused), hung (timeout),
+//! crashed (refused, processes missing), corrupted (restart does not
+//! help until a restore) and stopped.
+
+use intelliqos_simkern::{SimTime};
+
+use intelliqos_cluster::ids::{Pid, ServerId};
+use intelliqos_cluster::server::Server;
+
+use crate::spec::ServiceSpec;
+
+/// Unique id of a deployed service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(pub u32);
+
+impl std::fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "svc{:03}", self.0)
+    }
+}
+
+/// Runtime status of a service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStatus {
+    /// Cleanly stopped.
+    Stopped,
+    /// Start script running; becomes `Running` at the contained time.
+    Starting {
+        /// When startup completes.
+        until: SimTime,
+    },
+    /// Healthy and serving.
+    Running,
+    /// Processes exist but the service does not respond (probes time
+    /// out). Restart required.
+    Hung,
+    /// Processes are gone; probes get connection-refused.
+    Crashed,
+    /// On-disk state is corrupted: restarts fail until a restore.
+    Corrupted,
+}
+
+impl ServiceStatus {
+    /// Is the instance in a state where a probe would succeed?
+    pub fn is_serving(self) -> bool {
+        matches!(self, ServiceStatus::Running)
+    }
+
+    /// Does the instance need intervention (restart/restore)?
+    pub fn is_faulted(self) -> bool {
+        matches!(
+            self,
+            ServiceStatus::Hung | ServiceStatus::Crashed | ServiceStatus::Corrupted
+        )
+    }
+}
+
+/// One deployed service and its runtime bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ServiceInstance {
+    /// Identity.
+    pub id: ServiceId,
+    /// Specification (what the SLKT describes).
+    pub spec: ServiceSpec,
+    /// Which server hosts it.
+    pub server: ServerId,
+    /// Current status.
+    pub status: ServiceStatus,
+    /// Pids of the processes this instance spawned on its server.
+    pub pids: Vec<Pid>,
+    /// When the instance last entered `Running`.
+    pub last_started: Option<SimTime>,
+    /// Lifetime restart count (exposed to diagnostics — flapping
+    /// services show up here).
+    pub restarts: u32,
+}
+
+/// Errors from lifecycle operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The hosting server is not up.
+    ServerDown,
+    /// A required mount is not available.
+    MountMissing(String),
+    /// The service is corrupted; a restore is needed before start.
+    Corrupted,
+    /// Operation invalid in the current state.
+    BadState(&'static str),
+    /// A named dependency is not serving.
+    DependencyDown(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ServerDown => write!(f, "hosting server is down"),
+            ServiceError::MountMissing(m) => write!(f, "required mount {m} unavailable"),
+            ServiceError::Corrupted => write!(f, "service state corrupted; restore required"),
+            ServiceError::BadState(s) => write!(f, "operation invalid in state {s}"),
+            ServiceError::DependencyDown(d) => write!(f, "dependency {d} not serving"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceInstance {
+    /// A stopped instance of `spec` on `server`.
+    pub fn new(id: ServiceId, spec: ServiceSpec, server: ServerId) -> Self {
+        ServiceInstance {
+            id,
+            spec,
+            server,
+            status: ServiceStatus::Stopped,
+            pids: Vec::new(),
+            last_started: None,
+            restarts: 0,
+        }
+    }
+
+    /// Run the startup script: spawns the expected processes on the
+    /// hosting server and enters `Starting`. The caller must pass the
+    /// actual hosting [`Server`] (checked by id).
+    ///
+    /// Dependency ordering is enforced one level up (the registry), as
+    /// the agents enforce it through the SLKT startup sequence.
+    pub fn start(&mut self, server: &mut Server, now: SimTime) -> Result<SimTime, ServiceError> {
+        assert_eq!(server.id, self.server, "start() called with the wrong server");
+        if !server.is_up() {
+            return Err(ServiceError::ServerDown);
+        }
+        match self.status {
+            ServiceStatus::Stopped | ServiceStatus::Crashed => {}
+            ServiceStatus::Corrupted => return Err(ServiceError::Corrupted),
+            ServiceStatus::Running => return Err(ServiceError::BadState("Running")),
+            ServiceStatus::Starting { .. } => return Err(ServiceError::BadState("Starting")),
+            ServiceStatus::Hung => return Err(ServiceError::BadState("Hung (stop first)")),
+        }
+        for m in &self.spec.required_mounts {
+            if !server.fs.is_mounted(m) {
+                return Err(ServiceError::MountMissing(m.clone()));
+            }
+        }
+        self.pids.clear();
+        for pe in &self.spec.processes {
+            for _ in 0..pe.count {
+                let pid = server.procs.spawn(
+                    pe.name.clone(),
+                    format!("-svc {}", self.spec.name),
+                    self.spec.run_as.clone(),
+                    pe.cpu_demand,
+                    pe.mem_mb,
+                    pe.io_demand,
+                    now,
+                );
+                self.pids.push(pid);
+            }
+        }
+        let until = now + self.spec.startup_duration();
+        self.status = ServiceStatus::Starting { until };
+        Ok(until)
+    }
+
+    /// Complete startup if its time has arrived.
+    pub fn maybe_complete_start(&mut self, now: SimTime) -> bool {
+        if let ServiceStatus::Starting { until } = self.status {
+            if now >= until {
+                self.status = ServiceStatus::Running;
+                self.last_started = Some(now);
+                self.restarts += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clean stop: kills processes, enters `Stopped`.
+    pub fn stop(&mut self, server: &mut Server) {
+        assert_eq!(server.id, self.server);
+        for pid in self.pids.drain(..) {
+            server.procs.kill(pid);
+        }
+        if self.status != ServiceStatus::Corrupted {
+            self.status = ServiceStatus::Stopped;
+        }
+    }
+
+    /// Crash: processes vanish, probes will be refused.
+    pub fn crash(&mut self, server: &mut Server) {
+        assert_eq!(server.id, self.server);
+        for pid in self.pids.drain(..) {
+            server.procs.kill(pid);
+        }
+        self.status = ServiceStatus::Crashed;
+    }
+
+    /// Hang: processes stay in the table (so a naive `ps` check passes)
+    /// but probes time out — the classic latent error.
+    pub fn hang(&mut self) {
+        if self.status == ServiceStatus::Running {
+            self.status = ServiceStatus::Hung;
+        }
+    }
+
+    /// Corrupt the on-disk state. Also crashes the processes.
+    pub fn corrupt(&mut self, server: &mut Server) {
+        assert_eq!(server.id, self.server);
+        for pid in self.pids.drain(..) {
+            server.procs.kill(pid);
+        }
+        self.status = ServiceStatus::Corrupted;
+    }
+
+    /// Restore from backup: clears corruption, leaving the instance
+    /// stopped and startable.
+    pub fn restore(&mut self) -> bool {
+        if self.status == ServiceStatus::Corrupted {
+            self.status = ServiceStatus::Stopped;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// React to the hosting server having crashed: our processes are
+    /// gone with it.
+    pub fn on_server_crash(&mut self) {
+        self.pids.clear();
+        if self.status != ServiceStatus::Corrupted && self.status != ServiceStatus::Stopped {
+            self.status = ServiceStatus::Crashed;
+        }
+    }
+
+    /// Does the live process table match the SLKT expectation? Returns
+    /// the list of `(process name, expected, found)` mismatches — what a
+    /// service intelliagent reports when diagnosing.
+    pub fn process_mismatches(&self, server: &Server) -> Vec<(String, u32, u32)> {
+        let mut out = Vec::new();
+        for pe in &self.spec.processes {
+            let found = server.procs.live_count(&pe.name) as u32;
+            if found < pe.count {
+                out.push((pe.name.clone(), pe.count, found));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::Site;
+    use crate::spec::DbEngine;
+
+    fn server() -> Server {
+        Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN-DC1"),
+        )
+    }
+
+    fn db_instance() -> ServiceInstance {
+        ServiceInstance::new(
+            ServiceId(0),
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        )
+    }
+
+    #[test]
+    fn start_spawns_expected_processes() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        let until = svc.start(&mut srv, SimTime::ZERO).unwrap();
+        assert_eq!(until, SimTime::from_secs(1600));
+        assert!(matches!(svc.status, ServiceStatus::Starting { .. }));
+        assert_eq!(srv.procs.live_count("ora_pmon"), 1);
+        assert_eq!(srv.procs.live_count("ora_dbw"), 2);
+        assert_eq!(svc.pids.len(), 4);
+        assert!(svc.process_mismatches(&srv).is_empty());
+    }
+
+    #[test]
+    fn startup_completes_on_time() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        assert!(!svc.maybe_complete_start(SimTime::from_secs(1599)));
+        assert!(svc.maybe_complete_start(SimTime::from_secs(1600)));
+        assert!(svc.status.is_serving());
+        assert_eq!(svc.restarts, 1);
+        assert_eq!(svc.last_started, Some(SimTime::from_secs(1600)));
+    }
+
+    #[test]
+    fn cannot_start_twice() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        assert!(matches!(
+            svc.start(&mut srv, SimTime::from_secs(1)),
+            Err(ServiceError::BadState(_))
+        ));
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        assert!(matches!(
+            svc.start(&mut srv, SimTime::from_secs(1601)),
+            Err(ServiceError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn crash_removes_processes_and_allows_restart() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        svc.crash(&mut srv);
+        assert_eq!(svc.status, ServiceStatus::Crashed);
+        assert_eq!(srv.procs.live_count("ora_pmon"), 0);
+        let mismatches = svc.process_mismatches(&srv);
+        assert_eq!(mismatches.len(), 3); // all three process groups gone
+        // Crashed → startable again (the agents' restart path).
+        svc.start(&mut srv, SimTime::from_secs(2000)).unwrap();
+    }
+
+    #[test]
+    fn hang_keeps_processes_but_is_faulted() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        svc.hang();
+        assert_eq!(svc.status, ServiceStatus::Hung);
+        assert!(svc.status.is_faulted());
+        // Processes still visible: a bare ps-based check would be fooled.
+        assert_eq!(srv.procs.live_count("ora_pmon"), 1);
+        assert!(svc.process_mismatches(&srv).is_empty());
+        // A hung service cannot be started without stopping first.
+        assert!(matches!(
+            svc.start(&mut srv, SimTime::from_secs(1630)),
+            Err(ServiceError::BadState(_))
+        ));
+        svc.stop(&mut srv);
+        svc.start(&mut srv, SimTime::from_secs(1640)).unwrap();
+    }
+
+    #[test]
+    fn corruption_blocks_start_until_restore() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        svc.corrupt(&mut srv);
+        assert!(matches!(
+            svc.start(&mut srv, SimTime::from_secs(1630)),
+            Err(ServiceError::Corrupted)
+        ));
+        assert!(svc.restore());
+        assert!(!svc.restore()); // idempotence check
+        svc.start(&mut srv, SimTime::from_secs(1640)).unwrap();
+    }
+
+    #[test]
+    fn start_requires_server_up_and_mounts() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        srv.crash();
+        assert_eq!(svc.start(&mut srv, SimTime::ZERO), Err(ServiceError::ServerDown));
+        srv.begin_reboot(SimTime::ZERO);
+        srv.maybe_complete_reboot(SimTime::from_mins(10));
+        srv.fs.set_mounted("/apps", false);
+        assert!(matches!(
+            svc.start(&mut srv, SimTime::from_mins(10)),
+            Err(ServiceError::MountMissing(_))
+        ));
+        srv.fs.set_mounted("/apps", true);
+        assert!(svc.start(&mut srv, SimTime::from_mins(10)).is_ok());
+    }
+
+    #[test]
+    fn server_crash_propagates() {
+        let mut srv = server();
+        let mut svc = db_instance();
+        svc.start(&mut srv, SimTime::ZERO).unwrap();
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        srv.crash();
+        svc.on_server_crash();
+        assert_eq!(svc.status, ServiceStatus::Crashed);
+        assert!(svc.pids.is_empty());
+    }
+
+    #[test]
+    fn stopped_instance_survives_server_crash_as_stopped() {
+        let mut svc = db_instance();
+        svc.on_server_crash();
+        assert_eq!(svc.status, ServiceStatus::Stopped);
+    }
+}

@@ -1,0 +1,22 @@
+//! # intelliqos-services
+//!
+//! Application/service models for the `intelliqos` reproduction of
+//! Corsava & Getov (IPDPS 2003): service specifications (the ground
+//! truth SLKTs describe), runtime state machines, health probes
+//! ("connect and run a basic command, read the exit code"), the
+//! datacenter-wide registry with dependency ordering, and distributed
+//! multi-component applications with the end-to-end dummy transaction.
+
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod instance;
+pub mod probe;
+pub mod registry;
+pub mod spec;
+
+pub use distributed::{DistributedApp, E2eResult};
+pub use instance::{ServiceError, ServiceId, ServiceInstance, ServiceStatus};
+pub use probe::{probe, probe_latency_ms, ProbeKind, ProbeResult};
+pub use registry::ServiceRegistry;
+pub use spec::{DbEngine, ProcessExpectation, ServiceKind, ServiceSpec, StartupStep};

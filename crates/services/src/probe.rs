@@ -1,0 +1,250 @@
+//! Health probes: "trying to use the application and reading the exit
+//! code".
+//!
+//! §3.4: "the local status intelliagent invokes local service
+//! intelliagents who attempt to connect to local running services and
+//! perform very simple queries (e.g. in the case of a web server they do
+//! an http 'get', for a database they connect and attempt to do a
+//! 'select * from table name')". The probe outcome plus its latency is
+//! *all* the information an agent gets — it cannot peek at the service
+//! state machine directly.
+
+use intelliqos_simkern::{SimDuration, SimRng};
+
+use intelliqos_cluster::server::Server;
+
+use crate::instance::{ServiceInstance, ServiceStatus};
+use crate::spec::ServiceKind;
+
+/// The shape of the basic command a probe runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// `GET /` against a web server or front end.
+    HttpGet,
+    /// Connect and `select * from <table>` against a database.
+    SqlSelect,
+    /// `lsid`-style ping against the LSF master.
+    LsfPing,
+    /// Plain TCP connect (name servers, feeds).
+    ConnectOnly,
+}
+
+impl ProbeKind {
+    /// Which probe a service kind gets.
+    pub fn for_kind(kind: ServiceKind) -> ProbeKind {
+        match kind {
+            ServiceKind::Database(_) => ProbeKind::SqlSelect,
+            ServiceKind::WebServer | ServiceKind::FrontEnd => ProbeKind::HttpGet,
+            ServiceKind::LsfMaster => ProbeKind::LsfPing,
+            ServiceKind::NameServer | ServiceKind::MarketDataFeed => ProbeKind::ConnectOnly,
+        }
+    }
+
+    /// Unloaded round-trip latency of the probe in milliseconds.
+    pub fn base_latency_ms(self) -> f64 {
+        match self {
+            ProbeKind::HttpGet => 40.0,
+            ProbeKind::SqlSelect => 120.0,
+            ProbeKind::LsfPing => 25.0,
+            ProbeKind::ConnectOnly => 10.0,
+        }
+    }
+}
+
+/// What the probing agent observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeResult {
+    /// Connected, query succeeded.
+    Ok {
+        /// Round-trip latency in milliseconds.
+        latency_ms: f64,
+    },
+    /// No response within the application-specific timeout.
+    Timeout,
+    /// TCP connection refused (nothing listening).
+    ConnectionRefused,
+    /// Connected but the basic query returned an error (corruption,
+    /// wedged internals).
+    QueryError,
+}
+
+impl ProbeResult {
+    /// Unix-exit-code view: 0 on success, nonzero otherwise — this is
+    /// literally what the paper's shell agents branched on.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ProbeResult::Ok { .. } => 0,
+            ProbeResult::Timeout => 124, // the `timeout(1)` convention
+            ProbeResult::ConnectionRefused => 1,
+            ProbeResult::QueryError => 2,
+        }
+    }
+
+    /// Did the probe succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ProbeResult::Ok { .. })
+    }
+}
+
+/// Probe a service instance hosted on `server`.
+///
+/// Latency grows with the hosting server's CPU saturation (a saturated
+/// run queue delays everything) and times out when it exceeds the
+/// spec's `connect_timeout`. Measurement noise comes from the caller's
+/// RNG stream.
+pub fn probe(svc: &ServiceInstance, server: &Server, rng: &mut SimRng) -> ProbeResult {
+    assert_eq!(server.id, svc.server, "probe() called with the wrong server");
+    // A dead host answers nothing: probes time out (no RST arrives).
+    if !server.is_up() {
+        return ProbeResult::Timeout;
+    }
+    match svc.status {
+        ServiceStatus::Stopped | ServiceStatus::Crashed => ProbeResult::ConnectionRefused,
+        ServiceStatus::Starting { .. } => ProbeResult::ConnectionRefused,
+        ServiceStatus::Hung => ProbeResult::Timeout,
+        ServiceStatus::Corrupted => ProbeResult::QueryError,
+        ServiceStatus::Running => {
+            let kind = ProbeKind::for_kind(svc.spec.kind);
+            let latency = probe_latency_ms(kind, server, rng);
+            if SimDuration::from_secs_f64(latency / 1000.0) > svc.spec.connect_timeout {
+                ProbeResult::Timeout
+            } else {
+                ProbeResult::Ok { latency_ms: latency }
+            }
+        }
+    }
+}
+
+/// Latency model for a successful probe: base × load inflation × noise.
+pub fn probe_latency_ms(kind: ProbeKind, server: &Server, rng: &mut SimRng) -> f64 {
+    let u = server.cpu_utilization();
+    // Queueing-flavoured inflation: modest below saturation, explosive
+    // past it (a probe against a 2×-overloaded box takes ~tens of
+    // seconds — which is how overload trips the timeout threshold).
+    let inflation = if u < 1.0 {
+        1.0 / (1.0 - 0.7 * u.min(0.99))
+    } else {
+        10.0 * u * u
+    };
+    let noise = (1.0 + rng.normal(0.0, 0.1)).max(0.3);
+    kind.base_latency_ms() * inflation * noise
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{ServiceId, ServiceInstance};
+    use crate::spec::{DbEngine, ServiceSpec};
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::{ServerId, Site};
+    use intelliqos_simkern::SimTime;
+
+    fn setup() -> (Server, ServiceInstance, SimRng) {
+        let server = Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        );
+        let svc = ServiceInstance::new(
+            ServiceId(0),
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        );
+        (server, svc, SimRng::stream(42, "probe"))
+    }
+
+    fn run_to_running(server: &mut Server, svc: &mut ServiceInstance) {
+        svc.start(server, SimTime::ZERO).unwrap();
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+    }
+
+    #[test]
+    fn running_service_probes_ok() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        let r = probe(&svc, &server, &mut rng);
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.exit_code(), 0);
+        if let ProbeResult::Ok { latency_ms } = r {
+            assert!(latency_ms > 10.0 && latency_ms < 1000.0, "latency = {latency_ms}");
+        }
+    }
+
+    #[test]
+    fn stopped_and_crashed_are_refused() {
+        let (mut server, mut svc, mut rng) = setup();
+        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+        run_to_running(&mut server, &mut svc);
+        svc.crash(&mut server);
+        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+    }
+
+    #[test]
+    fn hung_times_out() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        svc.hang();
+        let r = probe(&svc, &server, &mut rng);
+        assert_eq!(r, ProbeResult::Timeout);
+        assert_eq!(r.exit_code(), 124);
+    }
+
+    #[test]
+    fn corrupted_yields_query_error() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        svc.corrupt(&mut server);
+        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::QueryError);
+    }
+
+    #[test]
+    fn dead_host_times_out() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        server.crash();
+        svc.on_server_crash();
+        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::Timeout);
+    }
+
+    #[test]
+    fn overload_inflates_latency_to_timeout() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        // Slam the server with 8× its capacity.
+        server.external_cpu_demand = server.spec.compute_power() * 8.0;
+        let r = probe(&svc, &server, &mut rng);
+        assert_eq!(r, ProbeResult::Timeout, "an 8x-overloaded DB must miss its 30s timeout");
+    }
+
+    #[test]
+    fn moderate_load_slower_but_ok() {
+        let (mut server, mut svc, mut rng) = setup();
+        run_to_running(&mut server, &mut svc);
+        let quiet = probe_latency_ms(ProbeKind::SqlSelect, &server, &mut rng);
+        server.external_cpu_demand = server.spec.compute_power() * 0.9;
+        let loaded = probe_latency_ms(ProbeKind::SqlSelect, &server, &mut rng);
+        assert!(loaded > quiet, "quiet = {quiet}, loaded = {loaded}");
+        assert!(probe(&svc, &server, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn probe_kinds_map_from_service_kinds() {
+        assert_eq!(
+            ProbeKind::for_kind(ServiceKind::Database(DbEngine::Sybase)),
+            ProbeKind::SqlSelect
+        );
+        assert_eq!(ProbeKind::for_kind(ServiceKind::WebServer), ProbeKind::HttpGet);
+        assert_eq!(ProbeKind::for_kind(ServiceKind::LsfMaster), ProbeKind::LsfPing);
+        assert_eq!(ProbeKind::for_kind(ServiceKind::NameServer), ProbeKind::ConnectOnly);
+    }
+
+    #[test]
+    fn starting_is_refused_until_complete() {
+        let (mut server, mut svc, mut rng) = setup();
+        svc.start(&mut server, SimTime::ZERO).unwrap();
+        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+        svc.maybe_complete_start(SimTime::from_secs(1600));
+        assert!(probe(&svc, &server, &mut rng).is_ok());
+    }
+}

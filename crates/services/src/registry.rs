@@ -1,0 +1,289 @@
+//! The datacenter-wide service registry.
+//!
+//! Owns every [`ServiceInstance`], indexes them by server, kind, and
+//! name, and enforces the SLKT dependency ordering on start ("all
+//! interdependent distributed application components must be up and
+//! running for the distributed service to be considered healthy").
+
+use std::collections::BTreeMap;
+
+use intelliqos_simkern::SimTime;
+
+use intelliqos_cluster::ids::ServerId;
+use intelliqos_cluster::server::Server;
+
+use crate::instance::{ServiceError, ServiceId, ServiceInstance, ServiceStatus};
+use crate::spec::{ServiceKind, ServiceSpec};
+
+/// All deployed services.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    instances: BTreeMap<ServiceId, ServiceInstance>,
+    by_server: BTreeMap<ServerId, Vec<ServiceId>>,
+    next_id: u32,
+}
+
+impl ServiceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Deploy a service spec onto a server (initially stopped).
+    ///
+    /// # Panics
+    /// Panics if another service already uses the same name — service
+    /// names key the dependency graph and the ontologies.
+    pub fn deploy(&mut self, spec: ServiceSpec, server: ServerId) -> ServiceId {
+        assert!(
+            self.by_name(&spec.name).is_none(),
+            "duplicate service name {}",
+            spec.name
+        );
+        let id = ServiceId(self.next_id);
+        self.next_id += 1;
+        self.instances.insert(id, ServiceInstance::new(id, spec, server));
+        self.by_server.entry(server).or_default().push(id);
+        id
+    }
+
+    /// Instance by id.
+    pub fn get(&self, id: ServiceId) -> Option<&ServiceInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Mutable instance by id.
+    pub fn get_mut(&mut self, id: ServiceId) -> Option<&mut ServiceInstance> {
+        self.instances.get_mut(&id)
+    }
+
+    /// Instance by unique name.
+    pub fn by_name(&self, name: &str) -> Option<&ServiceInstance> {
+        self.instances.values().find(|s| s.spec.name == name)
+    }
+
+    /// All instances, id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceInstance> {
+        self.instances.values()
+    }
+
+    /// All instances, mutable.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ServiceInstance> {
+        self.instances.values_mut()
+    }
+
+    /// Instances hosted on `server` (indexed; O(services-on-server)).
+    pub fn on_server(&self, server: ServerId) -> impl Iterator<Item = &ServiceInstance> {
+        self.by_server
+            .get(&server)
+            .into_iter()
+            .flatten()
+            .filter_map(move |id| self.instances.get(id))
+    }
+
+    /// Ids of instances hosted on `server`.
+    pub fn ids_on_server(&self, server: ServerId) -> Vec<ServiceId> {
+        self.by_server.get(&server).cloned().unwrap_or_default()
+    }
+
+    /// Instances of a kind.
+    pub fn of_kind(&self, kind: ServiceKind) -> impl Iterator<Item = &ServiceInstance> + '_ {
+        self.instances.values().filter(move |s| s.spec.kind == kind)
+    }
+
+    /// All database instances (either engine).
+    pub fn databases(&self) -> impl Iterator<Item = &ServiceInstance> {
+        self.instances.values().filter(|s| s.spec.kind.is_database())
+    }
+
+    /// Count of instances currently serving.
+    pub fn running_count(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|s| s.status.is_serving())
+            .count()
+    }
+
+    /// Ids of every faulted instance (hung/crashed/corrupted).
+    pub fn faulted(&self) -> Vec<ServiceId> {
+        self.instances
+            .values()
+            .filter(|s| s.status.is_faulted())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Are all named dependencies of `id` currently serving?
+    pub fn dependencies_satisfied(&self, id: ServiceId) -> Result<(), String> {
+        let svc = match self.instances.get(&id) {
+            Some(s) => s,
+            None => return Err(format!("unknown service {id}")),
+        };
+        for dep in &svc.spec.depends_on {
+            match self.by_name(dep) {
+                Some(d) if d.status.is_serving() => {}
+                Some(_) => return Err(dep.clone()),
+                None => return Err(format!("{dep} (not deployed)")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Start a service, enforcing dependency ordering. `server` must be
+    /// the hosting server.
+    pub fn start(
+        &mut self,
+        id: ServiceId,
+        server: &mut Server,
+        now: SimTime,
+    ) -> Result<SimTime, ServiceError> {
+        if let Err(dep) = self.dependencies_satisfied(id) {
+            return Err(ServiceError::DependencyDown(dep));
+        }
+        self.instances
+            .get_mut(&id)
+            .expect("checked above")
+            .start(server, now)
+    }
+
+    /// Propagate a server crash to every service it hosted.
+    pub fn on_server_crash(&mut self, server: ServerId) -> Vec<ServiceId> {
+        let ids = self.ids_on_server(server);
+        let mut affected = Vec::new();
+        for id in ids {
+            let svc = self.instances.get_mut(&id).expect("indexed id exists");
+            if !matches!(svc.status, ServiceStatus::Stopped | ServiceStatus::Corrupted) {
+                svc.on_server_crash();
+                affected.push(id);
+            }
+        }
+        affected
+    }
+
+    /// Complete any pending startups whose time has arrived; returns the
+    /// ids that transitioned to `Running`.
+    pub fn complete_pending_starts(&mut self, now: SimTime) -> Vec<ServiceId> {
+        let mut done = Vec::new();
+        for svc in self.instances.values_mut() {
+            if svc.maybe_complete_start(now) {
+                done.push(svc.id);
+            }
+        }
+        done
+    }
+
+    /// Total number of deployed services.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DbEngine;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::Site;
+
+    fn server(id: u32) -> Server {
+        Server::new(
+            ServerId(id),
+            format!("host{id:03}"),
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        )
+    }
+
+    fn registry_with_stack() -> (ServiceRegistry, Server, ServiceId, ServiceId, ServiceId) {
+        let mut reg = ServiceRegistry::new();
+        let mut srv = server(0);
+        let db = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let web = reg.deploy(ServiceSpec::web_server("web-1"), ServerId(0));
+        let fe = reg.deploy(
+            ServiceSpec::front_end("analyst-fe", "trades-db", "web-1"),
+            ServerId(0),
+        );
+        // Bring up db and web.
+        reg.start(db, &mut srv, SimTime::ZERO).unwrap();
+        reg.start(web, &mut srv, SimTime::ZERO).unwrap();
+        reg.complete_pending_starts(SimTime::from_secs(1600));
+        (reg, srv, db, web, fe)
+    }
+
+    #[test]
+    fn deploy_and_lookup() {
+        let (reg, _, db, _, _) = registry_with_stack();
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.by_name("trades-db").unwrap().id, db);
+        assert_eq!(reg.databases().count(), 1);
+        assert_eq!(reg.ids_on_server(ServerId(0)).len(), 3);
+        assert_eq!(reg.of_kind(ServiceKind::WebServer).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate service name")]
+    fn duplicate_names_rejected() {
+        let mut reg = ServiceRegistry::new();
+        reg.deploy(ServiceSpec::web_server("w"), ServerId(0));
+        reg.deploy(ServiceSpec::web_server("w"), ServerId(1));
+    }
+
+    #[test]
+    fn dependency_ordering_enforced() {
+        let mut reg = ServiceRegistry::new();
+        let mut srv = server(0);
+        let _db = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let _web = reg.deploy(ServiceSpec::web_server("web-1"), ServerId(0));
+        let fe = reg.deploy(
+            ServiceSpec::front_end("analyst-fe", "trades-db", "web-1"),
+            ServerId(0),
+        );
+        // Dependencies not running yet.
+        assert!(reg.start(fe, &mut srv, SimTime::ZERO).is_err());
+        assert!(reg.dependencies_satisfied(fe).is_err());
+    }
+
+    #[test]
+    fn start_after_dependencies_up() {
+        let (mut reg, mut srv, _, _, fe) = registry_with_stack();
+        assert!(reg.dependencies_satisfied(fe).is_ok());
+        reg.start(fe, &mut srv, SimTime::from_secs(1600)).unwrap();
+        let done = reg.complete_pending_starts(SimTime::from_secs(1700));
+        assert_eq!(done, vec![fe]);
+        assert_eq!(reg.running_count(), 3);
+    }
+
+    #[test]
+    fn missing_dependency_is_reported_by_name() {
+        let mut reg = ServiceRegistry::new();
+        let fe = reg.deploy(
+            ServiceSpec::front_end("fe", "ghost-db", "ghost-web"),
+            ServerId(0),
+        );
+        let err = reg.dependencies_satisfied(fe).unwrap_err();
+        assert!(err.contains("ghost-db"), "err = {err}");
+    }
+
+    #[test]
+    fn server_crash_propagates_to_hosted_services() {
+        let (mut reg, mut srv, db, web, _) = registry_with_stack();
+        srv.crash();
+        let affected = reg.on_server_crash(ServerId(0));
+        assert!(affected.contains(&db) && affected.contains(&web));
+        assert_eq!(reg.running_count(), 0);
+        assert_eq!(reg.faulted().len(), 2); // fe was never started ⇒ stopped
+    }
+
+    #[test]
+    fn faulted_lists_only_faulted() {
+        let (mut reg, mut srv, db, _, _) = registry_with_stack();
+        assert!(reg.faulted().is_empty());
+        reg.get_mut(db).unwrap().crash(&mut srv);
+        assert_eq!(reg.faulted(), vec![db]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Service kinds and specifications.
+//!
+//! A [`ServiceSpec`] is the ground truth a **static local knowledge
+//! template (SLKT)** describes: which application should run on a
+//! server, its version, port, expected process names and counts, its
+//! startup sequence with component ordering, external dependencies, and
+//! the connectivity timeout the specialized application developers
+//! provided (§3.2).
+
+use std::fmt;
+
+use intelliqos_simkern::SimDuration;
+
+/// Database engines at the customer site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbEngine {
+    /// Oracle RDBMS.
+    Oracle,
+    /// Sybase ASE.
+    Sybase,
+}
+
+impl fmt::Display for DbEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbEngine::Oracle => f.write_str("Oracle"),
+            DbEngine::Sybase => f.write_str("Sybase"),
+        }
+    }
+}
+
+/// Application/service types the intelliagents manage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// A database server instance.
+    Database(DbEngine),
+    /// An HTTP server.
+    WebServer,
+    /// A user-facing financial application front end.
+    FrontEnd,
+    /// The LSF master batch daemon.
+    LsfMaster,
+    /// A name service (DNS/NIS/LDAP).
+    NameServer,
+    /// A market-data feed handler.
+    MarketDataFeed,
+}
+
+impl ServiceKind {
+    /// Short type string used in ontologies and DGSPL entries.
+    pub fn type_str(self) -> &'static str {
+        match self {
+            ServiceKind::Database(DbEngine::Oracle) => "db-oracle",
+            ServiceKind::Database(DbEngine::Sybase) => "db-sybase",
+            ServiceKind::WebServer => "web",
+            ServiceKind::FrontEnd => "frontend",
+            ServiceKind::LsfMaster => "lsf-master",
+            ServiceKind::NameServer => "nameserver",
+            ServiceKind::MarketDataFeed => "mktdata",
+        }
+    }
+
+    /// Is this a database of either engine?
+    pub fn is_database(self) -> bool {
+        matches!(self, ServiceKind::Database(_))
+    }
+}
+
+impl fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_str())
+    }
+}
+
+/// One step of a startup sequence ("application component startup
+/// sequences" in the SLKT definition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartupStep {
+    /// Component name, e.g. `listener`, `dbwriter`.
+    pub component: String,
+    /// How long this step takes.
+    pub duration: SimDuration,
+}
+
+/// Expected process-table footprint: (command name, expected count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessExpectation {
+    /// Exact command name, e.g. `oracle_pmon`.
+    pub name: String,
+    /// How many instances a healthy service shows.
+    pub count: u32,
+    /// CPU demand per instance at nominal load (compute-power units).
+    pub cpu_demand: f64,
+    /// Resident memory per instance, MB.
+    pub mem_mb: f64,
+    /// I/O demand per instance (fraction of server disk capacity).
+    pub io_demand: f64,
+}
+
+/// Full specification of one service deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Unique service name within the datacenter, e.g. `trades-db-07`.
+    pub name: String,
+    /// Application type.
+    pub kind: ServiceKind,
+    /// Application version string, e.g. `8.1.7`.
+    pub version: String,
+    /// TCP port the service listens on (0 = none).
+    pub port: u16,
+    /// Expected processes and their resource demands.
+    pub processes: Vec<ProcessExpectation>,
+    /// Startup sequence, in order.
+    pub startup: Vec<StartupStep>,
+    /// How long a clean shutdown takes.
+    pub shutdown: SimDuration,
+    /// Names of services that must be `Running` before this one starts.
+    pub depends_on: Vec<String>,
+    /// Mount points that must be mounted for the service to run.
+    pub required_mounts: Vec<String>,
+    /// Where the binaries live.
+    pub binary_path: String,
+    /// Application-specific connectivity timeout for health probes,
+    /// provided by the application developers (§3.2).
+    pub connect_timeout: SimDuration,
+    /// Unix user the service runs as.
+    pub run_as: String,
+}
+
+impl ServiceSpec {
+    /// Total startup time across all steps.
+    pub fn startup_duration(&self) -> SimDuration {
+        self.startup.iter().map(|s| s.duration).sum()
+    }
+
+    /// Canonical spec for a database of the given engine.
+    pub fn database(name: impl Into<String>, engine: DbEngine) -> ServiceSpec {
+        let (version, proc_prefix, startup_secs, recovery_secs) = match engine {
+            // Instance start is fast; crash *recovery* (rolling the redo
+            // forward after an unclean stop) dominates a post-crash
+            // restart on these databases.
+            DbEngine::Oracle => ("8.1.7", "ora", 90, 1500),
+            DbEngine::Sybase => ("12.0", "syb", 60, 1080),
+        };
+        let name = name.into();
+        ServiceSpec {
+            kind: ServiceKind::Database(engine),
+            version: version.to_string(),
+            port: 1521,
+            processes: vec![
+                ProcessExpectation {
+                    name: format!("{proc_prefix}_pmon"),
+                    count: 1,
+                    cpu_demand: 0.05,
+                    mem_mb: 64.0,
+                    io_demand: 0.01,
+                },
+                ProcessExpectation {
+                    name: format!("{proc_prefix}_dbw"),
+                    count: 2,
+                    cpu_demand: 0.2,
+                    mem_mb: 256.0,
+                    io_demand: 0.08,
+                },
+                ProcessExpectation {
+                    name: format!("{proc_prefix}_lsnr"),
+                    count: 1,
+                    cpu_demand: 0.05,
+                    mem_mb: 32.0,
+                    io_demand: 0.0,
+                },
+            ],
+            startup: vec![
+                StartupStep { component: "listener".into(), duration: SimDuration::from_secs(10) },
+                StartupStep {
+                    component: "instance".into(),
+                    duration: SimDuration::from_secs(startup_secs),
+                },
+                StartupStep {
+                    component: "recovery".into(),
+                    duration: SimDuration::from_secs(recovery_secs),
+                },
+            ],
+            shutdown: SimDuration::from_secs(30),
+            depends_on: vec![],
+            required_mounts: vec!["/apps".into()],
+            binary_path: "/apps/db/bin".into(),
+            connect_timeout: SimDuration::from_secs(30),
+            run_as: "dba".into(),
+            name,
+        }
+    }
+
+    /// Canonical spec for a web server.
+    pub fn web_server(name: impl Into<String>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::WebServer,
+            version: "1.3.26".into(),
+            port: 80,
+            processes: vec![ProcessExpectation {
+                name: "httpd".into(),
+                count: 4,
+                cpu_demand: 0.05,
+                mem_mb: 24.0,
+                io_demand: 0.005,
+            }],
+            startup: vec![StartupStep {
+                component: "httpd".into(),
+                duration: SimDuration::from_secs(8),
+            }],
+            shutdown: SimDuration::from_secs(5),
+            depends_on: vec![],
+            required_mounts: vec!["/apps".into()],
+            binary_path: "/apps/web/bin".into(),
+            connect_timeout: SimDuration::from_secs(10),
+            run_as: "web".into(),
+        }
+    }
+
+    /// Canonical spec for a financial front-end application, which
+    /// depends on a database and a web tier by name.
+    pub fn front_end(
+        name: impl Into<String>,
+        db_dep: impl Into<String>,
+        web_dep: impl Into<String>,
+    ) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::FrontEnd,
+            version: "4.2".into(),
+            port: 9000,
+            processes: vec![
+                ProcessExpectation {
+                    name: "fe_gui".into(),
+                    count: 2,
+                    cpu_demand: 0.1,
+                    mem_mb: 96.0,
+                    io_demand: 0.005,
+                },
+                ProcessExpectation {
+                    name: "fe_calc".into(),
+                    count: 1,
+                    cpu_demand: 0.3,
+                    mem_mb: 256.0,
+                    io_demand: 0.01,
+                },
+            ],
+            startup: vec![
+                StartupStep { component: "calc-engine".into(), duration: SimDuration::from_secs(20) },
+                StartupStep { component: "gui".into(), duration: SimDuration::from_secs(10) },
+            ],
+            shutdown: SimDuration::from_secs(10),
+            depends_on: vec![db_dep.into(), web_dep.into()],
+            required_mounts: vec!["/apps".into()],
+            binary_path: "/apps/frontend/bin".into(),
+            connect_timeout: SimDuration::from_secs(15),
+            run_as: "fin".into(),
+        }
+    }
+
+    /// Canonical spec for the LSF master daemon pair.
+    pub fn lsf_master(name: impl Into<String>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::LsfMaster,
+            version: "4.1".into(),
+            port: 6879,
+            processes: vec![
+                ProcessExpectation {
+                    name: "lsf_mbatchd".into(),
+                    count: 1,
+                    cpu_demand: 0.1,
+                    mem_mb: 48.0,
+                    io_demand: 0.002,
+                },
+                ProcessExpectation {
+                    name: "lsf_lim".into(),
+                    count: 1,
+                    cpu_demand: 0.05,
+                    mem_mb: 16.0,
+                    io_demand: 0.0,
+                },
+            ],
+            startup: vec![StartupStep {
+                component: "mbatchd".into(),
+                duration: SimDuration::from_secs(15),
+            }],
+            shutdown: SimDuration::from_secs(5),
+            depends_on: vec![],
+            required_mounts: vec!["/apps".into()],
+            binary_path: "/apps/lsf/bin".into(),
+            connect_timeout: SimDuration::from_secs(10),
+            run_as: "lsfadmin".into(),
+        }
+    }
+
+    /// Canonical spec for a name server.
+    pub fn name_server(name: impl Into<String>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::NameServer,
+            version: "8.2".into(),
+            port: 53,
+            processes: vec![ProcessExpectation {
+                name: "named".into(),
+                count: 1,
+                cpu_demand: 0.05,
+                mem_mb: 32.0,
+                io_demand: 0.0,
+            }],
+            startup: vec![StartupStep {
+                component: "named".into(),
+                duration: SimDuration::from_secs(5),
+            }],
+            shutdown: SimDuration::from_secs(3),
+            depends_on: vec![],
+            required_mounts: vec![],
+            binary_path: "/apps/dns/bin".into(),
+            connect_timeout: SimDuration::from_secs(5),
+            run_as: "named".into(),
+        }
+    }
+
+    /// Canonical spec for a market-data feed handler, which needs a
+    /// name server to resolve upstream feeds.
+    pub fn market_data_feed(name: impl Into<String>, ns_dep: impl Into<String>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::MarketDataFeed,
+            version: "2.0".into(),
+            port: 8500,
+            processes: vec![ProcessExpectation {
+                name: "mdfeed".into(),
+                count: 2,
+                cpu_demand: 0.25,
+                mem_mb: 128.0,
+                io_demand: 0.02,
+            }],
+            startup: vec![StartupStep {
+                component: "feed".into(),
+                duration: SimDuration::from_secs(12),
+            }],
+            shutdown: SimDuration::from_secs(5),
+            depends_on: vec![ns_dep.into()],
+            required_mounts: vec!["/apps".into()],
+            binary_path: "/apps/mktdata/bin".into(),
+            connect_timeout: SimDuration::from_secs(10),
+            run_as: "mktdata".into(),
+        }
+    }
+
+    /// Total nominal resource demand of a healthy instance.
+    pub fn nominal_load(&self) -> (f64, f64, f64) {
+        let mut cpu = 0.0;
+        let mut mem = 0.0;
+        let mut io = 0.0;
+        for p in &self.processes {
+            cpu += p.cpu_demand * p.count as f64;
+            mem += p.mem_mb * p.count as f64;
+            io += p.io_demand * p.count as f64;
+        }
+        (cpu, mem, io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_specs_differ_by_engine() {
+        let ora = ServiceSpec::database("db1", DbEngine::Oracle);
+        let syb = ServiceSpec::database("db2", DbEngine::Sybase);
+        assert_eq!(ora.kind, ServiceKind::Database(DbEngine::Oracle));
+        assert!(ora.startup_duration() > syb.startup_duration());
+        assert!(ora.processes.iter().any(|p| p.name == "ora_pmon"));
+        assert!(syb.processes.iter().any(|p| p.name == "syb_pmon"));
+    }
+
+    #[test]
+    fn startup_duration_sums_steps() {
+        let db = ServiceSpec::database("db", DbEngine::Oracle);
+        assert_eq!(db.startup_duration(), SimDuration::from_secs(1600));
+    }
+
+    #[test]
+    fn front_end_depends_on_db_and_web() {
+        let fe = ServiceSpec::front_end("fe1", "trades-db", "web-1");
+        assert_eq!(fe.depends_on, vec!["trades-db".to_string(), "web-1".to_string()]);
+        assert_eq!(fe.kind, ServiceKind::FrontEnd);
+    }
+
+    #[test]
+    fn nominal_load_accounts_for_counts() {
+        let web = ServiceSpec::web_server("w");
+        let (cpu, mem, io) = web.nominal_load();
+        assert!((cpu - 0.2).abs() < 1e-12); // 4 × 0.05
+        assert!((mem - 96.0).abs() < 1e-12); // 4 × 24
+        assert!((io - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type_strings_are_stable() {
+        assert_eq!(ServiceKind::Database(DbEngine::Oracle).type_str(), "db-oracle");
+        assert_eq!(ServiceKind::LsfMaster.type_str(), "lsf-master");
+        assert!(ServiceKind::Database(DbEngine::Sybase).is_database());
+        assert!(!ServiceKind::WebServer.is_database());
+    }
+
+    #[test]
+    fn all_canonical_specs_have_processes_and_startup() {
+        let specs = [
+            ServiceSpec::database("a", DbEngine::Oracle),
+            ServiceSpec::web_server("b"),
+            ServiceSpec::front_end("c", "a", "b"),
+            ServiceSpec::lsf_master("d"),
+            ServiceSpec::name_server("e"),
+            ServiceSpec::market_data_feed("f", "e"),
+        ];
+        for s in &specs {
+            assert!(!s.processes.is_empty(), "{} has no processes", s.name);
+            assert!(!s.startup.is_empty(), "{} has no startup steps", s.name);
+            assert!(!s.connect_timeout.is_zero());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # intelliqos-simkern
+//!
+//! Discrete-event simulation kernel underpinning the `intelliqos`
+//! reproduction of Corsava & Getov, *"Improving Quality of Service in
+//! Application Clusters"* (IPDPS 2003).
+//!
+//! The kernel is deliberately small and fully deterministic:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-second simulated time with a
+//!   Monday-epoch calendar (weekends and overnight windows drive the
+//!   paper's human-operations latencies).
+//! * [`EventQueue`] — a future-event list with FIFO tie-breaking and
+//!   token-based cancellation.
+//! * [`SimRng`] — named, splittable random streams so that the fault
+//!   sequence of a scenario is invariant under enabling/disabling the
+//!   agent layer (paired before/after experiments).
+//! * [`OnlineStats`] / [`Histogram`] — O(1)-memory measurement folding.
+//! * [`CircularQueue`] — the paper's configurable-length circular
+//!   measurement files.
+//! * [`TimeSeries`] — timestamp-ordered measurements with the
+//!   timestamp-join the performance intelliagents perform.
+//!
+//! Nothing here knows about clusters, agents, or services; those live in
+//! the higher crates.
+
+#![warn(missing_docs)]
+
+mod events;
+mod ring;
+mod rng;
+mod series;
+mod stats;
+pub mod time;
+
+pub use events::{EventQueue, EventToken};
+pub use ring::CircularQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, WEEK, YEAR};

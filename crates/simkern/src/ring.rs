@@ -1,0 +1,161 @@
+//! Bounded circular queue.
+//!
+//! The paper stores every persistent measurement file "as a circular
+//! queue, the length of which was configurable" (§3.5). This is the
+//! in-memory equivalent: a fixed-capacity ring that overwrites the
+//! oldest entry when full.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO that evicts the oldest element on overflow.
+#[derive(Debug, Clone)]
+pub struct CircularQueue<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    evicted: u64,
+}
+
+impl<T> CircularQueue<T> {
+    /// A queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "circular queue capacity must be positive");
+        CircularQueue {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            evicted: 0,
+        }
+    }
+
+    /// Append, evicting the oldest element if at capacity. Returns the
+    /// evicted element, if any.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.cap {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Current number of retained elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many elements have been overwritten over the queue's lifetime.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Oldest retained element.
+    pub fn front(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Newest retained element.
+    pub fn back(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Drop all retained elements (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Grow or shrink the capacity. Shrinking evicts the oldest entries.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn set_capacity(&mut self, cap: usize) {
+        assert!(cap > 0, "circular queue capacity must be positive");
+        while self.buf.len() > cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.cap = cap;
+    }
+}
+
+impl<T> Extend<T> for CircularQueue<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut q = CircularQueue::new(3);
+        assert_eq!(q.push(1), None);
+        assert_eq!(q.push(2), None);
+        assert_eq!(q.push(3), None);
+        assert_eq!(q.push(4), Some(1));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.evicted_count(), 1);
+    }
+
+    #[test]
+    fn front_back() {
+        let mut q = CircularQueue::new(2);
+        assert!(q.front().is_none());
+        q.push("a");
+        q.push("b");
+        q.push("c");
+        assert_eq!(q.front(), Some(&"b"));
+        assert_eq!(q.back(), Some(&"c"));
+    }
+
+    #[test]
+    fn shrink_capacity_evicts_oldest() {
+        let mut q = CircularQueue::new(5);
+        q.extend(1..=5);
+        q.set_capacity(2);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.evicted_count(), 3);
+        // Growing back does not resurrect anything.
+        q.set_capacity(10);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut q = CircularQueue::new(4);
+        q.extend(0..4);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CircularQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Deterministic, stream-split random numbers.
+//!
+//! Every stochastic subsystem (fault arrivals, workload, repair times,
+//! cron jitter, …) draws from its **own named stream** derived from the
+//! scenario seed. This gives paired before/after comparisons: enabling
+//! the intelliagent layer consumes randomness only from its own streams,
+//! so the injected fault sequence in the "after" year is identical to the
+//! "before" year — exactly the property a controlled experiment needs.
+//!
+//! Only the `rand` crate is used; the handful of distributions the models
+//! need (exponential, log-normal, Pareto, Poisson) are implemented here
+//! so we stay within the allowed offline dependency set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// FNV-1a 64-bit hash, used to fold stream names into seeds. Stable
+/// across platforms and Rust versions (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic random stream.
+///
+/// ```
+/// use intelliqos_simkern::SimRng;
+/// let mut a = SimRng::stream(42, "faults");
+/// let mut b = SimRng::stream(42, "faults");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed+name ⇒ same stream
+/// ```
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Derive the stream `name` from the scenario `seed`.
+    pub fn stream(seed: u64, name: &str) -> Self {
+        let mixed = fnv1a(name.as_bytes()) ^ seed.rotate_left(17);
+        SimRng {
+            inner: StdRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Fork a child stream, e.g. one per server, without coupling the
+    /// parent's future draws to how many children were forked.
+    pub fn fork(&self, name: &str, index: u64) -> Self {
+        // Children are derived from the parent's *identity* (not its
+        // state), via a fresh hash of name+index.
+        let mixed = fnv1a(name.as_bytes())
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(index.rotate_left(31));
+        SimRng {
+            inner: StdRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform index in `[0, n)`. `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Exponential variate with the given mean (inter-arrival sampling).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse CDF; (1 - unit()) avoids ln(0).
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Exponential inter-arrival delay with the given mean duration.
+    pub fn exp_delay(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs() as f64).max(1.0))
+    }
+
+    /// Standard normal variate (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.unit(); // (0,1]
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal variate parameterised by the *median* and a shape
+    /// `sigma` (σ of the underlying normal). Used for repair times,
+    /// which are right-skewed in practice.
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Pareto variate with scale `xm` and shape `alpha` (heavy-tailed
+    /// batch-job runtimes).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0);
+        xm / (1.0 - self.unit()).powf(1.0 / alpha)
+    }
+
+    /// Poisson variate (Knuth's method; fine for the small means used by
+    /// the workload generator).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        debug_assert!(lambda >= 0.0);
+        if lambda == 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.unit();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Defensive bound: lambda in this codebase is ≤ a few hundred.
+            if k > 100_000 {
+                return k;
+            }
+        }
+    }
+
+    /// Pick one element of a slice uniformly. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index according to the given non-negative weights.
+    /// Returns `None` if the weights are empty or all zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_independent() {
+        let mut a1 = SimRng::stream(7, "alpha");
+        let mut a2 = SimRng::stream(7, "alpha");
+        let mut b = SimRng::stream(7, "beta");
+        let xs: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::stream(1, "s");
+        let mut b = SimRng::stream(2, "s");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forked_children_are_stable() {
+        let parent = SimRng::stream(3, "servers");
+        let mut c1 = parent.fork("server", 12);
+        let mut c2 = parent.fork("server", 12);
+        let mut c3 = parent.fork("server", 13);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::stream(11, "exp");
+        let n = 20_000;
+        let mean = 300.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < mean * 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::stream(5, "p");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_matches_p() {
+        let mut r = SimRng::stream(5, "freq");
+        let hits = (0..50_000).filter(|_| r.chance(0.25)).count();
+        let f = hits as f64 / 50_000.0;
+        assert!((f - 0.25).abs() < 0.02, "f = {f}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::stream(9, "norm");
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut r = SimRng::stream(13, "ln");
+        let mut samples: Vec<f64> = (0..20_001).map(|_| r.lognormal_median(7200.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[10_000];
+        assert!((med - 7200.0).abs() < 7200.0 * 0.05, "median = {med}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::stream(17, "par");
+        for _ in 0..1000 {
+            assert!(r.pareto(60.0, 1.5) >= 60.0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = SimRng::stream(19, "poi");
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(4.0)).sum();
+        let est = sum as f64 / n as f64;
+        assert!((est - 4.0).abs() < 0.1, "est = {est}");
+    }
+
+    #[test]
+    fn weighted_choice_distribution() {
+        let mut r = SimRng::stream(23, "w");
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.choose_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate() {
+        let mut r = SimRng::stream(29, "w0");
+        assert_eq!(r.choose_weighted(&[]), None);
+        assert_eq!(r.choose_weighted(&[0.0, 0.0]), None);
+        assert_eq!(r.choose_weighted(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::stream(31, "sh");
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn exp_delay_is_at_least_one_second() {
+        let mut r = SimRng::stream(37, "d");
+        for _ in 0..100 {
+            assert!(r.exp_delay(SimDuration::from_secs(2)).as_secs() >= 1);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Timestamped measurement series.
+//!
+//! §3.5: "Different types of measurements were associated together by
+//! matching their timestamps. Measurements were ordered by timestamp and
+//! treated as a time series." This module provides exactly that: an
+//! append-only `(SimTime, f64)` series with timestamp join, windowed
+//! aggregation, and resampling — the operations the performance
+//! intelliagents and the figure harnesses need.
+
+use crate::stats::OnlineStats;
+use crate::time::{SimDuration, SimTime};
+
+/// An append-only, timestamp-ordered series of scalar measurements.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a point.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last appended timestamp — series are
+    /// produced by a monotone simulation clock, so out-of-order appends
+    /// indicate a bug in the caller.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be appended in order");
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points, oldest first.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Latest value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Value at or immediately before `t` (step interpolation — a
+    /// measurement holds until the next one). `None` before the first
+    /// point.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Summary statistics over points in `[from, to)`.
+    pub fn window_stats(&self, from: SimTime, to: SimTime) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                s.push(v);
+            }
+        }
+        s
+    }
+
+    /// Mean over the whole series (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.window_stats(SimTime::ZERO, SimTime(u64::MAX)).mean()
+    }
+
+    /// Resample onto a regular grid of `step` starting at `start`,
+    /// producing `n` buckets, each the mean of the points inside it
+    /// (empty buckets carry the previous bucket's value, or `None`-like
+    /// `f64::NAN` when nothing has been seen yet).
+    pub fn resample_mean(&self, start: SimTime, step: SimDuration, n: usize) -> Vec<f64> {
+        assert!(!step.is_zero(), "resample step must be positive");
+        let mut out = Vec::with_capacity(n);
+        let mut last = f64::NAN;
+        for i in 0..n {
+            let lo = start + step.times(i as u64);
+            let hi = start + step.times(i as u64 + 1);
+            let stats = self.window_stats(lo, hi);
+            if stats.count() > 0 {
+                last = stats.mean();
+            }
+            out.push(last);
+        }
+        out
+    }
+
+    /// Join two series on (exactly) matching timestamps, applying `f` to
+    /// each matched pair. This is the paper's "associate measurements by
+    /// matching their timestamps".
+    pub fn join_with<F: FnMut(SimTime, f64, f64) -> f64>(
+        &self,
+        other: &TimeSeries,
+        mut f: F,
+    ) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.points.len() && j < other.points.len() {
+            let (ta, va) = self.points[i];
+            let (tb, vb) = other.points[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(ta, f(ta, va, vb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of points whose value strictly exceeds `threshold` within
+    /// `[from, to)` — used by threshold-breach accounting.
+    pub fn breaches(&self, threshold: f64, from: SimTime, to: SimTime) -> usize {
+        self.points
+            .iter()
+            .filter(|&&(t, v)| t >= from && t < to && v > threshold)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(20), 2.0);
+        s.push(t(20), 2.5); // equal timestamps allowed
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(5), 2.0);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(20), 2.0);
+        assert_eq!(s.value_at(t(5)), None);
+        assert_eq!(s.value_at(t(10)), Some(1.0));
+        assert_eq!(s.value_at(t(15)), Some(1.0));
+        assert_eq!(s.value_at(t(20)), Some(2.0));
+        assert_eq!(s.value_at(t(99)), Some(2.0));
+    }
+
+    #[test]
+    fn window_stats_bounds_are_half_open() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(t(i * 10), i as f64);
+        }
+        let w = s.window_stats(t(20), t(50)); // points at 20,30,40
+        assert_eq!(w.count(), 3);
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_mean_fills_gaps() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 10.0);
+        s.push(t(5), 20.0);
+        s.push(t(25), 40.0);
+        let r = s.resample_mean(t(0), SimDuration::from_secs(10), 4);
+        assert_eq!(r[0], 15.0); // mean of 10 and 20
+        assert_eq!(r[1], 15.0); // empty bucket carries forward
+        assert_eq!(r[2], 40.0);
+        assert_eq!(r[3], 40.0);
+    }
+
+    #[test]
+    fn resample_before_first_point_is_nan() {
+        let mut s = TimeSeries::new();
+        s.push(t(100), 1.0);
+        let r = s.resample_mean(t(0), SimDuration::from_secs(10), 2);
+        assert!(r[0].is_nan() && r[1].is_nan());
+    }
+
+    #[test]
+    fn timestamp_join() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        a.push(t(0), 1.0);
+        a.push(t(10), 2.0);
+        a.push(t(20), 3.0);
+        b.push(t(10), 10.0);
+        b.push(t(15), 99.0);
+        b.push(t(20), 20.0);
+        let joined = a.join_with(&b, |_, x, y| x + y);
+        assert_eq!(
+            joined.points(),
+            &[(t(10), 12.0), (t(20), 23.0)]
+        );
+    }
+
+    #[test]
+    fn breach_counting() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(t(i), i as f64);
+        }
+        assert_eq!(s.breaches(6.0, t(0), t(10)), 3); // 7, 8, 9
+        assert_eq!(s.breaches(6.0, t(0), t(8)), 1); // 7 only
+    }
+}

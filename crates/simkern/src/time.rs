@@ -1,0 +1,336 @@
+//! Simulation time.
+//!
+//! The kernel measures time in whole **seconds** since the simulation
+//! epoch. One second is fine-grained enough for everything the paper
+//! measures (agent cadences are minutes, I/O sampling windows are 30 s)
+//! while keeping arithmetic exact — no floating-point drift over a
+//! simulated year.
+//!
+//! The epoch is defined to be **Monday 00:00**. That convention lets the
+//! operations model ask calendar questions ("is it the weekend?", "is it
+//! overnight?") that drive the paper's human-detection latencies
+//! (≈1 h daytime, ≈25 h weekends, ≈10 h overnight).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR: u64 = 3600;
+/// Seconds in one day.
+pub const DAY: u64 = 86_400;
+/// Seconds in one (7-day) week.
+pub const WEEK: u64 = 7 * DAY;
+/// Seconds in one simulated year (365 days).
+pub const YEAR: u64 = 365 * DAY;
+
+/// An instant in simulated time: whole seconds since the epoch
+/// (Monday 00:00 of week zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in whole seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0, Monday 00:00).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from whole minutes since the epoch.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * MINUTE)
+    }
+
+    /// Construct from whole hours since the epoch.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * HOUR)
+    }
+
+    /// Construct from whole days since the epoch.
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional hours since the epoch (for reporting).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+
+    /// Day index since the epoch (day 0 is a Monday).
+    pub const fn day_index(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub const fn day_of_week(self) -> u8 {
+        ((self.0 / DAY) % 7) as u8
+    }
+
+    /// Hour of day, 0–23.
+    pub const fn hour_of_day(self) -> u8 {
+        ((self.0 % DAY) / HOUR) as u8
+    }
+
+    /// Second within the current day.
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % DAY
+    }
+
+    /// True on Saturday or Sunday.
+    pub const fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+
+    /// True during business hours (Mon–Fri, 08:00–20:00). This is when
+    /// operators actually watch consoles in the paper's account.
+    pub const fn is_business_hours(self) -> bool {
+        let h = self.hour_of_day();
+        !self.is_weekend() && h >= 8 && h < 20
+    }
+
+    /// True overnight on a weekday (20:00–08:00, Mon–Fri). The paper's
+    /// overnight batch window, where detection took ≈10 h.
+    pub const fn is_weekday_overnight(self) -> bool {
+        !self.is_weekend() && !self.is_business_hours()
+    }
+
+    /// Saturating subtraction producing a duration.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * MINUTE)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * HOUR)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * DAY)
+    }
+
+    /// Round a fractional number of seconds to the nearest whole-second
+    /// duration (used when sampling repair-time distributions).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration(s.max(0.0).round() as u64)
+    }
+
+    /// Whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / MINUTE as f64
+    }
+
+    /// Fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+
+    /// True if zero-length.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating duration subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by an integer factor.
+    pub const fn times(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        self.since(earlier)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Renders as `d<day> hh:mm:ss` with a weekday letter, e.g.
+    /// `d012(Sa) 14:05:30`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const DAYS: [&str; 7] = ["Mo", "Tu", "We", "Th", "Fr", "Sa", "Su"];
+        let sod = self.second_of_day();
+        write!(
+            f,
+            "d{:03}({}) {:02}:{:02}:{:02}",
+            self.day_index(),
+            DAYS[self.day_of_week() as usize],
+            sod / HOUR,
+            (sod % HOUR) / MINUTE,
+            sod % MINUTE
+        )
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= DAY {
+            write!(f, "{:.1}d", s as f64 / DAY as f64)
+        } else if s >= HOUR {
+            write!(f, "{:.1}h", s as f64 / HOUR as f64)
+        } else if s >= MINUTE {
+            write!(f, "{:.1}m", s as f64 / MINUTE as f64)
+        } else {
+            write!(f, "{}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday_midnight() {
+        let t = SimTime::ZERO;
+        assert_eq!(t.day_of_week(), 0);
+        assert_eq!(t.hour_of_day(), 0);
+        assert!(!t.is_weekend());
+        assert!(!t.is_business_hours()); // midnight is overnight
+        assert!(t.is_weekday_overnight());
+    }
+
+    #[test]
+    fn weekend_detection() {
+        // Day 5 = Saturday, day 6 = Sunday.
+        assert!(SimTime::from_days(5).is_weekend());
+        assert!(SimTime::from_days(6).is_weekend());
+        assert!(!SimTime::from_days(7).is_weekend()); // next Monday
+        assert!((SimTime::from_days(5) + SimDuration::from_hours(12)).is_weekend());
+    }
+
+    #[test]
+    fn business_hours_window() {
+        let mon_9am = SimTime::from_hours(9);
+        assert!(mon_9am.is_business_hours());
+        let mon_7am = SimTime::from_hours(7);
+        assert!(!mon_7am.is_business_hours());
+        assert!(mon_7am.is_weekday_overnight());
+        let mon_8pm = SimTime::from_hours(20);
+        assert!(!mon_8pm.is_business_hours());
+        let sat_noon = SimTime::from_days(5) + SimDuration::from_hours(12);
+        assert!(!sat_noon.is_business_hours());
+        assert!(!sat_noon.is_weekday_overnight()); // weekend, not weekday overnight
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_mins(90);
+        let later = t + SimDuration::from_mins(45);
+        assert_eq!((later - t).as_mins_f64(), 45.0);
+        assert_eq!(later.since(t), SimDuration::from_mins(45));
+        // saturating behaviour in the reversed order
+        assert_eq!(t.since(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_days(12) + SimDuration::from_secs(14 * HOUR + 5 * MINUTE + 30);
+        assert_eq!(format!("{t}"), "d012(Sa) 14:05:30");
+        assert_eq!(format!("{}", SimDuration::from_secs(45)), "45s");
+        assert_eq!(format!("{}", SimDuration::from_mins(5)), "5.0m");
+        assert_eq!(format!("{}", SimDuration::from_hours(30)), "1.2d"); // 1.25 rounds to even
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let t = SimTime::from_hours(49); // day 2, 01:00
+        assert_eq!(t.day_index(), 2);
+        assert_eq!(t.hour_of_day(), 1);
+        assert_eq!(t.day_of_week(), 2); // Wednesday
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDuration = [
+            SimDuration::from_mins(1),
+            SimDuration::from_mins(2),
+            SimDuration::from_mins(3),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, SimDuration::from_mins(6));
+        assert_eq!(SimDuration::from_mins(6).times(10), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(1.4).as_secs(), 1);
+        assert_eq!(SimDuration::from_secs_f64(1.6).as_secs(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-5.0).as_secs(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The performance-collection pipeline.
+//!
+//! A [`PerfCollector`] is the state a performance intelliagent carries
+//! for one server: per-metric time series (timestamp-ordered, §3.5),
+//! circular-queue log files written into the server's `/logs/perf/…`
+//! tree, threshold baselines, and the breach notifications it raised.
+//!
+//! "All techniques were non-intrusive as they did not load the system
+//! they were monitoring" — collection itself costs nothing in the
+//! simulation's load model; the *footprint* of the monitoring process is
+//! modelled separately for Figures 3–4.
+
+use std::collections::BTreeMap;
+
+use intelliqos_simkern::{CircularQueue, SimTime, TimeSeries};
+
+use intelliqos_cluster::server::Server;
+
+use intelliqos_ontology::constraint::{ConstraintStore, Violation};
+
+use crate::metrics::{MetricGroup, MetricSnapshot};
+
+/// A threshold-breach notification (§3.5: "Every time a threshold was
+/// exceeded they notified us via email or SMS").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breach {
+    /// When it was detected.
+    pub at: SimTime,
+    /// Hostname.
+    pub hostname: String,
+    /// Measurement group.
+    pub group: MetricGroup,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+/// Per-server, per-group collection state.
+#[derive(Debug, Clone)]
+pub struct PerfCollector {
+    /// Hostname this collector watches.
+    pub hostname: String,
+    /// Which measurement group it owns ("for each monitored resource
+    /// type or workgroup, a dedicated performance intelliagent").
+    pub group: MetricGroup,
+    /// Baseline thresholds.
+    pub thresholds: ConstraintStore,
+    /// Circular log length (lines) — "managed as a circular queue, the
+    /// length of which was configurable".
+    pub log_capacity: usize,
+    series: BTreeMap<String, TimeSeries>,
+    log: CircularQueue<String>,
+    breaches: Vec<Breach>,
+}
+
+impl PerfCollector {
+    /// New collector.
+    pub fn new(
+        hostname: impl Into<String>,
+        group: MetricGroup,
+        thresholds: ConstraintStore,
+        log_capacity: usize,
+    ) -> Self {
+        PerfCollector {
+            hostname: hostname.into(),
+            group,
+            thresholds,
+            log_capacity,
+            series: BTreeMap::new(),
+            log: CircularQueue::new(log_capacity.max(1)),
+            breaches: Vec::new(),
+        }
+    }
+
+    /// Path of this collector's log file on the server.
+    pub fn log_path(&self) -> String {
+        format!("/logs/perf/{}/{}", self.hostname, self.group.dir_name())
+    }
+
+    /// Ingest one snapshot: extend the series, write the circular log
+    /// file onto the server's filesystem, check thresholds. Returns the
+    /// breaches raised by this sample.
+    pub fn ingest(
+        &mut self,
+        snapshot: &MetricSnapshot,
+        server: &mut Server,
+        now: SimTime,
+    ) -> Vec<Breach> {
+        // Series, timestamp-ordered.
+        for (name, &value) in snapshot {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .push(now, value);
+        }
+        // One ASCII log line per sample: "ts k=v k=v …" — the flat
+        // format the paper's operators could grep.
+        let mut line = format!("t={}", now.as_secs());
+        for (name, value) in snapshot {
+            line.push_str(&format!(" {name}={value:.3}"));
+        }
+        self.log.push(line);
+        // Rewrite the circular file (oldest → newest window).
+        let lines: Vec<String> = self.log.iter().cloned().collect();
+        // A full /logs filesystem makes this write fail — that is a real
+        // fault the resource agent must notice; the collector itself
+        // soldiers on with its in-memory window.
+        let _ = server.fs.write(self.log_path(), lines, now);
+        // Threshold checks.
+        let violations = self.thresholds.check(snapshot);
+        let breaches: Vec<Breach> = violations
+            .into_iter()
+            .map(|violation| Breach {
+                at: now,
+                hostname: self.hostname.clone(),
+                group: self.group,
+                violation,
+            })
+            .collect();
+        self.breaches.extend(breaches.iter().cloned());
+        breaches
+    }
+
+    /// Time series for a metric.
+    pub fn series(&self, metric: &str) -> Option<&TimeSeries> {
+        self.series.get(metric)
+    }
+
+    /// Names of all collected metrics.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All breaches raised so far.
+    pub fn breaches(&self) -> &[Breach] {
+        &self.breaches
+    }
+
+    /// The retained log window (oldest → newest).
+    pub fn log_lines(&self) -> Vec<&str> {
+        self.log.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Associate two metrics by timestamp (§3.5: "Different types of
+    /// measurements were associated together by matching their
+    /// timestamps"), applying `f` to each matched pair.
+    pub fn correlate<F>(&self, a: &str, b: &str, f: F) -> Option<TimeSeries>
+    where
+        F: FnMut(SimTime, f64, f64) -> f64,
+    {
+        Some(self.series.get(a)?.join_with(self.series.get(b)?, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::{ServerId, Site};
+    use intelliqos_ontology::constraint::Bounds;
+
+    fn server() -> Server {
+        Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        )
+    }
+
+    fn snapshot(pairs: &[(&str, f64)]) -> MetricSnapshot {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn collector(cap: usize) -> PerfCollector {
+        let mut thresholds = ConstraintStore::new();
+        thresholds.set("run_queue", Bounds::at_most(4.0));
+        PerfCollector::new("db000", MetricGroup::OperatingSystem, thresholds, cap)
+    }
+
+    #[test]
+    fn ingest_builds_series_and_log_file() {
+        let mut c = collector(100);
+        let mut s = server();
+        for i in 0..5 {
+            c.ingest(
+                &snapshot(&[("run_queue", i as f64), ("cpu_idle_pct", 90.0)]),
+                &mut s,
+                SimTime::from_mins(i * 10),
+            );
+        }
+        assert_eq!(c.series("run_queue").unwrap().len(), 5);
+        assert_eq!(c.metric_names(), vec!["cpu_idle_pct", "run_queue"]);
+        // The on-disk circular file exists and has 5 lines.
+        let f = s.fs.read("/logs/perf/db000/os").unwrap();
+        assert_eq!(f.lines.len(), 5);
+        assert!(f.lines[0].starts_with("t=0 "));
+    }
+
+    #[test]
+    fn circular_log_rotates() {
+        let mut c = collector(3);
+        let mut s = server();
+        for i in 0..10u64 {
+            c.ingest(&snapshot(&[("run_queue", 0.0)]), &mut s, SimTime::from_mins(i));
+        }
+        let lines = c.log_lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("t=420")); // minute 7
+        let f = s.fs.read("/logs/perf/db000/os").unwrap();
+        assert_eq!(f.lines.len(), 3);
+    }
+
+    #[test]
+    fn breaches_fire_on_threshold() {
+        let mut c = collector(10);
+        let mut s = server();
+        let quiet = c.ingest(&snapshot(&[("run_queue", 1.0)]), &mut s, SimTime::ZERO);
+        assert!(quiet.is_empty());
+        let noisy = c.ingest(&snapshot(&[("run_queue", 9.0)]), &mut s, SimTime::from_mins(10));
+        assert_eq!(noisy.len(), 1);
+        assert_eq!(noisy[0].violation.var, "run_queue");
+        assert_eq!(noisy[0].hostname, "db000");
+        assert_eq!(c.breaches().len(), 1);
+    }
+
+    #[test]
+    fn full_logs_filesystem_does_not_kill_collection() {
+        let mut c = collector(10);
+        let mut s = server();
+        // Re-mount /logs tiny and fill it completely.
+        s.fs.add_mount("/logs", 4096);
+        let big = "x".repeat(1024);
+        while s.fs.append("/logs/filler", big.clone(), SimTime::ZERO).is_ok() {}
+        let breaches = c.ingest(&snapshot(&[("run_queue", 9.0)]), &mut s, SimTime::ZERO);
+        // Breach detection still works from memory even though the
+        // on-disk write failed.
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(c.log_lines().len(), 1);
+    }
+
+    #[test]
+    fn correlate_joins_by_timestamp() {
+        let mut c = collector(10);
+        let mut s = server();
+        c.ingest(&snapshot(&[("a", 2.0), ("b", 3.0)]), &mut s, SimTime::ZERO);
+        c.ingest(&snapshot(&[("a", 4.0), ("b", 5.0)]), &mut s, SimTime::from_mins(1));
+        let prod = c.correlate("a", "b", |_, x, y| x * y).unwrap();
+        assert_eq!(prod.points()[0].1, 6.0);
+        assert_eq!(prod.points()[1].1, 20.0);
+        assert!(c.correlate("a", "ghost", |_, x, _| x).is_none());
+    }
+}

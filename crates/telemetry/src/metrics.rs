@@ -1,0 +1,277 @@
+//! Measurement groups and metric extraction.
+//!
+//! §3.5: "We divided our measurements into 5 main groups: 1) Operating
+//! system, 2) Network, 3) Disks, 4) Application processes and 5) User
+//! processes. Measurements were kept in a special logs directory and
+//! were classified first by server name and then by measurement group."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use intelliqos_simkern::SimRng;
+
+use intelliqos_cluster::os::OsObservables;
+use intelliqos_cluster::server::Server;
+
+/// The paper's five measurement groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricGroup {
+    /// Operating system (memory, CPU, run queue …).
+    OperatingSystem,
+    /// Network (interface stats, latency, name service …).
+    Network,
+    /// Disks (service times, throughput, filesystem usage).
+    Disks,
+    /// Application processes (service daemons).
+    AppProcesses,
+    /// User processes (analyst jobs, interactive work).
+    UserProcesses,
+}
+
+impl MetricGroup {
+    /// All groups.
+    pub const ALL: [MetricGroup; 5] = [
+        MetricGroup::OperatingSystem,
+        MetricGroup::Network,
+        MetricGroup::Disks,
+        MetricGroup::AppProcesses,
+        MetricGroup::UserProcesses,
+    ];
+
+    /// Directory name under `/logs/perf/<hostname>/`.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            MetricGroup::OperatingSystem => "os",
+            MetricGroup::Network => "network",
+            MetricGroup::Disks => "disks",
+            MetricGroup::AppProcesses => "appprocs",
+            MetricGroup::UserProcesses => "userprocs",
+        }
+    }
+}
+
+impl fmt::Display for MetricGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.dir_name())
+    }
+}
+
+/// A named metric snapshot: `(metric name, value)` pairs in BTreeMap
+/// order for determinism.
+pub type MetricSnapshot = BTreeMap<String, f64>;
+
+/// Extract the OS-group metrics from one observation (§3.6 list 1).
+pub fn os_metrics(obs: &OsObservables) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    m.insert("scan_rate".into(), obs.scan_rate);
+    m.insert("page_outs".into(), obs.page_outs);
+    m.insert("page_faults".into(), obs.page_faults);
+    m.insert("free_mem_mb".into(), obs.free_mem_mb);
+    m.insert("run_queue".into(), obs.run_queue);
+    m.insert("cpu_idle_pct".into(), obs.cpu_idle_pct);
+    m.insert("cpu_util_pct".into(), obs.cpu_util_pct);
+    m.insert("blocked_procs".into(), obs.blocked_procs);
+    m
+}
+
+/// Extract the disk-group metrics (§3.6: asvc_t/wsvc_t read and write
+/// response times, 30-second sampling).
+pub fn disk_metrics(obs: &OsObservables, server: &Server) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    m.insert("asvc_t_ms".into(), obs.asvc_t_ms);
+    m.insert("wsvc_t_ms".into(), obs.wsvc_t_ms);
+    m.insert("disk_throughput_mbps".into(), obs.disk_throughput_mbps);
+    for mount in ["/", "/apps", "/logs"] {
+        if let Some(frac) = server.fs.usage_fraction(mount) {
+            let key = if mount == "/" { "fs_usage_root".to_string() } else {
+                format!("fs_usage_{}", mount.trim_start_matches('/'))
+            };
+            m.insert(key, frac);
+        }
+    }
+    m
+}
+
+/// Extract application-process metrics: per expected daemon command
+/// name, live counts plus aggregate CPU/memory demand — "per command
+/// name and arguments" (§3.5).
+pub fn app_process_metrics(server: &Server, daemon_names: &[&str]) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    m.insert("zombie_count".into(), server.procs.zombie_count() as f64);
+    for name in daemon_names {
+        let count = server.procs.live_count(name);
+        m.insert(format!("proc_{name}_count"), count as f64);
+        let (cpu, mem): (f64, f64) = server
+            .procs
+            .by_name(name)
+            .map(|p| (p.cpu_demand, p.mem_mb))
+            .fold((0.0, 0.0), |(c, r), (dc, dr)| (c + dc, r + dr));
+        m.insert(format!("proc_{name}_cpu"), cpu);
+        m.insert(format!("proc_{name}_mem_mb"), mem);
+    }
+    m
+}
+
+/// Extract user-process metrics: "processes per user name" (§3.5).
+pub fn user_process_metrics(server: &Server, users: &[&str]) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    for user in users {
+        let mut count = 0.0;
+        let mut cpu = 0.0;
+        for p in server.procs.by_user(user) {
+            count += 1.0;
+            cpu += p.cpu_demand;
+        }
+        m.insert(format!("user_{user}_procs"), count);
+        m.insert(format!("user_{user}_cpu"), cpu);
+    }
+    m.insert("users_logged_in".into(), server.users_logged_in as f64);
+    m
+}
+
+/// Network-group metrics for one host: interface utilisation comes from
+/// the fabric (supplied by the caller), name-service response time is
+/// simulated here.
+pub fn network_metrics(
+    iface_util_frac: f64,
+    rtt_ms: f64,
+    nameserver_ok: bool,
+    rng: &mut SimRng,
+) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    m.insert("iface_util_frac".into(), iface_util_frac);
+    m.insert("rtt_ms".into(), rtt_ms);
+    m.insert(
+        "nameserver_resp_ms".into(),
+        if nameserver_ok {
+            (2.0 * (1.0 + rng.normal(0.0, 0.2))).max(0.5)
+        } else {
+            5_000.0 // resolver timeout
+        },
+    );
+    m
+}
+
+/// Microstate accounting summary per process name: fraction of
+/// accounted time actually on-CPU (§3.5: "to determine accurately the
+/// behaviour of each process, we used microstate measurements").
+pub fn microstate_metrics(server: &Server) -> MetricSnapshot {
+    let mut m = MetricSnapshot::new();
+    let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for p in server.procs.iter() {
+        let e = by_name.entry(p.name.as_str()).or_insert((0, 0));
+        e.0 += p.micro.user_ns + p.micro.system_ns;
+        e.1 += p.micro.total_ns();
+    }
+    for (name, (on_cpu, total)) in by_name {
+        if total > 0 {
+            m.insert(
+                format!("micro_{name}_oncpu_frac"),
+                on_cpu as f64 / total as f64,
+            );
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::{ServerId, Site};
+    use intelliqos_cluster::os::LoadVector;
+    use intelliqos_simkern::{SimDuration, SimTime};
+
+    fn server() -> Server {
+        Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        )
+    }
+
+    fn observe(s: &Server) -> OsObservables {
+        let mut rng = SimRng::stream(0, "m");
+        OsObservables::observe(&s.effective_spec(), &LoadVector::default(), &mut rng)
+    }
+
+    #[test]
+    fn os_metrics_cover_section_3_6() {
+        let s = server();
+        let m = os_metrics(&observe(&s));
+        for key in [
+            "scan_rate", "page_outs", "page_faults", "free_mem_mb",
+            "run_queue", "cpu_idle_pct", "blocked_procs",
+        ] {
+            assert!(m.contains_key(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn disk_metrics_include_fs_usage() {
+        let mut s = server();
+        s.fs.append("/logs/x", "y".repeat(1023), SimTime::ZERO).unwrap();
+        let m = disk_metrics(&observe(&s), &s);
+        assert!(m.contains_key("asvc_t_ms"));
+        assert!(m.contains_key("wsvc_t_ms"));
+        assert!(m["fs_usage_logs"] > 0.0);
+        assert!(m.contains_key("fs_usage_root"));
+    }
+
+    #[test]
+    fn app_process_metrics_count_daemons() {
+        let mut s = server();
+        s.procs.spawn("ora_pmon", "", "dba", 0.05, 64.0, 0.0, SimTime::ZERO);
+        s.procs.spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
+        s.procs.spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
+        let m = app_process_metrics(&s, &["ora_pmon", "ora_dbw", "ghost"]);
+        assert_eq!(m["proc_ora_pmon_count"], 1.0);
+        assert_eq!(m["proc_ora_dbw_count"], 2.0);
+        assert_eq!(m["proc_ghost_count"], 0.0);
+        assert!((m["proc_ora_dbw_mem_mb"] - 512.0).abs() < 1e-9);
+        assert_eq!(m["zombie_count"], 0.0);
+    }
+
+    #[test]
+    fn user_process_metrics_group_by_user() {
+        let mut s = server();
+        s.procs.spawn("lsf_job", "datamine", "analyst01", 4.0, 3072.0, 0.4, SimTime::ZERO);
+        s.procs.spawn("lsf_job", "report", "analyst01", 1.0, 512.0, 0.1, SimTime::ZERO);
+        s.users_logged_in = 5;
+        let m = user_process_metrics(&s, &["analyst01", "analyst02"]);
+        assert_eq!(m["user_analyst01_procs"], 2.0);
+        assert_eq!(m["user_analyst02_procs"], 0.0);
+        assert!((m["user_analyst01_cpu"] - 5.0).abs() < 1e-9);
+        assert_eq!(m["users_logged_in"], 5.0);
+    }
+
+    #[test]
+    fn network_metrics_reflect_nameserver_health() {
+        let mut rng = SimRng::stream(1, "net");
+        let ok = network_metrics(0.2, 0.5, true, &mut rng);
+        let bad = network_metrics(0.2, 0.5, false, &mut rng);
+        assert!(ok["nameserver_resp_ms"] < 10.0);
+        assert_eq!(bad["nameserver_resp_ms"], 5000.0);
+    }
+
+    #[test]
+    fn microstate_metrics_aggregate_by_name() {
+        let mut s = server();
+        let pid = s.procs.spawn("fe_calc", "", "fin", 0.3, 128.0, 0.0, SimTime::ZERO);
+        s.procs
+            .get_mut(pid)
+            .unwrap()
+            .account(SimDuration::from_secs(10), 0.5);
+        let m = microstate_metrics(&s);
+        let frac = m["micro_fe_calc_oncpu_frac"];
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn group_dir_names_stable() {
+        assert_eq!(MetricGroup::OperatingSystem.dir_name(), "os");
+        assert_eq!(MetricGroup::UserProcesses.dir_name(), "userprocs");
+        assert_eq!(MetricGroup::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Summary reports.
+//!
+//! §4: the agents "recorded all measurements and emailed summary
+//! reports to nominated administrators on a daily basis, on demand and
+//! whenever a job failed." A report is plain ASCII — per-metric
+//! mean/min/max/last over a window, plus the breach log — so operators
+//! can read it in a 2003 mail client.
+
+use intelliqos_simkern::{SimTime, TimeSeries};
+
+use crate::collector::{Breach, PerfCollector};
+
+/// One row of the per-metric summary table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub metric: String,
+    /// Samples in the window.
+    pub samples: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Last value in the window.
+    pub last: f64,
+}
+
+/// Summarise one series over `[from, to)`.
+pub fn summarize_series(
+    metric: &str,
+    series: &TimeSeries,
+    from: SimTime,
+    to: SimTime,
+) -> Option<MetricSummary> {
+    let stats = series.window_stats(from, to);
+    if stats.count() == 0 {
+        return None;
+    }
+    let last = series
+        .points()
+        .iter()
+        .rev()
+        .find(|&&(t, _)| t >= from && t < to)
+        .map(|&(_, v)| v)?;
+    Some(MetricSummary {
+        metric: metric.to_string(),
+        samples: stats.count(),
+        mean: stats.mean(),
+        min: stats.min().unwrap_or(0.0),
+        max: stats.max().unwrap_or(0.0),
+        last,
+    })
+}
+
+/// Render the daily summary email for one collector.
+pub fn daily_report(
+    collector: &PerfCollector,
+    from: SimTime,
+    to: SimTime,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "PERFORMANCE SUMMARY host={} group={} window={}..{}",
+        collector.hostname, collector.group, from, to
+    ));
+    lines.push("metric samples mean min max last".to_string());
+    for name in collector.metric_names() {
+        if let Some(series) = collector.series(name) {
+            if let Some(s) = summarize_series(name, series, from, to) {
+                lines.push(format!(
+                    "{} {} {:.3} {:.3} {:.3} {:.3}",
+                    s.metric, s.samples, s.mean, s.min, s.max, s.last
+                ));
+            }
+        }
+    }
+    let window_breaches: Vec<&Breach> = collector
+        .breaches()
+        .iter()
+        .filter(|b| b.at >= from && b.at < to)
+        .collect();
+    lines.push(format!("breaches={}", window_breaches.len()));
+    for b in window_breaches {
+        lines.push(format!(
+            "BREACH at={} var={} value={:.3}",
+            b.at, b.violation.var, b.violation.value
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricGroup;
+    use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
+    use intelliqos_cluster::ids::{ServerId, Site};
+    use intelliqos_cluster::server::Server;
+    use intelliqos_ontology::constraint::{Bounds, ConstraintStore};
+    use intelliqos_simkern::SimDuration;
+
+    fn collector_with_data() -> (PerfCollector, Server) {
+        let mut thresholds = ConstraintStore::new();
+        thresholds.set("run_queue", Bounds::at_most(4.0));
+        let mut c =
+            PerfCollector::new("db000", MetricGroup::OperatingSystem, thresholds, 1000);
+        let mut s = Server::new(
+            ServerId(0),
+            "db000",
+            HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+            Site::new("London", "LDN"),
+        );
+        for i in 0..24u64 {
+            let mut snap = std::collections::BTreeMap::new();
+            snap.insert("run_queue".to_string(), if i == 20 { 8.0 } else { 1.0 });
+            snap.insert("cpu_idle_pct".to_string(), 80.0 + i as f64 * 0.1);
+            c.ingest(&snap, &mut s, SimTime::ZERO + SimDuration::from_hours(i));
+        }
+        (c, s)
+    }
+
+    #[test]
+    fn summarize_series_window() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_mins(i), i as f64);
+        }
+        let s = summarize_series("m", &ts, SimTime::from_mins(2), SimTime::from_mins(6)).unwrap();
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.last, 5.0);
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        assert!(summarize_series("m", &ts, SimTime::from_hours(5), SimTime::from_hours(6)).is_none());
+    }
+
+    #[test]
+    fn daily_report_contains_metrics_and_breaches() {
+        let (c, _) = collector_with_data();
+        let report = daily_report(&c, SimTime::ZERO, SimTime::from_days(1));
+        assert!(report[0].contains("host=db000"));
+        assert!(report.iter().any(|l| l.starts_with("run_queue 24 ")));
+        assert!(report.iter().any(|l| l.starts_with("cpu_idle_pct ")));
+        assert!(report.iter().any(|l| l == "breaches=1"));
+        assert!(report.iter().any(|l| l.contains("var=run_queue value=8.000")));
+    }
+
+    #[test]
+    fn report_windows_are_disjoint() {
+        let (c, _) = collector_with_data();
+        // Second "day" has no data (we only generated 24 hourly points).
+        let report = daily_report(&c, SimTime::from_days(1), SimTime::from_days(2));
+        assert!(report.iter().any(|l| l == "breaches=0"));
+        assert!(!report.iter().any(|l| l.starts_with("run_queue ")));
+    }
+}

@@ -1,0 +1,97 @@
+//! Agent anatomy: one server, one database, four injected faults —
+//! watch a service intelliagent monitor → diagnose → heal, with the
+//! flag files and causal diagnoses it produces along the way.
+//!
+//! ```text
+//! cargo run --release --example agent_anatomy
+//! ```
+
+use intelliqos::cluster::{HardwareSpec, Server, ServerModel};
+use intelliqos::core::{AgentParts, NotificationBus};
+use intelliqos::ontology::Dlsp;
+use intelliqos::prelude::*;
+use intelliqos::services::probe;
+
+use intelliqos_cluster::ids::{ServerId, Site};
+use intelliqos_core::agents::run_service_agent;
+use intelliqos_core::flags::read_flags;
+use intelliqos_core::status::{dlsp_path, run_status_agent};
+
+fn main() {
+    // One E4500 running one Oracle database.
+    let mut server = Server::new(
+        ServerId(0),
+        "db007",
+        HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
+        Site::new("London", "LDN-DC1"),
+    );
+    let mut registry = ServiceRegistry::new();
+    let db = registry.deploy(ServiceSpec::database("trades-db-07", DbEngine::Oracle), ServerId(0));
+    registry.start(db, &mut server, SimTime::ZERO).unwrap();
+    registry.complete_pending_starts(SimTime::from_mins(30));
+
+    let mut bus = NotificationBus::new();
+    let mut rng = SimRng::stream(1, "anatomy");
+    let mut now = SimTime::from_mins(30);
+    let step = SimDuration::from_mins(5); // the paper's X
+
+    println!("t={now}  database is up; probing like an agent would:");
+    let r = probe::probe(registry.get(db).unwrap(), &server, &mut rng);
+    println!("  probe -> {r:?} (exit code {})\n", r.exit_code());
+
+    // Inject the paper's fault menagerie one at a time.
+    type Break = fn(&mut ServiceRegistry, &mut Server);
+    let crash: Break = |reg, srv| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().crash(srv);
+    let hang: Break = |reg, _| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().hang();
+    let corrupt: Break =
+        |reg, srv| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().corrupt(srv);
+    let faults: [(&str, Break); 3] =
+        [("crash", crash), ("hang", hang), ("corruption", corrupt)];
+
+    for (label, break_it) in faults {
+        now += step;
+        break_it(&mut registry, &mut server);
+        println!("t={now}  injected a {label}");
+
+        now += step; // next cron wake-up
+        let report = run_service_agent(
+            &mut server,
+            &mut registry,
+            AgentParts::all(),
+            &mut bus,
+            &mut rng,
+            now,
+        );
+        for finding in &report.findings {
+            let diag = finding.diagnosis.as_ref().expect("fault was diagnosed");
+            println!("t={now}  agent woke: rule '{}' -> cause: {}", diag.rule_id, diag.cause);
+            for action in &diag.actions {
+                println!("          prescribed: {action}");
+            }
+            if let Some(ready) = finding.repair_completes {
+                println!("          repair under way; service ready at t={ready}");
+                now = ready;
+                registry.complete_pending_starts(now);
+            }
+        }
+        let flags = read_flags(&server.fs, "intelliagent_service");
+        println!(
+            "          flag file: /logs/intelliagents/intelliagent_service/run_{}.{:?}\n",
+            flags.last().unwrap().run_at_secs,
+            flags.last().unwrap().outcome
+        );
+    }
+
+    // Finally, the status agent compiles the DLSP the admin servers
+    // aggregate into the global DGSPL.
+    now += step;
+    let _dlsp = run_status_agent(&mut server, &registry, &mut rng, now);
+    println!("t={now}  status agent compiled the DLSP ({}):", dlsp_path("db007"));
+    let file = server.fs.read(&dlsp_path("db007")).unwrap();
+    for line in &file.lines {
+        println!("  {line}");
+    }
+    let parsed = Dlsp::parse_text(&file.lines.join("\n")).unwrap();
+    assert!(parsed.all_services_running());
+    println!("\nall services running again; {} notifications were sent to humans", bus.log().len());
+}

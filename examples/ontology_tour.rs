@@ -1,0 +1,128 @@
+//! Ontology tour: the four flat-ASCII knowledge structures and the
+//! causal reasoning the agents run over them.
+//!
+//! Everything prints in the grep-friendly on-disk format — pipe the
+//! output through `grep status=` or `cut -d'|' -f1` exactly as the
+//! paper's operators would have.
+//!
+//! ```text
+//! cargo run --release --example ontology_tour
+//! ```
+
+use intelliqos::ontology::{
+    Bounds, ConstraintStore, Dgspl, FactBase, Issl, IsslEntry, Slkt,
+};
+use intelliqos_ontology::dlsp::{Dlsp, DlspService};
+use intelliqos_ontology::slkt::{SlktApp, SlktHardware};
+use intelliqos_core::rulesets;
+
+fn main() {
+    // 1. ISSL — the manually maintained bootstrap index (≤200 entries).
+    let mut issl = Issl::new();
+    issl.add(IsslEntry {
+        hostname: "db007".into(),
+        ip: "10.1.0.7".into(),
+        services: vec!["trades-db-07".into()],
+    })
+    .unwrap();
+    issl.add(IsslEntry {
+        hostname: "fe003".into(),
+        ip: "10.2.0.3".into(),
+        services: vec!["analyst-fe-03".into()],
+    })
+    .unwrap();
+    println!("== ISSL (index static service list) ==");
+    println!("{}\n", issl.to_doc().to_text());
+
+    // 2. SLKT — what db007 *should* look like.
+    let slkt = Slkt {
+        hostname: "db007".into(),
+        ip: "10.1.0.7".into(),
+        hardware: SlktHardware { model: "Sun-E4500".into(), cpus: 8, ram_gb: 8, disks: 6 },
+        apps: vec![SlktApp {
+            name: "trades-db-07".into(),
+            app_type: "db-oracle".into(),
+            version: "8.1.7".into(),
+            binary_path: "/apps/db/bin".into(),
+            port: 1521,
+            processes: vec![("ora_pmon".into(), 1), ("ora_dbw".into(), 2), ("ora_lsnr".into(), 1)],
+            startup_sequence: vec!["listener".into(), "instance".into(), "recovery".into()],
+            depends_on: vec![],
+            mounts: vec!["/apps".into()],
+            connect_timeout_secs: 30,
+        }],
+    };
+    println!("== SLKT (static local knowledge template) ==");
+    println!("{}\n", slkt.to_doc().to_text());
+
+    // 3. DLSP — what the status agent actually observed (degraded!).
+    let dlsp = Dlsp {
+        hostname: "db007".into(),
+        generated_at_secs: 4500,
+        model: "Sun-E4500".into(),
+        os: "Solaris".into(),
+        cpus: 8,
+        ram_gb: 8,
+        load_score: 1.22,
+        free_mem_mb: 96.0,
+        cpu_idle_pct: 2.0,
+        users: 4,
+        location: "London".into(),
+        site: "LDN-DC1".into(),
+        services: vec![DlspService {
+            name: "trades-db-07".into(),
+            app_type: "db-oracle".into(),
+            version: "8.1.7".into(),
+            status: "timeout".into(),
+            latency_ms: None,
+        }],
+    };
+    println!("== DLSP (dynamic local service profile) ==");
+    println!("{}\n", dlsp.to_doc().to_text());
+
+    // 4. Constraint check: the §3.6 baselines flag the overload.
+    let constraints = ConstraintStore::os_baselines();
+    let mut facts_map = std::collections::BTreeMap::new();
+    facts_map.insert("cpu_idle_pct".to_string(), 2.0);
+    facts_map.insert("free_mem_mb".to_string(), 96.0);
+    facts_map.insert("run_queue".to_string(), 9.0);
+    println!("== constraint violations (min/max baseline variables) ==");
+    for v in constraints.check(&facts_map) {
+        println!(
+            "var={} value={} bounds=({:?},{:?}) over={}",
+            v.var, v.value, v.bounds.min, v.bounds.max, v.over
+        );
+    }
+    // A false alarm would be relaxed per §3.6; show the API.
+    let mut adjustable = ConstraintStore::new();
+    adjustable.set("run_queue", Bounds::at_most(4.0));
+    let widened = adjustable.relax("run_queue", 1.25).unwrap();
+    println!("after adaptive adjustment: run_queue max = {:?}\n", widened.max);
+
+    // 5. Causal reasoning: the facts an agent would assert for the
+    // timed-out probe on an overloaded host.
+    let rules = rulesets::service_rules();
+    let mut facts = FactBase::new();
+    facts.assert_fact("probe", "timeout");
+    facts.assert_fact("procs_missing", 0.0);
+    facts.assert_fact("cpu_util", 1.22);
+    println!("== causal diagnosis ==");
+    let diag = rules.diagnose(&mut facts).expect("rule fires");
+    println!("rule {} -> {}", diag.rule_id, diag.cause);
+    for a in &diag.actions {
+        println!("  action: {a}");
+    }
+
+    // 6. DGSPL — the global list the rescheduler walks, best-first.
+    let dgspl = Dgspl::from_dlsps(
+        &[dlsp],
+        4500,
+        |_, cpus| cpus as f64 * 0.9,
+    );
+    println!("\n== DGSPL (dynamic global service profile list) ==");
+    println!("{}", dgspl.to_doc().to_text());
+    println!(
+        "(the timed-out database is absent: only running services are\n\
+         'available' — the shortlist can never route a job to a dead box)"
+    );
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of the paper's evaluation into results/.
+#
+# Full fidelity (year-long runs, ~1 CPU-hour on one core):
+#   scripts/reproduce_all.sh --full
+# Quick pass (default horizons, minutes):
+#   scripts/reproduce_all.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA=()
+if [[ "${1:-}" == "--full" ]]; then
+    EXTRA=(--full)
+fi
+
+cargo build --release --workspace
+mkdir -p results
+
+run() {
+    local bin="$1"; shift
+    echo "== $bin $*"
+    "./target/release/$bin" "$@" | tee "results/$bin.txt"
+}
+
+run fig2_downtime "${EXTRA[@]}"
+run fig3_cpu_overhead
+run fig4_mem_overhead
+run tbl_detection_latency "${EXTRA[@]}"
+run tbl_mttr "${EXTRA[@]}"
+run tbl_reschedule_policy "${EXTRA[@]}"
+run abl_frequency_sweep "${EXTRA[@]}"
+run abl_private_network
+run abl_agent_parts "${EXTRA[@]}"
+
+echo "all results under results/"

@@ -1,0 +1,69 @@
+//! # intelliqos
+//!
+//! A production-quality Rust reproduction of **Corsava & Getov,
+//! "Improving Quality of Service in Application Clusters" (IPDPS 2003)**:
+//! a self-healing, intelligent-agent QoS-management layer for Unix
+//! application clusters, together with every substrate the paper's
+//! evaluation depends on — a deterministic datacenter simulator
+//! (servers, OS metrics, processes, filesystems, networks), service
+//! state machines with health probes, an LSF-like batch scheduler,
+//! flat-ASCII ontologies (ISSL/DLSP/SLKT/DGSPL) with a causal rule
+//! engine, telemetry collection, and the BMC-Patrol-like notify-only
+//! baseline with a manual-operations repair model.
+//!
+//! ## Quickstart
+//!
+//! Run the paper's headline experiment — one simulated year of the
+//! customer's financial datacenter, before and after deploying
+//! intelliagents — at reduced scale:
+//!
+//! ```
+//! use intelliqos::prelude::*;
+//!
+//! let before = run_scenario(ScenarioConfig::small(42, ManagementMode::ManualOps));
+//! let after = run_scenario(ScenarioConfig::small(42, ManagementMode::Intelliagents));
+//! // The fault/workload tapes are identical (same seed); only the
+//! // management layer differs — and it wins decisively.
+//! assert!(before.total_downtime_hours > after.total_downtime_hours * 2.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`simkern`] | discrete-event kernel: time, events, RNG streams, stats |
+//! | [`cluster`] | servers, hardware, OS observables, fs, cron, networks, faults |
+//! | [`services`] | service specs/state machines, probes, registry, distributed apps |
+//! | [`lsf`] | batch jobs, queues, selection policies, crash hazard, workload |
+//! | [`ontology`] | ISSL/DLSP/SLKT/DGSPL, flat-ASCII codec, constraints, rules |
+//! | [`telemetry`] | metric groups, collectors, circular logs, reports, footprints |
+//! | [`baseline`] | BMC-Patrol-like monitor + human detection/repair models |
+//! | [`core`] | the intelliagents themselves, admin servers, scenarios, the world |
+
+#![warn(missing_docs)]
+
+pub use intelliqos_baseline as baseline;
+pub use intelliqos_cluster as cluster;
+pub use intelliqos_core as core;
+pub use intelliqos_lsf as lsf;
+pub use intelliqos_ontology as ontology;
+pub use intelliqos_services as services;
+pub use intelliqos_simkern as simkern;
+pub use intelliqos_telemetry as telemetry;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use intelliqos_baseline::{HumanDetectionModel, ManualRepairModel, ResidentMonitorFootprint};
+    pub use intelliqos_cluster::{
+        FaultCategory, FaultMechanism, FaultRates, HardwareSpec, Server, ServerId, ServerModel,
+    };
+    pub use intelliqos_core::{
+        run_scenario, AgentKind, AgentParts, ManagementMode, ReschedPolicy, ScenarioConfig,
+        ScenarioReport, World,
+    };
+    pub use intelliqos_lsf::{JobKind, JobSpec, LsfCluster, WorkloadConfig};
+    pub use intelliqos_ontology::{Dgspl, Dlsp, FactBase, Issl, RuleEngine, Slkt};
+    pub use intelliqos_services::{DbEngine, ServiceKind, ServiceRegistry, ServiceSpec};
+    pub use intelliqos_simkern::{SimDuration, SimRng, SimTime};
+    pub use intelliqos_telemetry::{AgentFootprint, MetricGroup, PerfCollector};
+}

@@ -1,0 +1,149 @@
+//! Property-based tests on the simulation kernel's core invariants.
+
+use proptest::prelude::*;
+
+use intelliqos::simkern::{CircularQueue, EventQueue, OnlineStats, SimDuration, SimTime, TimeSeries};
+
+proptest! {
+    /// Events always pop in (time, insertion-order) order regardless of
+    /// the schedule order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_secs(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            let (t1, i1) = pair[0];
+            let (t2, i2) = pair[1];
+            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2), "order violated: {pair:?}");
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_secs(t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*tok));
+                cancelled.insert(i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "popped a cancelled event {i}");
+        }
+    }
+
+    /// A circular queue retains exactly the last `cap` pushes, in order.
+    #[test]
+    fn circular_queue_retains_suffix(cap in 1usize..50, items in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let mut q = CircularQueue::new(cap);
+        for &x in &items {
+            q.push(x);
+        }
+        let expected: Vec<u32> = items
+            .iter()
+            .copied()
+            .skip(items.len().saturating_sub(cap))
+            .collect();
+        prop_assert_eq!(q.iter().copied().collect::<Vec<_>>(), expected);
+        prop_assert_eq!(q.evicted_count() as usize, items.len().saturating_sub(cap));
+    }
+
+    /// Merging partitioned statistics equals the whole (associativity of
+    /// the Welford merge).
+    #[test]
+    fn stats_merge_is_partition_invariant(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Step interpolation returns the latest value at-or-before t.
+    #[test]
+    fn timeseries_value_at_is_latest_before(
+        mut times in proptest::collection::vec(0u64..10_000, 1..100),
+        probe in 0u64..12_000,
+    ) {
+        times.sort_unstable();
+        let mut ts = TimeSeries::new();
+        for (i, &t) in times.iter().enumerate() {
+            ts.push(SimTime::from_secs(t), i as f64);
+        }
+        let got = ts.value_at(SimTime::from_secs(probe));
+        // Reference implementation.
+        let expected = times
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t <= probe)
+            .map(|(i, _)| i as f64)
+            .next_back();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Resampling preserves the overall mean when buckets cover all data
+    /// (conservation check on a simple case: equal timestamps weights).
+    #[test]
+    fn timeseries_window_stats_bounds(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut ts = TimeSeries::new();
+        for &t in &sorted {
+            ts.push(SimTime::from_secs(t), t as f64);
+        }
+        let all = ts.window_stats(SimTime::ZERO, SimTime::from_secs(1001));
+        prop_assert_eq!(all.count() as usize, sorted.len());
+        // Any sub-window holds a subset.
+        let sub = ts.window_stats(SimTime::from_secs(250), SimTime::from_secs(750));
+        prop_assert!(sub.count() <= all.count());
+        if let (Some(lo), Some(hi)) = (sub.min(), sub.max()) {
+            prop_assert!(lo >= 250.0 && hi < 750.0);
+        }
+    }
+
+    /// Calendar arithmetic: day-of-week advances by one per day, hours
+    /// wrap at 24.
+    #[test]
+    fn calendar_invariants(day in 0u64..3650, hour in 0u64..24) {
+        let t = SimTime::from_days(day) + SimDuration::from_hours(hour);
+        prop_assert_eq!(t.day_index(), day);
+        prop_assert_eq!(t.hour_of_day() as u64, hour);
+        prop_assert_eq!(t.day_of_week() as u64, day % 7);
+        let next = t + SimDuration::from_days(1);
+        prop_assert_eq!(next.day_of_week() as u64, (day + 1) % 7);
+        // Business hours implies weekday.
+        if t.is_business_hours() {
+            prop_assert!(!t.is_weekend());
+            prop_assert!((8..20).contains(&t.hour_of_day()));
+        }
+    }
+}
