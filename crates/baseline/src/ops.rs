@@ -106,7 +106,12 @@ pub fn resolve_manually(
     let noticed = visible_at + detection.sample_delay(visible_at, rng);
     let engaged = noticed + repair.sample_paging(noticed, rng);
     let restored = engaged + repair.sample_repair(complexity, rng);
-    ManualIncident { onset, noticed, engaged, restored }
+    ManualIncident {
+        onset,
+        noticed,
+        engaged,
+        restored,
+    }
 }
 
 #[cfg(test)]
@@ -123,11 +128,19 @@ mod tests {
         let mut rng = SimRng::stream(1, "repair");
         let n = 5000;
         let simple: f64 = (0..n)
-            .map(|_| repair.sample_repair(Complexity::Simple, &mut rng).as_hours_f64())
+            .map(|_| {
+                repair
+                    .sample_repair(Complexity::Simple, &mut rng)
+                    .as_hours_f64()
+            })
             .sum::<f64>()
             / n as f64;
         let complex: f64 = (0..n)
-            .map(|_| repair.sample_repair(Complexity::Complex, &mut rng).as_hours_f64())
+            .map(|_| {
+                repair
+                    .sample_repair(Complexity::Complex, &mut rng)
+                    .as_hours_f64()
+            })
             .sum::<f64>()
             / n as f64;
         assert!((simple - 2.0).abs() < 0.15, "simple = {simple}h");
@@ -201,7 +214,8 @@ mod tests {
         let mut rng = SimRng::stream(5, "mono");
         for h in 0..48 {
             let onset = SimTime::from_hours(h);
-            let inc = resolve_manually(onset, h % 3 == 0, Complexity::Complex, &det, &rep, &mut rng);
+            let inc =
+                resolve_manually(onset, h % 3 == 0, Complexity::Complex, &det, &rep, &mut rng);
             assert!(inc.onset <= inc.noticed);
             assert!(inc.noticed <= inc.engaged);
             assert!(inc.engaged <= inc.restored);

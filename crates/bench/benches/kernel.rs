@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks for the simulation kernel: these bound
 //! the cost of the primitives every simulated year leans on.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use intelliqos_bench::{black_box, criterion_group, criterion_main, Criterion};
 
-use intelliqos_simkern::{CircularQueue, EventQueue, SimDuration, SimRng, SimTime, TimeSeries};
+use intelliqos_simkern::{
+    CircularQueue, EventQueue, SimDuration, SimRng, SimTime, Subsystem, TimeSeries, Trace,
+};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/schedule_pop_10k", |b| {
@@ -33,6 +35,52 @@ fn bench_event_queue(c: &mut Criterion) {
                 n += 1;
             }
             black_box(n)
+        })
+    });
+    // Cancelling 99% of 100k events: with the old retain()-per-cancel
+    // this was O(n) each (quadratic overall); the live-set design makes
+    // each cancel O(1) with an amortised lazy purge.
+    c.bench_function("event_queue/mass_cancel_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let tokens: Vec<_> = (0..100_000u64)
+                .map(|i| q.schedule(SimTime::from_secs(i + 1), i))
+                .collect();
+            for t in &tokens[..99_000] {
+                q.cancel(*t);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    // The whole point of the disabled path: a run with tracing off must
+    // pay only a branch per emit — the detail closure never runs.
+    c.bench_function("trace/emit_disabled_100k", |b| {
+        let mut trace = Trace::disabled();
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                trace.emit(SimTime::from_secs(i), Subsystem::Kernel, "tick", || {
+                    format!("expensive detail {i}")
+                });
+            }
+            black_box(trace.total())
+        })
+    });
+    c.bench_function("trace/emit_enabled_100k", |b| {
+        b.iter(|| {
+            let mut trace = Trace::enabled();
+            for i in 0..100_000u64 {
+                trace.emit(SimTime::from_secs(i), Subsystem::Kernel, "tick", || {
+                    format!("detail {i}")
+                });
+            }
+            black_box(trace.total())
         })
     });
 }
@@ -81,5 +129,11 @@ fn bench_collections(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_rng, bench_collections);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_trace,
+    bench_rng,
+    bench_collections
+);
 criterion_main!(benches);

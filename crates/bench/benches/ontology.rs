@@ -3,7 +3,7 @@
 //! causal rule inference — the operations the admin servers repeat every
 //! 15 minutes across 215 hosts.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use intelliqos_bench::{black_box, criterion_group, criterion_main, Criterion};
 
 use intelliqos_core::rulesets;
 use intelliqos_ontology::dgspl::Dgspl;
@@ -16,7 +16,11 @@ fn site_dlsps(n: usize) -> Vec<Dlsp> {
         .map(|i| Dlsp {
             hostname: format!("db{i:03}"),
             generated_at_secs: 900,
-            model: if i % 3 == 0 { "Sun-E10000".into() } else { "Sun-E4500".into() },
+            model: if i % 3 == 0 {
+                "Sun-E10000".into()
+            } else {
+                "Sun-E4500".into()
+            },
             os: "Solaris".into(),
             cpus: 8,
             ram_gb: 8,

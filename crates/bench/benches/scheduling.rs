@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use intelliqos_bench::{black_box, criterion_group, criterion_main, Criterion};
 
 use intelliqos_cluster::hardware::ServerModel;
 use intelliqos_cluster::ids::{ServerId, Site};
@@ -19,7 +19,11 @@ use intelliqos_simkern::{SimRng, SimTime};
 fn servers(n: u32) -> BTreeMap<ServerId, Server> {
     (0..n)
         .map(|i| {
-            let model = if i % 10 < 7 { ServerModel::SunE4500 } else { ServerModel::SunE10k };
+            let model = if i % 10 < 7 {
+                ServerModel::SunE4500
+            } else {
+                ServerModel::SunE10k
+            };
             (
                 ServerId(i),
                 Server::new(
@@ -91,7 +95,8 @@ fn bench_dispatch(c: &mut Criterion) {
                     SimTime::ZERO,
                 );
             }
-            let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut srv, |_| true, SimTime::ZERO);
+            let d =
+                lsf.dispatch_pending(&mut LeastLoadedSelector, &mut srv, |_| true, SimTime::ZERO);
             black_box(d.len())
         })
     });

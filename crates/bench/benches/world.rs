@@ -2,7 +2,7 @@
 //! simulated day of the small datacenter under each management mode.
 //! This is the number that bounds how fast the figure harnesses run.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use intelliqos_bench::{black_box, criterion_group, criterion_main, Criterion};
 
 use intelliqos_core::{ManagementMode, ScenarioConfig, World};
 use intelliqos_simkern::{SimDuration, SimTime, DAY};

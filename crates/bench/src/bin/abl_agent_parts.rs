@@ -23,33 +23,48 @@ fn main() {
         ("all parts", AgentParts::all()),
         (
             "healing off",
-            AgentParts { healing: false, ..AgentParts::all() },
+            AgentParts {
+                healing: false,
+                ..AgentParts::all()
+            },
         ),
         (
             "diagnosing off",
-            AgentParts { diagnosing: false, healing: false, ..AgentParts::all() },
+            AgentParts {
+                diagnosing: false,
+                healing: false,
+                ..AgentParts::all()
+            },
         ),
         (
             "monitoring off",
-            AgentParts { monitoring: false, ..AgentParts::all() },
+            AgentParts {
+                monitoring: false,
+                ..AgentParts::all()
+            },
         ),
     ];
 
-    let mut results: Vec<(&str, ScenarioReport)> = crossbeam::thread::scope(|s| {
+    let mut results: Vec<(&str, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = variants
             .iter()
             .map(|(name, parts)| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_parts = *parts;
                 let name = *name;
-                s.spawn(move |_| (name, run_scenario(cfg)))
+                s.spawn(move || (name, run_scenario(cfg)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
+    });
     // Manual baseline for reference.
-    results.push(("(manual ops)", run_scenario(opts.site(ManagementMode::ManualOps))));
+    results.push((
+        "(manual ops)",
+        run_scenario(opts.site(ManagementMode::ManualOps)),
+    ));
 
     println!(
         "{:<16} {:>12} {:>10} {:>10} {:>14}",

@@ -20,19 +20,21 @@ fn main() {
     println!("seed={} horizon={}d per point\n", opts.seed, opts.days);
 
     let periods_min = [2u64, 5, 15, 45];
-    let reports: Vec<(u64, ScenarioReport)> = crossbeam::thread::scope(|s| {
+    let reports: Vec<(u64, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = periods_min
             .iter()
             .map(|&m| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_period = SimDuration::from_mins(m);
                 cfg.admin_period = SimDuration::from_mins(m + 5);
-                s.spawn(move |_| (m, run_scenario(cfg)))
+                s.spawn(move || (m, run_scenario(cfg)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
+    });
 
     println!(
         "{:<10} {:>12} {:>14} {:>14} {:>12}",
@@ -44,8 +46,14 @@ fn main() {
                 .categories
                 .values()
                 .filter(|t| t.incidents > 0)
-                .fold((0.0, 0u64), |(s, n), t| (s + t.detection_hours, n + t.incidents));
-            if n == 0 { 0.0 } else { sum / n as f64 * 60.0 }
+                .fold((0.0, 0u64), |(s, n), t| {
+                    (s + t.detection_hours, n + t.incidents)
+                });
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64 * 60.0
+            }
         };
         let cpu = AgentFootprint::default()
             .with_period(SimDuration::from_mins(*m))

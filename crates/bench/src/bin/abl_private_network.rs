@@ -40,7 +40,10 @@ fn segment_report(w: &mut World, label: &str) {
 
 fn main() {
     let opts = HarnessOpts::parse(7);
-    banner("ABL-NET", "private agent LAN: load absorption and outage fallback");
+    banner(
+        "ABL-NET",
+        "private agent LAN: load absorption and outage fallback",
+    );
     println!("seed={} horizon={}d per variant\n", opts.seed, opts.days);
 
     // Variant A: normal operation.
@@ -53,7 +56,10 @@ fn main() {
     let private = w.fabric.segments_of(SegmentKind::PrivateAgent)[0];
     w.fabric.set_segment_up(private, false);
     w.run_until(SimTime::from_secs(opts.days * DAY));
-    segment_report(&mut w, "B: private network down from t=0 (reroute over public)");
+    segment_report(
+        &mut w,
+        "B: private network down from t=0 (reroute over public)",
+    );
 
     println!(
         "reading: in A the private LAN absorbs all agent traffic (public\n\

@@ -2,7 +2,10 @@
 use intelliqos_core::{run_scenario, ManagementMode, ScenarioConfig};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
         let t0 = std::time::Instant::now();
         let report = run_scenario(ScenarioConfig::financial_site(seed, mode));
@@ -12,8 +15,12 @@ fn main() {
         }
         println!(
             "jobs: submitted={} completed={} failed={} resub={} db_crashes={} open={}",
-            report.lsf.submitted, report.lsf.completed, report.lsf.failed,
-            report.lsf.resubmitted, report.db_crashes, report.open_incidents
+            report.lsf.submitted,
+            report.lsf.completed,
+            report.lsf.failed,
+            report.lsf.resubmitted,
+            report.db_crashes,
+            report.open_incidents
         );
     }
 }

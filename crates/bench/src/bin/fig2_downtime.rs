@@ -11,7 +11,9 @@
 //! cargo run --release -p intelliqos-bench --bin fig2_downtime [--seed N] [--days N | --full]
 //! ```
 
-use intelliqos_bench::{banner, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR2, FIG2_YEAR1_TOTAL, FIG2_YEAR2_TOTAL};
+use intelliqos_bench::{
+    banner, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR1_TOTAL, FIG2_YEAR2, FIG2_YEAR2_TOTAL,
+};
 use intelliqos_cluster::faults::FaultCategory;
 use intelliqos_core::{run_scenario, ManagementMode, ScenarioReport};
 
@@ -24,44 +26,64 @@ fn main() {
     println!("seed={} horizon={}d\n", opts.seed, opts.days);
 
     // Both years on parallel threads — the simulations are independent.
-    let (before, after): (ScenarioReport, ScenarioReport) = crossbeam::thread::scope(|s| {
-        let b = s.spawn(|_| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|_| run_scenario(opts.site(ManagementMode::Intelliagents)));
+    let (before, after): (ScenarioReport, ScenarioReport) = std::thread::scope(|s| {
+        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
+        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
         (b.join().expect("manual run"), a.join().expect("agent run"))
-    })
-    .expect("scope");
+    });
 
     let k = opts.annualize();
     println!("--- year 1 (manual operations) ---");
     for (i, cat) in FaultCategory::ALL.iter().enumerate() {
-        println!("{}", row(cat.label(), FIG2_YEAR1[i], before.hours(*cat) * k, "h"));
+        println!(
+            "{}",
+            row(cat.label(), FIG2_YEAR1[i], before.hours(*cat) * k, "h")
+        );
     }
     println!(
         "{}\n",
-        row("TOTAL", FIG2_YEAR1_TOTAL, before.total_downtime_hours * k, "h")
+        row(
+            "TOTAL",
+            FIG2_YEAR1_TOTAL,
+            before.total_downtime_hours * k,
+            "h"
+        )
     );
 
     println!("--- year 2 (intelliagents) ---");
     for (i, cat) in FaultCategory::ALL.iter().enumerate() {
-        println!("{}", row(cat.label(), FIG2_YEAR2[i], after.hours(*cat) * k, "h"));
+        println!(
+            "{}",
+            row(cat.label(), FIG2_YEAR2[i], after.hours(*cat) * k, "h")
+        );
     }
     println!(
         "{}",
-        row("TOTAL (claimed)", FIG2_YEAR2_TOTAL, after.total_downtime_hours * k, "h")
+        row(
+            "TOTAL (claimed)",
+            FIG2_YEAR2_TOTAL,
+            after.total_downtime_hours * k,
+            "h"
+        )
     );
-    println!(
-        "(note: the paper's year-2 categories sum to 39 h against its claimed 31 h total)\n"
-    );
+    println!("(note: the paper's year-2 categories sum to 39 h against its claimed 31 h total)\n");
 
     let reduction = before.total_downtime_hours / after.total_downtime_hours.max(0.01);
     let paper_reduction = FIG2_YEAR1_TOTAL / FIG2_YEAR2_TOTAL;
     println!("--- headline ---");
-    println!("{}", row("downtime reduction", paper_reduction, reduction, "x"));
+    println!(
+        "{}",
+        row("downtime reduction", paper_reduction, reduction, "x")
+    );
     println!(
         "db mid-job crashes: {} (manual) vs {} (agents); auto-repaired incidents: {}",
         before.db_crashes,
         after.db_crashes,
-        after.categories.values().map(|t| t.auto_repaired).sum::<u64>()
+        after
+            .categories
+            .values()
+            .map(|t| t.auto_repaired)
+            .sum::<u64>()
     );
     println!(
         "incidents: {} vs {}; open at horizon: {} vs {}",

@@ -23,7 +23,10 @@ fn main() {
     let mut rng_bmc = SimRng::stream(opts.seed, "fig3-bmc");
     let mut rng_agent = SimRng::stream(opts.seed, "fig3-agent");
 
-    println!("{:<8} {:>12} {:>12} {:>14} {:>14}", "sample", "BMC paper", "BMC meas", "agent paper", "agent meas");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14}",
+        "sample", "BMC paper", "BMC meas", "agent paper", "agent meas"
+    );
     let mut bmc_sum = 0.0;
     let mut agent_sum = 0.0;
     for i in 0..8 {
@@ -44,7 +47,10 @@ fn main() {
     let paper_agent_mean: f64 = FIG3_AGENT_CPU.iter().sum::<f64>() / 8.0;
     println!();
     println!("{}", row("BMC mean", paper_bmc_mean, bmc_sum / 8.0, "%"));
-    println!("{}", row("agent mean", paper_agent_mean, agent_sum / 8.0, "%"));
+    println!(
+        "{}",
+        row("agent mean", paper_agent_mean, agent_sum / 8.0, "%")
+    );
     println!(
         "{}",
         row(

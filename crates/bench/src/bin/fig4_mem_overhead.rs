@@ -12,14 +12,20 @@ use intelliqos_telemetry::AgentFootprint;
 
 fn main() {
     let opts = HarnessOpts::parse(1);
-    banner("FIG4", "monitoring resident memory (MB) at peak, 8 samples every 30 min");
+    banner(
+        "FIG4",
+        "monitoring resident memory (MB) at peak, 8 samples every 30 min",
+    );
 
     let bmc = ResidentMonitorFootprint::default();
     let agent = AgentFootprint::default();
     let mut rng_bmc = SimRng::stream(opts.seed, "fig4-bmc");
     let mut rng_agent = SimRng::stream(opts.seed, "fig4-agent");
 
-    println!("{:<8} {:>12} {:>12} {:>14} {:>14}", "sample", "BMC paper", "BMC meas", "agent paper", "agent meas");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14}",
+        "sample", "BMC paper", "BMC meas", "agent paper", "agent meas"
+    );
     let mut bmc_sum = 0.0;
     let mut agent_samples = Vec::new();
     for (i, paper_bmc) in FIG4_BMC_MEM.iter().enumerate() {
@@ -39,10 +45,15 @@ fn main() {
     let paper_bmc_mean: f64 = FIG4_BMC_MEM.iter().sum::<f64>() / 8.0;
     println!();
     println!("{}", row("BMC mean", paper_bmc_mean, bmc_sum / 8.0, "MB"));
-    println!("{}", row("agent (flat)", FIG4_AGENT_MEM, agent_samples[0], "MB"));
+    println!(
+        "{}",
+        row("agent (flat)", FIG4_AGENT_MEM, agent_samples[0], "MB")
+    );
     // Figure 4's key qualitative feature: the agent line is perfectly
     // flat because nothing stays resident between wake-ups.
-    let flat = agent_samples.iter().all(|&a| (a - agent_samples[0]).abs() < 1e-12);
+    let flat = agent_samples
+        .iter()
+        .all(|&a| (a - agent_samples[0]).abs() < 1e-12);
     println!("agent series flat: {flat} (non-memory-resident design)");
     println!(
         "{}",

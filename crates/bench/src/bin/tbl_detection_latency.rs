@@ -13,38 +13,52 @@
 //! ```
 
 use intelliqos_baseline::HumanDetectionModel;
-use intelliqos_bench::{banner, row, HarnessOpts, DETECT_AGENT_MIN, DETECT_DAYTIME_H, DETECT_OVERNIGHT_H, DETECT_WEEKEND_H};
+use intelliqos_bench::{
+    banner, row, HarnessOpts, DETECT_AGENT_MIN, DETECT_DAYTIME_H, DETECT_OVERNIGHT_H,
+    DETECT_WEEKEND_H,
+};
 use intelliqos_cluster::faults::FaultCategory;
 use intelliqos_core::{run_scenario, ManagementMode};
 use intelliqos_simkern::{SimDuration, SimRng, SimTime};
 
 fn main() {
     let opts = HarnessOpts::parse(21);
-    banner("T-DET", "fault detection latency: human console watch vs agent sweeps");
+    banner(
+        "T-DET",
+        "fault detection latency: human console watch vs agent sweeps",
+    );
 
     // -- part 1: the human-notice model per onset window ----------------
     let model = HumanDetectionModel::default();
     let mut rng = SimRng::stream(opts.seed, "tdet");
     let n = 20_000;
     let mean_delay = |onset: SimTime, rng: &mut SimRng| -> f64 {
-        (0..n).map(|_| model.sample_delay(onset, rng).as_hours_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| model.sample_delay(onset, rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64
     };
     let day = mean_delay(SimTime::from_hours(10), &mut rng); // Monday 10:00
     let night = mean_delay(SimTime::from_hours(2), &mut rng); // Monday 02:00
-    let weekend = mean_delay(SimTime::from_days(5) + SimDuration::from_hours(12), &mut rng);
+    let weekend = mean_delay(
+        SimTime::from_days(5) + SimDuration::from_hours(12),
+        &mut rng,
+    );
     println!("--- notify-only monitoring (model, {n} samples/window) ---");
     println!("{}", row("daytime", DETECT_DAYTIME_H, day, "h"));
     println!("{}", row("overnight", DETECT_OVERNIGHT_H, night, "h"));
     println!("{}", row("weekend", DETECT_WEEKEND_H, weekend, "h"));
 
     // -- part 2: end-to-end inside paired scenarios ---------------------
-    println!("\n--- measured inside full scenarios ({}d, seed {}) ---", opts.days, opts.seed);
-    let (before, after) = crossbeam::thread::scope(|s| {
-        let b = s.spawn(|_| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|_| run_scenario(opts.site(ManagementMode::Intelliagents)));
+    println!(
+        "\n--- measured inside full scenarios ({}d, seed {}) ---",
+        opts.days, opts.seed
+    );
+    let (before, after) = std::thread::scope(|s| {
+        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
+        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
         (b.join().expect("manual"), a.join().expect("agents"))
-    })
-    .expect("scope");
+    });
 
     println!(
         "{:<18} {:>16} {:>16} {:>10}",
@@ -74,5 +88,8 @@ fn main() {
         .map(|t| t.mean_detection_hours() * 60.0)
         .fold(0.0f64, f64::max);
     println!();
-    println!("{}", row("agent worst mean", DETECT_AGENT_MIN, worst_agent_min, "min"));
+    println!(
+        "{}",
+        row("agent worst mean", DETECT_AGENT_MIN, worst_agent_min, "min")
+    );
 }

@@ -18,27 +18,51 @@ use intelliqos_simkern::SimRng;
 
 fn main() {
     let opts = HarnessOpts::parse(21);
-    banner("T-MTTR", "repair time: human pipeline vs agent self-healing");
+    banner(
+        "T-MTTR",
+        "repair time: human pipeline vs agent self-healing",
+    );
 
     // -- part 1: the manual repair model --------------------------------
     let model = ManualRepairModel::default();
     let mut rng = SimRng::stream(opts.seed, "tmttr");
     let n = 20_000;
     let mean = |c: Complexity, rng: &mut SimRng| -> f64 {
-        (0..n).map(|_| model.sample_repair(c, rng).as_hours_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| model.sample_repair(c, rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64
     };
     println!("--- manual repair model ({n} samples each) ---");
-    println!("{}", row("simple (1 admin)", MTTR_SIMPLE_H, mean(Complexity::Simple, &mut rng), "h"));
-    println!("{}", row("complex (experts)", MTTR_COMPLEX_H, mean(Complexity::Complex, &mut rng), "h"));
+    println!(
+        "{}",
+        row(
+            "simple (1 admin)",
+            MTTR_SIMPLE_H,
+            mean(Complexity::Simple, &mut rng),
+            "h"
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "complex (experts)",
+            MTTR_COMPLEX_H,
+            mean(Complexity::Complex, &mut rng),
+            "h"
+        )
+    );
 
     // -- part 2: measured repair times inside full scenarios -------------
-    println!("\n--- measured repair (detected -> restored), {}d, seed {} ---", opts.days, opts.seed);
-    let (before, after) = crossbeam::thread::scope(|s| {
-        let b = s.spawn(|_| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|_| run_scenario(opts.site(ManagementMode::Intelliagents)));
+    println!(
+        "\n--- measured repair (detected -> restored), {}d, seed {} ---",
+        opts.days, opts.seed
+    );
+    let (before, after) = std::thread::scope(|s| {
+        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
+        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
         (b.join().expect("manual"), a.join().expect("agents"))
-    })
-    .expect("scope");
+    });
 
     println!(
         "{:<18} {:>14} {:>14}",
@@ -54,8 +78,24 @@ fn main() {
         if bi == 0 && ai == 0 {
             continue;
         }
-        let bh = b.map(|t| if t.incidents > 0 { t.repair_hours / t.incidents as f64 } else { 0.0 }).unwrap_or(0.0);
-        let ah = a.map(|t| if t.incidents > 0 { t.repair_hours / t.incidents as f64 } else { 0.0 }).unwrap_or(0.0);
+        let bh = b
+            .map(|t| {
+                if t.incidents > 0 {
+                    t.repair_hours / t.incidents as f64
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0);
+        let ah = a
+            .map(|t| {
+                if t.incidents > 0 {
+                    t.repair_hours / t.incidents as f64
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0);
         println!("{:<18} {:>13.2}h {:>12.1}min", cat.label(), bh, ah * 60.0);
     }
     println!(

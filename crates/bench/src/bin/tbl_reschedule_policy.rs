@@ -16,26 +16,34 @@ use intelliqos_core::{run_scenario, ManagementMode, ReschedPolicy, ScenarioRepor
 
 fn main() {
     let opts = HarnessOpts::parse(21);
-    banner("T-RESCHED", "failed-job resubmission policy comparison (agents mode)");
-    println!("seed={} horizon={}d — same fault/workload tapes per run\n", opts.seed, opts.days);
+    banner(
+        "T-RESCHED",
+        "failed-job resubmission policy comparison (agents mode)",
+    );
+    println!(
+        "seed={} horizon={}d — same fault/workload tapes per run\n",
+        opts.seed, opts.days
+    );
 
     let policies = [
         ("dgspl-shortlist", ReschedPolicy::Dgspl),
         ("random", ReschedPolicy::Random),
         ("manual-sticky", ReschedPolicy::ManualSticky),
     ];
-    let reports: Vec<(&str, ScenarioReport)> = crossbeam::thread::scope(|s| {
+    let reports: Vec<(&str, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = policies
             .iter()
             .map(|(name, policy)| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.resched = *policy;
-                s.spawn(move |_| (*name, run_scenario(cfg)))
+                s.spawn(move || (*name, run_scenario(cfg)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
+    });
 
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>12}",

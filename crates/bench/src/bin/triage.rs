@@ -1,0 +1,112 @@
+//! TRIAGE — run a paired (manual vs intelliagents) scenario with the
+//! structured trace enabled, verify the observability invariants, and
+//! export the incident ledger + trace of both runs as JSON.
+//!
+//! This is the tool behind `scripts/triage.sh`: when a paired experiment
+//! looks wrong, it answers the first three questions — did the exogenous
+//! tapes diverge (and where), did any incident violate its
+//! injected → detected → diagnosed → repaired/escalated lifecycle, and
+//! what did each subsystem actually do.
+//!
+//! ```text
+//! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N]
+//! ```
+//!
+//! Exit status: 0 when the paired-run invariant holds and both ledgers
+//! are lifecycle-clean; 1 otherwise. JSON lands in `target/triage/`.
+
+use std::path::Path;
+
+use intelliqos_bench::{banner, HarnessOpts};
+use intelliqos_core::divergence::first_divergence;
+use intelliqos_core::{run_export_json, ManagementMode, ScenarioConfig, World};
+use intelliqos_simkern::{SimDuration, Subsystem};
+
+fn run_traced(seed: u64, days: u64, mode: ManagementMode) -> World {
+    let mut cfg = ScenarioConfig::small(seed, mode);
+    cfg.horizon = SimDuration::from_days(days);
+    let mut world = World::build(cfg).enable_trace();
+    world.run_to_end();
+    world
+}
+
+fn main() {
+    let opts = HarnessOpts::parse(14);
+    banner(
+        "TRIAGE",
+        "paired-run divergence + incident-ledger lifecycle check",
+    );
+    println!("seed={} horizon={}d\n", opts.seed, opts.days);
+
+    let (manual, agents): (World, World) = std::thread::scope(|s| {
+        let m = s.spawn(|| run_traced(opts.seed, opts.days, ManagementMode::ManualOps));
+        let a = s.spawn(|| run_traced(opts.seed, opts.days, ManagementMode::Intelliagents));
+        (m.join().expect("manual run"), a.join().expect("agent run"))
+    });
+
+    let mut ok = true;
+
+    println!("--- paired-run invariant ---");
+    match first_divergence(&manual, &agents) {
+        None => println!("no divergence: fault and workload tapes are identical"),
+        Some(d) => {
+            ok = false;
+            println!("DIVERGENCE at {d}");
+        }
+    }
+
+    println!("\n--- incident-ledger lifecycle ---");
+    for (name, world) in [("manual", &manual), ("agents", &agents)] {
+        let violations = world.ledger.lifecycle_violations();
+        let closed = world.ledger.incidents().count() - world.ledger.open_incidents().len();
+        println!(
+            "{name}: {} incidents ({closed} closed, {} open), {} lifecycle violations",
+            world.ledger.incidents().count(),
+            world.ledger.open_incidents().len(),
+            violations.len()
+        );
+        for v in &violations {
+            ok = false;
+            println!("  VIOLATION {v}");
+        }
+    }
+
+    println!("\n--- trace counters (events by subsystem) ---");
+    println!("{:<10} {:>10} {:>10}", "subsystem", "manual", "agents");
+    for sub in Subsystem::ALL {
+        println!(
+            "{:<10} {:>10} {:>10}",
+            sub.tag(),
+            manual.trace.count(sub),
+            agents.trace.count(sub)
+        );
+    }
+    println!(
+        "{:<10} {:>10} {:>10}  (evicted: {} / {})",
+        "total",
+        manual.trace.total(),
+        agents.trace.total(),
+        manual.trace.evicted(),
+        agents.trace.evicted()
+    );
+
+    let out_dir = Path::new("target/triage");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for (name, world) in [("manual", &manual), ("agents", &agents)] {
+        let path = out_dir.join(format!("{name}.json"));
+        match std::fs::write(&path, run_export_json(world)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                ok = false;
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,10 @@
 //!   headline figures, shorter for sweeps — see each binary);
 //! * `--full` — force the full-scale, full-year configuration.
 
+pub mod microbench;
+
+pub use microbench::{black_box, Bencher, Criterion};
+
 use intelliqos_core::{ManagementMode, ScenarioConfig};
 use intelliqos_simkern::SimDuration;
 
@@ -68,16 +72,26 @@ impl HarnessOpts {
     /// the given default horizon.
     pub fn parse(default_days: u64) -> HarnessOpts {
         let args: Vec<String> = std::env::args().collect();
-        let mut opts = HarnessOpts { seed: 11, days: default_days, full: false };
+        let mut opts = HarnessOpts {
+            seed: 11,
+            days: default_days,
+            full: false,
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--seed" => {
-                    opts.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(opts.seed);
+                    opts.seed = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.seed);
                     i += 1;
                 }
                 "--days" => {
-                    opts.days = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(opts.days);
+                    opts.days = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.days);
                     i += 1;
                 }
                 "--full" => opts.full = true,
@@ -110,8 +124,14 @@ impl HarnessOpts {
 
 /// Format one comparison row: label, paper value, measured value.
 pub fn row(label: &str, paper: f64, measured: f64, unit: &str) -> String {
-    let ratio = if paper.abs() > 1e-9 { measured / paper } else { f64::NAN };
-    format!("{label:<18} paper {paper:>8.2}{unit:<4} measured {measured:>8.2}{unit:<4} (x{ratio:.2})")
+    let ratio = if paper.abs() > 1e-9 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    format!(
+        "{label:<18} paper {paper:>8.2}{unit:<4} measured {measured:>8.2}{unit:<4} (x{ratio:.2})"
+    )
 }
 
 /// Pretty banner for a harness binary.
@@ -138,9 +158,17 @@ mod tests {
 
     #[test]
     fn annualize_scales() {
-        let opts = HarnessOpts { seed: 1, days: 73, full: false };
+        let opts = HarnessOpts {
+            seed: 1,
+            days: 73,
+            full: false,
+        };
         assert!((opts.annualize() - 5.0).abs() < 1e-9);
-        let full = HarnessOpts { seed: 1, days: 73, full: true };
+        let full = HarnessOpts {
+            seed: 1,
+            days: 73,
+            full: true,
+        };
         assert_eq!(full.annualize(), 1.0);
     }
 

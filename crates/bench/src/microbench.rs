@@ -1,0 +1,232 @@
+//! Drop-in micro-benchmark harness with a criterion-compatible surface.
+//!
+//! The build container is fully offline, so `criterion` itself cannot be
+//! compiled; this module supplies the small subset of its API the bench
+//! targets use (`Criterion::bench_function`, `benchmark_group`,
+//! `black_box`, the `criterion_group!`/`criterion_main!` macros) on top
+//! of `std::time::Instant`. Each benchmark is warmed up, then timed over
+//! batches until a wall-clock budget is spent; the mean, minimum, and
+//! maximum per-iteration times are printed in a fixed-width table so
+//! runs can be diffed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing collected for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// The timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    batches: Vec<(u64, Duration)>,
+    budget: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm up, pick a batch size targeting ~10 ms
+    /// per batch, then measure batches until the budget is exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and batch-size calibration.
+        let warm_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / calib_iters.max(1) as f64;
+        let batch = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.batches.push((batch, t0.elapsed()));
+        }
+    }
+
+    fn sample(&self) -> Sample {
+        let mut iters = 0u64;
+        let mut total = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for &(n, d) in &self.batches {
+            let ns = d.as_nanos() as f64 / n as f64;
+            total += d.as_nanos() as f64;
+            iters += n;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        Sample {
+            mean_ns: if iters == 0 {
+                0.0
+            } else {
+                total / iters as f64
+            },
+            min_ns: if min_ns.is_finite() { min_ns } else { 0.0 },
+            max_ns,
+            iters,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:9.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:9.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:9.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:9.1} ns")
+    }
+}
+
+/// Top-level benchmark driver (criterion-compatible subset).
+pub struct Criterion {
+    budget: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // INTELLIQOS_BENCH_BUDGET_MS trades precision for wall time.
+        let ms = std::env::var("INTELLIQOS_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 6 + 1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its timing row.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher {
+            batches: Vec::new(),
+            budget: self.budget,
+            warmup: self.warmup,
+        };
+        f(&mut b);
+        let s = b.sample();
+        println!(
+            "{name:<44} mean {} min {} max {}  ({} iters)",
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.max_ns),
+            s.iters
+        );
+        self
+    }
+
+    /// Open a named group (the name prefixes each row).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// Grouped benchmarks (criterion-compatible subset).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the wall-clock budget already
+    /// bounds sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Criterion-compatible group macro: defines a function running each
+/// target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+            warmup: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_prefixes_and_finishes() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(10),
+            warmup: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2_500_000_000.0).contains("s"));
+    }
+}

@@ -32,7 +32,9 @@ pub struct Crontab<C> {
 impl<C> Crontab<C> {
     /// Empty crontab.
     pub fn new() -> Self {
-        Crontab { entries: Vec::new() }
+        Crontab {
+            entries: Vec::new(),
+        }
     }
 
     /// Add an entry; returns its index.
@@ -41,7 +43,12 @@ impl<C> Crontab<C> {
     /// Panics if the period is zero.
     pub fn add(&mut self, period: SimDuration, offset: SimDuration, command: C) -> usize {
         assert!(!period.is_zero(), "cron period must be positive");
-        self.entries.push(CronEntry { period, offset, command, enabled: true });
+        self.entries.push(CronEntry {
+            period,
+            offset,
+            command,
+            enabled: true,
+        });
         self.entries.len() - 1
     }
 

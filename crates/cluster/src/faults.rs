@@ -331,14 +331,16 @@ impl FaultInjector {
             ]),
             FaultCategory::FrontEndError => *self.rng.choose(&[FrontEndHang, FrontEndCrash]),
             FaultCategory::LsfError => {
-                *self.rng.choose(&[LsfMasterCrash, LsfMasterCrash, LsfQueueStuck])
+                *self
+                    .rng
+                    .choose(&[LsfMasterCrash, LsfMasterCrash, LsfQueueStuck])
             }
             FaultCategory::FirewallNetwork => {
-                *self.rng.choose(&[FirewallMisrule, FirewallMisrule, SegmentOutage])
+                *self
+                    .rng
+                    .choose(&[FirewallMisrule, FirewallMisrule, SegmentOutage])
             }
-            FaultCategory::ServiceUnavailable => {
-                *self.rng.choose(&[ServiceCorruption, ServiceBug])
-            }
+            FaultCategory::ServiceUnavailable => *self.rng.choose(&[ServiceCorruption, ServiceBug]),
             FaultCategory::Hardware => {
                 let comp = *self.rng.choose(&[
                     HardwareComponent::Cpu,

@@ -93,7 +93,11 @@ impl SimFs {
     pub fn add_mount(&mut self, path: impl Into<String>, capacity_bytes: u64) {
         self.mounts.insert(
             normalize(path.into()),
-            Mount { capacity_bytes, used_bytes: 0, mounted: true },
+            Mount {
+                capacity_bytes,
+                used_bytes: 0,
+                mounted: true,
+            },
         );
     }
 
@@ -166,7 +170,11 @@ impl SimFs {
         let created_at = self.files.get(&path).map(|f| f.created_at).unwrap_or(now);
         self.files.insert(
             path,
-            SimFile { lines, created_at, modified_at: now },
+            SimFile {
+                lines,
+                created_at,
+                modified_at: now,
+            },
         );
         Ok(())
     }
@@ -293,7 +301,8 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let mut fs = SimFs::with_standard_layout();
-        fs.write("/logs/a.log", vec!["one".into(), "two".into()], t0()).unwrap();
+        fs.write("/logs/a.log", vec!["one".into(), "two".into()], t0())
+            .unwrap();
         let f = fs.read("/logs/a.log").unwrap();
         assert_eq!(f.lines, vec!["one", "two"]);
         assert_eq!(f.size_bytes(), 8);
@@ -303,7 +312,8 @@ mod tests {
     fn append_creates_and_grows() {
         let mut fs = SimFs::with_standard_layout();
         fs.append("/logs/x", "hello", t0()).unwrap();
-        fs.append("/logs/x", "world", SimTime::from_secs(5)).unwrap();
+        fs.append("/logs/x", "world", SimTime::from_secs(5))
+            .unwrap();
         let f = fs.read("/logs/x").unwrap();
         assert_eq!(f.lines.len(), 2);
         assert_eq!(f.created_at, t0());
@@ -362,7 +372,7 @@ mod tests {
         let mut fs = SimFs::new();
         fs.add_mount("/d", 25);
         fs.write("/d/f", vec!["x".repeat(19)], t0()).unwrap(); // 20 bytes
-        // Overwriting with the same size must succeed (not count double).
+                                                               // Overwriting with the same size must succeed (not count double).
         fs.write("/d/f", vec!["y".repeat(19)], t0()).unwrap();
         assert_eq!(fs.read("/d/f").unwrap().lines[0], "y".repeat(19));
     }
@@ -385,13 +395,17 @@ mod tests {
     #[test]
     fn list_and_remove_dir() {
         let mut fs = SimFs::with_standard_layout();
-        fs.append("/logs/intelliagents/cpu/flag1", "ok", t0()).unwrap();
-        fs.append("/logs/intelliagents/cpu/flag2", "ok", t0()).unwrap();
-        fs.append("/logs/intelliagents/net/flag1", "ok", t0()).unwrap();
+        fs.append("/logs/intelliagents/cpu/flag1", "ok", t0())
+            .unwrap();
+        fs.append("/logs/intelliagents/cpu/flag2", "ok", t0())
+            .unwrap();
+        fs.append("/logs/intelliagents/net/flag1", "ok", t0())
+            .unwrap();
         assert_eq!(fs.list("/logs/intelliagents/cpu").len(), 2);
         assert_eq!(fs.list("/logs/intelliagents").len(), 3);
         // Sibling prefix must not match (cpu vs cpu2).
-        fs.append("/logs/intelliagents/cpu2/flag", "ok", t0()).unwrap();
+        fs.append("/logs/intelliagents/cpu2/flag", "ok", t0())
+            .unwrap();
         assert_eq!(fs.list("/logs/intelliagents/cpu").len(), 2);
         assert_eq!(fs.remove_dir("/logs/intelliagents/cpu"), 2);
         assert_eq!(fs.list("/logs/intelliagents").len(), 2);
@@ -407,6 +421,9 @@ mod tests {
     #[test]
     fn remove_missing_is_not_found() {
         let mut fs = SimFs::with_standard_layout();
-        assert!(matches!(fs.remove("/logs/ghost"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.remove("/logs/ghost"),
+            Err(FsError::NotFound(_))
+        ));
     }
 }

@@ -153,7 +153,12 @@ pub struct HardwareSpec {
 impl HardwareSpec {
     /// Build a spec.
     pub fn new(model: ServerModel, cpus: u32, ram_gb: u32, disks: u32) -> Self {
-        HardwareSpec { model, cpus, ram_gb, disks }
+        HardwareSpec {
+            model,
+            cpus,
+            ram_gb,
+            disks,
+        }
     }
 
     /// Total compute power: CPUs × per-CPU relative power.

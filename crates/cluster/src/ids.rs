@@ -99,7 +99,13 @@ pub struct IpAddr {
 
 impl fmt::Display for IpAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "10.{}.{}.{}", self.segment.0, self.host / 256, self.host % 256)
+        write!(
+            f,
+            "10.{}.{}.{}",
+            self.segment.0,
+            self.host / 256,
+            self.host % 256
+        )
     }
 }
 
@@ -113,7 +119,11 @@ mod tests {
         assert_eq!(Pid(42).to_string(), "pid042");
         assert_eq!(SegmentId(0).to_string(), "lan000");
         assert_eq!(
-            IpAddr { segment: SegmentId(1), host: 300 }.to_string(),
+            IpAddr {
+                segment: SegmentId(1),
+                host: 300
+            }
+            .to_string(),
             "10.1.1.44"
         );
         assert_eq!(Site::new("London", "LDN-DC1").to_string(), "London/LDN-DC1");

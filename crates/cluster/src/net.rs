@@ -73,8 +73,7 @@ impl Segment {
     /// Close out accounting windows up to `now`.
     fn roll_window(&mut self, now: SimTime) {
         while now.since(self.window_start) >= self.window_len {
-            let window_capacity =
-                (self.bandwidth_bps * self.window_len.as_secs()).max(1);
+            let window_capacity = (self.bandwidth_bps * self.window_len.as_secs()).max(1);
             let util = self.window_bytes as f64 / window_capacity as f64;
             self.history.push((self.window_start, util));
             self.window_start += self.window_len;
@@ -276,7 +275,11 @@ impl Fabric {
         seg.roll_window(now);
         seg.window_bytes += bytes;
         let latency_ms = seg.current_latency_ms(now);
-        Ok(Delivery { via, rerouted, latency_ms })
+        Ok(Delivery {
+            via,
+            rerouted,
+            latency_ms,
+        })
     }
 
     /// Roll every segment's accounting window forward to `now` (call at
@@ -353,7 +356,9 @@ mod tests {
         ));
         // Unblock heals.
         f.set_firewall_block(private, a, false);
-        assert!(f.transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO).is_ok());
+        assert!(f
+            .transmit(a, b, 1, SegmentKind::PrivateAgent, SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
@@ -364,7 +369,13 @@ mod tests {
         f.attach(ServerId(0), s1);
         f.attach(ServerId(1), s2);
         assert!(matches!(
-            f.transmit(ServerId(0), ServerId(1), 1, SegmentKind::Public, SimTime::ZERO),
+            f.transmit(
+                ServerId(0),
+                ServerId(1),
+                1,
+                SegmentKind::Public,
+                SimTime::ZERO
+            ),
             Err(NetError::NoRoute(_, _))
         ));
     }
@@ -387,13 +398,31 @@ mod tests {
     fn latency_inflates_with_load() {
         let (mut f, a, b, _, _) = two_host_fabric();
         let quiet = f
-            .transmit(a, b, 1_000, SegmentKind::PrivateAgent, SimTime::from_secs(1))
+            .transmit(
+                a,
+                b,
+                1_000,
+                SegmentKind::PrivateAgent,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         // Saturate the instantaneous window.
-        f.transmit(a, b, FAST_ETHERNET_BPS * 10, SegmentKind::PrivateAgent, SimTime::from_secs(1))
-            .unwrap();
+        f.transmit(
+            a,
+            b,
+            FAST_ETHERNET_BPS * 10,
+            SegmentKind::PrivateAgent,
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         let busy = f
-            .transmit(a, b, 1_000, SegmentKind::PrivateAgent, SimTime::from_secs(1))
+            .transmit(
+                a,
+                b,
+                1_000,
+                SegmentKind::PrivateAgent,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         assert!(busy.latency_ms > quiet.latency_ms);
     }

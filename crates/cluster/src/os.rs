@@ -102,8 +102,8 @@ impl OsObservables {
         // Excess demand queues up roughly in proportion to how far past
         // saturation we are, bounded by how many processes are runnable.
         let excess = (u - 1.0).max(0.0);
-        let run_queue = jitter(rng, excess * spec.cpus as f64, 0.10)
-            .min(load.runnable_procs as f64);
+        let run_queue =
+            jitter(rng, excess * spec.cpus as f64, 0.10).min(load.runnable_procs as f64);
 
         // Memory: free = RAM − demand; the page scanner wakes as free
         // memory approaches zero (Solaris-style lotsfree behaviour).
@@ -130,11 +130,7 @@ impl OsObservables {
 
         // Processes block on I/O when the disks are slow and on memory
         // when the scanner is running.
-        let blocked_procs = jitter(
-            rng,
-            io_u.min(2.0) * 2.0 + pressure * 5.0,
-            0.20,
-        );
+        let blocked_procs = jitter(rng, io_u.min(2.0) * 2.0 + pressure * 5.0, 0.20);
 
         OsObservables {
             cpu_util_pct,
@@ -271,16 +267,30 @@ mod tests {
         let mut r = rng();
         let quiet = OsObservables::observe(
             &spec(),
-            &LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.1, runnable_procs: 4 },
+            &LoadVector {
+                cpu_demand: 1.0,
+                mem_demand_gb: 2.0,
+                io_demand: 0.1,
+                runnable_procs: 4,
+            },
             &mut r,
         );
         let busy = OsObservables::observe(
             &spec(),
-            &LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.95, runnable_procs: 4 },
+            &LoadVector {
+                cpu_demand: 1.0,
+                mem_demand_gb: 2.0,
+                io_demand: 0.95,
+                runnable_procs: 4,
+            },
             &mut r,
         );
-        assert!(busy.asvc_t_ms > quiet.asvc_t_ms * 5.0,
-            "quiet = {} busy = {}", quiet.asvc_t_ms, busy.asvc_t_ms);
+        assert!(
+            busy.asvc_t_ms > quiet.asvc_t_ms * 5.0,
+            "quiet = {} busy = {}",
+            quiet.asvc_t_ms,
+            busy.asvc_t_ms
+        );
         assert!(busy.wsvc_t_ms > busy.asvc_t_ms); // writes are slower
         assert!(busy.blocked_procs > quiet.blocked_procs);
     }
@@ -291,12 +301,22 @@ mod tests {
         let cap = spec().compute_power();
         let idle = OsObservables::observe(
             &spec(),
-            &LoadVector { cpu_demand: 0.5, mem_demand_gb: 1.0, io_demand: 0.05, runnable_procs: 2 },
+            &LoadVector {
+                cpu_demand: 0.5,
+                mem_demand_gb: 1.0,
+                io_demand: 0.05,
+                runnable_procs: 2,
+            },
             &mut r,
         );
         let slammed = OsObservables::observe(
             &spec(),
-            &LoadVector { cpu_demand: cap * 1.5, mem_demand_gb: 7.9, io_demand: 0.9, runnable_procs: 50 },
+            &LoadVector {
+                cpu_demand: cap * 1.5,
+                mem_demand_gb: 7.9,
+                io_demand: 0.9,
+                runnable_procs: 50,
+            },
             &mut r,
         );
         assert!(idle.load_score() < 0.3);
@@ -305,8 +325,18 @@ mod tests {
 
     #[test]
     fn load_vector_addition() {
-        let a = LoadVector { cpu_demand: 1.0, mem_demand_gb: 2.0, io_demand: 0.1, runnable_procs: 3 };
-        let b = LoadVector { cpu_demand: 0.5, mem_demand_gb: 1.0, io_demand: 0.2, runnable_procs: 2 };
+        let a = LoadVector {
+            cpu_demand: 1.0,
+            mem_demand_gb: 2.0,
+            io_demand: 0.1,
+            runnable_procs: 3,
+        };
+        let b = LoadVector {
+            cpu_demand: 0.5,
+            mem_demand_gb: 1.0,
+            io_demand: 0.2,
+            runnable_procs: 2,
+        };
         let c = a.plus(b);
         assert_eq!(c.cpu_demand, 1.5);
         assert_eq!(c.mem_demand_gb, 3.0);

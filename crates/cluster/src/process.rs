@@ -143,7 +143,10 @@ pub struct ProcessTable {
 impl ProcessTable {
     /// Empty table.
     pub fn new() -> Self {
-        ProcessTable { procs: BTreeMap::new(), next_pid: 1 }
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+        }
     }
 
     /// Spawn a process; returns its pid.
@@ -271,7 +274,15 @@ mod tests {
 
     fn table_with_two() -> (ProcessTable, Pid, Pid) {
         let mut t = ProcessTable::new();
-        let a = t.spawn("oracle", "-db trades", "oracle", 2.0, 2048.0, 0.3, SimTime::ZERO);
+        let a = t.spawn(
+            "oracle",
+            "-db trades",
+            "oracle",
+            2.0,
+            2048.0,
+            0.3,
+            SimTime::ZERO,
+        );
         let b = t.spawn("httpd", "-p 8080", "web", 0.2, 128.0, 0.02, SimTime::ZERO);
         (t, a, b)
     }

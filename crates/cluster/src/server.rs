@@ -130,7 +130,10 @@ impl Server {
 
     /// Component health slots for a class.
     pub fn components(&self, class: HardwareComponent) -> &[ComponentHealth] {
-        self.components.get(&class).map(|v| v.as_slice()).unwrap_or(&[])
+        self.components
+            .get(&class)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Set the health of one component instance. Returns false on a bad
@@ -141,7 +144,11 @@ impl Server {
         index: usize,
         health: ComponentHealth,
     ) -> bool {
-        if let Some(slot) = self.components.get_mut(&class).and_then(|v| v.get_mut(index)) {
+        if let Some(slot) = self
+            .components
+            .get_mut(&class)
+            .and_then(|v| v.get_mut(index))
+        {
             *slot = health;
             true
         } else {
@@ -171,7 +178,10 @@ impl Server {
     /// caller handles that via [`Server::fatal_hardware_fault`].
     pub fn effective_spec(&self) -> HardwareSpec {
         let mut spec = self.spec;
-        spec.cpus = spec.cpus.saturating_sub(self.failed_count(HardwareComponent::Cpu) as u32).max(1);
+        spec.cpus = spec
+            .cpus
+            .saturating_sub(self.failed_count(HardwareComponent::Cpu) as u32)
+            .max(1);
         spec.disks = spec
             .disks
             .saturating_sub(self.failed_count(HardwareComponent::Disk) as u32)
@@ -207,7 +217,11 @@ impl Server {
         if !self.is_up() {
             return None;
         }
-        Some(OsObservables::observe(&self.effective_spec(), &self.load(), rng))
+        Some(OsObservables::observe(
+            &self.effective_spec(),
+            &self.load(),
+            rng,
+        ))
     }
 
     /// CPU utilisation fraction (0–1+) implied by current load — the
@@ -257,7 +271,8 @@ mod tests {
     #[test]
     fn crash_clears_processes() {
         let mut s = server();
-        s.procs.spawn("oracle", "", "oracle", 1.0, 512.0, 0.1, SimTime::ZERO);
+        s.procs
+            .spawn("oracle", "", "oracle", 1.0, 512.0, 0.1, SimTime::ZERO);
         s.crash();
         assert!(!s.is_up());
         assert!(s.procs.is_empty());

@@ -46,7 +46,13 @@ impl AdminPair {
     pub fn new(primary: ServerId, standby: ServerId) -> Self {
         let mut shared_pool = SimFs::new();
         shared_pool.add_mount("/", 8 * 1024 * 1024 * 1024);
-        AdminPair { primary, standby, shared_pool, dlsps: BTreeMap::new(), last_dgspl: None }
+        AdminPair {
+            primary,
+            standby,
+            shared_pool,
+            dlsps: BTreeMap::new(),
+            last_dgspl: None,
+        }
     }
 
     /// Which admin server is acting right now: the primary if it is up,
@@ -108,11 +114,9 @@ impl AdminPair {
             .cloned()
             .collect();
         let dgspl = Dgspl::from_dlsps(&fresh, now.as_secs(), power_of);
-        let _ = self.shared_pool.write(
-            "/pool/dgspl/current.dgspl",
-            dgspl.to_doc().to_lines(),
-            now,
-        );
+        let _ = self
+            .shared_pool
+            .write("/pool/dgspl/current.dgspl", dgspl.to_doc().to_lines(), now);
         self.last_dgspl = Some(dgspl.clone());
         dgspl
     }
@@ -131,7 +135,9 @@ impl AdminPair {
     ) -> Vec<(ServerId, AgentKind, Option<u64>)> {
         let mut out = Vec::new();
         for &sid in monitored {
-            let Some(server) = servers.get(&sid) else { continue };
+            let Some(server) = servers.get(&sid) else {
+                continue;
+            };
             if !server.is_up() {
                 continue; // a dead host is a different problem
             }
@@ -229,9 +235,11 @@ mod tests {
         pair.ingest_dlsp(dlsp("fresh", 1700, "running"), SimTime::from_mins(30));
         pair.ingest_dlsp(dlsp("stale", 0, "running"), SimTime::ZERO);
         pair.ingest_dlsp(dlsp("dead-db", 1750, "refused"), SimTime::from_mins(30));
-        let dg = pair.generate_dgspl(SimTime::from_mins(30), SimDuration::from_mins(20), |_, c| {
-            c as f64
-        });
+        let dg = pair.generate_dgspl(
+            SimTime::from_mins(30),
+            SimDuration::from_mins(20),
+            |_, c| c as f64,
+        );
         // Only the fresh host with a running database appears.
         assert_eq!(dg.entries.len(), 1);
         assert_eq!(dg.entries[0].hostname, "fresh");
@@ -264,8 +272,14 @@ mod tests {
             SimDuration::from_mins(10),
         );
         // Server 0: 5 stale agents (all but Service). Server 1: all 6.
-        let s0: Vec<_> = missing.iter().filter(|(s, _, _)| *s == ServerId(0)).collect();
-        let s1: Vec<_> = missing.iter().filter(|(s, _, _)| *s == ServerId(1)).collect();
+        let s0: Vec<_> = missing
+            .iter()
+            .filter(|(s, _, _)| *s == ServerId(0))
+            .collect();
+        let s1: Vec<_> = missing
+            .iter()
+            .filter(|(s, _, _)| *s == ServerId(1))
+            .collect();
         assert_eq!(s0.len(), 5);
         assert_eq!(s1.len(), 6);
         assert!(s0.iter().all(|(_, k, _)| *k != AgentKind::Service));

@@ -104,7 +104,10 @@ impl AgentParts {
     /// Monitoring/communication only — detect and tell, never touch
     /// (what a notify-only deployment looks like).
     pub fn detect_only() -> Self {
-        AgentParts { healing: false, ..AgentParts::default() }
+        AgentParts {
+            healing: false,
+            ..AgentParts::default()
+        }
     }
 }
 
@@ -154,7 +157,9 @@ impl AgentRunReport {
 /// Substitute the service name into rule action placeholders.
 fn bind_action(action: &RepairAction, svc_name: &str, extra: &str) -> RepairAction {
     let bind = |s: &str| -> String {
-        s.replace("$svc", svc_name).replace("$proc", extra).replace("$mount", extra)
+        s.replace("$svc", svc_name)
+            .replace("$proc", extra)
+            .replace("$mount", extra)
     };
     match action {
         RepairAction::RestartService(s) => RepairAction::RestartService(bind(s)),
@@ -233,10 +238,7 @@ pub fn run_service_agent(
                 svc.process_mismatches(server).len() as f64
             };
             facts.assert_fact("procs_missing", missing);
-            facts.assert_fact(
-                "starting",
-                matches!(status, ServiceStatus::Starting { .. }),
-            );
+            facts.assert_fact("starting", matches!(status, ServiceStatus::Starting { .. }));
             if let Some(m) = &mount_missing {
                 facts.assert_fact("mount_missing", true);
                 facts.assert_fact("mount", FactValue::Text(m.clone()));
@@ -274,8 +276,8 @@ pub fn run_service_agent(
                                 if let Ok(ready) = svc.start(server, now) {
                                     // Restores take an extra backout window
                                     // beyond the plain startup sequence.
-                                    let ready = ready
-                                        + intelliqos_simkern::SimDuration::from_mins(20);
+                                    let ready =
+                                        ready + intelliqos_simkern::SimDuration::from_mins(20);
                                     finding.repair_completes = Some(ready);
                                 }
                             }
@@ -370,13 +372,24 @@ pub fn run_os_resource_agents(
         && !server.procs.iter().any(|p| {
             p.name != "lsf_job"
                 && !expected_procs.iter().any(|e| e == &p.name)
-                && (p.cpu_demand / capacity.max(1e-9) > 0.3
-                    || p.mem_mb / ram_mb.max(1e-9) > 0.3)
+                && (p.cpu_demand / capacity.max(1e-9) > 0.3 || p.mem_mb / ram_mb.max(1e-9) > 0.3)
         });
     if quiet {
         if parts.communication {
-            let _ = write_flag(&mut server.fs, AgentKind::OsNetwork.name(), FlagOutcome::Ok, None, now);
-            let _ = write_flag(&mut server.fs, AgentKind::Resource.name(), FlagOutcome::Ok, None, now);
+            let _ = write_flag(
+                &mut server.fs,
+                AgentKind::OsNetwork.name(),
+                FlagOutcome::Ok,
+                None,
+                now,
+            );
+            let _ = write_flag(
+                &mut server.fs,
+                AgentKind::Resource.name(),
+                FlagOutcome::Ok,
+                None,
+                now,
+            );
         }
         return report;
     }
@@ -435,7 +448,12 @@ pub fn run_os_resource_agents(
             let bound = bind_action(action, "", &extra);
             if !parts.healing {
                 if parts.communication {
-                    bus.page(now, server.hostname.clone(), diag.cause.clone(), "healing disabled");
+                    bus.page(
+                        now,
+                        server.hostname.clone(),
+                        diag.cause.clone(),
+                        "healing disabled",
+                    );
                     report.escalations.push(diag.cause.clone());
                 }
                 continue;
@@ -483,7 +501,12 @@ pub fn run_os_resource_agents(
                 }
                 RepairAction::NotifyHumans(why) => {
                     if parts.communication {
-                        bus.page(now, server.hostname.clone(), why.clone(), diag.cause.clone());
+                        bus.page(
+                            now,
+                            server.hostname.clone(),
+                            why.clone(),
+                            diag.cause.clone(),
+                        );
                     }
                     report.escalations.push(why.clone());
                 }
@@ -499,8 +522,20 @@ pub fn run_os_resource_agents(
         } else {
             FlagOutcome::Ok
         };
-        let _ = write_flag(&mut server.fs, AgentKind::OsNetwork.name(), outcome, None, now);
-        let _ = write_flag(&mut server.fs, AgentKind::Resource.name(), outcome, None, now);
+        let _ = write_flag(
+            &mut server.fs,
+            AgentKind::OsNetwork.name(),
+            outcome,
+            None,
+            now,
+        );
+        let _ = write_flag(
+            &mut server.fs,
+            AgentKind::Resource.name(),
+            outcome,
+            None,
+            now,
+        );
     }
     report
 }
@@ -528,7 +563,13 @@ pub fn run_hardware_agent(
         .all(|&c| server.degraded_count(c) == 0 && server.failed_count(c) == 0);
     if all_healthy {
         if parts.communication {
-            let _ = write_flag(&mut server.fs, AgentKind::Hardware.name(), FlagOutcome::Ok, None, now);
+            let _ = write_flag(
+                &mut server.fs,
+                AgentKind::Hardware.name(),
+                FlagOutcome::Ok,
+                None,
+                now,
+            );
         }
         return report;
     }
@@ -591,7 +632,13 @@ pub fn run_hardware_agent(
         } else {
             FlagOutcome::Ok
         };
-        let _ = write_flag(&mut server.fs, AgentKind::Hardware.name(), outcome, None, now);
+        let _ = write_flag(
+            &mut server.fs,
+            AgentKind::Hardware.name(),
+            outcome,
+            None,
+            now,
+        );
     }
     report
 }
@@ -611,10 +658,19 @@ mod tests {
             Site::new("London", "LDN"),
         );
         let mut reg = ServiceRegistry::new();
-        let id = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let id = reg.deploy(
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        );
         reg.start(id, &mut server, SimTime::ZERO).unwrap();
         reg.complete_pending_starts(SimTime::from_secs(1600));
-        (server, reg, id, NotificationBus::new(), SimRng::stream(1, "agent"))
+        (
+            server,
+            reg,
+            id,
+            NotificationBus::new(),
+            SimRng::stream(1, "agent"),
+        )
     }
 
     #[test]
@@ -651,7 +707,10 @@ mod tests {
         let f = &report.findings[0];
         assert_eq!(f.diagnosis.as_ref().unwrap().rule_id, "svc-crashed");
         let ready = f.repair_completes.unwrap();
-        assert_eq!(ready, SimTime::from_mins(10) + SimTime::from_secs(1600).since(SimTime::ZERO));
+        assert_eq!(
+            ready,
+            SimTime::from_mins(10) + SimTime::from_secs(1600).since(SimTime::ZERO)
+        );
         assert!(matches!(
             reg.get(id).unwrap().status,
             ServiceStatus::Starting { .. }
@@ -721,8 +780,14 @@ mod tests {
     fn runaway_process_is_killed() {
         let (mut server, _, _, mut bus, _) = setup();
         let cap = server.effective_spec().compute_power();
-        server.procs.spawn("runaway", "", "app", cap * 1.2, 64.0, 0.0, SimTime::ZERO);
-        let expected = vec!["ora_pmon".to_string(), "ora_dbw".to_string(), "ora_lsnr".to_string()];
+        server
+            .procs
+            .spawn("runaway", "", "app", cap * 1.2, 64.0, 0.0, SimTime::ZERO);
+        let expected = vec![
+            "ora_pmon".to_string(),
+            "ora_dbw".to_string(),
+            "ora_lsnr".to_string(),
+        ];
         let report = run_os_resource_agents(
             &mut server,
             &expected,
@@ -743,7 +808,15 @@ mod tests {
     fn lsf_jobs_are_never_killed_as_runaways() {
         let (mut server, _, _, mut bus, _) = setup();
         let cap = server.effective_spec().compute_power();
-        server.procs.spawn("lsf_job", "datamine", "analyst01", cap * 2.0, 4096.0, 0.5, SimTime::ZERO);
+        server.procs.spawn(
+            "lsf_job",
+            "datamine",
+            "analyst01",
+            cap * 2.0,
+            4096.0,
+            0.5,
+            SimTime::ZERO,
+        );
         let report = run_os_resource_agents(
             &mut server,
             &[],
@@ -765,7 +838,11 @@ mod tests {
         while server.fs.usage_fraction("/logs").unwrap() < 0.92 {
             if server
                 .fs
-                .append(format!("/logs/app_trace_{i}"), "x".repeat(499), SimTime::ZERO)
+                .append(
+                    format!("/logs/app_trace_{i}"),
+                    "x".repeat(499),
+                    SimTime::ZERO,
+                )
                 .is_err()
             {
                 break;
@@ -806,7 +883,12 @@ mod tests {
     fn hardware_agent_offlines_degraded_cpu() {
         let (mut server, _, _, mut bus, _) = setup();
         server.set_component_health(HardwareComponent::Cpu, 2, ComponentHealth::Degraded);
-        let report = run_hardware_agent(&mut server, AgentParts::all(), &mut bus, SimTime::from_mins(5));
+        let report = run_hardware_agent(
+            &mut server,
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
         assert!(report
             .local_repairs
             .iter()
@@ -820,7 +902,12 @@ mod tests {
     fn hardware_agent_escalates_board_problems() {
         let (mut server, _, _, mut bus, _) = setup();
         server.set_component_health(HardwareComponent::Board, 0, ComponentHealth::Degraded);
-        let report = run_hardware_agent(&mut server, AgentParts::all(), &mut bus, SimTime::from_mins(5));
+        let report = run_hardware_agent(
+            &mut server,
+            AgentParts::all(),
+            &mut bus,
+            SimTime::from_mins(5),
+        );
         assert!(report.local_repairs.is_empty());
         assert!(!report.escalations.is_empty());
         assert!(bus.count_channel(Channel::Email) > 0);
@@ -830,9 +917,18 @@ mod tests {
     fn monitoring_disabled_does_nothing() {
         let (mut server, mut reg, id, mut bus, mut rng) = setup();
         reg.get_mut(id).unwrap().crash(&mut server);
-        let parts = AgentParts { monitoring: false, ..AgentParts::all() };
-        let report =
-            run_service_agent(&mut server, &mut reg, parts, &mut bus, &mut rng, SimTime::ZERO);
+        let parts = AgentParts {
+            monitoring: false,
+            ..AgentParts::all()
+        };
+        let report = run_service_agent(
+            &mut server,
+            &mut reg,
+            parts,
+            &mut bus,
+            &mut rng,
+            SimTime::ZERO,
+        );
         assert!(report.findings.is_empty());
         assert_eq!(reg.get(id).unwrap().status, ServiceStatus::Crashed);
     }

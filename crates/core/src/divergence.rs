@@ -1,0 +1,161 @@
+//! Paired-run divergence finder.
+//!
+//! The paper's before/after methodology (§4, Figure 2) compares a
+//! ManualOps run against an Intelliagents run **of the same scenario**:
+//! same seed, same fault tape, same analyst workload. That comparison is
+//! only meaningful while the exogenous streams really are identical — if
+//! a refactor accidentally lets the management mode perturb the fault or
+//! workload tape, every downstream number silently stops being a paired
+//! measurement.
+//!
+//! [`first_divergence`] checks the invariant directly: given two built
+//! (or run) worlds it walks the fault tape and then the workload tape
+//! element-by-element and reports the **first** differing event, rendered
+//! on both sides, so a regression pinpoints the exact tape index rather
+//! than surfacing as a mysteriously different Figure-2 table.
+
+use std::fmt;
+
+use crate::world::World;
+
+/// Which exogenous stream diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// The fault-injection tape.
+    FaultTape,
+    /// The analyst workload tape.
+    WorkloadTape,
+}
+
+impl Stream {
+    /// Human-readable stream name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stream::FaultTape => "fault-tape",
+            Stream::WorkloadTape => "workload-tape",
+        }
+    }
+}
+
+/// The first point at which two runs' exogenous streams differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Stream containing the first difference.
+    pub stream: Stream,
+    /// Index of the first differing event within that stream.
+    pub index: usize,
+    /// Rendered event on the left run (`"<absent>"` past its tape end).
+    pub left: String,
+    /// Rendered event on the right run (`"<absent>"` past its tape end).
+    pub right: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: left={} right={}",
+            self.stream.name(),
+            self.index,
+            self.left,
+            self.right
+        )
+    }
+}
+
+fn first_diff<T: PartialEq + fmt::Debug>(
+    stream: Stream,
+    left: &[T],
+    right: &[T],
+) -> Option<Divergence> {
+    let render = |side: &[T], i: usize| {
+        side.get(i)
+            .map(|e| format!("{e:?}"))
+            .unwrap_or_else(|| "<absent>".to_string())
+    };
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        if left.get(i) != right.get(i) {
+            return Some(Divergence {
+                stream,
+                index: i,
+                left: render(left, i),
+                right: render(right, i),
+            });
+        }
+    }
+    None
+}
+
+/// Find the first diverging event between two runs' exogenous streams.
+///
+/// Checks the fault tape first (it drives everything downstream), then
+/// the workload tape. Returns `None` when both streams are identical —
+/// the paired-run invariant holds.
+pub fn first_divergence(left: &World, right: &World) -> Option<Divergence> {
+    first_diff(Stream::FaultTape, left.fault_tape(), right.fault_tape()).or_else(|| {
+        first_diff(
+            Stream::WorkloadTape,
+            left.workload_tape(),
+            right.workload_tape(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ManagementMode, ScenarioConfig};
+
+    fn build(seed: u64, mode: ManagementMode) -> World {
+        let mut cfg = ScenarioConfig::small(seed, mode);
+        cfg.horizon = intelliqos_simkern::SimDuration::from_days(3);
+        World::build(cfg)
+    }
+
+    #[test]
+    fn same_seed_across_modes_has_no_divergence() {
+        let a = build(42, ManagementMode::ManualOps);
+        let b = build(42, ManagementMode::Intelliagents);
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn different_seeds_pinpoint_first_differing_event() {
+        let a = build(42, ManagementMode::ManualOps);
+        let b = build(43, ManagementMode::ManualOps);
+        let d = first_divergence(&a, &b).expect("different seeds must diverge");
+        // The report names the stream, the index, and both renderings.
+        assert!(d.left != d.right);
+        let shown = d.to_string();
+        assert!(shown.contains(&format!("[{}]", d.index)));
+        assert!(shown.contains("left="));
+        // And it really is the FIRST difference in that stream.
+        match d.stream {
+            Stream::FaultTape => {
+                assert_eq!(a.fault_tape()[..d.index], b.fault_tape()[..d.index]);
+            }
+            Stream::WorkloadTape => {
+                assert_eq!(a.fault_tape(), b.fault_tape());
+                assert_eq!(a.workload_tape()[..d.index], b.workload_tape()[..d.index]);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_mode_is_trivially_identical() {
+        let a = build(7, ManagementMode::ManualOps);
+        let b = build(7, ManagementMode::ManualOps);
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn length_mismatch_renders_absent_side() {
+        let left = [1, 2, 3];
+        let d =
+            first_diff(Stream::FaultTape, &left, &left[..1]).expect("truncated stream diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, "2");
+        assert_eq!(d.right, "<absent>");
+    }
+}

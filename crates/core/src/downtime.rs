@@ -2,11 +2,13 @@
 //! accounting.
 //!
 //! Every fault — exogenous or endogenous — opens an **incident** in the
-//! category Figure 2 charts it under. The incident records when it was
-//! detected and when service was restored; total downtime per category
-//! is the sum of incident durations, exactly the "breakdown in hours
-//! based on the type of errors that caused downtime" the customer
-//! reported.
+//! category Figure 2 charts it under, and the incident carries the full
+//! lifecycle: `injected → detected → diagnosed → repaired/escalated`,
+//! each with its timestamp, plus who repaired it and with what action.
+//! Total downtime per category is the sum of incident durations, exactly
+//! the "breakdown in hours based on the type of errors that caused
+//! downtime" the customer reported — and the run report's category
+//! tables are *derived* from this ledger, so the two can never disagree.
 
 use std::collections::BTreeMap;
 
@@ -23,6 +25,35 @@ impl std::fmt::Display for IncidentId {
     }
 }
 
+/// Who executed the repair that closed an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Actor {
+    /// An intelliagent healed it locally on the server.
+    Agent,
+    /// The admin pair repaired it centrally (flag monitoring, crontab
+    /// re-enable, resubmission machinery).
+    Admin,
+    /// A human operator or engineer.
+    Human,
+}
+
+impl Actor {
+    /// Lower-case tag for rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Actor::Agent => "agent",
+            Actor::Admin => "admin",
+            Actor::Human => "human",
+        }
+    }
+
+    /// Does this count as an automatic repair in the Figure 2
+    /// accounting? (Everything the software layer did on its own.)
+    pub fn is_automatic(self) -> bool {
+        !matches!(self, Actor::Human)
+    }
+}
+
 /// One tracked incident.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Incident {
@@ -32,14 +63,20 @@ pub struct Incident {
     pub category: FaultCategory,
     /// Free-form description (mechanism, target).
     pub description: String,
-    /// Fault onset.
+    /// Fault onset (injection time).
     pub onset: SimTime,
     /// When monitoring/humans first knew.
     pub detected: Option<SimTime>,
+    /// When the cause was pinned down (rule fired, engineer engaged).
+    pub diagnosed: Option<SimTime>,
     /// When service was restored.
     pub restored: Option<SimTime>,
-    /// Whether repair was automatic (agent) or manual (human).
-    pub auto_repaired: bool,
+    /// Who executed the repair (set at restore).
+    pub repaired_by: Option<Actor>,
+    /// The repair action that closed it (set at restore).
+    pub repair_action: Option<String>,
+    /// Humans were paged about it at some point.
+    pub escalated: bool,
 }
 
 impl Incident {
@@ -60,6 +97,61 @@ impl Incident {
     pub fn downtime(&self) -> Option<SimDuration> {
         self.restored.map(|r| r.since(self.onset))
     }
+
+    /// Whether the repair was automatic (agent or admin).
+    pub fn auto_repaired(&self) -> bool {
+        self.repaired_by.map(Actor::is_automatic).unwrap_or(false)
+    }
+
+    /// A closed incident must carry the full, ordered lifecycle. Returns
+    /// the first violation found, or `None` when the record is sound.
+    pub fn lifecycle_violation(&self) -> Option<String> {
+        let Some(restored) = self.restored else {
+            // Open incidents only need ordering on what exists so far.
+            if let (Some(d), Some(g)) = (self.detected, self.diagnosed) {
+                if g < d {
+                    return Some(format!("{}: diagnosed {g} before detected {d}", self.id));
+                }
+            }
+            return None;
+        };
+        let Some(detected) = self.detected else {
+            return Some(format!("{}: closed without a detection time", self.id));
+        };
+        let Some(diagnosed) = self.diagnosed else {
+            return Some(format!("{}: closed without a diagnosis time", self.id));
+        };
+        if detected < self.onset {
+            return Some(format!(
+                "{}: detected {detected} before onset {}",
+                self.id, self.onset
+            ));
+        }
+        if diagnosed < detected {
+            return Some(format!(
+                "{}: diagnosed {diagnosed} before detected {detected}",
+                self.id
+            ));
+        }
+        if restored < diagnosed {
+            return Some(format!(
+                "{}: restored {restored} before diagnosed {diagnosed}",
+                self.id
+            ));
+        }
+        if self.repaired_by.is_none() {
+            return Some(format!("{}: closed without an actor", self.id));
+        }
+        if self
+            .repair_action
+            .as_deref()
+            .map(str::is_empty)
+            .unwrap_or(true)
+        {
+            return Some(format!("{}: closed without a repair action", self.id));
+        }
+        None
+    }
 }
 
 /// Aggregate statistics for one category.
@@ -75,6 +167,8 @@ pub struct CategoryTotals {
     pub repair_hours: f64,
     /// How many were auto-repaired.
     pub auto_repaired: u64,
+    /// How many involved paging humans.
+    pub escalated: u64,
 }
 
 impl CategoryTotals {
@@ -127,8 +221,11 @@ impl DowntimeLedger {
                 description: description.into(),
                 onset,
                 detected: None,
+                diagnosed: None,
                 restored: None,
-                auto_repaired: false,
+                repaired_by: None,
+                repair_action: None,
+                escalated: false,
             },
         );
         id
@@ -138,6 +235,23 @@ impl DowntimeLedger {
     /// detection wins.
     pub fn detect(&mut self, id: IncidentId, at: SimTime) -> bool {
         if let Some(inc) = self.incidents.get_mut(&id) {
+            if inc.detected.is_none_or(|t| at < t) {
+                inc.detected = Some(at);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record diagnosis (cause pinned down). Idempotent — the earliest
+    /// diagnosis wins. Detection defaults to the same instant if it was
+    /// never recorded.
+    pub fn diagnose(&mut self, id: IncidentId, at: SimTime) -> bool {
+        if let Some(inc) = self.incidents.get_mut(&id) {
+            if inc.diagnosed.is_none_or(|t| at < t) {
+                inc.diagnosed = Some(at);
+            }
             if inc.detected.is_none() {
                 inc.detected = Some(at);
             }
@@ -147,16 +261,41 @@ impl DowntimeLedger {
         }
     }
 
-    /// Close the incident at restoration. Detection defaults to the
-    /// restore instant if it was never recorded.
-    pub fn restore(&mut self, id: IncidentId, at: SimTime, auto: bool) -> bool {
+    /// Record that humans were paged about the incident.
+    pub fn escalate(&mut self, id: IncidentId, at: SimTime) -> bool {
+        if let Some(inc) = self.incidents.get_mut(&id) {
+            inc.escalated = true;
+            if inc.detected.is_none() {
+                inc.detected = Some(at);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Close the incident at restoration, recording who repaired it and
+    /// with what action. Detection and diagnosis default to the restore
+    /// instant if they were never recorded — and are clamped *down* to it
+    /// if they were pre-recorded for a later time (a manual pipeline may
+    /// stamp its scheduled detection/engagement ahead of time, then lose
+    /// the race to an agent repair). Every closed record is thus
+    /// lifecycle-complete and ordered.
+    pub fn restore(
+        &mut self,
+        id: IncidentId,
+        at: SimTime,
+        actor: Actor,
+        action: impl Into<String>,
+    ) -> bool {
         if let Some(inc) = self.incidents.get_mut(&id) {
             if inc.restored.is_none() {
                 inc.restored = Some(at);
-                if inc.detected.is_none() {
-                    inc.detected = Some(at);
-                }
-                inc.auto_repaired = auto;
+                let detected = inc.detected.map_or(at, |t| t.min(at));
+                inc.detected = Some(detected);
+                inc.diagnosed = Some(inc.diagnosed.map_or(at, |t| t.min(at)).max(detected));
+                inc.repaired_by = Some(actor);
+                inc.repair_action = Some(action.into());
             }
             true
         } else {
@@ -176,14 +315,28 @@ impl DowntimeLedger {
 
     /// Incidents still open.
     pub fn open_incidents(&self) -> Vec<&Incident> {
-        self.incidents.values().filter(|i| i.restored.is_none()).collect()
+        self.incidents
+            .values()
+            .filter(|i| i.restored.is_none())
+            .collect()
+    }
+
+    /// Lifecycle violations across the whole ledger (empty when every
+    /// record is sound — the triage invariant).
+    pub fn lifecycle_violations(&self) -> Vec<String> {
+        self.incidents
+            .values()
+            .filter_map(Incident::lifecycle_violation)
+            .collect()
     }
 
     /// Per-category totals over closed incidents.
     pub fn totals(&self) -> BTreeMap<FaultCategory, CategoryTotals> {
         let mut out: BTreeMap<FaultCategory, CategoryTotals> = BTreeMap::new();
         for inc in self.incidents.values() {
-            let Some(downtime) = inc.downtime() else { continue };
+            let Some(downtime) = inc.downtime() else {
+                continue;
+            };
             let t = out.entry(inc.category).or_default();
             t.incidents += 1;
             t.downtime_hours += downtime.as_hours_f64();
@@ -193,8 +346,11 @@ impl DowntimeLedger {
             if let Some(r) = inc.repair_time() {
                 t.repair_hours += r.as_hours_f64();
             }
-            if inc.auto_repaired {
+            if inc.auto_repaired() {
                 t.auto_repaired += 1;
+            }
+            if inc.escalated {
+                t.escalated += 1;
             }
         }
         out
@@ -211,14 +367,105 @@ impl DowntimeLedger {
         let totals = self.totals();
         FaultCategory::ALL
             .iter()
-            .map(|c| {
-                (
-                    *c,
-                    totals.get(c).map(|t| t.downtime_hours).unwrap_or(0.0),
-                )
-            })
+            .map(|c| (*c, totals.get(c).map(|t| t.downtime_hours).unwrap_or(0.0)))
             .collect()
     }
+
+    /// Serialise the full ledger as JSON (incidents with their lifecycle
+    /// plus the per-category totals). Hand-rolled because the build
+    /// environment has no serde; the shape is stable and consumed by the
+    /// triage tooling.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"incidents\": [\n");
+        let mut first = true;
+        for inc in self.incidents.values() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("    {");
+            out.push_str(&format!("\"id\": {}, ", inc.id.0));
+            out.push_str(&format!(
+                "\"category\": {}, ",
+                json_str(inc.category.label())
+            ));
+            out.push_str(&format!(
+                "\"description\": {}, ",
+                json_str(&inc.description)
+            ));
+            out.push_str(&format!("\"onset\": {}, ", inc.onset.as_secs()));
+            out.push_str(&format!("\"detected\": {}, ", json_opt_time(inc.detected)));
+            out.push_str(&format!(
+                "\"diagnosed\": {}, ",
+                json_opt_time(inc.diagnosed)
+            ));
+            out.push_str(&format!("\"restored\": {}, ", json_opt_time(inc.restored)));
+            out.push_str(&format!(
+                "\"actor\": {}, ",
+                inc.repaired_by
+                    .map(|a| json_str(a.label()))
+                    .unwrap_or_else(|| "null".into())
+            ));
+            out.push_str(&format!(
+                "\"action\": {}, ",
+                inc.repair_action
+                    .as_deref()
+                    .map(json_str)
+                    .unwrap_or_else(|| "null".into())
+            ));
+            out.push_str(&format!("\"escalated\": {}", inc.escalated));
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"totals\": {\n");
+        let totals = self.totals();
+        let mut first = true;
+        for (cat, t) in &totals {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {}: {{\"incidents\": {}, \"downtime_hours\": {:.4}, \"detection_hours\": {:.4}, \"repair_hours\": {:.4}, \"auto_repaired\": {}, \"escalated\": {}}}",
+                json_str(cat.label()),
+                t.incidents,
+                t.downtime_hours,
+                t.detection_hours,
+                t.repair_hours,
+                t.auto_repaired,
+                t.escalated,
+            ));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"total_downtime_hours\": {:.4},\n  \"open_incidents\": {}\n}}\n",
+            self.total_downtime_hours(),
+            self.open_incidents().len()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_time(t: Option<SimTime>) -> String {
+    t.map(|t| t.as_secs().to_string())
+        .unwrap_or_else(|| "null".into())
 }
 
 #[cfg(test)]
@@ -229,50 +476,95 @@ mod tests {
     #[test]
     fn incident_lifecycle() {
         let mut l = DowntimeLedger::new();
-        let id = l.open(FaultCategory::HumanError, "killed oracle", SimTime::from_hours(1));
+        let id = l.open(
+            FaultCategory::HumanError,
+            "killed oracle",
+            SimTime::from_hours(1),
+        );
         assert_eq!(l.open_incidents().len(), 1);
         assert!(l.detect(id, SimTime::from_hours(2)));
-        assert!(l.restore(id, SimTime::from_hours(4), false));
+        assert!(l.diagnose(id, SimTime::from_hours(3)));
+        assert!(l.restore(id, SimTime::from_hours(4), Actor::Human, "restart oracle"));
         let inc = l.get(id).unwrap();
         assert_eq!(inc.detection_latency(), Some(SimDuration::from_hours(1)));
         assert_eq!(inc.repair_time(), Some(SimDuration::from_hours(2)));
         assert_eq!(inc.downtime(), Some(SimDuration::from_hours(3)));
+        assert_eq!(inc.diagnosed, Some(SimTime::from_hours(3)));
+        assert_eq!(inc.repaired_by, Some(Actor::Human));
+        assert_eq!(inc.repair_action.as_deref(), Some("restart oracle"));
+        assert!(!inc.auto_repaired());
+        assert!(inc.lifecycle_violation().is_none());
         assert!(l.open_incidents().is_empty());
+        assert!(l.lifecycle_violations().is_empty());
     }
 
     #[test]
-    fn earliest_detection_wins() {
+    fn earliest_detection_and_diagnosis_win() {
         let mut l = DowntimeLedger::new();
         let id = l.open(FaultCategory::LsfError, "x", SimTime::ZERO);
         l.detect(id, SimTime::from_mins(5));
         l.detect(id, SimTime::from_mins(50));
+        l.diagnose(id, SimTime::from_mins(40));
+        l.diagnose(id, SimTime::from_mins(10));
         assert_eq!(l.get(id).unwrap().detected, Some(SimTime::from_mins(5)));
+        assert_eq!(l.get(id).unwrap().diagnosed, Some(SimTime::from_mins(10)));
     }
 
     #[test]
-    fn restore_defaults_detection() {
+    fn restore_defaults_detection_and_diagnosis() {
         let mut l = DowntimeLedger::new();
         let id = l.open(FaultCategory::Hardware, "x", SimTime::ZERO);
-        l.restore(id, SimTime::from_hours(2), true);
+        l.restore(id, SimTime::from_hours(2), Actor::Agent, "offline cpu");
         {
             let inc = l.get(id).unwrap();
             assert_eq!(inc.detected, Some(SimTime::from_hours(2)));
-            assert!(inc.auto_repaired);
+            assert_eq!(inc.diagnosed, Some(SimTime::from_hours(2)));
+            assert!(inc.auto_repaired());
+            assert!(inc.lifecycle_violation().is_none());
         }
         // Second restore is a no-op.
-        l.restore(id, SimTime::from_hours(9), false);
+        l.restore(id, SimTime::from_hours(9), Actor::Human, "late");
         assert_eq!(l.get(id).unwrap().restored, Some(SimTime::from_hours(2)));
+        assert_eq!(l.get(id).unwrap().repaired_by, Some(Actor::Agent));
+    }
+
+    #[test]
+    fn escalation_is_recorded() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(
+            FaultCategory::FirewallNetwork,
+            "segment down",
+            SimTime::ZERO,
+        );
+        l.escalate(id, SimTime::from_mins(5));
+        l.restore(id, SimTime::from_hours(1), Actor::Human, "fix switch");
+        let inc = l.get(id).unwrap();
+        assert!(inc.escalated);
+        assert_eq!(l.totals()[&FaultCategory::FirewallNetwork].escalated, 1);
     }
 
     #[test]
     fn totals_aggregate_per_category() {
         let mut l = DowntimeLedger::new();
         for i in 0..3u64 {
-            let id = l.open(FaultCategory::MidJobDbCrash, "crash", SimTime::from_hours(i * 10));
+            let id = l.open(
+                FaultCategory::MidJobDbCrash,
+                "crash",
+                SimTime::from_hours(i * 10),
+            );
             l.detect(id, SimTime::from_hours(i * 10 + 1));
-            l.restore(id, SimTime::from_hours(i * 10 + 3), i % 2 == 0);
+            let actor = if i % 2 == 0 {
+                Actor::Agent
+            } else {
+                Actor::Human
+            };
+            l.restore(id, SimTime::from_hours(i * 10 + 3), actor, "restart db");
         }
-        let open = l.open(FaultCategory::MidJobDbCrash, "still down", SimTime::from_hours(99));
+        let open = l.open(
+            FaultCategory::MidJobDbCrash,
+            "still down",
+            SimTime::from_hours(99),
+        );
         let _ = open; // open incidents don't count
         let t = l.totals()[&FaultCategory::MidJobDbCrash];
         assert_eq!(t.incidents, 3);
@@ -288,7 +580,7 @@ mod tests {
     fn figure2_rows_cover_all_categories() {
         let mut l = DowntimeLedger::new();
         let id = l.open(FaultCategory::FrontEndError, "hang", SimTime::ZERO);
-        l.restore(id, SimTime::from_hours(2), true);
+        l.restore(id, SimTime::from_hours(2), Actor::Agent, "bounce");
         let rows = l.figure2_rows();
         assert_eq!(rows.len(), 8);
         let fe = rows
@@ -297,7 +589,10 @@ mod tests {
             .unwrap();
         assert!((fe.1 - 2.0).abs() < 1e-9);
         // Untouched categories report zero.
-        let hw = rows.iter().find(|(c, _)| *c == FaultCategory::Hardware).unwrap();
+        let hw = rows
+            .iter()
+            .find(|(c, _)| *c == FaultCategory::Hardware)
+            .unwrap();
         assert_eq!(hw.1, 0.0);
     }
 
@@ -305,6 +600,66 @@ mod tests {
     fn bad_ids_are_rejected() {
         let mut l = DowntimeLedger::new();
         assert!(!l.detect(IncidentId(42), SimTime::ZERO));
-        assert!(!l.restore(IncidentId(42), SimTime::ZERO, false));
+        assert!(!l.diagnose(IncidentId(42), SimTime::ZERO));
+        assert!(!l.escalate(IncidentId(42), SimTime::ZERO));
+        assert!(!l.restore(IncidentId(42), SimTime::ZERO, Actor::Human, "x"));
+    }
+
+    #[test]
+    fn lifecycle_violations_catch_incomplete_records() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::Hardware, "x", SimTime::from_hours(1));
+        // Hand-build a broken record: restored without actor.
+        // (Only reachable by construction — the API always sets both.)
+        let mut inc = l.get(id).unwrap().clone();
+        inc.restored = Some(SimTime::from_hours(2));
+        inc.detected = Some(SimTime::from_hours(1));
+        inc.diagnosed = Some(SimTime::from_hours(1));
+        assert!(inc
+            .lifecycle_violation()
+            .unwrap()
+            .contains("without an actor"));
+        inc.repaired_by = Some(Actor::Human);
+        assert!(inc
+            .lifecycle_violation()
+            .unwrap()
+            .contains("without a repair action"));
+        inc.repair_action = Some("swap board".into());
+        assert!(inc.lifecycle_violation().is_none());
+        // Out-of-order lifecycle.
+        inc.diagnosed = Some(SimTime::from_mins(10));
+        assert!(inc.lifecycle_violation().unwrap().contains("diagnosed"));
+    }
+
+    #[test]
+    fn json_export_is_wellformed_and_complete() {
+        let mut l = DowntimeLedger::new();
+        let a = l.open(
+            FaultCategory::MidJobDbCrash,
+            "db \"x\" crashed",
+            SimTime::from_hours(1),
+        );
+        l.detect(a, SimTime::from_hours(1));
+        l.diagnose(a, SimTime::from_hours(1));
+        l.restore(a, SimTime::from_hours(2), Actor::Agent, "restart-service");
+        let _open = l.open(
+            FaultCategory::Hardware,
+            "cpu|degrading",
+            SimTime::from_hours(3),
+        );
+        let json = l.to_json();
+        assert!(json.contains("\"incidents\": ["));
+        assert!(json.contains("\"actor\": \"agent\""));
+        assert!(json.contains("\"db \\\"x\\\" crashed\""));
+        assert!(json.contains("\"restored\": null"));
+        assert!(json.contains("\"open_incidents\": 1"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the tree).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 }

@@ -1,0 +1,95 @@
+//! JSON run export: incident ledger + structured trace in one document.
+//!
+//! Hand-rolled (the build environment carries no serde); the shape is
+//! stable and consumed by the `triage` bench binary and
+//! `scripts/triage.sh`:
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "mode": "Intelliagents",
+//!   "ledger": { "incidents": [...], "totals": {...}, ... },
+//!   "trace": { "enabled": true, "total": 123, "evicted": 0,
+//!              "counters": {"fault": 9, ...}, "events": ["0|0|kern|run-start|...", ...] }
+//! }
+//! ```
+
+use crate::downtime::json_str;
+use crate::world::World;
+
+/// Serialise a (typically finished) world's ledger and trace as JSON.
+pub fn run_export_json(world: &World) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("\"seed\": {},\n", world.cfg.seed));
+    out.push_str(&format!(
+        "\"mode\": {},\n",
+        json_str(&format!("{:?}", world.cfg.mode))
+    ));
+    out.push_str("\"ledger\": ");
+    out.push_str(world.ledger.to_json().trim_end());
+    out.push_str(",\n\"trace\": {\n");
+    let t = &world.trace;
+    out.push_str(&format!("  \"enabled\": {},\n", t.is_enabled()));
+    out.push_str(&format!("  \"total\": {},\n", t.total()));
+    out.push_str(&format!("  \"evicted\": {},\n", t.evicted()));
+    out.push_str("  \"counters\": {");
+    let counters = t.counters();
+    for (i, (tag, n)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(tag), n));
+    }
+    out.push_str("},\n  \"events\": [\n");
+    let lines = t.render_lines();
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    ");
+        out.push_str(&json_str(line));
+    }
+    out.push_str("\n  ]\n}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ManagementMode, ScenarioConfig};
+    use intelliqos_simkern::SimDuration;
+
+    #[test]
+    fn export_is_balanced_and_carries_both_layers() {
+        let mut cfg = ScenarioConfig::small(42, ManagementMode::Intelliagents);
+        cfg.horizon = SimDuration::from_days(3);
+        let mut world = World::build(cfg).enable_trace();
+        world.run_to_end();
+        let json = run_export_json(&world);
+        // Braces and brackets balance (strings are escaped, so naive
+        // depth counting outside quotes is sound).
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for ch in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match ch {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+        assert!(json.contains("\"ledger\""));
+        assert!(json.contains("\"trace\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("run-start"));
+    }
+}

@@ -93,7 +93,13 @@ pub fn write_flag(
     if let Some(d) = detail {
         let clean: String = d
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         name.push('.');
         name.push_str(&clean);
@@ -111,7 +117,12 @@ pub fn parse_flag_path(path: &str) -> Option<Flag> {
     let run_at_secs: u64 = parts.next()?.parse().ok()?;
     let outcome = FlagOutcome::from_suffix(parts.next()?)?;
     let detail = parts.next().map(|s| s.to_string());
-    Some(Flag { agent: agent.to_string(), run_at_secs, outcome, detail })
+    Some(Flag {
+        agent: agent.to_string(),
+        run_at_secs,
+        outcome,
+        detail,
+    })
 }
 
 /// All flags of one agent on a filesystem, oldest first.

@@ -17,7 +17,12 @@
 //! * [`rulesets`] — the accumulated troubleshooting procedures as
 //!   causal rule sets.
 //! * [`notify`] — email/SMS/SystemEdge notification bus.
-//! * [`downtime`] — the incident ledger behind Figure 2.
+//! * [`downtime`] — the incident ledger behind Figure 2: every fault's
+//!   injected → detected → diagnosed → repaired/escalated lifecycle.
+//! * [`divergence`] — paired-run divergence finder guarding the
+//!   same-seed before/after invariant.
+//! * [`export`] — JSON run export (ledger + trace) for the triage
+//!   tooling.
 //! * [`scenario`] / [`world`] — deterministic whole-datacenter
 //!   scenarios with paired before/after (manual vs intelliagent) runs.
 
@@ -25,7 +30,9 @@
 
 pub mod admin;
 pub mod agents;
+pub mod divergence;
 pub mod downtime;
+pub mod export;
 pub mod flags;
 pub mod notify;
 pub mod ontogen;
@@ -37,7 +44,9 @@ pub mod world;
 
 pub use admin::AdminPair;
 pub use agents::{AgentKind, AgentParts, AgentRunReport, ServiceFinding};
-pub use downtime::{CategoryTotals, DowntimeLedger, Incident, IncidentId};
+pub use divergence::{first_divergence, Divergence, Stream};
+pub use downtime::{Actor, CategoryTotals, DowntimeLedger, Incident, IncidentId};
+pub use export::run_export_json;
 pub use flags::{Flag, FlagOutcome};
 pub use notify::{Channel, Notification, NotificationBus, Severity};
 pub use resched::DgsplSelector;

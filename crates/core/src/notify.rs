@@ -96,7 +96,14 @@ impl NotificationBus {
             subject.clone(),
             body.clone(),
         );
-        self.send(at, Channel::SystemEdgeConsole, Severity::Critical, origin, subject, body);
+        self.send(
+            at,
+            Channel::SystemEdgeConsole,
+            Severity::Critical,
+            origin,
+            subject,
+            body,
+        );
     }
 
     /// Full log.
@@ -116,7 +123,10 @@ impl NotificationBus {
 
     /// Notifications within a time window.
     pub fn in_window(&self, from: SimTime, to: SimTime) -> Vec<&Notification> {
-        self.log.iter().filter(|n| n.at >= from && n.at < to).collect()
+        self.log
+            .iter()
+            .filter(|n| n.at >= from && n.at < to)
+            .collect()
     }
 }
 

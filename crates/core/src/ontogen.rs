@@ -116,7 +116,10 @@ mod tests {
                 HardwareSpec::new(ServerModel::SunE4500, 8, 8, 6),
                 Site::new("London", "LDN"),
             );
-            reg.deploy(ServiceSpec::database(format!("trades-db-{i}"), DbEngine::Oracle), s.id);
+            reg.deploy(
+                ServiceSpec::database(format!("trades-db-{i}"), DbEngine::Oracle),
+                s.id,
+            );
             servers.push(s);
         }
         (servers, reg)
@@ -131,7 +134,10 @@ mod tests {
         assert_eq!(lists[1].len(), 200);
         assert_eq!(lists[2].len(), 50);
         // Entries carry the services.
-        assert_eq!(lists[0].entries()[0].services, vec!["trades-db-0".to_string()]);
+        assert_eq!(
+            lists[0].entries()[0].services,
+            vec!["trades-db-0".to_string()]
+        );
         // Round-trips through the flat format.
         let text = lists[0].to_doc().to_text();
         assert_eq!(Issl::parse_text(&text).unwrap(), lists[0]);
@@ -154,7 +160,10 @@ mod tests {
         let app = slkt.app("trades-db-0").expect("app present");
         assert_eq!(app.app_type, "db-oracle");
         assert_eq!(app.processes.len(), 3);
-        assert_eq!(app.startup_sequence, vec!["listener", "instance", "recovery"]);
+        assert_eq!(
+            app.startup_sequence,
+            vec!["listener", "instance", "recovery"]
+        );
         assert_eq!(app.connect_timeout_secs, 30);
         // Install writes the flat file onto the server's own disk.
         install_slkt(&mut servers[0], &reg);

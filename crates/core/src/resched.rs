@@ -45,7 +45,12 @@ impl DgsplSelector {
         host_ids: BTreeMap<String, ServerId>,
         app_type: impl Into<String>,
     ) -> Self {
-        DgsplSelector { dgspl, host_ids, app_type: app_type.into(), replacement_floor: None }
+        DgsplSelector {
+            dgspl,
+            host_ids,
+            app_type: app_type.into(),
+            replacement_floor: None,
+        }
     }
 
     /// Replace the DGSPL snapshot (called after each regeneration).
@@ -76,16 +81,17 @@ impl ServerSelector for DgsplSelector {
             e.app_type.starts_with(self.app_type.as_str())
         };
         let shortlist = match &self.replacement_floor {
-            Some((model, power, ram)) => {
-                self.dgspl
-                    .replacement_shortlist_by(pred, model, *power, *ram)
-            }
+            Some((model, power, ram)) => self
+                .dgspl
+                .replacement_shortlist_by(pred, model, *power, *ram),
             None => self.dgspl.shortlist_by(pred),
         };
         // Walk the shortlist best-first; take the first entry whose
         // server currently accepts jobs.
         for entry in shortlist {
-            let Some(&sid) = self.host_ids.get(&entry.hostname) else { continue };
+            let Some(&sid) = self.host_ids.get(&entry.hostname) else {
+                continue;
+            };
             // On resubmission, avoid the servers this job already
             // crashed on — knowledge the manual/random baselines lack.
             if job.attempts > 0 && job.tried_servers.contains(&sid) {
@@ -154,7 +160,14 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        DgsplSelector::new(Dgspl { generated_at_secs: 0, entries }, host_ids, "db-oracle")
+        DgsplSelector::new(
+            Dgspl {
+                generated_at_secs: 0,
+                entries,
+            },
+            host_ids,
+            "db-oracle",
+        )
     }
 
     fn job() -> Job {
@@ -222,7 +235,10 @@ mod tests {
     fn staleness_and_update() {
         let mut sel = selector(vec![]);
         assert_eq!(sel.staleness_secs(900), 900);
-        sel.update(Dgspl { generated_at_secs: 800, entries: vec![] });
+        sel.update(Dgspl {
+            generated_at_secs: 800,
+            entries: vec![],
+        });
         assert_eq!(sel.staleness_secs(900), 100);
         assert_eq!(sel.name(), "dgspl-shortlist");
     }

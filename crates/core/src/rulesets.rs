@@ -205,7 +205,9 @@ pub fn os_net_rules() -> RuleEngine {
         when: vec![Predicate::IsTrue("firewall_blocked".into())],
         assert: vec![],
         cause: Some("firewall rule blocks this host".into()),
-        actions: vec![RepairAction::NotifyHumans("firewall misconfiguration".into())],
+        actions: vec![RepairAction::NotifyHumans(
+            "firewall misconfiguration".into(),
+        )],
         priority: 17,
     });
     e
@@ -233,7 +235,9 @@ pub fn hardware_rules() -> RuleEngine {
             id: format!("hw-degraded-{class}"),
             when: vec![Predicate::NumGt(format!("degraded_{class}"), 0.0)],
             assert: vec![],
-            cause: Some(format!("{class} throwing correctable errors (not offlinable)")),
+            cause: Some(format!(
+                "{class} throwing correctable errors (not offlinable)"
+            )),
             actions: vec![RepairAction::NotifyHumans(format!(
                 "{class} degrading, schedule replacement"
             ))],
@@ -246,7 +250,9 @@ pub fn hardware_rules() -> RuleEngine {
             when: vec![Predicate::NumGt(format!("failed_{class}"), 0.0)],
             assert: vec![],
             cause: Some(format!("{class} failed")),
-            actions: vec![RepairAction::NotifyHumans(format!("{class} failure, engineer needed"))],
+            actions: vec![RepairAction::NotifyHumans(format!(
+                "{class} failure, engineer needed"
+            ))],
             priority: 16,
         });
     }
@@ -386,7 +392,12 @@ mod tests {
 
     #[test]
     fn healthy_facts_fire_nothing() {
-        for engine in [service_rules(), resource_rules(), os_net_rules(), hardware_rules()] {
+        for engine in [
+            service_rules(),
+            resource_rules(),
+            os_net_rules(),
+            hardware_rules(),
+        ] {
             let mut f = facts(&[
                 ("probe", FactValue::Text("ok".into())),
                 ("procs_missing", FactValue::Num(0.0)),

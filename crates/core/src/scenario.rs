@@ -145,7 +145,7 @@ pub struct CategoryRow {
 }
 
 /// What a scenario run reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     /// Mode the run used.
     pub mode: ManagementMode,
@@ -205,7 +205,10 @@ impl ScenarioReport {
                 t.auto_repaired,
             ));
         }
-        lines.push(format!("{:<16} {:>10.1}", "TOTAL", self.total_downtime_hours));
+        lines.push(format!(
+            "{:<16} {:>10.1}",
+            "TOTAL", self.total_downtime_hours
+        ));
         lines
     }
 }

@@ -73,16 +73,18 @@ pub fn run_status_agent(
     };
     // Self-maintenance: replace the previous profile ("removes … old
     // local dynamic service profiles").
-    let _ = server.fs.write(
-        dlsp_path(&server.hostname),
-        dlsp.to_doc().to_lines(),
-        now,
-    );
+    let _ = server
+        .fs
+        .write(dlsp_path(&server.hostname), dlsp.to_doc().to_lines(), now);
     let all_ok = dlsp.all_services_running();
     let _ = write_flag(
         &mut server.fs,
         AgentKind::Status.name(),
-        if all_ok { FlagOutcome::Ok } else { FlagOutcome::FaultDetected },
+        if all_ok {
+            FlagOutcome::Ok
+        } else {
+            FlagOutcome::FaultDetected
+        },
         None,
         now,
     );
@@ -105,7 +107,10 @@ mod tests {
         );
         server.users_logged_in = 4;
         let mut reg = ServiceRegistry::new();
-        let id = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let id = reg.deploy(
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        );
         reg.start(id, &mut server, SimTime::ZERO).unwrap();
         reg.complete_pending_starts(SimTime::from_secs(1600));
         (server, reg)

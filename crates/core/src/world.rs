@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use intelliqos_simkern::{EventQueue, EventToken, SimDuration, SimRng, SimTime};
+use intelliqos_simkern::{EventQueue, EventToken, SimDuration, SimRng, SimTime, Subsystem, Trace};
 
 use intelliqos_cluster::faults::{
     Complexity, FaultCategory, FaultEvent, FaultInjector, FaultMechanism, TargetClass,
@@ -24,7 +24,9 @@ use intelliqos_baseline::patrol::HumanDetectionModel;
 
 use intelliqos_lsf::cluster::{db_crash_roll, LsfCluster};
 use intelliqos_lsf::job::{FailReason, Job, JobId};
-use intelliqos_lsf::select::{ManualStickySelector, RandomSelector, ServerCandidate, ServerSelector};
+use intelliqos_lsf::select::{
+    ManualStickySelector, RandomSelector, ServerCandidate, ServerSelector,
+};
 use intelliqos_lsf::workload::{Arrival, WorkloadGenerator};
 
 use intelliqos_ontology::dgspl::Dgspl;
@@ -36,7 +38,7 @@ use intelliqos_services::spec::{DbEngine, ServiceSpec};
 
 use crate::admin::AdminPair;
 use crate::agents::{run_hardware_agent, run_os_resource_agents, run_service_agent};
-use crate::downtime::{DowntimeLedger, IncidentId};
+use crate::downtime::{Actor, DowntimeLedger, IncidentId};
 use crate::notify::NotificationBus;
 use crate::ontogen;
 use crate::resched::DgsplSelector;
@@ -169,6 +171,9 @@ pub struct World {
     pub admin: AdminPair,
     /// Endogenous database crashes so far.
     pub db_crash_count: u64,
+    /// Structured event log (disabled by default; enable before running
+    /// with [`World::enable_trace`] for triage and divergence checks).
+    pub trace: Trace,
 
     queue: EventQueue<WorldEvent>,
     fault_tape: Vec<FaultEvent>,
@@ -224,18 +229,32 @@ impl World {
             let id = ServerId(next_id);
             next_id += 1;
             host_ids.insert(hostname.clone(), id);
-            servers.insert(id, Server::new(id, hostname, model.default_spec(), site.clone()));
+            servers.insert(
+                id,
+                Server::new(id, hostname, model.default_spec(), site.clone()),
+            );
             id
         };
 
         // Database tier: 70 % E4500, 30 % E10K; Oracle/Sybase mix.
         let mut db_hosts = Vec::new();
         for i in 0..cfg.db_servers {
-            let model = if i % 10 < 7 { ServerModel::SunE4500 } else { ServerModel::SunE10k };
+            let model = if i % 10 < 7 {
+                ServerModel::SunE4500
+            } else {
+                ServerModel::SunE10k
+            };
             let id = alloc(&mut servers, &mut host_ids, format!("db{i:03}"), model);
             db_hosts.push(id);
-            let engine = if i % 3 == 0 { DbEngine::Sybase } else { DbEngine::Oracle };
-            let svc = registry.deploy(ServiceSpec::database(format!("trades-db-{i:03}"), engine), id);
+            let engine = if i % 3 == 0 {
+                DbEngine::Sybase
+            } else {
+                DbEngine::Oracle
+            };
+            let svc = registry.deploy(
+                ServiceSpec::database(format!("trades-db-{i:03}"), engine),
+                id,
+            );
             db_service_of.insert(id, svc);
         }
 
@@ -282,7 +301,12 @@ impl World {
         let mut fe_hosts = Vec::new();
         let mut fe_service_of = BTreeMap::new();
         for i in 0..cfg.fe_servers {
-            let id = alloc(&mut servers, &mut host_ids, format!("fe{i:03}"), ServerModel::IbmSp2);
+            let id = alloc(
+                &mut servers,
+                &mut host_ids,
+                format!("fe{i:03}"),
+                ServerModel::IbmSp2,
+            );
             fe_hosts.push(id);
             let db_dep = format!("trades-db-{:03}", i % cfg.db_servers);
             let web_dep = if web_names.is_empty() {
@@ -299,10 +323,18 @@ impl World {
 
         // Admin HA pair (kept off the fault-target lists, as dedicated
         // coordinators; the ABL harness can still crash them directly).
-        let admin_primary =
-            alloc(&mut servers, &mut host_ids, "admin-1".into(), ServerModel::SunE450);
-        let admin_standby =
-            alloc(&mut servers, &mut host_ids, "admin-2".into(), ServerModel::SunE450);
+        let admin_primary = alloc(
+            &mut servers,
+            &mut host_ids,
+            "admin-1".into(),
+            ServerModel::SunE450,
+        );
+        let admin_standby = alloc(
+            &mut servers,
+            &mut host_ids,
+            "admin-2".into(),
+            ServerModel::SunE450,
+        );
         let admin = AdminPair::new(admin_primary, admin_standby);
 
         // Fabric: one private agent LAN, two public LANs; every host on
@@ -355,7 +387,10 @@ impl World {
 
         let lsf = LsfCluster::new(db_hosts.clone(), cfg.job_limit_per_server);
         let dgspl_selector = DgsplSelector::new(
-            Dgspl { generated_at_secs: 0, entries: vec![] },
+            Dgspl {
+                generated_at_secs: 0,
+                entries: vec![],
+            },
             host_ids.clone(),
             "db-", // prefix: covers both database engines
         );
@@ -382,6 +417,7 @@ impl World {
             ledger: DowntimeLedger::new(),
             admin,
             db_crash_count: 0,
+            trace: Trace::disabled(),
             queue: EventQueue::new(),
             fault_tape,
             workload_tape,
@@ -462,7 +498,8 @@ impl World {
             // scheduled remain authoritative for the simulation). The
             // window must exceed the longest startup sequence (database
             // crash recovery, ~27 min).
-            self.registry.complete_pending_starts(SimTime::from_mins(60));
+            self.registry
+                .complete_pending_starts(SimTime::from_mins(60));
         }
         self.sync_lsf_master();
     }
@@ -476,15 +513,23 @@ impl World {
             let at = self.fault_tape[i].at;
             self.queue.schedule(at, WorldEvent::InjectFault(i));
         }
-        self.queue
-            .schedule(SimTime::ZERO + self.cfg.crash_sweep_period, WorldEvent::CrashSweep);
+        self.queue.schedule(
+            SimTime::ZERO + self.cfg.crash_sweep_period,
+            WorldEvent::CrashSweep,
+        );
         if self.cfg.mode == ManagementMode::Intelliagents {
-            self.queue
-                .schedule(SimTime::ZERO + self.cfg.agent_period, WorldEvent::AgentSweep);
-            self.queue
-                .schedule(SimTime::ZERO + self.cfg.admin_period, WorldEvent::AdminSweep);
-            self.queue
-                .schedule(SimTime::ZERO + self.cfg.dgspl_period, WorldEvent::DgsplRegen);
+            self.queue.schedule(
+                SimTime::ZERO + self.cfg.agent_period,
+                WorldEvent::AgentSweep,
+            );
+            self.queue.schedule(
+                SimTime::ZERO + self.cfg.admin_period,
+                WorldEvent::AdminSweep,
+            );
+            self.queue.schedule(
+                SimTime::ZERO + self.cfg.dgspl_period,
+                WorldEvent::DgsplRegen,
+            );
             self.queue
                 .schedule(SimTime::ZERO + self.cfg.e2e_period, WorldEvent::E2eSweep);
             self.queue
@@ -494,11 +539,33 @@ impl World {
 
     /// Run to the configured horizon and produce the report.
     pub fn run(mut self) -> ScenarioReport {
+        self.run_to_end()
+    }
+
+    /// Run to the configured horizon in place and produce the report;
+    /// the world (ledger, trace, servers) stays inspectable afterwards.
+    pub fn run_to_end(&mut self) -> ScenarioReport {
         let horizon = SimTime::ZERO + self.cfg.horizon;
+        let (seed, mode) = (self.cfg.seed, self.cfg.mode);
+        self.trace
+            .emit(self.queue.now(), Subsystem::Kernel, "run-start", || {
+                format!("seed={seed} mode={mode:?} horizon={}s", horizon.as_secs())
+            });
         while let Some((now, ev)) = self.queue.pop_until(horizon) {
             self.handle(ev, now);
         }
+        let open = self.ledger.open_incidents().len();
+        self.trace.emit(horizon, Subsystem::Kernel, "run-end", || {
+            format!("open_incidents={open}")
+        });
         self.report(horizon)
+    }
+
+    /// Switch on structured tracing (before running) and return `self`
+    /// for chaining.
+    pub fn enable_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
     }
 
     /// Advance the world up to `deadline` only (for tests and staged
@@ -515,6 +582,17 @@ impl World {
         self.queue.now()
     }
 
+    /// The exogenous fault tape (fixed at build time; identical across
+    /// management modes for the same seed — the paired-run invariant).
+    pub fn fault_tape(&self) -> &[FaultEvent] {
+        &self.fault_tape
+    }
+
+    /// The analyst workload tape (fixed at build time).
+    pub fn workload_tape(&self) -> &[Arrival] {
+        &self.workload_tape
+    }
+
     /// Produce the report at `horizon`.
     pub fn report(&self, _horizon: SimTime) -> ScenarioReport {
         let categories = self.ledger.totals();
@@ -528,11 +606,7 @@ impl World {
             db_crashes: self.db_crash_count,
             notifications: self.bus.log().len(),
             open_incidents: self.ledger.open_incidents().len(),
-            threshold_breaches: self
-                .perf
-                .values()
-                .map(|c| c.breaches().len() as u64)
-                .sum(),
+            threshold_breaches: self.perf.values().map(|c| c.breaches().len() as u64).sum(),
         }
     }
 
@@ -544,12 +618,17 @@ impl World {
         match ev {
             WorldEvent::SubmitArrival(i) => {
                 let spec = self.workload_tape[i].spec.clone();
-                self.lsf.submit(spec, now);
+                let job = self.lsf.submit(spec, now);
+                self.trace.emit(now, Subsystem::Workload, "submit", || {
+                    format!("tape={i} job={job:?}")
+                });
                 self.try_dispatch(now);
             }
             WorldEvent::JobDone(id) => {
                 self.job_tokens.remove(&id);
                 self.lsf.complete(id, &mut self.servers, now);
+                self.trace
+                    .emit(now, Subsystem::Lsf, "done", || format!("job={id:?}"));
                 self.try_dispatch(now);
             }
             WorldEvent::CrashSweep => self.on_crash_sweep(now),
@@ -602,8 +681,18 @@ impl World {
             now,
         );
         for d in dispatches {
-            let tok = self.queue.schedule(d.expected_end, WorldEvent::JobDone(d.job));
+            let tok = self
+                .queue
+                .schedule(d.expected_end, WorldEvent::JobDone(d.job));
             self.job_tokens.insert(d.job, tok);
+            self.trace.emit(now, Subsystem::Lsf, "dispatch", || {
+                format!(
+                    "job={:?} server={} ends={}",
+                    d.job,
+                    d.server,
+                    d.expected_end.as_secs()
+                )
+            });
         }
     }
 
@@ -692,7 +781,10 @@ impl World {
         let svc = self.db_service_of[&sid];
         {
             let server = self.servers.get_mut(&sid).expect("db host exists");
-            self.registry.get_mut(svc).expect("db svc exists").crash(server);
+            self.registry
+                .get_mut(svc)
+                .expect("db svc exists")
+                .crash(server);
         }
         let failed = self
             .lsf
@@ -705,9 +797,16 @@ impl World {
         }
         let inc = self.ledger.open(
             FaultCategory::MidJobDbCrash,
-            format!("database on {sid} crashed mid-job ({} jobs lost)", failed.len()),
+            format!(
+                "database on {sid} crashed mid-job ({} jobs lost)",
+                failed.len()
+            ),
             now,
         );
+        let lost = failed.len();
+        self.trace.emit(now, Subsystem::Fault, "db-crash", || {
+            format!("inc={inc} server={sid} jobs_lost={lost}")
+        });
         self.open_by_service.insert(svc, (inc, false));
         self.open_faults.push(OpenFault {
             incident: inc,
@@ -781,29 +880,39 @@ impl World {
                 // The person who made the mistake is on site and the
                 // breakage is immediate — latency is minutes.
                 return SimDuration::from_secs_f64(
-                    self.rng_detect.lognormal_median(10.0 * 60.0, 0.5).max(120.0),
+                    self.rng_detect
+                        .lognormal_median(10.0 * 60.0, 0.5)
+                        .max(120.0),
                 );
             }
             FaultCategory::FrontEndError | FaultCategory::LsfError => {
                 if visible.is_business_hours() {
                     SimDuration::from_secs_f64(
-                        self.rng_detect.lognormal_median(20.0 * 60.0, 0.5).max(120.0),
+                        self.rng_detect
+                            .lognormal_median(20.0 * 60.0, 0.5)
+                            .max(120.0),
                     )
                 } else {
                     SimDuration::from_secs_f64(
-                        self.rng_detect.lognormal_median(2.0 * 3600.0, 0.5).max(300.0),
+                        self.rng_detect
+                            .lognormal_median(2.0 * 3600.0, 0.5)
+                            .max(300.0),
                     )
                 }
             }
             FaultCategory::Hardware => SimDuration::from_secs_f64(
-                self.rng_detect.lognormal_median(30.0 * 60.0, 0.5).max(120.0),
+                self.rng_detect
+                    .lognormal_median(30.0 * 60.0, 0.5)
+                    .max(120.0),
             ),
             FaultCategory::PerformanceError => SimDuration::from_secs_f64(
-                self.rng_detect.lognormal_median(45.0 * 60.0, 0.5).max(300.0),
+                self.rng_detect
+                    .lognormal_median(45.0 * 60.0, 0.5)
+                    .max(300.0),
             ),
-            _ => SimDuration::from_secs_f64(
-                self.rng_detect.lognormal_median(3600.0, 0.5).max(300.0),
-            ),
+            _ => {
+                SimDuration::from_secs_f64(self.rng_detect.lognormal_median(3600.0, 0.5).max(300.0))
+            }
         };
         escalation + base
     }
@@ -824,9 +933,28 @@ impl World {
             None => onset + self.manual_detection_delay(cat, onset, latent),
         };
         self.ledger.detect(inc, detected);
-        let engaged = detected + self.repair_model.sample_paging(detected, &mut self.rng_repair);
-        let restored = engaged + self.repair_model.sample_repair(complexity, &mut self.rng_repair);
-        self.queue.schedule(restored, WorldEvent::ManualRestore(inc));
+        let engaged = detected
+            + self
+                .repair_model
+                .sample_paging(detected, &mut self.rng_repair);
+        // Humans pin the cause down when they engage; paging is the
+        // escalation record.
+        self.ledger.escalate(inc, detected);
+        self.ledger.diagnose(inc, engaged);
+        let restored = engaged
+            + self
+                .repair_model
+                .sample_repair(complexity, &mut self.rng_repair);
+        self.queue
+            .schedule(restored, WorldEvent::ManualRestore(inc));
+        self.trace.emit(onset, Subsystem::Manual, "pipeline", || {
+            format!(
+                "inc={inc} cat={cat:?} detect={} engage={} restore={}",
+                detected.as_secs(),
+                engaged.as_secs(),
+                restored.as_secs()
+            )
+        });
     }
 
     /// Time of the next agent sweep strictly after `now`.
@@ -842,6 +970,14 @@ impl World {
         // Resolve the target with exactly one draw so both modes stay
         // tape-aligned.
         let target = self.pick_target(fault.target);
+        self.trace.emit(now, Subsystem::Fault, "inject", || {
+            format!(
+                "mech={:?} cat={cat:?} target={} latent={}",
+                fault.mechanism,
+                target.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                fault.latent
+            )
+        });
 
         // Helper closures cannot borrow self mutably twice; work inline.
         match fault.mechanism {
@@ -867,7 +1003,11 @@ impl World {
                 // No single guilty process: agents detect the breach and
                 // "suggest what may be wrong" but a human must dig.
                 let fast = agents && self.repair_power() != RepairPower::Blind;
-                let detected_at = if fast { Some(self.next_sweep(now)) } else { None };
+                let detected_at = if fast {
+                    Some(self.next_sweep(now))
+                } else {
+                    None
+                };
                 self.schedule_manual_repair(
                     inc,
                     now,
@@ -887,12 +1027,22 @@ impl World {
                     match fault.mechanism {
                         RunawayProcess => {
                             let cap = server.effective_spec().compute_power();
-                            server.procs.spawn("runaway", "tight-loop", "app", cap * 1.2, 64.0, 0.0, now);
+                            server.procs.spawn(
+                                "runaway",
+                                "tight-loop",
+                                "app",
+                                cap * 1.2,
+                                64.0,
+                                0.0,
+                                now,
+                            );
                             Undo::KillProcess(sid, "runaway".into())
                         }
                         MemoryLeak => {
                             let ram = server.effective_spec().ram_gb as f64 * 1024.0;
-                            server.procs.spawn("leaky", "grows", "app", 0.2, ram * 0.85, 0.0, now);
+                            server
+                                .procs
+                                .spawn("leaky", "grows", "app", 0.2, ram * 0.85, 0.0, now);
                             Undo::KillProcess(sid, "leaky".into())
                         }
                         _ => {
@@ -911,7 +1061,9 @@ impl World {
                         }
                     }
                 };
-                let inc = self.ledger.open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self
+                    .ledger
+                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -926,11 +1078,18 @@ impl World {
                     return;
                 }
                 // Prefer the most important service on the box.
-                let Some(svc) = self.service_on(sid) else { return };
+                let Some(svc) = self.service_on(sid) else {
+                    return;
+                };
                 if self.open_by_service.contains_key(&svc) {
                     return;
                 }
-                if !self.registry.get(svc).map(|s| s.status.is_serving()).unwrap_or(false) {
+                if !self
+                    .registry
+                    .get(svc)
+                    .map(|s| s.status.is_serving())
+                    .unwrap_or(false)
+                {
                     return;
                 }
                 {
@@ -947,7 +1106,9 @@ impl World {
                     .fail_all_on(sid, FailReason::DbCrash, &mut self.servers, now);
                 self.cancel_job_events(&failed);
                 self.sync_lsf_master();
-                let inc = self.ledger.open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self
+                    .ledger
+                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
                 self.open_by_service.insert(svc, (inc, false));
                 self.open_faults.push(OpenFault {
                     incident: inc,
@@ -962,14 +1123,23 @@ impl World {
                 if !agents {
                     // Year 1 has no agent crontab; a disabled monitoring
                     // cron is a minor incident found during rounds.
-                    let inc = self.ledger.open(cat, format!("monitoring cron disabled on {sid}"), now);
+                    let inc =
+                        self.ledger
+                            .open(cat, format!("monitoring cron disabled on {sid}"), now);
                     self.open_faults.push(OpenFault {
                         incident: inc,
                         mechanism: fault.mechanism,
                         server: Some(sid),
                         undo: Undo::EnableCron(sid),
                     });
-                    self.schedule_manual_repair(inc, now, cat, fault.latent, fault.complexity, None);
+                    self.schedule_manual_repair(
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        None,
+                    );
                     return;
                 }
                 self.cron_enabled.insert(sid, false);
@@ -985,7 +1155,14 @@ impl World {
                 // The admin sweep finds the missing flags and repairs —
                 // but only when agents are actually producing flags.
                 if self.repair_power() == RepairPower::Blind {
-                    self.schedule_manual_repair(inc, now, cat, fault.latent, fault.complexity, None);
+                    self.schedule_manual_repair(
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        None,
+                    );
                 }
             }
             NtpBroken => {
@@ -1008,9 +1185,15 @@ impl World {
                 if !self.servers[&sid].is_up() {
                     return;
                 }
-                let Some(svc) = self.service_on(sid) else { return };
+                let Some(svc) = self.service_on(sid) else {
+                    return;
+                };
                 if self.open_by_service.contains_key(&svc)
-                    || !self.registry.get(svc).map(|s| s.status.is_serving()).unwrap_or(false)
+                    || !self
+                        .registry
+                        .get(svc)
+                        .map(|s| s.status.is_serving())
+                        .unwrap_or(false)
                 {
                     return;
                 }
@@ -1033,7 +1216,9 @@ impl World {
                             .fail_all_on(sid, FailReason::DbCrash, &mut self.servers, now);
                     self.cancel_job_events(&failed);
                 }
-                let inc = self.ledger.open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self
+                    .ledger
+                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
                 self.open_by_service.insert(svc, (inc, false));
                 self.open_faults.push(OpenFault {
                     incident: inc,
@@ -1044,12 +1229,14 @@ impl World {
                 self.schedule_fallback_repair(inc, now, cat, fault.latent, fault.complexity);
             }
             FirewallMisrule => {
-                let Some(sid) = self.pick_target(TargetClass::AnyServer) else { return };
+                let Some(sid) = self.pick_target(TargetClass::AnyServer) else {
+                    return;
+                };
                 let seg = self.public_segs[self.rng_target.index(self.public_segs.len().max(1))];
                 self.fabric.set_firewall_block(seg, sid, true);
-                let inc = self
-                    .ledger
-                    .open(cat, format!("firewall rule blocks {sid} on {seg}"), now);
+                let inc =
+                    self.ledger
+                        .open(cat, format!("firewall rule blocks {sid} on {seg}"), now);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1067,10 +1254,22 @@ impl World {
                         "agents cannot heal network faults; paging network team",
                     );
                     self.schedule_manual_repair(
-                        inc, now, cat, fault.latent, fault.complexity, Some(detected),
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        Some(detected),
                     );
                 } else {
-                    self.schedule_manual_repair(inc, now, cat, fault.latent, fault.complexity, None);
+                    self.schedule_manual_repair(
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        None,
+                    );
                 }
             }
             SegmentOutage => {
@@ -1094,10 +1293,22 @@ impl World {
                         "agent traffic rerouted automatically",
                     );
                     self.schedule_manual_repair(
-                        inc, now, cat, fault.latent, fault.complexity, Some(detected),
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        Some(detected),
                     );
                 } else {
-                    self.schedule_manual_repair(inc, now, cat, fault.latent, fault.complexity, None);
+                    self.schedule_manual_repair(
+                        inc,
+                        now,
+                        cat,
+                        fault.latent,
+                        fault.complexity,
+                        None,
+                    );
                 }
             }
             ComponentDegrade(class) => {
@@ -1125,7 +1336,12 @@ impl World {
                         // engineer; replacement/offlining is human work.
                         let detected = self.next_sweep(now);
                         self.schedule_manual_repair(
-                            inc, now, cat, false, fault.complexity, Some(detected),
+                            inc,
+                            now,
+                            cat,
+                            false,
+                            fault.complexity,
+                            Some(detected),
                         );
                     }
                     // Recoverable classes with full power: the hardware
@@ -1145,17 +1361,16 @@ impl World {
                     server.set_component_health(class, 0, ComponentHealth::Failed);
                     server.fatal_hardware_fault()
                 };
-                let inc = self.ledger.open(cat, format!("{class} failed on {sid}"), now);
+                let inc = self
+                    .ledger
+                    .open(cat, format!("{class} failed on {sid}"), now);
                 if fatal {
                     // The machine goes down with everything on it.
                     self.servers.get_mut(&sid).expect("target exists").crash();
                     self.registry.on_server_crash(sid);
-                    let failed = self.lsf.fail_all_on(
-                        sid,
-                        FailReason::ServerCrash,
-                        &mut self.servers,
-                        now,
-                    );
+                    let failed =
+                        self.lsf
+                            .fail_all_on(sid, FailReason::ServerCrash, &mut self.servers, now);
                     self.cancel_job_events(&failed);
                     self.sync_lsf_master();
                     self.open_faults.push(OpenFault {
@@ -1173,7 +1388,11 @@ impl World {
                     });
                 }
                 let fast = agents && self.repair_power() != RepairPower::Blind;
-                let detected_at = if fast { Some(self.next_sweep(now)) } else { None };
+                let detected_at = if fast {
+                    Some(self.next_sweep(now))
+                } else {
+                    None
+                };
                 self.schedule_manual_repair(
                     inc,
                     now,
@@ -1226,6 +1445,11 @@ impl World {
                 }
                 if let Some((inc, _auto)) = self.open_by_service.get(&finding.service).copied() {
                     self.ledger.detect(inc, now);
+                    self.ledger.diagnose(inc, now);
+                    let (svc, repairing) = (finding.service, finding.repair_completes.is_some());
+                    self.trace.emit(now, Subsystem::Agent, "diagnose", || {
+                        format!("inc={inc} service={svc:?} repairing={repairing}")
+                    });
                     if let Some(ready) = finding.repair_completes {
                         self.open_by_service.insert(finding.service, (inc, true));
                         self.queue
@@ -1246,13 +1470,7 @@ impl World {
                     .map(|v| v.as_slice())
                     .unwrap_or(&[]);
                 let server = self.servers.get_mut(&sid).expect("host exists");
-                run_os_resource_agents(
-                    server,
-                    expected,
-                    self.cfg.agent_parts,
-                    &mut self.bus,
-                    now,
-                );
+                run_os_resource_agents(server, expected, self.cfg.agent_parts, &mut self.bus, now);
             }
             // Hardware agent.
             {
@@ -1292,8 +1510,21 @@ impl World {
                 _ => false,
             };
             if healed {
-                self.ledger.detect(of.incident, now);
-                self.ledger.restore(of.incident, now, true);
+                let action = match &of.mechanism {
+                    FaultMechanism::RunawayProcess => "kill-runaway",
+                    FaultMechanism::MemoryLeak => "kill-leaky",
+                    FaultMechanism::DiskFill => "rotate-logs",
+                    FaultMechanism::NtpBroken => "fix-ntp",
+                    FaultMechanism::ComponentDegrade(_) => "offline-component",
+                    _ => "local-heal",
+                };
+                let inc = of.incident;
+                self.ledger.detect(inc, now);
+                self.ledger.diagnose(inc, now);
+                self.ledger.restore(inc, now, Actor::Agent, action);
+                self.trace.emit(now, Subsystem::Agent, "local-heal", || {
+                    format!("inc={inc} host={sid} action={action}")
+                });
                 closed.push(idx);
             }
         }
@@ -1320,13 +1551,25 @@ impl World {
                     .position(|of| of.undo == Undo::EnableCron(sid))
                 {
                     let of = self.open_faults.remove(idx);
-                    self.ledger.detect(of.incident, now);
-                    self.ledger.restore(of.incident, now, true);
+                    let inc = of.incident;
+                    self.ledger.detect(inc, now);
+                    self.ledger.diagnose(inc, now);
+                    self.ledger.restore(inc, now, Actor::Admin, "enable-cron");
+                    self.trace.emit(now, Subsystem::Admin, "cron-repair", || {
+                        format!("inc={inc} host={sid}")
+                    });
                 }
             }
             // Resubmit failed batch jobs through the DGSPL policy.
-            for id in self.lsf.failed_ids() {
+            let failed = self.lsf.failed_ids();
+            let resubmitted = failed.len();
+            for id in failed {
                 self.lsf.resubmit(id);
+            }
+            if resubmitted > 0 {
+                self.trace.emit(now, Subsystem::Admin, "resubmit", || {
+                    format!("jobs={resubmitted}")
+                });
             }
             self.sync_lsf_master();
             self.try_dispatch(now);
@@ -1361,26 +1604,24 @@ impl World {
                 // Size estimate: ~140 bytes of host header + ~80 per
                 // service row (avoids rendering the document twice).
                 let bytes = 140 + 80 * dlsp.services.len() as u64;
-                let _ = self.fabric.transmit(
-                    sid,
-                    admin_host,
-                    bytes,
-                    SegmentKind::PrivateAgent,
-                    now,
-                );
+                let _ =
+                    self.fabric
+                        .transmit(sid, admin_host, bytes, SegmentKind::PrivateAgent, now);
                 self.admin.ingest_dlsp(dlsp, now);
             }
-            let dgspl = self.admin.generate_dgspl(
-                now,
-                self.cfg.dgspl_period.times(2),
-                |model, cpus| {
-                    ServerModel::ALL
-                        .iter()
-                        .find(|m| m.to_string() == model)
-                        .map(|m| m.cpu_power() * cpus as f64)
-                        .unwrap_or(cpus as f64 * 0.5)
-                },
-            );
+            let dgspl =
+                self.admin
+                    .generate_dgspl(now, self.cfg.dgspl_period.times(2), |model, cpus| {
+                        ServerModel::ALL
+                            .iter()
+                            .find(|m| m.to_string() == model)
+                            .map(|m| m.cpu_power() * cpus as f64)
+                            .unwrap_or(cpus as f64 * 0.5)
+                    });
+            let entries = dgspl.entries.len();
+            self.trace.emit(now, Subsystem::Admin, "dgspl", || {
+                format!("entries={entries}")
+            });
             self.dgspl_selector.update(dgspl);
         }
         self.queue
@@ -1402,6 +1643,9 @@ impl World {
             if let E2eResult::FailedAt { component, .. } = result {
                 if let Some((inc, _)) = self.open_by_service.get(&component).copied() {
                     self.ledger.detect(inc, now);
+                    self.trace.emit(now, Subsystem::Agent, "e2e-fail", || {
+                        format!("inc={inc} component={component:?}")
+                    });
                 }
             }
         }
@@ -1420,7 +1664,10 @@ impl World {
             if !self.cron_enabled.get(&sid).copied().unwrap_or(true) {
                 continue;
             }
-            let Some(obs) = self.servers.get(&sid).and_then(|s| s.observe(&mut self.rng_probe))
+            let Some(obs) = self
+                .servers
+                .get(&sid)
+                .and_then(|s| s.observe(&mut self.rng_probe))
             else {
                 continue;
             };
@@ -1469,6 +1716,15 @@ impl World {
 
     // -- repair completion ---------------------------------------------
 
+    /// Close `inc` as a human repair and emit the matching trace line.
+    fn close_human(&mut self, inc: IncidentId, now: SimTime, action: &str) {
+        self.ledger.restore(inc, now, Actor::Human, action);
+        let action = action.to_string();
+        self.trace.emit(now, Subsystem::Manual, "restore", || {
+            format!("inc={inc} action={action}")
+        });
+    }
+
     fn on_manual_restore(&mut self, inc: IncidentId, now: SimTime) {
         let Some(idx) = self.open_faults.iter().position(|of| of.incident == inc) else {
             return; // already healed by an agent
@@ -1483,11 +1739,15 @@ impl World {
                         s.status == ServiceStatus::Hung,
                     ),
                     None => {
-                        self.ledger.restore(inc, now, false);
+                        self.close_human(inc, now, "restart-service");
                         return;
                     }
                 };
-                let server_up = self.servers.get(&server_id).map(|s| s.is_up()).unwrap_or(false);
+                let server_up = self
+                    .servers
+                    .get(&server_id)
+                    .map(|s| s.is_up())
+                    .unwrap_or(false);
                 if server_up {
                     let server = self.servers.get_mut(&server_id).expect("server exists");
                     let instance = self.registry.get_mut(svc).expect("svc exists");
@@ -1513,14 +1773,14 @@ impl World {
                             return; // don't close yet
                         }
                         Err(_) => {
-                            self.ledger.restore(inc, now, false);
+                            self.close_human(inc, now, "restart-service");
                             self.open_by_service.remove(&svc);
                         }
                     }
                 } else {
                     // Server itself is down (separate incident); this one
                     // closes administratively.
-                    self.ledger.restore(inc, now, false);
+                    self.close_human(inc, now, "restart-service");
                     self.open_by_service.remove(&svc);
                 }
             }
@@ -1531,7 +1791,8 @@ impl World {
                         server.procs.kill(pid);
                     }
                 }
-                self.ledger.restore(inc, now, false);
+                let action = format!("kill {name}");
+                self.close_human(inc, now, &action);
             }
             Undo::RotateLogs(sid) => {
                 if let Some(server) = self.servers.get_mut(&sid) {
@@ -1548,7 +1809,7 @@ impl World {
                         let _ = server.fs.remove(&v);
                     }
                 }
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "rotate-logs");
             }
             Undo::ClearExternalLoad(sid) => {
                 if let Some(server) = self.servers.get_mut(&sid) {
@@ -1556,25 +1817,25 @@ impl World {
                     server.external_mem_gb = 0.0;
                     server.external_io_demand = 0.0;
                 }
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "clear-external-load");
             }
             Undo::FixNtp(sid) => {
                 if let Some(server) = self.servers.get_mut(&sid) {
                     server.ntp_synced = true;
                 }
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "fix-ntp");
             }
             Undo::EnableCron(sid) => {
                 self.cron_enabled.insert(sid, true);
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "enable-cron");
             }
             Undo::UnblockFirewall(seg, sid) => {
                 self.fabric.set_firewall_block(seg, sid, false);
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "unblock-firewall");
             }
             Undo::SegmentUp(seg) => {
                 self.fabric.set_segment_up(seg, true);
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "segment-up");
             }
             Undo::RepairComponent(sid, class) => {
                 if let Some(server) = self.servers.get_mut(&sid) {
@@ -1583,7 +1844,7 @@ impl World {
                         server.set_component_health(class, i, ComponentHealth::Healthy);
                     }
                 }
-                self.ledger.restore(inc, now, false);
+                self.close_human(inc, now, "replace-component");
             }
             Undo::ServerRepair(sid) => {
                 // Engineer replaced the part; machine reboots now.
@@ -1631,7 +1892,15 @@ impl World {
             return;
         }
         if let Some((inc, auto)) = self.open_by_service.remove(&svc) {
-            self.ledger.restore(inc, now, auto);
+            if auto {
+                self.ledger
+                    .restore(inc, now, Actor::Agent, "restart-service");
+                self.trace.emit(now, Subsystem::Agent, "restore", || {
+                    format!("inc={inc} action=restart-service")
+                });
+            } else {
+                self.close_human(inc, now, "restart-service");
+            }
             if let Some(idx) = self.open_faults.iter().position(|of| of.incident == inc) {
                 self.open_faults.remove(idx);
             }
@@ -1656,7 +1925,7 @@ impl World {
             .position(|of| of.undo == Undo::ServerRepair(sid))
         {
             let of = self.open_faults.remove(idx);
-            self.ledger.restore(of.incident, now, false);
+            self.close_human(of.incident, now, "replace-hardware+reboot");
         }
         // Bring the machine's services back.
         let ids = self.registry.ids_on_server(sid);
@@ -1732,18 +2001,18 @@ mod tests {
         let a = World::build(small(ManagementMode::ManualOps));
         let b = World::build(small(ManagementMode::Intelliagents));
         assert_eq!(a.fault_tape.len(), b.fault_tape.len());
-        assert!(a
-            .fault_tape
-            .iter()
-            .zip(&b.fault_tape)
-            .all(|(x, y)| x == y));
+        assert!(a.fault_tape.iter().zip(&b.fault_tape).all(|(x, y)| x == y));
         assert_eq!(a.workload_tape.len(), b.workload_tape.len());
     }
 
     #[test]
     fn jobs_flow_through_the_week() {
         let report = run_scenario(small(ManagementMode::Intelliagents));
-        assert!(report.lsf.submitted > 100, "submitted = {}", report.lsf.submitted);
+        assert!(
+            report.lsf.submitted > 100,
+            "submitted = {}",
+            report.lsf.submitted
+        );
         assert!(
             report.lsf.completed as f64 > report.lsf.submitted as f64 * 0.7,
             "completed = {} of {}",
@@ -1794,6 +2063,10 @@ mod tests {
         let report = run_scenario(small(ManagementMode::Intelliagents));
         // A few faults may be mid-repair at the horizon; they must not
         // accumulate unboundedly.
-        assert!(report.open_incidents < 10, "open = {}", report.open_incidents);
+        assert!(
+            report.open_incidents < 10,
+            "open = {}",
+            report.open_incidents
+        );
     }
 }

@@ -123,7 +123,10 @@ impl LsfCluster {
 
     /// Jobs currently running on `server`.
     pub fn running_on(&self, server: ServerId) -> &[JobId] {
-        self.running_on.get(&server).map(|v| v.as_slice()).unwrap_or(&[])
+        self.running_on
+            .get(&server)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of queued jobs.
@@ -144,7 +147,11 @@ impl LsfCluster {
 
     /// Build the candidate snapshot a selector sees. `db_serving_on`
     /// reports whether the database on a host is currently serving.
-    pub fn candidates<F>(&self, servers: &BTreeMap<ServerId, Server>, db_serving_on: F) -> Vec<ServerCandidate>
+    pub fn candidates<F>(
+        &self,
+        servers: &BTreeMap<ServerId, Server>,
+        db_serving_on: F,
+    ) -> Vec<ServerCandidate>
     where
         F: Fn(ServerId) -> bool,
     {
@@ -219,18 +226,29 @@ impl LsfCluster {
                     let runtime =
                         SimDuration::from_secs_f64(job.spec.runtime.as_secs() as f64 * stretch);
                     let expected_end = now + runtime;
-                    job.state = JobState::Running { server: sid, pid, started: now, expected_end };
+                    job.state = JobState::Running {
+                        server: sid,
+                        pid,
+                        started: now,
+                        expected_end,
+                    };
                     job.attempts += 1;
                     if !job.tried_servers.contains(&sid) {
                         job.tried_servers.push(sid);
                     }
                     self.running_on.entry(sid).or_default().push(jid);
                     self.stats.dispatched += 1;
-                    dispatched.push(Dispatch { job: jid, server: sid, expected_end });
+                    dispatched.push(Dispatch {
+                        job: jid,
+                        server: sid,
+                        expected_end,
+                    });
                     if let Some(c) = cands.iter_mut().find(|c| c.server == sid) {
                         c.running_jobs += 1;
-                        c.cpu_utilization =
-                            servers.get(&sid).map(|s| s.cpu_utilization()).unwrap_or(0.0);
+                        c.cpu_utilization = servers
+                            .get(&sid)
+                            .map(|s| s.cpu_utilization())
+                            .unwrap_or(0.0);
                     }
                 }
                 None => still_pending.push_back(jid),
@@ -241,8 +259,15 @@ impl LsfCluster {
     }
 
     /// Mark a running job completed; removes its process.
-    pub fn complete(&mut self, id: JobId, servers: &mut BTreeMap<ServerId, Server>, now: SimTime) -> bool {
-        let Some(job) = self.jobs.get_mut(&id) else { return false };
+    pub fn complete(
+        &mut self,
+        id: JobId,
+        servers: &mut BTreeMap<ServerId, Server>,
+        now: SimTime,
+    ) -> bool {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
         let JobState::Running { server, pid, .. } = job.state else {
             return false;
         };
@@ -266,7 +291,9 @@ impl LsfCluster {
         servers: &mut BTreeMap<ServerId, Server>,
         now: SimTime,
     ) -> bool {
-        let Some(job) = self.jobs.get_mut(&id) else { return false };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
         let JobState::Running { server, pid, .. } = job.state else {
             return false;
         };
@@ -361,7 +388,12 @@ mod tests {
         let mut lsf = cluster(2);
         let id = lsf.submit(JobSpec::defaults_for(JobKind::Report, "u"), SimTime::ZERO);
         assert_eq!(lsf.pending_count(), 1);
-        let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
+        let d = lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
         assert_eq!(d.len(), 1);
         assert_eq!(lsf.pending_count(), 0);
         let job = lsf.job(id).unwrap();
@@ -381,11 +413,21 @@ mod tests {
         let mut lsf = cluster(1);
         lsf.submit(JobSpec::defaults_for(JobKind::Report, "u"), SimTime::ZERO);
         lsf.master_up = false;
-        let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
+        let d = lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
         assert!(d.is_empty());
         assert_eq!(lsf.pending_count(), 1);
         lsf.master_up = true;
-        let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
+        let d = lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
         assert_eq!(d.len(), 1);
     }
 
@@ -396,7 +438,12 @@ mod tests {
         for _ in 0..5 {
             lsf.submit(JobSpec::defaults_for(JobKind::Report, "u"), SimTime::ZERO);
         }
-        let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
+        let d = lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
         assert_eq!(d.len(), 3);
         assert_eq!(lsf.pending_count(), 2);
         assert_eq!(lsf.running_on(ServerId(0)).len(), 3);
@@ -422,13 +469,26 @@ mod tests {
         let mut lsf = cluster(1);
         let a = lsf.submit(JobSpec::defaults_for(JobKind::Report, "u"), SimTime::ZERO);
         let b = lsf.submit(JobSpec::defaults_for(JobKind::Report, "v"), SimTime::ZERO);
-        lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
-        let failed = lsf.fail_all_on(ServerId(0), FailReason::DbCrash, &mut servers, SimTime::from_mins(10));
+        lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
+        let failed = lsf.fail_all_on(
+            ServerId(0),
+            FailReason::DbCrash,
+            &mut servers,
+            SimTime::from_mins(10),
+        );
         assert_eq!(failed.len(), 2);
         assert_eq!(lsf.stats().failed, 2);
         assert!(matches!(
             lsf.job(a).unwrap().state,
-            JobState::Failed { reason: FailReason::DbCrash, .. }
+            JobState::Failed {
+                reason: FailReason::DbCrash,
+                ..
+            }
         ));
         // Resubmission puts them back in the queue with history intact.
         assert!(lsf.resubmit(a));
@@ -448,7 +508,12 @@ mod tests {
         let mut lsf = cluster(1);
         let spec = JobSpec::defaults_for(JobKind::Report, "u"); // 30 min nominal
         lsf.submit(spec, SimTime::ZERO);
-        let d = lsf.dispatch_pending(&mut LeastLoadedSelector, &mut servers, |_| true, SimTime::ZERO);
+        let d = lsf.dispatch_pending(
+            &mut LeastLoadedSelector,
+            &mut servers,
+            |_| true,
+            SimTime::ZERO,
+        );
         let end = d[0].expected_end;
         assert!(
             end.as_secs() >= 2 * 30 * 60,

@@ -170,7 +170,14 @@ pub struct Job {
 impl Job {
     /// Fresh pending job.
     pub fn new(id: JobId, spec: JobSpec, submitted: SimTime) -> Self {
-        Job { id, spec, state: JobState::Pending, submitted, attempts: 0, tried_servers: Vec::new() }
+        Job {
+            id,
+            spec,
+            state: JobState::Pending,
+            submitted,
+            attempts: 0,
+            tried_servers: Vec::new(),
+        }
     }
 
     /// Is the job in a terminal success state?
@@ -204,10 +211,16 @@ mod tests {
 
     #[test]
     fn job_state_predicates() {
-        let mut j = Job::new(JobId(1), JobSpec::defaults_for(JobKind::Report, "u"), SimTime::ZERO);
+        let mut j = Job::new(
+            JobId(1),
+            JobSpec::defaults_for(JobKind::Report, "u"),
+            SimTime::ZERO,
+        );
         assert!(j.is_pending());
         assert!(!j.is_running());
-        j.state = JobState::Completed { at: SimTime::from_mins(5) };
+        j.state = JobState::Completed {
+            at: SimTime::from_mins(5),
+        };
         assert!(j.is_completed());
         assert!(!j.is_pending());
     }

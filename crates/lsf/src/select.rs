@@ -67,7 +67,10 @@ pub struct ManualStickySelector {
 impl ManualStickySelector {
     /// New selector with its own RNG stream.
     pub fn new(rng: SimRng) -> Self {
-        ManualStickySelector { rng, favourites_per_user: 2 }
+        ManualStickySelector {
+            rng,
+            favourites_per_user: 2,
+        }
     }
 
     /// A user's favourite servers: a stable pseudo-random subset keyed
@@ -199,7 +202,11 @@ mod tests {
     }
 
     fn job_for(user: &str) -> Job {
-        Job::new(JobId(0), JobSpec::defaults_for(JobKind::Report, user), SimTime::ZERO)
+        Job::new(
+            JobId(0),
+            JobSpec::defaults_for(JobKind::Report, user),
+            SimTime::ZERO,
+        )
     }
 
     fn job() -> Job {
@@ -212,7 +219,11 @@ mod tests {
         let cands = candidates(10);
         let first = sel.select(&job(), &cands).unwrap();
         for _ in 0..20 {
-            assert_eq!(sel.select(&job(), &cands), Some(first), "favourite must not drift");
+            assert_eq!(
+                sel.select(&job(), &cands),
+                Some(first),
+                "favourite must not drift"
+            );
         }
         // A different user generally lands elsewhere (hash-keyed).
         let bob = job_for("bob-the-analyst");
@@ -287,7 +298,10 @@ mod tests {
 
     #[test]
     fn policy_names() {
-        assert_eq!(ManualStickySelector::new(SimRng::stream(0, "x")).name(), "manual-sticky");
+        assert_eq!(
+            ManualStickySelector::new(SimRng::stream(0, "x")).name(),
+            "manual-sticky"
+        );
         assert_eq!(RandomSelector::new(SimRng::stream(0, "x")).name(), "random");
         assert_eq!(LeastLoadedSelector.name(), "least-loaded");
     }

@@ -85,12 +85,19 @@ impl WorkloadGenerator {
             .choose_weighted(&self.config.kind_weights)
             .expect("kind weights are positive");
         let kind = JobKind::ALL[kind_idx];
-        let analyst = format!("analyst{:02}", self.rng.uniform_u64(0, self.config.analysts.max(1) as u64 - 1));
+        let analyst = format!(
+            "analyst{:02}",
+            self.rng
+                .uniform_u64(0, self.config.analysts.max(1) as u64 - 1)
+        );
         let mut spec = JobSpec::defaults_for(kind, analyst);
         // Size heterogeneity: runtimes spread log-normally around the
         // kind's nominal value; demands scale with the same draw (a
         // bigger mining run also eats more memory and I/O).
-        let scale = self.rng.lognormal_median(1.0, self.config.runtime_sigma).clamp(0.25, 6.0);
+        let scale = self
+            .rng
+            .lognormal_median(1.0, self.config.runtime_sigma)
+            .clamp(0.25, 6.0);
         spec.runtime = SimDuration::from_secs_f64(spec.runtime.as_secs() as f64 * scale);
         spec.cpu_demand *= scale.sqrt();
         spec.mem_mb *= scale.sqrt();
@@ -167,7 +174,10 @@ mod tests {
         // 10 weekdays vs 4 weekend days; normalise per day.
         let wd_per_day = weekday as f64 / 10.0;
         let we_per_day = weekend as f64 / 4.0;
-        assert!(wd_per_day > we_per_day * 1.5, "wd {wd_per_day} we {we_per_day}");
+        assert!(
+            wd_per_day > we_per_day * 1.5,
+            "wd {wd_per_day} we {we_per_day}"
+        );
     }
 
     #[test]
@@ -189,8 +199,16 @@ mod tests {
             .filter(|a| a.spec.kind == JobKind::DataMining)
             .collect();
         assert!(mining.len() > 3);
-        let min = mining.iter().map(|a| a.spec.runtime.as_secs()).min().unwrap();
-        let max = mining.iter().map(|a| a.spec.runtime.as_secs()).max().unwrap();
+        let min = mining
+            .iter()
+            .map(|a| a.spec.runtime.as_secs())
+            .min()
+            .unwrap();
+        let max = mining
+            .iter()
+            .map(|a| a.spec.runtime.as_secs())
+            .max()
+            .unwrap();
         assert!(max > min, "no heterogeneity");
         // Clamp bounds: 0.25×..6× of the 180-minute nominal.
         assert!(min >= (180 * 60) / 4);

@@ -25,23 +25,31 @@ pub struct Bounds {
 impl Bounds {
     /// Only an upper bound.
     pub fn at_most(max: f64) -> Bounds {
-        Bounds { min: None, max: Some(max) }
+        Bounds {
+            min: None,
+            max: Some(max),
+        }
     }
 
     /// Only a lower bound.
     pub fn at_least(min: f64) -> Bounds {
-        Bounds { min: Some(min), max: None }
+        Bounds {
+            min: Some(min),
+            max: None,
+        }
     }
 
     /// Both bounds.
     pub fn between(min: f64, max: f64) -> Bounds {
-        Bounds { min: Some(min), max: Some(max) }
+        Bounds {
+            min: Some(min),
+            max: Some(max),
+        }
     }
 
     /// Does the value satisfy the bounds?
     pub fn check(&self, value: f64) -> bool {
-        self.min.map(|m| value >= m).unwrap_or(true)
-            && self.max.map(|m| value <= m).unwrap_or(true)
+        self.min.map(|m| value >= m).unwrap_or(true) && self.max.map(|m| value <= m).unwrap_or(true)
     }
 }
 
@@ -168,7 +176,10 @@ impl ConstraintStore {
             if let Some(var) = r.get("var") {
                 c.set(
                     var,
-                    Bounds { min: r.get_num("min"), max: r.get_num("max") },
+                    Bounds {
+                        min: r.get_num("min"),
+                        max: r.get_num("max"),
+                    },
                 );
             }
         }

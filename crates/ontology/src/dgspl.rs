@@ -105,12 +105,18 @@ impl Dgspl {
                 });
             }
         }
-        Dgspl { generated_at_secs, entries }
+        Dgspl {
+            generated_at_secs,
+            entries,
+        }
     }
 
     /// All entries of an application type.
     pub fn of_type(&self, app_type: &str) -> Vec<&DgsplEntry> {
-        self.entries.iter().filter(|e| e.app_type == app_type).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.app_type == app_type)
+            .collect()
     }
 
     /// The paper's shortlist over an arbitrary entry predicate —
@@ -229,11 +235,11 @@ impl Dgspl {
 
     /// Parse from the flat format.
     pub fn from_doc(doc: &FlatDoc) -> Result<Dgspl, DgsplError> {
-        let generated_at_secs = doc
-            .section("meta")
-            .and_then(|s| s.first())
-            .and_then(|r| r.get_num("generated_at"))
-            .ok_or(DgsplError::MissingField("generated_at"))? as u64;
+        let generated_at_secs =
+            doc.section("meta")
+                .and_then(|s| s.first())
+                .and_then(|r| r.get_num("generated_at"))
+                .ok_or(DgsplError::MissingField("generated_at"))? as u64;
         let mut entries = Vec::new();
         for r in doc.section("available").unwrap_or(&[]) {
             entries.push(DgsplEntry {
@@ -261,7 +267,10 @@ impl Dgspl {
                     .to_string(),
             });
         }
-        Ok(Dgspl { generated_at_secs, entries })
+        Ok(Dgspl {
+            generated_at_secs,
+            entries,
+        })
     }
 
     /// Parse from text.

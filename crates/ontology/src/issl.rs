@@ -129,7 +129,10 @@ impl Issl {
                     .get("hostname")
                     .ok_or(IsslError::MissingField("hostname"))?
                     .to_string(),
-                ip: r.get("ip").ok_or(IsslError::MissingField("ip"))?.to_string(),
+                ip: r
+                    .get("ip")
+                    .ok_or(IsslError::MissingField("ip"))?
+                    .to_string(),
                 services: r.get_all("service").iter().map(|s| s.to_string()).collect(),
             };
             issl.add(entry)?;

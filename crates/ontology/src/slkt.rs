@@ -138,7 +138,9 @@ impl Slkt {
                 .get("model")
                 .ok_or(SlktError::MissingField("model"))?
                 .to_string(),
-            cpus: host.get_u32("cpus").ok_or(SlktError::MissingField("cpus"))?,
+            cpus: host
+                .get_u32("cpus")
+                .ok_or(SlktError::MissingField("cpus"))?,
             ram_gb: host
                 .get_u32("ram_gb")
                 .ok_or(SlktError::MissingField("ram_gb"))?,
@@ -159,8 +161,14 @@ impl Slkt {
                 processes.push((name.to_string(), count));
             }
             apps.push(SlktApp {
-                name: r.get("name").ok_or(SlktError::MissingField("name"))?.to_string(),
-                app_type: r.get("type").ok_or(SlktError::MissingField("type"))?.to_string(),
+                name: r
+                    .get("name")
+                    .ok_or(SlktError::MissingField("name"))?
+                    .to_string(),
+                app_type: r
+                    .get("type")
+                    .ok_or(SlktError::MissingField("type"))?
+                    .to_string(),
                 version: r
                     .get("version")
                     .ok_or(SlktError::MissingField("version"))?
@@ -182,7 +190,10 @@ impl Slkt {
                 .get("hostname")
                 .ok_or(SlktError::MissingField("hostname"))?
                 .to_string(),
-            ip: host.get("ip").ok_or(SlktError::MissingField("ip"))?.to_string(),
+            ip: host
+                .get("ip")
+                .ok_or(SlktError::MissingField("ip"))?
+                .to_string(),
             hardware,
             apps,
         })
@@ -218,7 +229,12 @@ mod tests {
         Slkt {
             hostname: "db007".into(),
             ip: "10.1.0.7".into(),
-            hardware: SlktHardware { model: "Sun-E4500".into(), cpus: 8, ram_gb: 8, disks: 6 },
+            hardware: SlktHardware {
+                model: "Sun-E4500".into(),
+                cpus: 8,
+                ram_gb: 8,
+                disks: 6,
+            },
             apps: vec![SlktApp {
                 name: "trades-db-07".into(),
                 app_type: "db-oracle".into(),
@@ -255,9 +271,24 @@ mod tests {
     #[test]
     fn same_model_replacement_ordering() {
         let slkt = sample();
-        let bigger = SlktHardware { model: "Sun-E4500".into(), cpus: 12, ram_gb: 16, disks: 6 };
-        let smaller = SlktHardware { model: "Sun-E4500".into(), cpus: 4, ram_gb: 8, disks: 6 };
-        let other_model = SlktHardware { model: "Sun-E10000".into(), cpus: 32, ram_gb: 32, disks: 12 };
+        let bigger = SlktHardware {
+            model: "Sun-E4500".into(),
+            cpus: 12,
+            ram_gb: 16,
+            disks: 6,
+        };
+        let smaller = SlktHardware {
+            model: "Sun-E4500".into(),
+            cpus: 4,
+            ram_gb: 8,
+            disks: 6,
+        };
+        let other_model = SlktHardware {
+            model: "Sun-E10000".into(),
+            cpus: 32,
+            ram_gb: 32,
+            disks: 12,
+        };
         assert!(slkt.replaceable_by_same_model(&bigger));
         assert!(!slkt.replaceable_by_same_model(&smaller));
         assert!(!slkt.replaceable_by_same_model(&other_model)); // cross-model handled elsewhere
@@ -275,6 +306,9 @@ mod tests {
     #[test]
     fn missing_host_section_rejected() {
         let text = "%DOC slkt v1\n%SECTION apps\nname=a|type=t|version=v|binary=b";
-        assert!(matches!(Slkt::parse_text(text), Err(SlktError::MissingField(_))));
+        assert!(matches!(
+            Slkt::parse_text(text),
+            Err(SlktError::MissingField(_))
+        ));
     }
 }

@@ -63,7 +63,10 @@ impl DistributedApp {
     /// Panics on an empty chain.
     pub fn new(name: impl Into<String>, components: Vec<ServiceId>) -> Self {
         assert!(!components.is_empty(), "a distributed app needs components");
-        DistributedApp { name: name.into(), components }
+        DistributedApp {
+            name: name.into(),
+            components,
+        }
     }
 
     /// Is every component currently serving? ("all interdependent
@@ -107,7 +110,9 @@ impl DistributedApp {
                 }
             }
         }
-        E2eResult::Ok { total_latency_ms: total }
+        E2eResult::Ok {
+            total_latency_ms: total,
+        }
     }
 }
 
@@ -144,10 +149,16 @@ mod tests {
         reg.start(db, &mut servers[0], SimTime::ZERO).unwrap();
         reg.start(web, &mut servers[1], SimTime::ZERO).unwrap();
         reg.complete_pending_starts(SimTime::from_secs(1600));
-        reg.start(fe, &mut servers[2], SimTime::from_secs(1600)).unwrap();
+        reg.start(fe, &mut servers[2], SimTime::from_secs(1600))
+            .unwrap();
         reg.complete_pending_starts(SimTime::from_secs(3200));
         let app = DistributedApp::new("analytics", vec![db, web, fe]);
-        World { servers, reg, app, ids: (db, web, fe) }
+        World {
+            servers,
+            reg,
+            app,
+            ids: (db, web, fe),
+        }
     }
 
     #[test]
@@ -155,10 +166,15 @@ mod tests {
         let w = world();
         assert!(w.app.healthy(&w.reg));
         let mut rng = SimRng::stream(1, "e2e");
-        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        let r = w
+            .app
+            .end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
         match r {
             E2eResult::Ok { total_latency_ms } => {
-                assert!(total_latency_ms > 100.0, "db+web+fe latency expected, got {total_latency_ms}")
+                assert!(
+                    total_latency_ms > 100.0,
+                    "db+web+fe latency expected, got {total_latency_ms}"
+                )
             }
             other => panic!("expected Ok, got {other:?}"),
         }
@@ -172,9 +188,15 @@ mod tests {
         w.reg.get_mut(web).unwrap().hang();
         assert!(!w.app.healthy(&w.reg));
         let mut rng = SimRng::stream(1, "e2e");
-        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        let r = w
+            .app
+            .end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
         match r {
-            E2eResult::FailedAt { component, result, partial_latency_ms } => {
+            E2eResult::FailedAt {
+                component,
+                result,
+                partial_latency_ms,
+            } => {
                 assert_eq!(component, web);
                 assert_eq!(result, ProbeResult::Timeout);
                 assert!(partial_latency_ms > 0.0); // the db leg already ran
@@ -190,9 +212,15 @@ mod tests {
         let server0 = &mut w.servers[0];
         w.reg.get_mut(db).unwrap().crash(server0);
         let mut rng = SimRng::stream(1, "e2e");
-        let r = w.app.end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
+        let r = w
+            .app
+            .end_to_end(&w.reg, |sid| &w.servers[sid.index()], &mut rng);
         match r {
-            E2eResult::FailedAt { component, partial_latency_ms, .. } => {
+            E2eResult::FailedAt {
+                component,
+                partial_latency_ms,
+                ..
+            } => {
                 assert_eq!(component, db);
                 assert_eq!(partial_latency_ms, 0.0);
             }

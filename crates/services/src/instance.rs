@@ -6,7 +6,7 @@
 //! crashed (refused, processes missing), corrupted (restart does not
 //! help until a restore) and stopped.
 
-use intelliqos_simkern::{SimTime};
+use intelliqos_simkern::SimTime;
 
 use intelliqos_cluster::ids::{Pid, ServerId};
 use intelliqos_cluster::server::Server;
@@ -129,7 +129,10 @@ impl ServiceInstance {
     /// Dependency ordering is enforced one level up (the registry), as
     /// the agents enforce it through the SLKT startup sequence.
     pub fn start(&mut self, server: &mut Server, now: SimTime) -> Result<SimTime, ServiceError> {
-        assert_eq!(server.id, self.server, "start() called with the wrong server");
+        assert_eq!(
+            server.id, self.server,
+            "start() called with the wrong server"
+        );
         if !server.is_up() {
             return Err(ServiceError::ServerDown);
         }
@@ -253,9 +256,9 @@ impl ServiceInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::DbEngine;
     use intelliqos_cluster::hardware::{HardwareSpec, ServerModel};
     use intelliqos_cluster::ids::Site;
-    use crate::spec::DbEngine;
 
     fn server() -> Server {
         Server::new(
@@ -326,7 +329,7 @@ mod tests {
         assert_eq!(srv.procs.live_count("ora_pmon"), 0);
         let mismatches = svc.process_mismatches(&srv);
         assert_eq!(mismatches.len(), 3); // all three process groups gone
-        // Crashed → startable again (the agents' restart path).
+                                         // Crashed → startable again (the agents' restart path).
         svc.start(&mut srv, SimTime::from_secs(2000)).unwrap();
     }
 
@@ -372,7 +375,10 @@ mod tests {
         let mut srv = server();
         let mut svc = db_instance();
         srv.crash();
-        assert_eq!(svc.start(&mut srv, SimTime::ZERO), Err(ServiceError::ServerDown));
+        assert_eq!(
+            svc.start(&mut srv, SimTime::ZERO),
+            Err(ServiceError::ServerDown)
+        );
         srv.begin_reboot(SimTime::ZERO);
         srv.maybe_complete_reboot(SimTime::from_mins(10));
         srv.fs.set_mounted("/apps", false);

@@ -93,7 +93,10 @@ impl ProbeResult {
 /// spec's `connect_timeout`. Measurement noise comes from the caller's
 /// RNG stream.
 pub fn probe(svc: &ServiceInstance, server: &Server, rng: &mut SimRng) -> ProbeResult {
-    assert_eq!(server.id, svc.server, "probe() called with the wrong server");
+    assert_eq!(
+        server.id, svc.server,
+        "probe() called with the wrong server"
+    );
     // A dead host answers nothing: probes time out (no RST arrives).
     if !server.is_up() {
         return ProbeResult::Timeout;
@@ -109,7 +112,9 @@ pub fn probe(svc: &ServiceInstance, server: &Server, rng: &mut SimRng) -> ProbeR
             if SimDuration::from_secs_f64(latency / 1000.0) > svc.spec.connect_timeout {
                 ProbeResult::Timeout
             } else {
-                ProbeResult::Ok { latency_ms: latency }
+                ProbeResult::Ok {
+                    latency_ms: latency,
+                }
             }
         }
     }
@@ -167,17 +172,26 @@ mod tests {
         assert!(r.is_ok(), "{r:?}");
         assert_eq!(r.exit_code(), 0);
         if let ProbeResult::Ok { latency_ms } = r {
-            assert!(latency_ms > 10.0 && latency_ms < 1000.0, "latency = {latency_ms}");
+            assert!(
+                latency_ms > 10.0 && latency_ms < 1000.0,
+                "latency = {latency_ms}"
+            );
         }
     }
 
     #[test]
     fn stopped_and_crashed_are_refused() {
         let (mut server, mut svc, mut rng) = setup();
-        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+        assert_eq!(
+            probe(&svc, &server, &mut rng),
+            ProbeResult::ConnectionRefused
+        );
         run_to_running(&mut server, &mut svc);
         svc.crash(&mut server);
-        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+        assert_eq!(
+            probe(&svc, &server, &mut rng),
+            ProbeResult::ConnectionRefused
+        );
     }
 
     #[test]
@@ -214,7 +228,11 @@ mod tests {
         // Slam the server with 8× its capacity.
         server.external_cpu_demand = server.spec.compute_power() * 8.0;
         let r = probe(&svc, &server, &mut rng);
-        assert_eq!(r, ProbeResult::Timeout, "an 8x-overloaded DB must miss its 30s timeout");
+        assert_eq!(
+            r,
+            ProbeResult::Timeout,
+            "an 8x-overloaded DB must miss its 30s timeout"
+        );
     }
 
     #[test]
@@ -234,16 +252,28 @@ mod tests {
             ProbeKind::for_kind(ServiceKind::Database(DbEngine::Sybase)),
             ProbeKind::SqlSelect
         );
-        assert_eq!(ProbeKind::for_kind(ServiceKind::WebServer), ProbeKind::HttpGet);
-        assert_eq!(ProbeKind::for_kind(ServiceKind::LsfMaster), ProbeKind::LsfPing);
-        assert_eq!(ProbeKind::for_kind(ServiceKind::NameServer), ProbeKind::ConnectOnly);
+        assert_eq!(
+            ProbeKind::for_kind(ServiceKind::WebServer),
+            ProbeKind::HttpGet
+        );
+        assert_eq!(
+            ProbeKind::for_kind(ServiceKind::LsfMaster),
+            ProbeKind::LsfPing
+        );
+        assert_eq!(
+            ProbeKind::for_kind(ServiceKind::NameServer),
+            ProbeKind::ConnectOnly
+        );
     }
 
     #[test]
     fn starting_is_refused_until_complete() {
         let (mut server, mut svc, mut rng) = setup();
         svc.start(&mut server, SimTime::ZERO).unwrap();
-        assert_eq!(probe(&svc, &server, &mut rng), ProbeResult::ConnectionRefused);
+        assert_eq!(
+            probe(&svc, &server, &mut rng),
+            ProbeResult::ConnectionRefused
+        );
         svc.maybe_complete_start(SimTime::from_secs(1600));
         assert!(probe(&svc, &server, &mut rng).is_ok());
     }

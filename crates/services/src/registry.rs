@@ -42,7 +42,8 @@ impl ServiceRegistry {
         );
         let id = ServiceId(self.next_id);
         self.next_id += 1;
-        self.instances.insert(id, ServiceInstance::new(id, spec, server));
+        self.instances
+            .insert(id, ServiceInstance::new(id, spec, server));
         self.by_server.entry(server).or_default().push(id);
         id
     }
@@ -93,7 +94,9 @@ impl ServiceRegistry {
 
     /// All database instances (either engine).
     pub fn databases(&self) -> impl Iterator<Item = &ServiceInstance> {
-        self.instances.values().filter(|s| s.spec.kind.is_database())
+        self.instances
+            .values()
+            .filter(|s| s.spec.kind.is_database())
     }
 
     /// Count of instances currently serving.
@@ -152,7 +155,10 @@ impl ServiceRegistry {
         let mut affected = Vec::new();
         for id in ids {
             let svc = self.instances.get_mut(&id).expect("indexed id exists");
-            if !matches!(svc.status, ServiceStatus::Stopped | ServiceStatus::Corrupted) {
+            if !matches!(
+                svc.status,
+                ServiceStatus::Stopped | ServiceStatus::Corrupted
+            ) {
                 svc.on_server_crash();
                 affected.push(id);
             }
@@ -202,7 +208,10 @@ mod tests {
     fn registry_with_stack() -> (ServiceRegistry, Server, ServiceId, ServiceId, ServiceId) {
         let mut reg = ServiceRegistry::new();
         let mut srv = server(0);
-        let db = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let db = reg.deploy(
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        );
         let web = reg.deploy(ServiceSpec::web_server("web-1"), ServerId(0));
         let fe = reg.deploy(
             ServiceSpec::front_end("analyst-fe", "trades-db", "web-1"),
@@ -237,7 +246,10 @@ mod tests {
     fn dependency_ordering_enforced() {
         let mut reg = ServiceRegistry::new();
         let mut srv = server(0);
-        let _db = reg.deploy(ServiceSpec::database("trades-db", DbEngine::Oracle), ServerId(0));
+        let _db = reg.deploy(
+            ServiceSpec::database("trades-db", DbEngine::Oracle),
+            ServerId(0),
+        );
         let _web = reg.deploy(ServiceSpec::web_server("web-1"), ServerId(0));
         let fe = reg.deploy(
             ServiceSpec::front_end("analyst-fe", "trades-db", "web-1"),

@@ -171,7 +171,10 @@ impl ServiceSpec {
                 },
             ],
             startup: vec![
-                StartupStep { component: "listener".into(), duration: SimDuration::from_secs(10) },
+                StartupStep {
+                    component: "listener".into(),
+                    duration: SimDuration::from_secs(10),
+                },
                 StartupStep {
                     component: "instance".into(),
                     duration: SimDuration::from_secs(startup_secs),
@@ -247,8 +250,14 @@ impl ServiceSpec {
                 },
             ],
             startup: vec![
-                StartupStep { component: "calc-engine".into(), duration: SimDuration::from_secs(20) },
-                StartupStep { component: "gui".into(), duration: SimDuration::from_secs(10) },
+                StartupStep {
+                    component: "calc-engine".into(),
+                    duration: SimDuration::from_secs(20),
+                },
+                StartupStep {
+                    component: "gui".into(),
+                    duration: SimDuration::from_secs(10),
+                },
             ],
             shutdown: SimDuration::from_secs(10),
             depends_on: vec![db_dep.into(), web_dep.into()],
@@ -387,7 +396,10 @@ mod tests {
     #[test]
     fn front_end_depends_on_db_and_web() {
         let fe = ServiceSpec::front_end("fe1", "trades-db", "web-1");
-        assert_eq!(fe.depends_on, vec!["trades-db".to_string(), "web-1".to_string()]);
+        assert_eq!(
+            fe.depends_on,
+            vec!["trades-db".to_string(), "web-1".to_string()]
+        );
         assert_eq!(fe.kind, ServiceKind::FrontEnd);
     }
 
@@ -402,7 +414,10 @@ mod tests {
 
     #[test]
     fn type_strings_are_stable() {
-        assert_eq!(ServiceKind::Database(DbEngine::Oracle).type_str(), "db-oracle");
+        assert_eq!(
+            ServiceKind::Database(DbEngine::Oracle).type_str(),
+            "db-oracle"
+        );
         assert_eq!(ServiceKind::LsfMaster.type_str(), "lsf-master");
         assert!(ServiceKind::Database(DbEngine::Sybase).is_database());
         assert!(!ServiceKind::WebServer.is_database());

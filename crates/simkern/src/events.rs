@@ -5,10 +5,12 @@
 //! number breaks ties), so a run is a pure function of the schedule calls
 //! — there is no iteration-order nondeterminism anywhere in the kernel.
 //!
-//! Cancellation is supported through [`EventToken`]s: cancelling marks
-//! the entry dead and it is silently skipped on pop. This is how the
-//! cluster model retracts, e.g., a pending "job completes" event when the
-//! database hosting the job crashes first.
+//! Cancellation is supported through [`EventToken`]s: cancelling is O(1)
+//! — the sequence number is dropped from the live set and the heap entry
+//! becomes a tombstone, silently skipped on pop and bulk-purged once
+//! tombstones outnumber live entries. This is how the cluster model
+//! retracts, e.g., a pending "job completes" event when the database
+//! hosting the job crashes first.
 
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
@@ -61,7 +63,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Sequence numbers of events still pending (scheduled, not yet
+    /// popped or cancelled). Heap entries whose seq is absent are
+    /// tombstones awaiting the lazy purge.
+    live: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -77,7 +82,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            live: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -91,7 +96,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (uncancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// True when no live events remain.
@@ -113,6 +118,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.heap.push(Entry { at, seq, payload });
         EventToken(seq)
     }
@@ -122,20 +128,29 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, payload)
     }
 
-    /// Cancel a previously scheduled event. Returns `false` if the event
-    /// already fired, was already cancelled, or never existed.
+    /// Cancel a previously scheduled event in O(1). Returns `false` if
+    /// the event already fired, was already cancelled, or never existed.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
+        if !self.live.remove(&token.0) {
             return false;
         }
-        // We cannot cheaply check whether the entry is still in the heap;
-        // instead record the tombstone and let pop() skip it. Guard
-        // against double-cancel so len() stays correct.
-        if self.heap.iter().any(|e| e.seq == token.0) {
-            self.cancelled.insert(token.0)
-        } else {
-            false
+        self.maybe_purge();
+        true
+    }
+
+    /// Rebuild the heap without tombstones once they outnumber the live
+    /// entries — amortised O(1) per cancel, and the heap never holds more
+    /// than 2× the live events.
+    fn maybe_purge(&mut self) {
+        if self.heap.len() < 64 || self.heap.len() - self.live.len() <= self.heap.len() / 2 {
+            return;
         }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let live = &self.live;
+        self.heap = entries
+            .into_iter()
+            .filter(|e| live.contains(&e.seq))
+            .collect();
     }
 
     /// Timestamp of the next live event, if any.
@@ -148,6 +163,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_dead();
         let entry = self.heap.pop()?;
+        self.live.remove(&entry.seq);
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         Some((entry.at, entry.payload))
@@ -164,11 +180,10 @@ impl<E> EventQueue<E> {
     /// Drop tombstoned entries sitting at the top of the heap.
     fn skip_dead(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.heap.pop();
-            } else {
+            if self.live.contains(&top.seq) {
                 break;
             }
+            self.heap.pop();
         }
     }
 
@@ -267,6 +282,26 @@ mod tests {
         assert_eq!(q.pop_until(SimTime::from_secs(20)).unwrap().1, "in");
         assert!(q.pop_until(SimTime::from_secs(20)).is_none());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn mass_cancellation_purges_tombstones() {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = (0..1024u64)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
+        for tok in &tokens[..1000] {
+            assert!(q.cancel(*tok));
+            // Purge invariant: tombstones never exceed half the heap
+            // (checked only above the small-heap purge threshold).
+            if q.heap.len() >= 64 {
+                assert!(q.heap.len() - q.live.len() <= q.heap.len() / 2);
+            }
+        }
+        assert_eq!(q.len(), 24);
+        assert!(q.heap.len() <= 2 * q.len().max(64));
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (1000..1024).collect::<Vec<_>>());
     }
 
     #[test]

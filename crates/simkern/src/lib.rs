@@ -19,6 +19,8 @@
 //!   measurement files.
 //! * [`TimeSeries`] — timestamp-ordered measurements with the
 //!   timestamp-join the performance intelliagents perform.
+//! * [`Trace`] — zero-cost-when-disabled structured event log with
+//!   circular retention and per-subsystem lifetime counters.
 //!
 //! Nothing here knows about clusters, agents, or services; those live in
 //! the higher crates.
@@ -31,6 +33,7 @@ mod rng;
 mod series;
 mod stats;
 pub mod time;
+pub mod trace;
 
 pub use events::{EventQueue, EventToken};
 pub use ring::CircularQueue;
@@ -38,3 +41,4 @@ pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, WEEK, YEAR};
+pub use trace::{Subsystem, Trace, TraceEvent};

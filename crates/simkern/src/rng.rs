@@ -7,14 +7,57 @@
 //! so the injected fault sequence in the "after" year is identical to the
 //! "before" year — exactly the property a controlled experiment needs.
 //!
-//! Only the `rand` crate is used; the handful of distributions the models
-//! need (exponential, log-normal, Pareto, Poisson) are implemented here
-//! so we stay within the allowed offline dependency set.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! The generator is a self-contained xoshiro256++ (public-domain
+//! algorithm by Blackman & Vigna) seeded through SplitMix64, so the
+//! crate has **zero external dependencies** and the streams are stable
+//! across platforms and toolchain versions. The handful of
+//! distributions the models need (exponential, log-normal, Pareto,
+//! Poisson) are implemented here as well.
 
 use crate::time::SimDuration;
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core: 256 bits of state, period 2^256 − 1.
+#[derive(Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
 
 /// FNV-1a 64-bit hash, used to fold stream names into seeds. Stable
 /// across platforms and Rust versions (unlike `DefaultHasher`).
@@ -36,7 +79,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed+name ⇒ same stream
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
@@ -44,7 +87,7 @@ impl SimRng {
     pub fn stream(seed: u64, name: &str) -> Self {
         let mixed = fnv1a(name.as_bytes()) ^ seed.rotate_left(17);
         SimRng {
-            inner: StdRng::seed_from_u64(mixed),
+            inner: Xoshiro256pp::seed_from_u64(mixed),
         }
     }
 
@@ -57,7 +100,7 @@ impl SimRng {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(index.rotate_left(31));
         SimRng {
-            inner: StdRng::seed_from_u64(mixed),
+            inner: Xoshiro256pp::seed_from_u64(mixed),
         }
     }
 
@@ -66,9 +109,9 @@ impl SimRng {
         self.inner.next_u64()
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -77,14 +120,31 @@ impl SimRng {
         lo + (hi - lo) * self.unit()
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Uniform integer in `[lo, hi]` inclusive (Lemire's unbiased
+    /// multiply-shift rejection method).
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        debug_assert!(hi >= lo);
+        let range = hi.wrapping_sub(lo).wrapping_add(1);
+        if range == 0 {
+            // Full 64-bit range.
+            return self.inner.next_u64();
+        }
+        let mut m = (self.inner.next_u64() as u128) * (range as u128);
+        let mut low = m as u64;
+        if low < range {
+            let threshold = range.wrapping_neg() % range;
+            while low < threshold {
+                m = (self.inner.next_u64() as u128) * (range as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform index in `[0, n)`. `n` must be nonzero.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "index() over an empty range");
+        self.uniform_u64(0, n as u64 - 1) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -271,7 +331,9 @@ mod tests {
     #[test]
     fn lognormal_median_is_close() {
         let mut r = SimRng::stream(13, "ln");
-        let mut samples: Vec<f64> = (0..20_001).map(|_| r.lognormal_median(7200.0, 0.5)).collect();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| r.lognormal_median(7200.0, 0.5))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = samples[10_000];
         assert!((med - 7200.0).abs() < 7200.0 * 0.05, "median = {med}");

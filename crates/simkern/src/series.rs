@@ -219,10 +219,7 @@ mod tests {
         b.push(t(15), 99.0);
         b.push(t(20), 20.0);
         let joined = a.join_with(&b, |_, x, y| x + y);
-        assert_eq!(
-            joined.points(),
-            &[(t(10), 12.0), (t(20), 23.0)]
-        );
+        assert_eq!(joined.points(), &[(t(10), 12.0), (t(20), 23.0)]);
     }
 
     #[test]

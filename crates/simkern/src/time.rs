@@ -324,7 +324,10 @@ mod tests {
         .into_iter()
         .sum();
         assert_eq!(total, SimDuration::from_mins(6));
-        assert_eq!(SimDuration::from_mins(6).times(10), SimDuration::from_hours(1));
+        assert_eq!(
+            SimDuration::from_mins(6).times(10),
+            SimDuration::from_hours(1)
+        );
     }
 
     #[test]

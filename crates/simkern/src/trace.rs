@@ -1,0 +1,314 @@
+//! Structured event tracing for the simulation kernel.
+//!
+//! Every subsystem (fault injector, intelliagents, admin pair, LSF
+//! dispatcher, baseline ops) can emit structured events into a single
+//! [`Trace`] owned by the run. The trace is **zero-cost when disabled**:
+//! `emit` takes the detail as a closure and returns before evaluating it
+//! unless tracing is on, so a production run pays one branch per call
+//! site and nothing else.
+//!
+//! Retention follows the paper's circular-measurement-file discipline
+//! (§3.5): a bounded ring keeps the most recent events, per-subsystem
+//! counters keep exact lifetime totals even after eviction. Rendered
+//! lines use the same pipe-delimited flat-ASCII shape as the ontology
+//! documents, so a trace dump greps like everything else in the system.
+
+use crate::ring::CircularQueue;
+use crate::time::SimTime;
+
+/// Which layer of the system emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// The fault tape / injector.
+    Fault,
+    /// Any intelliagent sweep.
+    Agent,
+    /// The administration-pair (DLSP collection, DGSPL regeneration,
+    /// rescheduling decisions).
+    Admin,
+    /// The LSF-like batch dispatcher.
+    Lsf,
+    /// Manual-operations baseline (human detection/repair).
+    Manual,
+    /// Workload tape: job arrivals and completions.
+    Workload,
+    /// The simulation kernel itself (run lifecycle markers).
+    Kernel,
+}
+
+impl Subsystem {
+    /// All subsystems, in counter order.
+    pub const ALL: [Subsystem; 7] = [
+        Subsystem::Fault,
+        Subsystem::Agent,
+        Subsystem::Admin,
+        Subsystem::Lsf,
+        Subsystem::Manual,
+        Subsystem::Workload,
+        Subsystem::Kernel,
+    ];
+
+    /// Short lower-case tag used in rendered lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Subsystem::Fault => "fault",
+            Subsystem::Agent => "agent",
+            Subsystem::Admin => "admin",
+            Subsystem::Lsf => "lsf",
+            Subsystem::Manual => "manual",
+            Subsystem::Workload => "work",
+            Subsystem::Kernel => "kern",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Subsystem::Fault => 0,
+            Subsystem::Agent => 1,
+            Subsystem::Admin => 2,
+            Subsystem::Lsf => 3,
+            Subsystem::Manual => 4,
+            Subsystem::Workload => 5,
+            Subsystem::Kernel => 6,
+        }
+    }
+}
+
+/// One retained trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number over the trace's lifetime (0-based);
+    /// survives ring eviction, so gaps at the front reveal how much
+    /// history was dropped.
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Emitting subsystem.
+    pub subsystem: Subsystem,
+    /// Short machine-stable event code, e.g. `inject`, `detect`, `repair`.
+    pub code: &'static str,
+    /// Free-form detail (already rendered; escaped on output).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Pipe-delimited single-line rendering:
+    /// `seq|at_secs|subsystem|code|detail` with `|` and newlines escaped
+    /// inside the detail so the line stays greppable and splittable.
+    pub fn render(&self) -> String {
+        let mut detail = String::with_capacity(self.detail.len());
+        for ch in self.detail.chars() {
+            match ch {
+                '|' => detail.push_str("\\p"),
+                '\\' => detail.push_str("\\\\"),
+                '\n' => detail.push_str("\\n"),
+                '\r' => detail.push_str("\\r"),
+                c => detail.push(c),
+            }
+        }
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.seq,
+            self.at.as_secs(),
+            self.subsystem.tag(),
+            self.code,
+            detail
+        )
+    }
+}
+
+/// Default ring capacity: enough for the interesting tail of a year-long
+/// run without letting a pathological run grow without bound.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// A run-wide structured event log.
+///
+/// Construct with [`Trace::disabled`] (the default for production
+/// simulations — every `emit` is a single branch) or [`Trace::enabled`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    ring: CircularQueue<TraceEvent>,
+    next_seq: u64,
+    counts: [u64; Subsystem::ALL.len()],
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// A disabled trace: `emit` returns immediately, nothing is retained.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            // Capacity 1: the ring is never pushed to while disabled.
+            ring: CircularQueue::new(1),
+            next_seq: 0,
+            counts: [0; Subsystem::ALL.len()],
+        }
+    }
+
+    /// An enabled trace retaining the last [`DEFAULT_TRACE_CAPACITY`]
+    /// events.
+    pub fn enabled() -> Self {
+        Trace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled trace retaining the last `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            ring: CircularQueue::new(capacity),
+            next_seq: 0,
+            counts: [0; Subsystem::ALL.len()],
+        }
+    }
+
+    /// Is the trace recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event. `detail` is only evaluated when the trace is
+    /// enabled — pass the formatting closure, not a formatted string, at
+    /// hot call sites.
+    #[inline]
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        subsystem: Subsystem,
+        code: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.counts[subsystem.index()] += 1;
+        self.ring.push(TraceEvent {
+            seq,
+            at,
+            subsystem,
+            code,
+            detail: detail(),
+        });
+    }
+
+    /// Lifetime event count for one subsystem (evicted events included).
+    pub fn count(&self, subsystem: Subsystem) -> u64 {
+        self.counts[subsystem.index()]
+    }
+
+    /// Lifetime event count across all subsystems.
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// How many events the ring has dropped.
+    pub fn evicted(&self) -> u64 {
+        self.ring.evicted_count()
+    }
+
+    /// Retained events, oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Retained events rendered as pipe-delimited lines, oldest → newest.
+    pub fn render_lines(&self) -> Vec<String> {
+        self.ring.iter().map(TraceEvent::render).collect()
+    }
+
+    /// Per-subsystem lifetime counters as `(tag, count)` pairs, in
+    /// [`Subsystem::ALL`] order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        Subsystem::ALL
+            .iter()
+            .map(|&s| (s.tag(), self.counts[s.index()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_never_evaluates_detail() {
+        let mut t = Trace::disabled();
+        let mut evaluated = false;
+        t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.count(Subsystem::Fault), 0);
+        assert!(t.events().next().is_none());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_counts() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime::from_secs(5), Subsystem::Fault, "inject", || {
+            "db000|MidJobDbCrash".into()
+        });
+        t.emit(SimTime::from_secs(9), Subsystem::Agent, "detect", || {
+            "db000".into()
+        });
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.count(Subsystem::Fault), 1);
+        assert_eq!(t.count(Subsystem::Agent), 1);
+        assert_eq!(t.count(Subsystem::Lsf), 0);
+        let lines = t.render_lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "0|5|fault|inject|db000\\pMidJobDbCrash");
+        assert_eq!(lines[1], "1|9|agent|detect|db000");
+    }
+
+    #[test]
+    fn ring_evicts_but_counters_survive() {
+        let mut t = Trace::with_capacity(4);
+        for i in 0..10u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+                String::new()
+            });
+        }
+        assert_eq!(t.total(), 10);
+        assert_eq!(t.count(Subsystem::Workload), 10);
+        assert_eq!(t.evicted(), 6);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn render_escapes_structural_characters() {
+        let e = TraceEvent {
+            seq: 3,
+            at: SimTime::from_secs(60),
+            subsystem: Subsystem::Admin,
+            code: "dgspl",
+            detail: "a|b\\c\nd\re".into(),
+        };
+        assert_eq!(e.render(), "3|60|admin|dgspl|a\\pb\\\\c\\nd\\re");
+        // Exactly five pipe-separated columns survive.
+        assert_eq!(e.render().split('|').count(), 5);
+    }
+
+    #[test]
+    fn counters_listing_covers_all_subsystems() {
+        let t = Trace::enabled();
+        let tags: Vec<&str> = t.counters().into_iter().map(|(tag, _)| tag).collect();
+        assert_eq!(
+            tags,
+            vec!["fault", "agent", "admin", "lsf", "manual", "work", "kern"]
+        );
+    }
+}

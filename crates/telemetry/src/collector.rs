@@ -201,7 +201,11 @@ mod tests {
         let mut c = collector(3);
         let mut s = server();
         for i in 0..10u64 {
-            c.ingest(&snapshot(&[("run_queue", 0.0)]), &mut s, SimTime::from_mins(i));
+            c.ingest(
+                &snapshot(&[("run_queue", 0.0)]),
+                &mut s,
+                SimTime::from_mins(i),
+            );
         }
         let lines = c.log_lines();
         assert_eq!(lines.len(), 3);
@@ -216,7 +220,11 @@ mod tests {
         let mut s = server();
         let quiet = c.ingest(&snapshot(&[("run_queue", 1.0)]), &mut s, SimTime::ZERO);
         assert!(quiet.is_empty());
-        let noisy = c.ingest(&snapshot(&[("run_queue", 9.0)]), &mut s, SimTime::from_mins(10));
+        let noisy = c.ingest(
+            &snapshot(&[("run_queue", 9.0)]),
+            &mut s,
+            SimTime::from_mins(10),
+        );
         assert_eq!(noisy.len(), 1);
         assert_eq!(noisy[0].violation.var, "run_queue");
         assert_eq!(noisy[0].hostname, "db000");
@@ -230,7 +238,11 @@ mod tests {
         // Re-mount /logs tiny and fill it completely.
         s.fs.add_mount("/logs", 4096);
         let big = "x".repeat(1024);
-        while s.fs.append("/logs/filler", big.clone(), SimTime::ZERO).is_ok() {}
+        while s
+            .fs
+            .append("/logs/filler", big.clone(), SimTime::ZERO)
+            .is_ok()
+        {}
         let breaches = c.ingest(&snapshot(&[("run_queue", 9.0)]), &mut s, SimTime::ZERO);
         // Breach detection still works from memory even though the
         // on-disk write failed.
@@ -243,7 +255,11 @@ mod tests {
         let mut c = collector(10);
         let mut s = server();
         c.ingest(&snapshot(&[("a", 2.0), ("b", 3.0)]), &mut s, SimTime::ZERO);
-        c.ingest(&snapshot(&[("a", 4.0), ("b", 5.0)]), &mut s, SimTime::from_mins(1));
+        c.ingest(
+            &snapshot(&[("a", 4.0), ("b", 5.0)]),
+            &mut s,
+            SimTime::from_mins(1),
+        );
         let prod = c.correlate("a", "b", |_, x, y| x * y).unwrap();
         assert_eq!(prod.points()[0].1, 6.0);
         assert_eq!(prod.points()[1].1, 20.0);

@@ -83,7 +83,9 @@ pub fn disk_metrics(obs: &OsObservables, server: &Server) -> MetricSnapshot {
     m.insert("disk_throughput_mbps".into(), obs.disk_throughput_mbps);
     for mount in ["/", "/apps", "/logs"] {
         if let Some(frac) = server.fs.usage_fraction(mount) {
-            let key = if mount == "/" { "fs_usage_root".to_string() } else {
+            let key = if mount == "/" {
+                "fs_usage_root".to_string()
+            } else {
                 format!("fs_usage_{}", mount.trim_start_matches('/'))
             };
             m.insert(key, frac);
@@ -201,8 +203,13 @@ mod tests {
         let s = server();
         let m = os_metrics(&observe(&s));
         for key in [
-            "scan_rate", "page_outs", "page_faults", "free_mem_mb",
-            "run_queue", "cpu_idle_pct", "blocked_procs",
+            "scan_rate",
+            "page_outs",
+            "page_faults",
+            "free_mem_mb",
+            "run_queue",
+            "cpu_idle_pct",
+            "blocked_procs",
         ] {
             assert!(m.contains_key(key), "missing {key}");
         }
@@ -211,7 +218,8 @@ mod tests {
     #[test]
     fn disk_metrics_include_fs_usage() {
         let mut s = server();
-        s.fs.append("/logs/x", "y".repeat(1023), SimTime::ZERO).unwrap();
+        s.fs.append("/logs/x", "y".repeat(1023), SimTime::ZERO)
+            .unwrap();
         let m = disk_metrics(&observe(&s), &s);
         assert!(m.contains_key("asvc_t_ms"));
         assert!(m.contains_key("wsvc_t_ms"));
@@ -222,9 +230,12 @@ mod tests {
     #[test]
     fn app_process_metrics_count_daemons() {
         let mut s = server();
-        s.procs.spawn("ora_pmon", "", "dba", 0.05, 64.0, 0.0, SimTime::ZERO);
-        s.procs.spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
-        s.procs.spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
+        s.procs
+            .spawn("ora_pmon", "", "dba", 0.05, 64.0, 0.0, SimTime::ZERO);
+        s.procs
+            .spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
+        s.procs
+            .spawn("ora_dbw", "", "dba", 0.2, 256.0, 0.1, SimTime::ZERO);
         let m = app_process_metrics(&s, &["ora_pmon", "ora_dbw", "ghost"]);
         assert_eq!(m["proc_ora_pmon_count"], 1.0);
         assert_eq!(m["proc_ora_dbw_count"], 2.0);
@@ -236,8 +247,24 @@ mod tests {
     #[test]
     fn user_process_metrics_group_by_user() {
         let mut s = server();
-        s.procs.spawn("lsf_job", "datamine", "analyst01", 4.0, 3072.0, 0.4, SimTime::ZERO);
-        s.procs.spawn("lsf_job", "report", "analyst01", 1.0, 512.0, 0.1, SimTime::ZERO);
+        s.procs.spawn(
+            "lsf_job",
+            "datamine",
+            "analyst01",
+            4.0,
+            3072.0,
+            0.4,
+            SimTime::ZERO,
+        );
+        s.procs.spawn(
+            "lsf_job",
+            "report",
+            "analyst01",
+            1.0,
+            512.0,
+            0.1,
+            SimTime::ZERO,
+        );
         s.users_logged_in = 5;
         let m = user_process_metrics(&s, &["analyst01", "analyst02"]);
         assert_eq!(m["user_analyst01_procs"], 2.0);
@@ -258,7 +285,9 @@ mod tests {
     #[test]
     fn microstate_metrics_aggregate_by_name() {
         let mut s = server();
-        let pid = s.procs.spawn("fe_calc", "", "fin", 0.3, 128.0, 0.0, SimTime::ZERO);
+        let pid = s
+            .procs
+            .spawn("fe_calc", "", "fin", 0.3, 128.0, 0.0, SimTime::ZERO);
         s.procs
             .get_mut(pid)
             .unwrap()

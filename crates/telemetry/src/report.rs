@@ -55,11 +55,7 @@ pub fn summarize_series(
 }
 
 /// Render the daily summary email for one collector.
-pub fn daily_report(
-    collector: &PerfCollector,
-    from: SimTime,
-    to: SimTime,
-) -> Vec<String> {
+pub fn daily_report(collector: &PerfCollector, from: SimTime, to: SimTime) -> Vec<String> {
     let mut lines = Vec::new();
     lines.push(format!(
         "PERFORMANCE SUMMARY host={} group={} window={}..{}",
@@ -104,8 +100,7 @@ mod tests {
     fn collector_with_data() -> (PerfCollector, Server) {
         let mut thresholds = ConstraintStore::new();
         thresholds.set("run_queue", Bounds::at_most(4.0));
-        let mut c =
-            PerfCollector::new("db000", MetricGroup::OperatingSystem, thresholds, 1000);
+        let mut c = PerfCollector::new("db000", MetricGroup::OperatingSystem, thresholds, 1000);
         let mut s = Server::new(
             ServerId(0),
             "db000",
@@ -133,7 +128,9 @@ mod tests {
         assert_eq!(s.max, 5.0);
         assert_eq!(s.last, 5.0);
         assert!((s.mean - 3.5).abs() < 1e-12);
-        assert!(summarize_series("m", &ts, SimTime::from_hours(5), SimTime::from_hours(6)).is_none());
+        assert!(
+            summarize_series("m", &ts, SimTime::from_hours(5), SimTime::from_hours(6)).is_none()
+        );
     }
 
     #[test]
@@ -144,7 +141,9 @@ mod tests {
         assert!(report.iter().any(|l| l.starts_with("run_queue 24 ")));
         assert!(report.iter().any(|l| l.starts_with("cpu_idle_pct ")));
         assert!(report.iter().any(|l| l == "breaches=1"));
-        assert!(report.iter().any(|l| l.contains("var=run_queue value=8.000")));
+        assert!(report
+            .iter()
+            .any(|l| l.contains("var=run_queue value=8.000")));
     }
 
     #[test]

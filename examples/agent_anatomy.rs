@@ -26,7 +26,10 @@ fn main() {
         Site::new("London", "LDN-DC1"),
     );
     let mut registry = ServiceRegistry::new();
-    let db = registry.deploy(ServiceSpec::database("trades-db-07", DbEngine::Oracle), ServerId(0));
+    let db = registry.deploy(
+        ServiceSpec::database("trades-db-07", DbEngine::Oracle),
+        ServerId(0),
+    );
     registry.start(db, &mut server, SimTime::ZERO).unwrap();
     registry.complete_pending_starts(SimTime::from_mins(30));
 
@@ -41,12 +44,22 @@ fn main() {
 
     // Inject the paper's fault menagerie one at a time.
     type Break = fn(&mut ServiceRegistry, &mut Server);
-    let crash: Break = |reg, srv| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().crash(srv);
-    let hang: Break = |reg, _| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().hang();
-    let corrupt: Break =
-        |reg, srv| reg.get_mut(intelliqos::services::ServiceId(0)).unwrap().corrupt(srv);
-    let faults: [(&str, Break); 3] =
-        [("crash", crash), ("hang", hang), ("corruption", corrupt)];
+    let crash: Break = |reg, srv| {
+        reg.get_mut(intelliqos::services::ServiceId(0))
+            .unwrap()
+            .crash(srv)
+    };
+    let hang: Break = |reg, _| {
+        reg.get_mut(intelliqos::services::ServiceId(0))
+            .unwrap()
+            .hang()
+    };
+    let corrupt: Break = |reg, srv| {
+        reg.get_mut(intelliqos::services::ServiceId(0))
+            .unwrap()
+            .corrupt(srv)
+    };
+    let faults: [(&str, Break); 3] = [("crash", crash), ("hang", hang), ("corruption", corrupt)];
 
     for (label, break_it) in faults {
         now += step;
@@ -64,7 +77,10 @@ fn main() {
         );
         for finding in &report.findings {
             let diag = finding.diagnosis.as_ref().expect("fault was diagnosed");
-            println!("t={now}  agent woke: rule '{}' -> cause: {}", diag.rule_id, diag.cause);
+            println!(
+                "t={now}  agent woke: rule '{}' -> cause: {}",
+                diag.rule_id, diag.cause
+            );
             for action in &diag.actions {
                 println!("          prescribed: {action}");
             }
@@ -86,12 +102,18 @@ fn main() {
     // aggregate into the global DGSPL.
     now += step;
     let _dlsp = run_status_agent(&mut server, &registry, &mut rng, now);
-    println!("t={now}  status agent compiled the DLSP ({}):", dlsp_path("db007"));
+    println!(
+        "t={now}  status agent compiled the DLSP ({}):",
+        dlsp_path("db007")
+    );
     let file = server.fs.read(&dlsp_path("db007")).unwrap();
     for line in &file.lines {
         println!("  {line}");
     }
     let parsed = Dlsp::parse_text(&file.lines.join("\n")).unwrap();
     assert!(parsed.all_services_running());
-    println!("\nall services running again; {} notifications were sent to humans", bus.log().len());
+    println!(
+        "\nall services running again; {} notifications were sent to humans",
+        bus.log().len()
+    );
 }

@@ -26,7 +26,11 @@ fn make_servers() -> BTreeMap<ServerId, Server> {
     // Six E4500s and two big E10Ks.
     (0..8u32)
         .map(|i| {
-            let model = if i < 6 { ServerModel::SunE4500 } else { ServerModel::SunE10k };
+            let model = if i < 6 {
+                ServerModel::SunE4500
+            } else {
+                ServerModel::SunE10k
+            };
             (
                 ServerId(i),
                 Server::new(
@@ -80,8 +84,10 @@ fn run_policy(policy: &str) -> (u64, u64) {
     let mut lsf = LsfCluster::new(servers.keys().copied().collect(), 3);
     let mut rng = SimRng::stream(9, "resched");
     let mut manual = ManualStickySelector::new(SimRng::stream(9, "manual"));
-    let host_ids: BTreeMap<String, ServerId> =
-        servers.values().map(|s| (s.hostname.clone(), s.id)).collect();
+    let host_ids: BTreeMap<String, ServerId> = servers
+        .values()
+        .map(|s| (s.hostname.clone(), s.id))
+        .collect();
     let mut dgspl_sel = DgsplSelector::new(dgspl_of(&servers), host_ids, "db-oracle");
 
     // Twenty analysts slam the cluster with oversized mining runs.
@@ -89,8 +95,10 @@ fn run_policy(policy: &str) -> (u64, u64) {
     for round in 0..48u64 {
         now = SimTime::from_mins(round * 30);
         for a in 0..6 {
-            let mut spec =
-                JobSpec::defaults_for(JobKind::DataMining, format!("analyst{:02}", (round + a) % 20));
+            let mut spec = JobSpec::defaults_for(
+                JobKind::DataMining,
+                format!("analyst{:02}", (round + a) % 20),
+            );
             spec.cpu_demand *= 1.6; // quarter-end crunch
             lsf.submit(spec, now);
         }
@@ -149,7 +157,10 @@ fn run_policy(policy: &str) -> (u64, u64) {
 
 fn main() {
     println!("resubmission policy comparison (same workload, same crash model):\n");
-    println!("{:<14} {:>10} {:>10} {:>14}", "policy", "completed", "failures", "fail/complete");
+    println!(
+        "{:<14} {:>10} {:>10} {:>14}",
+        "policy", "completed", "failures", "fail/complete"
+    );
     for policy in ["manual", "dgspl", "least-loaded"] {
         let (completed, failed) = run_policy(policy);
         println!(

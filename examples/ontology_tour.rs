@@ -9,12 +9,10 @@
 //! cargo run --release --example ontology_tour
 //! ```
 
-use intelliqos::ontology::{
-    Bounds, ConstraintStore, Dgspl, FactBase, Issl, IsslEntry, Slkt,
-};
+use intelliqos::ontology::{Bounds, ConstraintStore, Dgspl, FactBase, Issl, IsslEntry, Slkt};
+use intelliqos_core::rulesets;
 use intelliqos_ontology::dlsp::{Dlsp, DlspService};
 use intelliqos_ontology::slkt::{SlktApp, SlktHardware};
-use intelliqos_core::rulesets;
 
 fn main() {
     // 1. ISSL — the manually maintained bootstrap index (≤200 entries).
@@ -38,14 +36,23 @@ fn main() {
     let slkt = Slkt {
         hostname: "db007".into(),
         ip: "10.1.0.7".into(),
-        hardware: SlktHardware { model: "Sun-E4500".into(), cpus: 8, ram_gb: 8, disks: 6 },
+        hardware: SlktHardware {
+            model: "Sun-E4500".into(),
+            cpus: 8,
+            ram_gb: 8,
+            disks: 6,
+        },
         apps: vec![SlktApp {
             name: "trades-db-07".into(),
             app_type: "db-oracle".into(),
             version: "8.1.7".into(),
             binary_path: "/apps/db/bin".into(),
             port: 1521,
-            processes: vec![("ora_pmon".into(), 1), ("ora_dbw".into(), 2), ("ora_lsnr".into(), 1)],
+            processes: vec![
+                ("ora_pmon".into(), 1),
+                ("ora_dbw".into(), 2),
+                ("ora_lsnr".into(), 1),
+            ],
             startup_sequence: vec!["listener".into(), "instance".into(), "recovery".into()],
             depends_on: vec![],
             mounts: vec!["/apps".into()],
@@ -97,7 +104,10 @@ fn main() {
     let mut adjustable = ConstraintStore::new();
     adjustable.set("run_queue", Bounds::at_most(4.0));
     let widened = adjustable.relax("run_queue", 1.25).unwrap();
-    println!("after adaptive adjustment: run_queue max = {:?}\n", widened.max);
+    println!(
+        "after adaptive adjustment: run_queue max = {:?}\n",
+        widened.max
+    );
 
     // 5. Causal reasoning: the facts an agent would assert for the
     // timed-out probe on an overloaded host.
@@ -114,11 +124,7 @@ fn main() {
     }
 
     // 6. DGSPL — the global list the rescheduler walks, best-first.
-    let dgspl = Dgspl::from_dlsps(
-        &[dlsp],
-        4500,
-        |_, cpus| cpus as f64 * 0.9,
-    );
+    let dgspl = Dgspl::from_dlsps(&[dlsp], 4500, |_, cpus| cpus as f64 * 0.9);
     println!("\n== DGSPL (dynamic global service profile list) ==");
     println!("{}", dgspl.to_doc().to_text());
     println!(

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints as errors, build, tests.
+# Run before every push; CI runs exactly this.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI gate passed."

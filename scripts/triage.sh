@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Paired-run triage: run the same scenario under ManualOps and
+# Intelliagents with structured tracing on, check the paired-run
+# invariant (identical fault/workload tapes) and the incident-ledger
+# lifecycle, and export ledger+trace JSON for both runs.
+#
+#   scripts/triage.sh [--seed N] [--days N]
+#
+# Exits non-zero if the tapes diverge or any incident record is
+# lifecycle-incomplete. JSON output lands in target/triage/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p intelliqos-bench --bin triage
+./target/release/triage "$@"
+
+echo
+echo "JSON exports:"
+ls -l target/triage/*.json

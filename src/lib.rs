@@ -53,7 +53,9 @@ pub use intelliqos_telemetry as telemetry;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use intelliqos_baseline::{HumanDetectionModel, ManualRepairModel, ResidentMonitorFootprint};
+    pub use intelliqos_baseline::{
+        HumanDetectionModel, ManualRepairModel, ResidentMonitorFootprint,
+    };
     pub use intelliqos_cluster::{
         FaultCategory, FaultMechanism, FaultRates, HardwareSpec, Server, ServerId, ServerModel,
     };

@@ -1,0 +1,115 @@
+//! Minimal property-testing harness shared by the integration tests.
+//!
+//! The container this repo builds in is fully offline, so `proptest` is
+//! not available; this module supplies the small slice of it the tests
+//! need: deterministic random case generation over many seeded trials,
+//! with the failing case's seed printed on panic so a failure is
+//! reproducible by construction.
+
+// Each integration-test binary compiles this module independently and
+// uses a different subset of the generator helpers.
+#![allow(dead_code)]
+
+use intelliqos_simkern::SimRng;
+
+/// Deterministic case generator: one per trial, derived from the trial
+/// index so every run of the suite explores the same cases.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        self.rng.uniform_u64(lo, hi - 1)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    /// A `Vec<u64>` with length in `len` (half-open) and values in
+    /// `[0, max_value)`.
+    pub fn vec_u64(&mut self, len: std::ops::Range<usize>, max_value: u64) -> Vec<u64> {
+        let n = self.usize_in(len.start, len.end);
+        (0..n).map(|_| self.u64_in(0, max_value)).collect()
+    }
+
+    /// A `Vec<bool>` with length in `len` (half-open).
+    pub fn vec_bool(&mut self, len: std::ops::Range<usize>) -> Vec<bool> {
+        let n = self.usize_in(len.start, len.end);
+        (0..n).map(|_| self.bool()).collect()
+    }
+
+    /// Printable-ASCII string (including `|`, `=`, newline and carriage
+    /// return — every structural character a flat-ASCII codec must
+    /// escape), length in `[0, max_len]`.
+    pub fn ascii_value(&mut self, max_len: usize) -> String {
+        let n = self.usize_in(0, max_len + 1);
+        (0..n)
+            .map(|_| {
+                // Bias a little toward the structural characters.
+                match self.usize_in(0, 10) {
+                    0 => '|',
+                    1 => '=',
+                    2 => '\n',
+                    3 => '\r',
+                    _ => (self.u32_in(0x20, 0x7f) as u8) as char,
+                }
+            })
+            .collect()
+    }
+
+    /// Identifier-ish name: `[A-Za-z][A-Za-z0-9_.-]{0,20}`.
+    pub fn ident(&mut self) -> String {
+        const HEAD: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+        const TAIL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.-";
+        let mut s = String::new();
+        s.push(HEAD[self.usize_in(0, HEAD.len())] as char);
+        let extra = self.usize_in(0, 21);
+        for _ in 0..extra {
+            s.push(TAIL[self.usize_in(0, TAIL.len())] as char);
+        }
+        s
+    }
+
+    /// Pick one element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        self.rng.choose(items)
+    }
+}
+
+/// Run `body` against `trials` generated cases. Panics (propagating the
+/// assertion) with the trial number in the message context via a wrapped
+/// catch, so failures name the reproducing trial.
+pub fn cases(trials: u64, body: impl Fn(&mut Gen)) {
+    for trial in 0..trials {
+        let mut g = Gen {
+            rng: SimRng::stream(trial, "prop-cases"),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut g)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property failed at trial {trial} (rerun: SimRng::stream({trial}, \"prop-cases\"))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

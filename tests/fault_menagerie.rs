@@ -76,15 +76,24 @@ fn hung_front_end_is_bounced() {
 fn degraded_cpu_is_offlined_proactively() {
     let mut w = quiet_world(3);
     let sid = ServerId(1);
-    w.servers
-        .get_mut(&sid)
-        .unwrap()
-        .set_component_health(HardwareComponent::Cpu, 0, ComponentHealth::Degraded);
+    w.servers.get_mut(&sid).unwrap().set_component_health(
+        HardwareComponent::Cpu,
+        0,
+        ComponentHealth::Degraded,
+    );
     let t = w.now();
     w.run_until(t + SimDuration::from_mins(15));
     let server = &w.servers[&sid];
-    assert_eq!(server.degraded_count(HardwareComponent::Cpu), 0, "CPU still degraded");
-    assert_eq!(server.failed_count(HardwareComponent::Cpu), 1, "CPU not offlined");
+    assert_eq!(
+        server.degraded_count(HardwareComponent::Cpu),
+        0,
+        "CPU still degraded"
+    );
+    assert_eq!(
+        server.failed_count(HardwareComponent::Cpu),
+        1,
+        "CPU not offlined"
+    );
     assert!(server.effective_spec().cpus < server.spec.cpus);
 }
 
@@ -95,7 +104,15 @@ fn runaway_process_is_killed_by_os_agent() {
     {
         let server = w.servers.get_mut(&sid).unwrap();
         let cap = server.effective_spec().compute_power();
-        server.procs.spawn("runaway", "spin", "app", cap * 1.3, 64.0, 0.0, SimTime::from_hours(1));
+        server.procs.spawn(
+            "runaway",
+            "spin",
+            "app",
+            cap * 1.3,
+            64.0,
+            0.0,
+            SimTime::from_hours(1),
+        );
     }
     let t = w.now();
     w.run_until(t + SimDuration::from_mins(15));
@@ -105,7 +122,9 @@ fn runaway_process_is_killed_by_os_agent() {
 #[test]
 fn private_network_outage_reroutes_agent_traffic() {
     let mut w = quiet_world(5);
-    let private = w.fabric.segments_of(intelliqos::cluster::SegmentKind::PrivateAgent)[0];
+    let private = w
+        .fabric
+        .segments_of(intelliqos::cluster::SegmentKind::PrivateAgent)[0];
     w.fabric.set_segment_up(private, false);
     let t = w.now();
     // DLSPs keep flowing (over the public LAN) — the DGSPL stays fresh.

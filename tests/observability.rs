@@ -1,0 +1,164 @@
+//! Observability-layer integration tests: the incident ledger, the
+//! structured trace, the paired-run divergence finder, and the JSON run
+//! export, all exercised through whole-datacenter scenarios.
+
+use intelliqos::core::divergence::{first_divergence, Stream};
+use intelliqos::core::run_export_json;
+use intelliqos::prelude::*;
+use intelliqos::simkern::Subsystem;
+
+fn small(seed: u64, mode: ManagementMode) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small(seed, mode);
+    cfg.horizon = SimDuration::from_days(7);
+    cfg
+}
+
+fn run_traced(seed: u64, mode: ManagementMode) -> (World, ScenarioReport) {
+    let mut world = World::build(small(seed, mode)).enable_trace();
+    let report = world.run_to_end();
+    (world, report)
+}
+
+/// The report's category tables are *derived* from the ledger, so the
+/// two can never disagree — asserted here so the wiring stays that way.
+#[test]
+fn report_totals_equal_ledger_totals() {
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let (world, report) = run_traced(11, mode);
+        assert_eq!(report.categories, world.ledger.totals());
+        let incidents: u64 = world.ledger.totals().values().map(|t| t.incidents).sum();
+        assert_eq!(report.incidents, incidents);
+        assert!((report.total_downtime_hours - world.ledger.total_downtime_hours()).abs() < 1e-9);
+        assert_eq!(report.open_incidents, world.ledger.open_incidents().len());
+        assert_eq!(report.downtime_hours, world.ledger.figure2_rows());
+    }
+}
+
+/// Every ledger record carries the full injected → detected → diagnosed
+/// → repaired/escalated lifecycle, in order, with an actor and a repair
+/// action on every closed incident.
+#[test]
+fn every_incident_has_a_complete_ordered_lifecycle() {
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let (world, report) = run_traced(23, mode);
+        assert!(report.incidents > 0, "scenario must produce incidents");
+        let violations = world.ledger.lifecycle_violations();
+        assert!(violations.is_empty(), "{mode:?}: {violations:?}");
+        for inc in world.ledger.incidents() {
+            if inc.restored.is_some() {
+                assert!(
+                    inc.repaired_by.is_some(),
+                    "{}: closed without actor",
+                    inc.id
+                );
+                assert!(
+                    inc.repair_action.as_deref().is_some_and(|a| !a.is_empty()),
+                    "{}: closed without action",
+                    inc.id
+                );
+            }
+        }
+        // In manual mode, humans get paged for everything and repair
+        // everything; nothing closes automatically.
+        if mode == ManagementMode::ManualOps {
+            for t in world.ledger.totals().values() {
+                assert_eq!(t.auto_repaired, 0);
+                assert_eq!(t.escalated, t.incidents);
+            }
+        }
+    }
+}
+
+/// Every fault on the exogenous tape that fires within the horizon shows
+/// up exactly once as a Fault-subsystem `inject` trace event, in tape
+/// order — the injection stream is complete and not duplicated.
+#[test]
+fn trace_records_each_injected_fault_exactly_once() {
+    let (world, _report) = run_traced(23, ManagementMode::Intelliagents);
+    let horizon = SimTime::ZERO + world.cfg.horizon;
+    let expected: Vec<_> = world
+        .fault_tape()
+        .iter()
+        .filter(|f| f.at <= horizon)
+        .collect();
+    let injects: Vec<_> = world
+        .trace
+        .events()
+        .filter(|e| e.subsystem == Subsystem::Fault && e.code == "inject")
+        .collect();
+    assert_eq!(
+        world.trace.evicted(),
+        0,
+        "ring must not have dropped events"
+    );
+    assert_eq!(injects.len(), expected.len());
+    for (ev, fault) in injects.iter().zip(&expected) {
+        assert_eq!(ev.at, fault.at);
+        assert!(ev.detail.contains(&format!("{:?}", fault.mechanism)));
+    }
+    // And the ledger + repair machinery left their own marks.
+    assert!(world.trace.count(Subsystem::Fault) >= injects.len() as u64);
+    assert!(world.trace.count(Subsystem::Agent) > 0);
+    assert!(world.trace.count(Subsystem::Workload) > 0);
+    assert!(world.trace.count(Subsystem::Lsf) > 0);
+    assert!(world.trace.count(Subsystem::Kernel) >= 2); // run-start + run-end
+}
+
+/// The paired-run invariant, checked by the divergence finder itself:
+/// same seed, different management mode → identical exogenous streams,
+/// even after both worlds have fully run.
+#[test]
+fn paired_runs_share_identical_tapes() {
+    let (manual, _) = run_traced(42, ManagementMode::ManualOps);
+    let (agents, _) = run_traced(42, ManagementMode::Intelliagents);
+    assert_eq!(first_divergence(&manual, &agents), None);
+}
+
+/// Different seeds must diverge, and the finder pinpoints the *first*
+/// differing event with both renderings.
+#[test]
+fn divergence_finder_pinpoints_first_difference() {
+    let (a, _) = run_traced(42, ManagementMode::ManualOps);
+    let (b, _) = run_traced(43, ManagementMode::ManualOps);
+    let d = first_divergence(&a, &b).expect("different seeds diverge");
+    assert_ne!(d.left, d.right);
+    match d.stream {
+        Stream::FaultTape => {
+            assert_eq!(a.fault_tape()[..d.index], b.fault_tape()[..d.index]);
+            assert_ne!(a.fault_tape().get(d.index), b.fault_tape().get(d.index));
+        }
+        Stream::WorkloadTape => {
+            assert_eq!(a.workload_tape()[..d.index], b.workload_tape()[..d.index]);
+        }
+    }
+}
+
+/// The JSON export carries both layers and matches the live objects.
+#[test]
+fn json_export_reflects_ledger_and_trace() {
+    let (world, report) = run_traced(11, ManagementMode::Intelliagents);
+    let json = run_export_json(&world);
+    assert!(json.contains("\"seed\": 11"));
+    assert!(json.contains("\"mode\": \"Intelliagents\""));
+    assert!(json.contains(&format!("\"open_incidents\": {}", report.open_incidents)));
+    for (tag, n) in world.trace.counters() {
+        assert!(json.contains(&format!("\"{tag}\": {n}")));
+    }
+    // One incident object per ledger record.
+    assert_eq!(
+        json.matches("\"category\": ").count(),
+        world.ledger.incidents().count()
+    );
+}
+
+/// A world run with tracing left at the default (disabled) must record
+/// nothing — the zero-cost path — while producing the same report.
+#[test]
+fn disabled_trace_records_nothing_and_changes_nothing() {
+    let mut silent = World::build(small(11, ManagementMode::Intelliagents));
+    let report_silent = silent.run_to_end();
+    let (traced, report_traced) = run_traced(11, ManagementMode::Intelliagents);
+    assert_eq!(silent.trace.total(), 0);
+    assert!(traced.trace.total() > 0);
+    assert_eq!(report_silent, report_traced);
+}

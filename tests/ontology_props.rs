@@ -1,157 +1,146 @@
 //! Property-based tests on the ontology layer: the flat-ASCII codec and
 //! every ontology document type must round-trip losslessly through
-//! their on-disk form, for arbitrary content.
+//! their on-disk form, for arbitrary content. Driven by the in-tree
+//! deterministic case generator (`common::cases`).
 
-use proptest::prelude::*;
+mod common;
 
+use common::{cases, Gen};
+
+use intelliqos::ontology::dlsp::DlspService;
+use intelliqos::ontology::slkt::{Slkt, SlktApp, SlktHardware};
 use intelliqos::ontology::{
     flat::{escape, unescape, FlatDoc, FlatRecord},
     Bounds, ConstraintStore, Dgspl, DgsplEntry, Dlsp, Issl, IsslEntry,
 };
-use intelliqos::ontology::dlsp::DlspService;
-use intelliqos::ontology::slkt::{Slkt, SlktApp, SlktHardware};
 
-/// Printable-ASCII strings including every structural character the
-/// codec must escape.
-fn ascii_value() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~\n\r]{0,40}").expect("valid regex")
+fn fields(g: &mut Gen, len: std::ops::Range<usize>) -> Vec<(String, String)> {
+    let n = g.usize_in(len.start, len.end);
+    (0..n).map(|_| (g.ident(), g.ascii_value(40))).collect()
 }
 
-/// Identifier-ish names (keys must be nonempty).
-fn ident() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[A-Za-z][A-Za-z0-9_.-]{0,20}").expect("valid regex")
-}
-
-proptest! {
-    #[test]
-    fn escape_roundtrips(s in ascii_value()) {
+#[test]
+fn escape_roundtrips() {
+    cases(256, |g| {
+        let s = g.ascii_value(40);
         let esc = escape(&s);
         // Escaped form has no structural characters.
-        prop_assert!(!esc.contains('|') && !esc.contains('=') && !esc.contains('\n'));
-        prop_assert_eq!(unescape(&esc).unwrap(), s);
-    }
+        assert!(!esc.contains('|') && !esc.contains('=') && !esc.contains('\n'));
+        assert_eq!(unescape(&esc).unwrap(), s);
+    });
+}
 
-    #[test]
-    fn record_roundtrips(fields in proptest::collection::vec((ident(), ascii_value()), 1..8)) {
+#[test]
+fn record_roundtrips() {
+    cases(128, |g| {
+        let fs = fields(g, 1..8);
         let mut rec = FlatRecord::new();
-        for (k, v) in &fields {
+        for (k, v) in &fs {
             rec = rec.set(k.clone(), v.clone());
         }
         let line = rec.to_line();
         let back = FlatRecord::from_line(&line, 0).unwrap();
-        prop_assert_eq!(back, rec);
-    }
+        assert_eq!(back, rec);
+    });
+}
 
-    #[test]
-    fn doc_roundtrips(
-        kind in ident(),
-        version in 1u32..99,
-        sections in proptest::collection::vec(
-            (ident(), proptest::collection::vec(
-                proptest::collection::vec((ident(), ascii_value()), 1..5), 0..4)),
-            0..4,
-        )
-    ) {
+#[test]
+fn doc_roundtrips() {
+    cases(64, |g| {
+        let kind = g.ident();
+        let version = g.u32_in(1, 99);
         let mut doc = FlatDoc::new(kind, version);
-        for (name, records) in &sections {
-            let recs = records
-                .iter()
-                .map(|fields| {
+        for _ in 0..g.usize_in(0, 4) {
+            let name = g.ident();
+            let recs = (0..g.usize_in(0, 4))
+                .map(|_| {
                     let mut r = FlatRecord::new();
-                    for (k, v) in fields {
-                        r = r.set(k.clone(), v.clone());
+                    for (k, v) in fields(g, 1..5) {
+                        r = r.set(k, v);
                     }
                     r
                 })
                 .collect();
-            doc = doc.with_section(name.clone(), recs);
+            doc = doc.with_section(name, recs);
         }
         let text = doc.to_text();
         let back = FlatDoc::parse_text(&text).unwrap();
-        prop_assert_eq!(back, doc);
-    }
+        assert_eq!(back, doc);
+    });
+}
 
-    #[test]
-    fn issl_roundtrips(
-        entries in proptest::collection::vec(
-            (ident(), ident(), proptest::collection::vec(ident(), 0..4)),
-            0..20,
-        )
-    ) {
+#[test]
+fn issl_roundtrips() {
+    cases(64, |g| {
         let mut issl = Issl::new();
-        for (host, ip, services) in entries {
-            issl.add(IsslEntry { hostname: host, ip, services }).unwrap();
+        for _ in 0..g.usize_in(0, 20) {
+            let entry = IsslEntry {
+                hostname: g.ident(),
+                ip: g.ident(),
+                services: (0..g.usize_in(0, 4)).map(|_| g.ident()).collect(),
+            };
+            issl.add(entry).unwrap();
         }
         let text = issl.to_doc().to_text();
-        prop_assert_eq!(Issl::parse_text(&text).unwrap(), issl);
-    }
+        assert_eq!(Issl::parse_text(&text).unwrap(), issl);
+    });
+}
 
-    #[test]
-    fn dlsp_roundtrips(
-        hostname in ident(),
-        at in 0u64..100_000_000,
-        load in 0.0f64..1.5,
-        users in 0u32..500,
-        services in proptest::collection::vec(
-            (ident(), ident(), prop_oneof!(
-                Just("running".to_string()),
-                Just("refused".to_string()),
-                Just("timeout".to_string()),
-                Just("query-error".to_string()),
-            )),
-            0..6,
-        ),
-    ) {
+#[test]
+fn dlsp_roundtrips() {
+    cases(64, |g| {
+        let statuses = ["running", "refused", "timeout", "query-error"];
         let dlsp = Dlsp {
-            hostname,
-            generated_at_secs: at,
+            hostname: g.ident(),
+            generated_at_secs: g.u64_in(0, 100_000_000),
             model: "Sun-E4500".into(),
             os: "Solaris".into(),
             cpus: 8,
             ram_gb: 8,
             // Quantise to the codec's 4-decimal float formatting.
-            load_score: (load * 10_000.0).round() / 10_000.0,
+            load_score: (g.f64_in(0.0, 1.5) * 10_000.0).round() / 10_000.0,
             free_mem_mb: 1024.0,
             cpu_idle_pct: 50.0,
-            users,
+            users: g.u32_in(0, 500),
             location: "London".into(),
             site: "LDN".into(),
-            services: services
-                .into_iter()
-                .map(|(name, version, status)| DlspService {
-                    name,
+            services: (0..g.usize_in(0, 6))
+                .map(|_| DlspService {
+                    name: g.ident(),
                     app_type: "db-oracle".into(),
-                    version,
-                    status,
+                    version: g.ident(),
+                    status: g.choose(&statuses).to_string(),
                     latency_ms: None,
                 })
                 .collect(),
         };
         let text = dlsp.to_doc().to_text();
-        prop_assert_eq!(Dlsp::parse_text(&text).unwrap(), dlsp);
-    }
+        assert_eq!(Dlsp::parse_text(&text).unwrap(), dlsp);
+    });
+}
 
-    #[test]
-    fn slkt_roundtrips(
-        hostname in ident(),
-        apps in proptest::collection::vec(
-            (ident(), proptest::collection::vec((ident(), 1u32..9), 1..4)),
-            0..4,
-        ),
-    ) {
+#[test]
+fn slkt_roundtrips() {
+    cases(64, |g| {
         let slkt = Slkt {
-            hostname,
+            hostname: g.ident(),
             ip: "10.0.0.1".into(),
-            hardware: SlktHardware { model: "Sun-E10000".into(), cpus: 32, ram_gb: 32, disks: 12 },
-            apps: apps
-                .into_iter()
-                .map(|(name, processes)| SlktApp {
-                    name,
+            hardware: SlktHardware {
+                model: "Sun-E10000".into(),
+                cpus: 32,
+                ram_gb: 32,
+                disks: 12,
+            },
+            apps: (0..g.usize_in(0, 4))
+                .map(|_| SlktApp {
+                    name: g.ident(),
                     app_type: "db-oracle".into(),
                     version: "8.1.7".into(),
                     binary_path: "/apps/db/bin".into(),
                     port: 1521,
-                    processes,
+                    processes: (0..g.usize_in(1, 4))
+                        .map(|_| (g.ident(), g.u32_in(1, 9)))
+                        .collect(),
                     startup_sequence: vec!["listener".into(), "instance".into()],
                     depends_on: vec![],
                     mounts: vec!["/apps".into()],
@@ -160,57 +149,59 @@ proptest! {
                 .collect(),
         };
         let text = slkt.to_doc().to_text();
-        prop_assert_eq!(Slkt::parse_text(&text).unwrap(), slkt);
-    }
+        assert_eq!(Slkt::parse_text(&text).unwrap(), slkt);
+    });
+}
 
-    #[test]
-    fn dgspl_roundtrips_and_shortlist_is_sorted(
-        entries in proptest::collection::vec(
-            (ident(), 0.0f64..1.5, 1u32..64, 1u32..64),
-            0..20,
-        )
-    ) {
+#[test]
+fn dgspl_roundtrips_and_shortlist_is_sorted() {
+    cases(64, |g| {
         let dgspl = Dgspl {
             generated_at_secs: 900,
-            entries: entries
-                .into_iter()
-                .map(|(host, load, cpus, ram)| DgsplEntry {
-                    hostname: host,
-                    server_type: "Sun-E4500".into(),
-                    os: "Solaris".into(),
-                    ram_gb: ram,
-                    cpus,
-                    // Quantise to the codec's 4-decimal precision.
-                    compute_power: (cpus as f64 * 0.9 * 10_000.0).round() / 10_000.0,
-                    app_type: "db-oracle".into(),
-                    version: "8.1.7".into(),
-                    load: (load * 10_000.0).round() / 10_000.0,
-                    users: 0,
-                    location: "London".into(),
-                    site: "LDN".into(),
-                    service: "svc".into(),
+            entries: (0..g.usize_in(0, 20))
+                .map(|_| {
+                    let cpus = g.u32_in(1, 64);
+                    DgsplEntry {
+                        hostname: g.ident(),
+                        server_type: "Sun-E4500".into(),
+                        os: "Solaris".into(),
+                        ram_gb: g.u32_in(1, 64),
+                        cpus,
+                        // Quantise to the codec's 4-decimal precision.
+                        compute_power: (cpus as f64 * 0.9 * 10_000.0).round() / 10_000.0,
+                        app_type: "db-oracle".into(),
+                        version: "8.1.7".into(),
+                        load: (g.f64_in(0.0, 1.5) * 10_000.0).round() / 10_000.0,
+                        users: 0,
+                        location: "London".into(),
+                        site: "LDN".into(),
+                        service: "svc".into(),
+                    }
                 })
                 .collect(),
         };
         let text = dgspl.to_doc().to_text();
-        prop_assert_eq!(&Dgspl::parse_text(&text).unwrap(), &dgspl);
+        assert_eq!(&Dgspl::parse_text(&text).unwrap(), &dgspl);
         // Shortlist invariant: "best choice always first" — load is
         // non-decreasing along the shortlist.
         let shortlist = dgspl.shortlist("db-oracle");
         for pair in shortlist.windows(2) {
-            prop_assert!(pair[0].load <= pair[1].load + 1e-9);
+            assert!(pair[0].load <= pair[1].load + 1e-9);
         }
         // Replacement shortlist never includes under-powered hosts.
         for e in dgspl.replacement_shortlist("db-oracle", "Sun-E4500", 10.0, 16) {
-            prop_assert!(e.compute_power >= 10.0 && e.ram_gb >= 16);
+            assert!(e.compute_power >= 10.0 && e.ram_gb >= 16);
         }
-    }
+    });
+}
 
-    #[test]
-    fn constraints_roundtrip_and_relax_widens(
-        vars in proptest::collection::vec((ident(), 0.0f64..1e6, 0.0f64..1e6), 1..10),
-        factor in 1.01f64..3.0,
-    ) {
+#[test]
+fn constraints_roundtrip_and_relax_widens() {
+    cases(64, |g| {
+        let vars: Vec<(String, f64, f64)> = (0..g.usize_in(1, 10))
+            .map(|_| (g.ident(), g.f64_in(0.0, 1e6), g.f64_in(0.0, 1e6)))
+            .collect();
+        let factor = g.f64_in(1.01, 3.0);
         let mut store = ConstraintStore::new();
         for (name, a, b) in &vars {
             let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
@@ -221,12 +212,12 @@ proptest! {
         }
         let text = store.to_doc().to_text();
         let back = ConstraintStore::from_doc(&FlatDoc::parse_text(&text).unwrap()).unwrap();
-        prop_assert_eq!(&back, &store);
+        assert_eq!(&back, &store);
         // Relaxing never tightens.
         let (name, _, _) = &vars[0];
         let before = store.get(name).unwrap();
         let after = store.relax(name, factor).unwrap();
-        prop_assert!(after.max.unwrap() >= before.max.unwrap());
-        prop_assert!(after.min.unwrap() <= before.min.unwrap());
-    }
+        assert!(after.max.unwrap() >= before.max.unwrap());
+        assert!(after.min.unwrap() <= before.min.unwrap());
+    });
 }

@@ -1,14 +1,20 @@
-//! Property-based tests on the simulation kernel's core invariants.
+//! Property-based tests on the simulation kernel's core invariants,
+//! driven by the deterministic in-tree case generator (`common::cases`).
 
-use proptest::prelude::*;
+mod common;
 
-use intelliqos::simkern::{CircularQueue, EventQueue, OnlineStats, SimDuration, SimTime, TimeSeries};
+use common::cases;
 
-proptest! {
-    /// Events always pop in (time, insertion-order) order regardless of
-    /// the schedule order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+use intelliqos::simkern::{
+    CircularQueue, EventQueue, OnlineStats, SimDuration, SimTime, TimeSeries,
+};
+
+/// Events always pop in (time, insertion-order) order regardless of
+/// the schedule order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    cases(64, |g| {
+        let times = g.vec_u64(1..200, 10_000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), i);
@@ -17,20 +23,21 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_secs(), i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for pair in popped.windows(2) {
             let (t1, i1) = pair[0];
             let (t2, i2) = pair[1];
-            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2), "order violated: {pair:?}");
+            assert!(t1 < t2 || (t1 == t2 && i1 < i2), "order violated: {pair:?}");
         }
-    }
+    });
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation(
-        times in proptest::collection::vec(0u64..1000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation() {
+    cases(64, |g| {
+        let times = g.vec_u64(1..100, 1000);
+        let cancel_mask = g.vec_bool(1..100);
         let mut q = EventQueue::new();
         let tokens: Vec<_> = times
             .iter()
@@ -40,19 +47,92 @@ proptest! {
         let mut cancelled = std::collections::HashSet::new();
         for (i, tok) in tokens.iter().enumerate() {
             if *cancel_mask.get(i).unwrap_or(&false) {
-                prop_assert!(q.cancel(*tok));
+                assert!(q.cancel(*tok));
                 cancelled.insert(i);
             }
         }
-        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        assert_eq!(q.len(), times.len() - cancelled.len());
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "popped a cancelled event {i}");
+            assert!(!cancelled.contains(&i), "popped a cancelled event {i}");
         }
-    }
+    });
+}
 
-    /// A circular queue retains exactly the last `cap` pushes, in order.
-    #[test]
-    fn circular_queue_retains_suffix(cap in 1usize..50, items in proptest::collection::vec(any::<u32>(), 0..200)) {
+/// Interleaving schedules, cancels (including double-cancels and bogus
+/// tokens), and pops keeps `len()` exact and the pop order stable —
+/// the O(1)-cancel tombstone bookkeeping must never drift.
+#[test]
+fn event_queue_len_is_exact_under_random_interleaving() {
+    cases(64, |g| {
+        let ops = g.usize_in(10, 400);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut live: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut tokens = Vec::new();
+        let mut next_payload = 0u64;
+        let mut last_pop: Option<(u64, u64)> = None;
+        for _ in 0..ops {
+            match g.usize_in(0, 10) {
+                // Schedule (weighted heavily so the queue grows).
+                0..=4 => {
+                    let at = q.now() + SimDuration::from_secs(g.u64_in(0, 1000));
+                    let tok = q.schedule(at, next_payload);
+                    live.insert(next_payload, at.as_secs());
+                    tokens.push((tok, next_payload));
+                    next_payload += 1;
+                }
+                // Cancel a random token (possibly already dead).
+                5..=6 => {
+                    if !tokens.is_empty() {
+                        let k = g.usize_in(0, tokens.len());
+                        let (tok, payload) = tokens[k];
+                        let was_live = live.remove(&payload).is_some();
+                        assert_eq!(q.cancel(tok), was_live, "cancel({payload})");
+                    }
+                }
+                // Double-cancel pressure: cancel the same token twice.
+                7 => {
+                    if !tokens.is_empty() {
+                        let k = g.usize_in(0, tokens.len());
+                        let (tok, payload) = tokens[k];
+                        let was_live = live.remove(&payload).is_some();
+                        assert_eq!(q.cancel(tok), was_live);
+                        assert!(!q.cancel(tok), "double cancel must return false");
+                    }
+                }
+                // Pop.
+                _ => {
+                    let expect = live
+                        .iter()
+                        .map(|(&p, &t)| (t, p))
+                        .min_by_key(|&(t, p)| (t, p));
+                    match q.pop() {
+                        Some((t, p)) => {
+                            // FIFO at equal instants ⇒ the live event with
+                            // the smallest (time, insertion-order) pops.
+                            let (et, ep) = expect.expect("queue said Some, model says None");
+                            assert_eq!((t.as_secs(), p), (et, ep));
+                            live.remove(&p);
+                            last_pop = Some((t.as_secs(), p));
+                        }
+                        None => assert!(expect.is_none(), "queue empty but model has {expect:?}"),
+                    }
+                }
+            }
+            assert_eq!(q.len(), live.len(), "len drifted after op");
+            assert_eq!(q.is_empty(), live.is_empty());
+        }
+        let _ = last_pop;
+    });
+}
+
+/// A circular queue retains exactly the last `cap` pushes, in order.
+#[test]
+fn circular_queue_retains_suffix() {
+    cases(64, |g| {
+        let cap = g.usize_in(1, 50);
+        let items: Vec<u32> = (0..g.usize_in(0, 200))
+            .map(|_| g.u32_in(0, u32::MAX))
+            .collect();
         let mut q = CircularQueue::new(cap);
         for &x in &items {
             q.push(x);
@@ -62,18 +142,20 @@ proptest! {
             .copied()
             .skip(items.len().saturating_sub(cap))
             .collect();
-        prop_assert_eq!(q.iter().copied().collect::<Vec<_>>(), expected);
-        prop_assert_eq!(q.evicted_count() as usize, items.len().saturating_sub(cap));
-    }
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), expected);
+        assert_eq!(q.evicted_count() as usize, items.len().saturating_sub(cap));
+    });
+}
 
-    /// Merging partitioned statistics equals the whole (associativity of
-    /// the Welford merge).
-    #[test]
-    fn stats_merge_is_partition_invariant(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
-        split in 0usize..300,
-    ) {
-        let split = split.min(xs.len());
+/// Merging partitioned statistics equals the whole (associativity of
+/// the Welford merge).
+#[test]
+fn stats_merge_is_partition_invariant() {
+    cases(64, |g| {
+        let xs: Vec<f64> = (0..g.usize_in(1, 300))
+            .map(|_| g.f64_in(-1e6, 1e6))
+            .collect();
+        let split = g.usize_in(0, 300).min(xs.len());
         let mut whole = OnlineStats::new();
         xs.iter().for_each(|&x| whole.push(x));
         let mut a = OnlineStats::new();
@@ -81,19 +163,20 @@ proptest! {
         xs[..split].iter().for_each(|&x| a.push(x));
         xs[split..].iter().for_each(|&x| b.push(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    });
+}
 
-    /// Step interpolation returns the latest value at-or-before t.
-    #[test]
-    fn timeseries_value_at_is_latest_before(
-        mut times in proptest::collection::vec(0u64..10_000, 1..100),
-        probe in 0u64..12_000,
-    ) {
+/// Step interpolation returns the latest value at-or-before t.
+#[test]
+fn timeseries_value_at_is_latest_before() {
+    cases(64, |g| {
+        let mut times = g.vec_u64(1..100, 10_000);
+        let probe = g.u64_in(0, 12_000);
         times.sort_unstable();
         let mut ts = TimeSeries::new();
         for (i, &t) in times.iter().enumerate() {
@@ -107,43 +190,49 @@ proptest! {
             .filter(|(_, &t)| t <= probe)
             .map(|(i, _)| i as f64)
             .next_back();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Resampling preserves the overall mean when buckets cover all data
-    /// (conservation check on a simple case: equal timestamps weights).
-    #[test]
-    fn timeseries_window_stats_bounds(times in proptest::collection::vec(0u64..1000, 1..100)) {
-        let mut sorted = times.clone();
+/// Window statistics cover exactly the pushed samples; sub-windows hold
+/// subsets with in-window extrema.
+#[test]
+fn timeseries_window_stats_bounds() {
+    cases(64, |g| {
+        let mut sorted = g.vec_u64(1..100, 1000);
         sorted.sort_unstable();
         let mut ts = TimeSeries::new();
         for &t in &sorted {
             ts.push(SimTime::from_secs(t), t as f64);
         }
         let all = ts.window_stats(SimTime::ZERO, SimTime::from_secs(1001));
-        prop_assert_eq!(all.count() as usize, sorted.len());
+        assert_eq!(all.count() as usize, sorted.len());
         // Any sub-window holds a subset.
         let sub = ts.window_stats(SimTime::from_secs(250), SimTime::from_secs(750));
-        prop_assert!(sub.count() <= all.count());
+        assert!(sub.count() <= all.count());
         if let (Some(lo), Some(hi)) = (sub.min(), sub.max()) {
-            prop_assert!(lo >= 250.0 && hi < 750.0);
+            assert!(lo >= 250.0 && hi < 750.0);
         }
-    }
+    });
+}
 
-    /// Calendar arithmetic: day-of-week advances by one per day, hours
-    /// wrap at 24.
-    #[test]
-    fn calendar_invariants(day in 0u64..3650, hour in 0u64..24) {
+/// Calendar arithmetic: day-of-week advances by one per day, hours
+/// wrap at 24.
+#[test]
+fn calendar_invariants() {
+    cases(256, |g| {
+        let day = g.u64_in(0, 3650);
+        let hour = g.u64_in(0, 24);
         let t = SimTime::from_days(day) + SimDuration::from_hours(hour);
-        prop_assert_eq!(t.day_index(), day);
-        prop_assert_eq!(t.hour_of_day() as u64, hour);
-        prop_assert_eq!(t.day_of_week() as u64, day % 7);
+        assert_eq!(t.day_index(), day);
+        assert_eq!(t.hour_of_day() as u64, hour);
+        assert_eq!(t.day_of_week() as u64, day % 7);
         let next = t + SimDuration::from_days(1);
-        prop_assert_eq!(next.day_of_week() as u64, (day + 1) % 7);
+        assert_eq!(next.day_of_week() as u64, (day + 1) % 7);
         // Business hours implies weekday.
         if t.is_business_hours() {
-            prop_assert!(!t.is_weekend());
-            prop_assert!((8..20).contains(&t.hour_of_day()));
+            assert!(!t.is_weekend());
+            assert!((8..20).contains(&t.hour_of_day()));
         }
-    }
+    });
 }

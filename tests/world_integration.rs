@@ -2,9 +2,9 @@
 //! the agents, the admin pair, the network fabric, and the batch tier
 //! together.
 
-use intelliqos::prelude::*;
-use intelliqos::core::World;
 use intelliqos::cluster::FaultCategory;
+use intelliqos::core::World;
+use intelliqos::prelude::*;
 use intelliqos_simkern::{SimDuration, SimTime};
 
 fn small(seed: u64, mode: ManagementMode) -> ScenarioConfig {
@@ -87,7 +87,11 @@ fn admin_shared_pool_holds_profiles_for_every_up_server() {
     w.run_until(SimTime::from_days(1));
     // 14 monitored servers (8 db + 3 tx + 3 fe); admins don't profile
     // themselves in this implementation.
-    assert!(w.admin.dlsp_count() >= 10, "only {} DLSPs", w.admin.dlsp_count());
+    assert!(
+        w.admin.dlsp_count() >= 10,
+        "only {} DLSPs",
+        w.admin.dlsp_count()
+    );
     assert!(w.admin.shared_pool.list("/pool/dlsp").len() >= 10);
     assert!(w.admin.shared_pool.exists("/pool/dgspl/current.dgspl"));
 }
@@ -106,7 +110,11 @@ fn flags_exist_and_are_fresh_on_every_monitored_server() {
         let last = intelliqos::core::flags::last_run_secs(&server.fs, "intelliagent_service");
         if let Some(t) = last {
             // Fresh within X+5 minutes (the admin's own criterion).
-            assert!(now.as_secs() - t <= 10 * 60, "stale flag on {}", server.hostname);
+            assert!(
+                now.as_secs() - t <= 10 * 60,
+                "stale flag on {}",
+                server.hostname
+            );
             checked += 1;
         }
     }
@@ -139,8 +147,18 @@ fn year1_detection_is_slow_year2_detection_is_fast() {
     let after = run_scenario(cfg);
     let b = before.mean_detection_hours(FaultCategory::MidJobDbCrash);
     let a = after.mean_detection_hours(FaultCategory::MidJobDbCrash);
-    if before.categories.get(&FaultCategory::MidJobDbCrash).map(|t| t.incidents).unwrap_or(0) > 2
-        && after.categories.get(&FaultCategory::MidJobDbCrash).map(|t| t.incidents).unwrap_or(0) > 2
+    if before
+        .categories
+        .get(&FaultCategory::MidJobDbCrash)
+        .map(|t| t.incidents)
+        .unwrap_or(0)
+        > 2
+        && after
+            .categories
+            .get(&FaultCategory::MidJobDbCrash)
+            .map(|t| t.incidents)
+            .unwrap_or(0)
+            > 2
     {
         assert!(b > 1.0, "manual detection {b:.2}h should be hours");
         assert!(a < 0.2, "agent detection {a:.2}h should be ≤ one sweep");
@@ -185,7 +203,11 @@ fn detect_only_agents_page_but_do_not_heal() {
 
 #[test]
 fn resched_policies_are_all_runnable() {
-    for policy in [ReschedPolicy::Dgspl, ReschedPolicy::Random, ReschedPolicy::ManualSticky] {
+    for policy in [
+        ReschedPolicy::Dgspl,
+        ReschedPolicy::Random,
+        ReschedPolicy::ManualSticky,
+    ] {
         let mut cfg = small(13, ManagementMode::Intelliagents);
         cfg.resched = policy;
         let report = run_scenario(cfg);
@@ -200,7 +222,11 @@ fn ontologies_installed_and_perf_agents_collect() {
     // SLKTs on every server's disk at install time.
     for server in w.servers.values() {
         let path = intelliqos::core::ontogen::slkt_path(&server.hostname);
-        assert!(server.fs.exists(&path), "missing SLKT on {}", server.hostname);
+        assert!(
+            server.fs.exists(&path),
+            "missing SLKT on {}",
+            server.hostname
+        );
     }
     // ISSL chunks in the admin pool (site fits one list).
     assert_eq!(w.admin.shared_pool.list("/pool/issl").len(), 1);
@@ -216,7 +242,10 @@ fn ontologies_installed_and_perf_agents_collect() {
             perf_files += 1;
         }
     }
-    assert!(perf_files >= 10, "perf archives on only {perf_files} servers");
+    assert!(
+        perf_files >= 10,
+        "perf archives on only {perf_files} servers"
+    );
     // Six hours of a faulty site typically breaches something, but at
     // minimum the counter plumbing must be alive (non-panicking).
     let _ = report.threshold_breaches;
