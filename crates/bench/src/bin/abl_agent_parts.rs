@@ -11,18 +11,19 @@
 //! cargo run --release -p intelliqos-bench --bin abl_agent_parts [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, HarnessOpts};
-use intelliqos_core::{run_scenario, AgentParts, ManagementMode, ScenarioReport};
+use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
+use intelliqos_core::{AgentParts, ManagementMode, ScenarioReport, World};
 
 fn main() {
     let opts = HarnessOpts::parse(21);
     banner("ABL-PARTS", "which of the five agent parts buys what");
     println!("seed={} horizon={}d per variant\n", opts.seed, opts.days);
 
-    let variants: Vec<(&str, AgentParts)> = vec![
-        ("all parts", AgentParts::all()),
+    let variants: Vec<(&str, &str, AgentParts)> = vec![
+        ("all parts", "all-parts", AgentParts::all()),
         (
             "healing off",
+            "healing-off",
             AgentParts {
                 healing: false,
                 ..AgentParts::all()
@@ -30,6 +31,7 @@ fn main() {
         ),
         (
             "diagnosing off",
+            "diagnosing-off",
             AgentParts {
                 diagnosing: false,
                 healing: false,
@@ -38,6 +40,7 @@ fn main() {
         ),
         (
             "monitoring off",
+            "monitoring-off",
             AgentParts {
                 monitoring: false,
                 ..AgentParts::all()
@@ -45,14 +48,17 @@ fn main() {
         ),
     ];
 
-    let mut results: Vec<(&str, ScenarioReport)> = std::thread::scope(|s| {
+    let mut runs: Vec<(&str, &str, World, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = variants
             .iter()
-            .map(|(name, parts)| {
+            .map(|(name, label, parts)| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_parts = *parts;
-                let name = *name;
-                s.spawn(move || (name, run_scenario(cfg)))
+                let (name, label) = (*name, *label);
+                s.spawn(move || {
+                    let (world, report) = run_world(&opts, cfg);
+                    (name, label, world, report)
+                })
             })
             .collect();
         handles
@@ -61,10 +67,14 @@ fn main() {
             .collect()
     });
     // Manual baseline for reference.
-    results.push((
-        "(manual ops)",
-        run_scenario(opts.site(ManagementMode::ManualOps)),
-    ));
+    {
+        let (world, report) = run_world(&opts, opts.site(ManagementMode::ManualOps));
+        runs.push(("(manual ops)", "manual", world, report));
+    }
+    for (_, label, world, _) in &runs {
+        emit_run_evidence(&opts, "abl_agent_parts", label, world);
+    }
+    let results: Vec<(&str, &ScenarioReport)> = runs.iter().map(|(n, _, _, r)| (*n, r)).collect();
 
     println!(
         "{:<16} {:>12} {:>10} {:>10} {:>14}",

@@ -9,8 +9,8 @@
 //! cargo run --release -p intelliqos-bench --bin abl_frequency_sweep [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, HarnessOpts};
-use intelliqos_core::{run_scenario, ManagementMode, ScenarioReport};
+use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
+use intelliqos_core::{ManagementMode, ScenarioReport, World};
 use intelliqos_simkern::SimDuration;
 use intelliqos_telemetry::AgentFootprint;
 
@@ -20,14 +20,17 @@ fn main() {
     println!("seed={} horizon={}d per point\n", opts.seed, opts.days);
 
     let periods_min = [2u64, 5, 15, 45];
-    let reports: Vec<(u64, ScenarioReport)> = std::thread::scope(|s| {
+    let runs: Vec<(u64, World, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = periods_min
             .iter()
             .map(|&m| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_period = SimDuration::from_mins(m);
                 cfg.admin_period = SimDuration::from_mins(m + 5);
-                s.spawn(move || (m, run_scenario(cfg)))
+                s.spawn(move || {
+                    let (world, report) = run_world(&opts, cfg);
+                    (m, world, report)
+                })
             })
             .collect();
         handles
@@ -35,6 +38,10 @@ fn main() {
             .map(|h| h.join().expect("run"))
             .collect()
     });
+    for (m, world, _) in &runs {
+        emit_run_evidence(&opts, "abl_frequency_sweep", &format!("{m}min"), world);
+    }
+    let reports: Vec<(u64, &ScenarioReport)> = runs.iter().map(|(m, _, r)| (*m, r)).collect();
 
     println!(
         "{:<10} {:>12} {:>14} {:>14} {:>12}",

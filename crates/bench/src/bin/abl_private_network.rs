@@ -10,7 +10,7 @@
 //! cargo run --release -p intelliqos-bench --bin abl_private_network [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, HarnessOpts};
 use intelliqos_cluster::net::SegmentKind;
 use intelliqos_core::{ManagementMode, World};
 use intelliqos_simkern::{SimTime, DAY};
@@ -47,12 +47,13 @@ fn main() {
     println!("seed={} horizon={}d per variant\n", opts.seed, opts.days);
 
     // Variant A: normal operation.
-    let mut w = World::build(opts.site(ManagementMode::Intelliagents));
+    let mut w = opts.instrument(World::build(opts.site(ManagementMode::Intelliagents)));
     w.run_until(SimTime::from_secs(opts.days * DAY));
     segment_report(&mut w, "A: private network healthy");
+    emit_run_evidence(&opts, "abl_private_network", "healthy", &w);
 
     // Variant B: private LAN down the whole time — everything reroutes.
-    let mut w = World::build(opts.site(ManagementMode::Intelliagents));
+    let mut w = opts.instrument(World::build(opts.site(ManagementMode::Intelliagents)));
     let private = w.fabric.segments_of(SegmentKind::PrivateAgent)[0];
     w.fabric.set_segment_up(private, false);
     w.run_until(SimTime::from_secs(opts.days * DAY));
@@ -60,6 +61,7 @@ fn main() {
         &mut w,
         "B: private network down from t=0 (reroute over public)",
     );
+    emit_run_evidence(&opts, "abl_private_network", "private-down", &w);
 
     println!(
         "reading: in A the private LAN absorbs all agent traffic (public\n\

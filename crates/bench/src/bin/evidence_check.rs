@@ -1,0 +1,121 @@
+//! EVIDENCE-CHECK — validate evidence JSON documents.
+//!
+//! CI's smoke gate: after a figure binary runs with `--profile`
+//! (`--trace`), the documents it dropped under `results/evidence/` must
+//! exist, parse with the in-tree JSON reader, and — when they are world
+//! run exports — carry an *enabled* profile with per-subsystem time
+//! shares and per-event-kind counts. Sample-evidence documents (FIG3/
+//! FIG4) only need to parse.
+//!
+//! ```text
+//! cargo run --release -p intelliqos-bench --bin evidence_check [PATH ...]
+//! ```
+//!
+//! With no arguments, checks every `*.json` under `results/evidence/`.
+//! Exit status: 0 when every document checks out; 1 otherwise.
+
+use std::path::PathBuf;
+
+use intelliqos_bench::evidence_dir;
+use intelliqos_core::jsonv::{parse, JsonValue};
+
+/// Structural checks on a run export's `profile` section. Returns the
+/// list of complaints (empty = good).
+fn check_profile(profile: &JsonValue) -> Vec<String> {
+    let mut bad = Vec::new();
+    if profile.get("enabled").and_then(|v| v.as_bool()) != Some(true) {
+        bad.push("profile.enabled is not true".to_string());
+        return bad; // a disabled profile is legitimately empty
+    }
+    match profile.get("events_processed").and_then(|v| v.as_u64()) {
+        Some(n) if n > 0 => {}
+        _ => bad.push("profile.events_processed missing or zero".to_string()),
+    }
+    match profile.get("subsystems").and_then(|v| v.as_arr()) {
+        Some(subs) if !subs.is_empty() => {
+            let total: f64 = subs
+                .iter()
+                .filter_map(|s| s.get("share").and_then(|v| v.as_f64()))
+                .sum();
+            if (total - 1.0).abs() > 1e-6 {
+                bad.push(format!("subsystem shares sum to {total}, not 1"));
+            }
+        }
+        _ => bad.push("profile.subsystems missing or empty".to_string()),
+    }
+    match profile.get("kinds").and_then(|v| v.as_arr()) {
+        Some(kinds) if !kinds.is_empty() => {
+            for k in kinds {
+                let named = k.get("kind").and_then(|v| v.as_str()).is_some();
+                let counted = k
+                    .get("count")
+                    .and_then(|v| v.as_u64())
+                    .is_some_and(|c| c > 0);
+                let timed = k
+                    .get("ns")
+                    .and_then(|v| v.get("p99_ns"))
+                    .and_then(|v| v.as_u64())
+                    .is_some();
+                if !(named && counted && timed) {
+                    bad.push("kinds entry lacks kind/count/ns percentiles".to_string());
+                    break;
+                }
+            }
+        }
+        _ => bad.push("profile.kinds missing or empty".to_string()),
+    }
+    bad
+}
+
+fn check_file(path: &PathBuf) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("unreadable: {e}")],
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("invalid JSON: {e}")],
+    };
+    // Run exports carry a profile section; sample evidence does not.
+    match doc.get("profile") {
+        Some(profile) => check_profile(profile),
+        None => Vec::new(),
+    }
+}
+
+fn main() {
+    let mut paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if paths.is_empty() {
+        let dir = evidence_dir();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "json") {
+                    paths.push(p);
+                }
+            }
+        }
+        paths.sort();
+        if paths.is_empty() {
+            eprintln!("no evidence documents under {}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let bad = check_file(path);
+        if bad.is_empty() {
+            println!("ok   {}", path.display());
+        } else {
+            failures += 1;
+            for b in &bad {
+                println!("FAIL {}: {b}", path.display());
+            }
+        }
+    }
+    println!("{} document(s), {failures} failure(s)", paths.len());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

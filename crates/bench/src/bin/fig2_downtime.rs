@@ -8,14 +8,19 @@
 //! parallel threads.
 //!
 //! ```text
-//! cargo run --release -p intelliqos-bench --bin fig2_downtime [--seed N] [--days N | --full]
+//! cargo run --release -p intelliqos-bench --bin fig2_downtime \
+//!     [--seed N] [--days N | --full] [--profile] [--trace]
 //! ```
+//!
+//! With `--profile`/`--trace`, each run's self-measurement evidence
+//! (ledger + trace + profile) lands under `results/evidence/`.
 
 use intelliqos_bench::{
-    banner, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR1_TOTAL, FIG2_YEAR2, FIG2_YEAR2_TOTAL,
+    banner, emit_run_evidence, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR1_TOTAL, FIG2_YEAR2,
+    FIG2_YEAR2_TOTAL,
 };
 use intelliqos_cluster::faults::FaultCategory;
-use intelliqos_core::{run_scenario, ManagementMode, ScenarioReport};
+use intelliqos_core::{ManagementMode, World};
 
 fn main() {
     let opts = HarnessOpts::parse(365);
@@ -26,9 +31,14 @@ fn main() {
     println!("seed={} horizon={}d\n", opts.seed, opts.days);
 
     // Both years on parallel threads — the simulations are independent.
-    let (before, after): (ScenarioReport, ScenarioReport) = std::thread::scope(|s| {
-        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
+    let run = |mode| {
+        let mut world = opts.instrument(World::build(opts.site(mode)));
+        let report = world.run_to_end();
+        (world, report)
+    };
+    let ((before_world, before), (after_world, after)) = std::thread::scope(|s| {
+        let b = s.spawn(|| run(ManagementMode::ManualOps));
+        let a = s.spawn(|| run(ManagementMode::Intelliagents));
         (b.join().expect("manual run"), a.join().expect("agent run"))
     });
 
@@ -89,4 +99,7 @@ fn main() {
         "incidents: {} vs {}; open at horizon: {} vs {}",
         before.incidents, after.incidents, before.open_incidents, after.open_incidents
     );
+
+    emit_run_evidence(&opts, "fig2_downtime", "manual", &before_world);
+    emit_run_evidence(&opts, "fig2_downtime", "agents", &after_world);
 }

@@ -10,7 +10,9 @@
 //! ```
 
 use intelliqos_baseline::ResidentMonitorFootprint;
-use intelliqos_bench::{banner, row, HarnessOpts, FIG3_AGENT_CPU, FIG3_BMC_CPU};
+use intelliqos_bench::{
+    banner, emit_sample_evidence, json_arr_f64, row, HarnessOpts, FIG3_AGENT_CPU, FIG3_BMC_CPU,
+};
 use intelliqos_simkern::SimRng;
 use intelliqos_telemetry::AgentFootprint;
 
@@ -27,13 +29,13 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14} {:>14}",
         "sample", "BMC paper", "BMC meas", "agent paper", "agent meas"
     );
-    let mut bmc_sum = 0.0;
-    let mut agent_sum = 0.0;
+    let mut bmc_samples = Vec::new();
+    let mut agent_samples = Vec::new();
     for i in 0..8 {
         let b = bmc.sample_cpu_pct(&mut rng_bmc);
         let a = agent.sample_cpu_pct(&mut rng_agent);
-        bmc_sum += b;
-        agent_sum += a;
+        bmc_samples.push(b);
+        agent_samples.push(a);
         println!(
             "{:<8} {:>11.3}% {:>11.3}% {:>13.3}% {:>13.3}%",
             i + 1,
@@ -43,6 +45,8 @@ fn main() {
             a
         );
     }
+    let bmc_sum: f64 = bmc_samples.iter().sum();
+    let agent_sum: f64 = agent_samples.iter().sum();
     let paper_bmc_mean: f64 = FIG3_BMC_CPU.iter().sum::<f64>() / 8.0;
     let paper_agent_mean: f64 = FIG3_AGENT_CPU.iter().sum::<f64>() / 8.0;
     println!();
@@ -64,4 +68,16 @@ fn main() {
         "\nthe agents' mean is a duty cycle: {}s of work every {}s at {:.1}% while running",
         9, 300, 1.5
     );
+
+    let json = format!(
+        "{{\n\"figure\": \"fig3_cpu_overhead\",\n\"seed\": {},\n\
+         \"bmc_cpu_pct\": {},\n\"agent_cpu_pct\": {},\n\
+         \"paper_bmc_cpu_pct\": {},\n\"paper_agent_cpu_pct\": {}\n}}",
+        opts.seed,
+        json_arr_f64(&bmc_samples),
+        json_arr_f64(&agent_samples),
+        json_arr_f64(&FIG3_BMC_CPU),
+        json_arr_f64(&FIG3_AGENT_CPU),
+    );
+    emit_sample_evidence(&opts, "fig3_cpu_overhead", "samples", &json);
 }

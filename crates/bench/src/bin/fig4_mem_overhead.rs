@@ -6,7 +6,9 @@
 //! ```
 
 use intelliqos_baseline::ResidentMonitorFootprint;
-use intelliqos_bench::{banner, row, HarnessOpts, FIG4_AGENT_MEM, FIG4_BMC_MEM};
+use intelliqos_bench::{
+    banner, emit_sample_evidence, json_arr_f64, row, HarnessOpts, FIG4_AGENT_MEM, FIG4_BMC_MEM,
+};
 use intelliqos_simkern::SimRng;
 use intelliqos_telemetry::AgentFootprint;
 
@@ -26,12 +28,12 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14} {:>14}",
         "sample", "BMC paper", "BMC meas", "agent paper", "agent meas"
     );
-    let mut bmc_sum = 0.0;
+    let mut bmc_samples = Vec::new();
     let mut agent_samples = Vec::new();
     for (i, paper_bmc) in FIG4_BMC_MEM.iter().enumerate() {
         let b = bmc.sample_mem_mb(&mut rng_bmc);
         let a = agent.sample_mem_mb(&mut rng_agent);
-        bmc_sum += b;
+        bmc_samples.push(b);
         agent_samples.push(a);
         println!(
             "{:<8} {:>10.1}MB {:>10.1}MB {:>12.1}MB {:>12.1}MB",
@@ -42,6 +44,7 @@ fn main() {
             a
         );
     }
+    let bmc_sum: f64 = bmc_samples.iter().sum();
     let paper_bmc_mean: f64 = FIG4_BMC_MEM.iter().sum::<f64>() / 8.0;
     println!();
     println!("{}", row("BMC mean", paper_bmc_mean, bmc_sum / 8.0, "MB"));
@@ -64,4 +67,16 @@ fn main() {
             "x"
         )
     );
+
+    let json = format!(
+        "{{\n\"figure\": \"fig4_mem_overhead\",\n\"seed\": {},\n\
+         \"bmc_mem_mb\": {},\n\"agent_mem_mb\": {},\n\
+         \"paper_bmc_mem_mb\": {},\n\"paper_agent_mem_mb\": {}\n}}",
+        opts.seed,
+        json_arr_f64(&bmc_samples),
+        json_arr_f64(&agent_samples),
+        json_arr_f64(&FIG4_BMC_MEM),
+        FIG4_AGENT_MEM,
+    );
+    emit_sample_evidence(&opts, "fig4_mem_overhead", "samples", &json);
 }

@@ -14,11 +14,10 @@
 
 use intelliqos_baseline::HumanDetectionModel;
 use intelliqos_bench::{
-    banner, row, HarnessOpts, DETECT_AGENT_MIN, DETECT_DAYTIME_H, DETECT_OVERNIGHT_H,
-    DETECT_WEEKEND_H,
+    banner, row, run_paired_site, HarnessOpts, DETECT_AGENT_MIN, DETECT_DAYTIME_H,
+    DETECT_OVERNIGHT_H, DETECT_WEEKEND_H,
 };
 use intelliqos_cluster::faults::FaultCategory;
-use intelliqos_core::{run_scenario, ManagementMode};
 use intelliqos_simkern::{SimDuration, SimRng, SimTime};
 
 fn main() {
@@ -54,11 +53,7 @@ fn main() {
         "\n--- measured inside full scenarios ({}d, seed {}) ---",
         opts.days, opts.seed
     );
-    let (before, after) = std::thread::scope(|s| {
-        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
-        (b.join().expect("manual"), a.join().expect("agents"))
-    });
+    let (before, after) = run_paired_site(&opts, "tbl_detection_latency");
 
     println!(
         "{:<18} {:>16} {:>16} {:>10}",

@@ -11,9 +11,8 @@
 //! ```
 
 use intelliqos_baseline::ManualRepairModel;
-use intelliqos_bench::{banner, row, HarnessOpts, MTTR_COMPLEX_H, MTTR_SIMPLE_H};
+use intelliqos_bench::{banner, row, run_paired_site, HarnessOpts, MTTR_COMPLEX_H, MTTR_SIMPLE_H};
 use intelliqos_cluster::faults::{Complexity, FaultCategory};
-use intelliqos_core::{run_scenario, ManagementMode};
 use intelliqos_simkern::SimRng;
 
 fn main() {
@@ -58,11 +57,7 @@ fn main() {
         "\n--- measured repair (detected -> restored), {}d, seed {} ---",
         opts.days, opts.seed
     );
-    let (before, after) = std::thread::scope(|s| {
-        let b = s.spawn(|| run_scenario(opts.site(ManagementMode::ManualOps)));
-        let a = s.spawn(|| run_scenario(opts.site(ManagementMode::Intelliagents)));
-        (b.join().expect("manual"), a.join().expect("agents"))
-    });
+    let (before, after) = run_paired_site(&opts, "tbl_mttr");
 
     println!(
         "{:<18} {:>14} {:>14}",

@@ -10,9 +10,9 @@
 //! cargo run --release -p intelliqos-bench --bin tbl_reschedule_policy [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
 use intelliqos_cluster::faults::FaultCategory;
-use intelliqos_core::{run_scenario, ManagementMode, ReschedPolicy, ScenarioReport};
+use intelliqos_core::{ManagementMode, ReschedPolicy, ScenarioReport, World};
 
 fn main() {
     let opts = HarnessOpts::parse(21);
@@ -30,13 +30,16 @@ fn main() {
         ("random", ReschedPolicy::Random),
         ("manual-sticky", ReschedPolicy::ManualSticky),
     ];
-    let reports: Vec<(&str, ScenarioReport)> = std::thread::scope(|s| {
+    let runs: Vec<(&str, World, ScenarioReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = policies
             .iter()
             .map(|(name, policy)| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.resched = *policy;
-                s.spawn(move || (*name, run_scenario(cfg)))
+                s.spawn(move || {
+                    let (world, report) = run_world(&opts, cfg);
+                    (*name, world, report)
+                })
             })
             .collect();
         handles
@@ -44,6 +47,10 @@ fn main() {
             .map(|h| h.join().expect("run"))
             .collect()
     });
+    for (name, world, _) in &runs {
+        emit_run_evidence(&opts, "tbl_reschedule_policy", name, world);
+    }
+    let reports: Vec<(&str, &ScenarioReport)> = runs.iter().map(|(n, _, r)| (*n, r)).collect();
 
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>12}",

@@ -1,31 +1,34 @@
 //! TRIAGE — run a paired (manual vs intelliagents) scenario with the
-//! structured trace enabled, verify the observability invariants, and
-//! export the incident ledger + trace of both runs as JSON.
+//! structured trace and profiler enabled, verify the observability
+//! invariants, and export the incident ledger + trace + profile of both
+//! runs as JSON.
 //!
 //! This is the tool behind `scripts/triage.sh`: when a paired experiment
-//! looks wrong, it answers the first three questions — did the exogenous
-//! tapes diverge (and where), did any incident violate its
-//! injected → detected → diagnosed → repaired/escalated lifecycle, and
-//! what did each subsystem actually do.
+//! looks wrong, it answers the first questions — did the exogenous
+//! tapes diverge (and where), did a *replay* of the same configuration
+//! diverge mid-run (a handler-level determinism regression), did any
+//! incident violate its injected → detected → diagnosed →
+//! repaired/escalated lifecycle, what did each subsystem actually do,
+//! and where did the run spend its wall-clock time.
 //!
 //! ```text
 //! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N]
 //! ```
 //!
-//! Exit status: 0 when the paired-run invariant holds and both ledgers
-//! are lifecycle-clean; 1 otherwise. JSON lands in `target/triage/`.
+//! Exit status: 0 when every invariant holds and both ledgers are
+//! lifecycle-clean; 1 otherwise. JSON lands in `target/triage/`.
 
 use std::path::Path;
 
 use intelliqos_bench::{banner, HarnessOpts};
-use intelliqos_core::divergence::first_divergence;
-use intelliqos_core::{run_export_json, ManagementMode, ScenarioConfig, World};
+use intelliqos_core::divergence::{first_divergence, first_trace_divergence};
+use intelliqos_core::{run_export_json, ManagementMode, ProfileReport, ScenarioConfig, World};
 use intelliqos_simkern::{SimDuration, Subsystem};
 
-fn run_traced(seed: u64, days: u64, mode: ManagementMode) -> World {
+fn run_instrumented(seed: u64, days: u64, mode: ManagementMode) -> World {
     let mut cfg = ScenarioConfig::small(seed, mode);
     cfg.horizon = SimDuration::from_days(days);
-    let mut world = World::build(cfg).enable_trace();
+    let mut world = World::build(cfg).enable_trace().enable_profile();
     world.run_to_end();
     world
 }
@@ -34,14 +37,19 @@ fn main() {
     let opts = HarnessOpts::parse(14);
     banner(
         "TRIAGE",
-        "paired-run divergence + incident-ledger lifecycle check",
+        "paired-run divergence + replay determinism + ledger lifecycle + profile",
     );
     println!("seed={} horizon={}d\n", opts.seed, opts.days);
 
-    let (manual, agents): (World, World) = std::thread::scope(|s| {
-        let m = s.spawn(|| run_traced(opts.seed, opts.days, ManagementMode::ManualOps));
-        let a = s.spawn(|| run_traced(opts.seed, opts.days, ManagementMode::Intelliagents));
-        (m.join().expect("manual run"), a.join().expect("agent run"))
+    let (manual, agents, replay): (World, World, World) = std::thread::scope(|s| {
+        let m = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::ManualOps));
+        let a = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+        let r = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+        (
+            m.join().expect("manual run"),
+            a.join().expect("agent run"),
+            r.join().expect("replay run"),
+        )
     });
 
     let mut ok = true;
@@ -52,6 +60,15 @@ fn main() {
         Some(d) => {
             ok = false;
             println!("DIVERGENCE at {d}");
+        }
+    }
+
+    println!("\n--- replay determinism (agents run twice, same config) ---");
+    match first_trace_divergence(&agents, &replay) {
+        None => println!("no divergence: fault+workload handler streams replay identically"),
+        Some(d) => {
+            ok = false;
+            println!("TRACE DIVERGENCE:\n{d}");
         }
     }
 
@@ -90,6 +107,11 @@ fn main() {
         agents.trace.evicted()
     );
 
+    for (name, world) in [("manual", &manual), ("agents", &agents)] {
+        println!("\n--- profile: {name} ---");
+        print!("{}", ProfileReport::from_world(world).render_table());
+    }
+
     let out_dir = Path::new("target/triage");
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
@@ -97,8 +119,14 @@ fn main() {
     }
     for (name, world) in [("manual", &manual), ("agents", &agents)] {
         let path = out_dir.join(format!("{name}.json"));
-        match std::fs::write(&path, run_export_json(world)) {
-            Ok(()) => println!("wrote {}", path.display()),
+        let json = run_export_json(world);
+        if let Err(e) = intelliqos_core::jsonv::parse(&json) {
+            ok = false;
+            eprintln!("{name} export is not valid JSON: {e}");
+            continue;
+        }
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote {}", path.display()),
             Err(e) => {
                 ok = false;
                 eprintln!("cannot write {}: {e}", path.display());

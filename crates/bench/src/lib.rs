@@ -7,13 +7,20 @@
 //! * `--seed N` — scenario seed (default 11);
 //! * `--days N` — horizon override in days (default: one year for the
 //!   headline figures, shorter for sweeps — see each binary);
-//! * `--full` — force the full-scale, full-year configuration.
+//! * `--full` — force the full-scale, full-year configuration;
+//! * `--profile` — run self-measured (metrics registry + wall-clock
+//!   profiler), print the time-share table, and drop the evidence JSON
+//!   under `results/evidence/`;
+//! * `--trace` — run with the structured trace enabled and include it
+//!   in the evidence JSON (combines with `--profile`).
 
 pub mod microbench;
 
 pub use microbench::{black_box, Bencher, Criterion};
 
-use intelliqos_core::{ManagementMode, ScenarioConfig};
+use std::path::{Path, PathBuf};
+
+use intelliqos_core::{run_export_json, ManagementMode, ProfileReport, ScenarioConfig, World};
 use intelliqos_simkern::SimDuration;
 
 /// Paper reference values for Figure 2 (downtime hours by category).
@@ -65,17 +72,23 @@ pub struct HarnessOpts {
     pub days: u64,
     /// Full-scale flag.
     pub full: bool,
+    /// Self-measure the run (metrics + profiler) and emit evidence.
+    pub profile: bool,
+    /// Run with the structured trace enabled and emit evidence.
+    pub trace: bool,
 }
 
 impl HarnessOpts {
-    /// Parse `--seed`, `--days`, `--full` from `std::env::args`, with
-    /// the given default horizon.
+    /// Parse `--seed`, `--days`, `--full`, `--profile`, `--trace` from
+    /// `std::env::args`, with the given default horizon.
     pub fn parse(default_days: u64) -> HarnessOpts {
         let args: Vec<String> = std::env::args().collect();
         let mut opts = HarnessOpts {
             seed: 11,
             days: default_days,
             full: false,
+            profile: false,
+            trace: false,
         };
         let mut i = 1;
         while i < args.len() {
@@ -95,11 +108,29 @@ impl HarnessOpts {
                     i += 1;
                 }
                 "--full" => opts.full = true,
+                "--profile" => opts.profile = true,
+                "--trace" => opts.trace = true,
                 _ => {}
             }
             i += 1;
         }
         opts
+    }
+
+    /// Whether this invocation should drop evidence JSON.
+    pub fn wants_evidence(&self) -> bool {
+        self.profile || self.trace
+    }
+
+    /// Apply the `--profile`/`--trace` flags to a freshly built world.
+    pub fn instrument(&self, mut world: World) -> World {
+        if self.trace {
+            world = world.enable_trace();
+        }
+        if self.profile {
+            world = world.enable_profile();
+        }
+        world
     }
 
     /// The full financial-site configuration with this seed/horizon.
@@ -118,6 +149,108 @@ impl HarnessOpts {
             1.0
         } else {
             365.0 / self.days as f64
+        }
+    }
+}
+
+/// Where the figure/table binaries drop their run evidence.
+pub fn evidence_dir() -> PathBuf {
+    Path::new("results").join("evidence")
+}
+
+/// Validate-then-write one evidence document. The JSON is parsed with
+/// the in-tree reader before it touches disk, so a malformed document
+/// is an error, never a published artifact.
+pub fn write_evidence_json(bin: &str, label: &str, json: &str) -> Result<PathBuf, String> {
+    intelliqos_core::jsonv::parse(json).map_err(|e| format!("{bin}_{label}: invalid JSON: {e}"))?;
+    let dir = evidence_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{bin}_{label}.json"));
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Emit a finished world's evidence per the flags: print the profile
+/// table on `--profile`, and write the full run export (ledger + trace
+/// + profile) under [`evidence_dir`]. No-op without `--profile`/`--trace`.
+pub fn emit_run_evidence(opts: &HarnessOpts, bin: &str, label: &str, world: &World) {
+    if !opts.wants_evidence() {
+        return;
+    }
+    if opts.profile {
+        println!("\n--- profile: {label} ---");
+        print!("{}", ProfileReport::from_world(world).render_table());
+    }
+    match write_evidence_json(bin, label, &run_export_json(world)) {
+        Ok(path) => println!("evidence: {}", path.display()),
+        Err(e) => {
+            eprintln!("evidence FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Build, instrument (per the flags), and run one scenario, returning
+/// the finished world (the evidence carrier) together with its report.
+pub fn run_world(
+    opts: &HarnessOpts,
+    cfg: ScenarioConfig,
+) -> (World, intelliqos_core::ScenarioReport) {
+    let mut world = opts.instrument(World::build(cfg));
+    let report = world.run_to_end();
+    (world, report)
+}
+
+/// Run the paired (manual, intelliagents) site scenario on parallel
+/// threads, honouring the instrumentation flags, and emit both runs'
+/// evidence under `<bin>_manual.json` / `<bin>_agents.json`.
+pub fn run_paired_site(
+    opts: &HarnessOpts,
+    bin: &str,
+) -> (
+    intelliqos_core::ScenarioReport,
+    intelliqos_core::ScenarioReport,
+) {
+    let ((manual_world, manual), (agents_world, agents)) = std::thread::scope(|s| {
+        let m = s.spawn(|| run_world(opts, opts.site(ManagementMode::ManualOps)));
+        let a = s.spawn(|| run_world(opts, opts.site(ManagementMode::Intelliagents)));
+        (m.join().expect("manual run"), a.join().expect("agent run"))
+    });
+    emit_run_evidence(opts, bin, "manual", &manual_world);
+    emit_run_evidence(opts, bin, "agents", &agents_world);
+    (manual, agents)
+}
+
+/// Render a float slice as a JSON array (non-finite values become 0,
+/// matching the profile exporter's convention).
+pub fn json_arr_f64(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if x.is_finite() {
+            out.push_str(&format!("{x}"));
+        } else {
+            out.push('0');
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Evidence path for binaries whose artifact is a sampled model rather
+/// than a world run (FIG3/FIG4): validate + write the given JSON.
+/// No-op without `--profile`/`--trace`.
+pub fn emit_sample_evidence(opts: &HarnessOpts, bin: &str, label: &str, json: &str) {
+    if !opts.wants_evidence() {
+        return;
+    }
+    match write_evidence_json(bin, label, json) {
+        Ok(path) => println!("evidence: {}", path.display()),
+        Err(e) => {
+            eprintln!("evidence FAILED: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -162,13 +295,11 @@ mod tests {
             seed: 1,
             days: 73,
             full: false,
+            profile: false,
+            trace: false,
         };
         assert!((opts.annualize() - 5.0).abs() < 1e-9);
-        let full = HarnessOpts {
-            seed: 1,
-            days: 73,
-            full: true,
-        };
+        let full = HarnessOpts { full: true, ..opts };
         assert_eq!(full.annualize(), 1.0);
     }
 

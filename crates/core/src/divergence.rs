@@ -13,10 +13,18 @@
 //! element-by-element and reports the **first** differing event, rendered
 //! on both sides, so a regression pinpoints the exact tape index rather
 //! than surfacing as a mysteriously different Figure-2 table.
+//!
+//! [`first_trace_divergence`] goes one layer deeper: identical *tapes*
+//! only prove the inputs matched — a handler regression can still make
+//! two runs process those inputs differently mid-run. It compares the
+//! **trace streams** of the fault and workload subsystems (what the
+//! handlers actually did, in order) and reports the first differing
+//! event together with a window of the shared history leading up to it.
 
 use std::fmt;
 
 use crate::world::World;
+use intelliqos_simkern::Subsystem;
 
 /// Which exogenous stream diverged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +110,88 @@ pub fn first_divergence(left: &World, right: &World) -> Option<Divergence> {
     })
 }
 
+/// How many shared-prefix events a [`TraceDivergence`] keeps as context.
+pub const TRACE_WINDOW: usize = 8;
+
+/// The first mid-run handler divergence between two traced runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// Index of the first differing event within the filtered
+    /// (fault + workload) handler stream.
+    pub index: usize,
+    /// Rendered event on the left run (`"<absent>"` past stream end).
+    pub left: String,
+    /// Rendered event on the right run (`"<absent>"` past stream end).
+    pub right: String,
+    /// Up to [`TRACE_WINDOW`] shared events immediately before the
+    /// split, oldest first — the context a triager reads to see what
+    /// both runs last agreed on.
+    pub window: Vec<String>,
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace[fault+work][{}]: left={} right={}",
+            self.index, self.left, self.right
+        )?;
+        for w in &self.window {
+            writeln!(f, "  shared: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The fault + workload handler stream of a traced run, rendered
+/// without the global sequence number (that counter spans *all*
+/// subsystems, so it legitimately differs between runs whose agent or
+/// admin activity differs).
+fn handler_stream(world: &World) -> Vec<String> {
+    world
+        .trace
+        .events()
+        .filter(|e| matches!(e.subsystem, Subsystem::Fault | Subsystem::Workload))
+        .map(|e| {
+            let rendered = e.render();
+            rendered
+                .split_once('|')
+                .map(|(_seq, rest)| rest.to_string())
+                .unwrap_or(rendered)
+        })
+        .collect()
+}
+
+/// Find the first mid-run divergence between two traced runs' fault and
+/// workload handler streams, with a window of shared context.
+///
+/// Returns `None` when the streams are identical — which for two runs
+/// of the **same configuration** is the replay-determinism invariant,
+/// and for a cross-mode pair additionally certifies that no endogenous
+/// event (e.g. a load-dependent database crash) fired differently.
+/// Untraced runs have empty streams and compare equal.
+///
+/// The comparison covers the *retained* trace windows; size the trace
+/// capacity to the run (the default keeps 65k events) or check
+/// `trace.evicted()` first when absolute coverage matters.
+pub fn first_trace_divergence(left: &World, right: &World) -> Option<TraceDivergence> {
+    let l = handler_stream(left);
+    let r = handler_stream(right);
+    let n = l.len().max(r.len());
+    for i in 0..n {
+        if l.get(i) != r.get(i) {
+            let absent = || "<absent>".to_string();
+            return Some(TraceDivergence {
+                index: i,
+                left: l.get(i).cloned().unwrap_or_else(absent),
+                right: r.get(i).cloned().unwrap_or_else(absent),
+                window: l[i.saturating_sub(TRACE_WINDOW)..i].to_vec(),
+            });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +247,59 @@ mod tests {
         assert_eq!(d.index, 1);
         assert_eq!(d.left, "2");
         assert_eq!(d.right, "<absent>");
+    }
+
+    fn run_traced(seed: u64, mode: ManagementMode) -> World {
+        let mut world = build(seed, mode).enable_trace();
+        world.run_to_end();
+        world
+    }
+
+    #[test]
+    fn replay_of_same_config_has_no_trace_divergence() {
+        let a = run_traced(42, ManagementMode::Intelliagents);
+        let b = run_traced(42, ManagementMode::Intelliagents);
+        assert!(!handler_stream(&a).is_empty());
+        assert_eq!(first_trace_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn untraced_runs_compare_equal() {
+        let mut a = build(42, ManagementMode::ManualOps);
+        let mut b = build(43, ManagementMode::ManualOps);
+        a.run_to_end();
+        b.run_to_end();
+        assert_eq!(first_trace_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn different_seeds_pinpoint_first_handler_divergence() {
+        let a = run_traced(42, ManagementMode::ManualOps);
+        let b = run_traced(43, ManagementMode::ManualOps);
+        let d = first_trace_divergence(&a, &b).expect("different seeds diverge");
+        assert_ne!(d.left, d.right);
+        assert!(d.window.len() <= TRACE_WINDOW);
+        // The window really is shared history: both streams agree on it.
+        let (l, r) = (handler_stream(&a), handler_stream(&b));
+        assert_eq!(l[..d.index], r[..d.index]);
+        let start = d.index.saturating_sub(TRACE_WINDOW);
+        assert_eq!(d.window[..], l[start..d.index]);
+        // Rendered without the global sequence column: the first field
+        // is the timestamp, not a counter.
+        let shown = d.to_string();
+        assert!(shown.contains("trace[fault+work]"));
+    }
+
+    #[test]
+    fn stream_truncation_renders_absent_side_in_traces() {
+        let a = run_traced(42, ManagementMode::ManualOps);
+        let mut b = build(42, ManagementMode::ManualOps);
+        // Stop the replay early: its handler stream is a strict prefix.
+        b = b.enable_trace();
+        b.run_until(intelliqos_simkern::SimTime::from_secs(1));
+        if let Some(d) = first_trace_divergence(&a, &b) {
+            assert_eq!(d.right, "<absent>");
+            assert_ne!(d.left, "<absent>");
+        }
     }
 }

@@ -4,7 +4,9 @@
 //! Every fault — exogenous or endogenous — opens an **incident** in the
 //! category Figure 2 charts it under, and the incident carries the full
 //! lifecycle: `injected → detected → diagnosed → repaired/escalated`,
-//! each with its timestamp, plus who repaired it and with what action.
+//! each with its timestamp, plus the **repair attempt history** — every
+//! try in order (typically an agent try first, then the human
+//! escalation), with the resolving attempt flagged.
 //! Total downtime per category is the sum of incident durations, exactly
 //! the "breakdown in hours based on the type of errors that caused
 //! downtime" the customer reported — and the run report's category
@@ -54,6 +56,19 @@ impl Actor {
     }
 }
 
+/// One recorded repair try on an incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairAttempt {
+    /// When the attempt was made (or recorded).
+    pub at: SimTime,
+    /// Who tried.
+    pub actor: Actor,
+    /// What they tried.
+    pub action: String,
+    /// Whether this attempt closed the incident.
+    pub resolved: bool,
+}
+
 /// One tracked incident.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Incident {
@@ -71,15 +86,32 @@ pub struct Incident {
     pub diagnosed: Option<SimTime>,
     /// When service was restored.
     pub restored: Option<SimTime>,
-    /// Who executed the repair (set at restore).
-    pub repaired_by: Option<Actor>,
-    /// The repair action that closed it (set at restore).
-    pub repair_action: Option<String>,
+    /// Every repair try, in order; the resolving one (if any) is the
+    /// last and carries `resolved: true`. An agent try that failed to
+    /// stick followed by the human escalation is two entries.
+    pub attempts: Vec<RepairAttempt>,
     /// Humans were paged about it at some point.
     pub escalated: bool,
 }
 
 impl Incident {
+    /// Who executed the repair that closed the incident, if closed.
+    pub fn repaired_by(&self) -> Option<Actor> {
+        self.attempts.iter().find(|a| a.resolved).map(|a| a.actor)
+    }
+
+    /// The repair action that closed the incident, if closed.
+    pub fn repair_action(&self) -> Option<&str> {
+        self.attempts
+            .iter()
+            .find(|a| a.resolved)
+            .map(|a| a.action.as_str())
+    }
+
+    /// The full attempt history, oldest first.
+    pub fn attempts(&self) -> &[RepairAttempt] {
+        &self.attempts
+    }
     /// Detection latency, if detected.
     pub fn detection_latency(&self) -> Option<SimDuration> {
         self.detected.map(|d| d.since(self.onset))
@@ -100,7 +132,7 @@ impl Incident {
 
     /// Whether the repair was automatic (agent or admin).
     pub fn auto_repaired(&self) -> bool {
-        self.repaired_by.map(Actor::is_automatic).unwrap_or(false)
+        self.repaired_by().map(Actor::is_automatic).unwrap_or(false)
     }
 
     /// A closed incident must carry the full, ordered lifecycle. Returns
@@ -139,16 +171,27 @@ impl Incident {
                 self.id
             ));
         }
-        if self.repaired_by.is_none() {
+        if self.repaired_by().is_none() {
             return Some(format!("{}: closed without an actor", self.id));
         }
-        if self
-            .repair_action
-            .as_deref()
-            .map(str::is_empty)
-            .unwrap_or(true)
-        {
+        if self.repair_action().map(str::is_empty).unwrap_or(true) {
             return Some(format!("{}: closed without a repair action", self.id));
+        }
+        if self.attempts.iter().filter(|a| a.resolved).count() > 1 {
+            return Some(format!("{}: multiple resolving attempts", self.id));
+        }
+        if let Some(pos) = self.attempts.iter().position(|a| a.resolved) {
+            if pos + 1 != self.attempts.len() {
+                return Some(format!(
+                    "{}: attempts recorded after the resolving one",
+                    self.id
+                ));
+            }
+        }
+        for pair in self.attempts.windows(2) {
+            if pair[1].at < pair[0].at {
+                return Some(format!("{}: attempt history out of order", self.id));
+            }
         }
         None
     }
@@ -223,8 +266,7 @@ impl DowntimeLedger {
                 detected: None,
                 diagnosed: None,
                 restored: None,
-                repaired_by: None,
-                repair_action: None,
+                attempts: Vec::new(),
                 escalated: false,
             },
         );
@@ -261,6 +303,32 @@ impl DowntimeLedger {
         }
     }
 
+    /// Record a repair try that did **not** (or has not yet) closed the
+    /// incident — e.g. an agent detecting and paging a fault it is not
+    /// allowed to heal, before the human escalation. Ignored on closed
+    /// incidents (the history is frozen at restore).
+    pub fn attempt(
+        &mut self,
+        id: IncidentId,
+        at: SimTime,
+        actor: Actor,
+        action: impl Into<String>,
+    ) -> bool {
+        if let Some(inc) = self.incidents.get_mut(&id) {
+            if inc.restored.is_none() {
+                inc.attempts.push(RepairAttempt {
+                    at,
+                    actor,
+                    action: action.into(),
+                    resolved: false,
+                });
+            }
+            true
+        } else {
+            false
+        }
+    }
+
     /// Record that humans were paged about the incident.
     pub fn escalate(&mut self, id: IncidentId, at: SimTime) -> bool {
         if let Some(inc) = self.incidents.get_mut(&id) {
@@ -274,13 +342,15 @@ impl DowntimeLedger {
         }
     }
 
-    /// Close the incident at restoration, recording who repaired it and
-    /// with what action. Detection and diagnosis default to the restore
-    /// instant if they were never recorded — and are clamped *down* to it
-    /// if they were pre-recorded for a later time (a manual pipeline may
-    /// stamp its scheduled detection/engagement ahead of time, then lose
-    /// the race to an agent repair). Every closed record is thus
-    /// lifecycle-complete and ordered.
+    /// Close the incident at restoration, appending the **resolving**
+    /// attempt to the history. Detection and diagnosis default to the
+    /// restore instant if they were never recorded — and are clamped
+    /// *down* to it if they were pre-recorded for a later time (a manual
+    /// pipeline may stamp its scheduled detection/engagement ahead of
+    /// time, then lose the race to an agent repair). Attempts recorded
+    /// for a *later* time than the resolution are dropped for the same
+    /// reason. Every closed record is thus lifecycle-complete and
+    /// ordered.
     pub fn restore(
         &mut self,
         id: IncidentId,
@@ -294,8 +364,13 @@ impl DowntimeLedger {
                 let detected = inc.detected.map_or(at, |t| t.min(at));
                 inc.detected = Some(detected);
                 inc.diagnosed = Some(inc.diagnosed.map_or(at, |t| t.min(at)).max(detected));
-                inc.repaired_by = Some(actor);
-                inc.repair_action = Some(action.into());
+                inc.attempts.retain(|a| a.at <= at);
+                inc.attempts.push(RepairAttempt {
+                    at,
+                    actor,
+                    action: action.into(),
+                    resolved: true,
+                });
             }
             true
         } else {
@@ -402,17 +477,30 @@ impl DowntimeLedger {
             out.push_str(&format!("\"restored\": {}, ", json_opt_time(inc.restored)));
             out.push_str(&format!(
                 "\"actor\": {}, ",
-                inc.repaired_by
+                inc.repaired_by()
                     .map(|a| json_str(a.label()))
                     .unwrap_or_else(|| "null".into())
             ));
             out.push_str(&format!(
                 "\"action\": {}, ",
-                inc.repair_action
-                    .as_deref()
+                inc.repair_action()
                     .map(json_str)
                     .unwrap_or_else(|| "null".into())
             ));
+            out.push_str("\"attempts\": [");
+            for (i, a) in inc.attempts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"at\": {}, \"actor\": {}, \"action\": {}, \"resolved\": {}}}",
+                    a.at.as_secs(),
+                    json_str(a.actor.label()),
+                    json_str(&a.action),
+                    a.resolved
+                ));
+            }
+            out.push_str("], ");
             out.push_str(&format!("\"escalated\": {}", inc.escalated));
             out.push('}');
         }
@@ -490,8 +578,10 @@ mod tests {
         assert_eq!(inc.repair_time(), Some(SimDuration::from_hours(2)));
         assert_eq!(inc.downtime(), Some(SimDuration::from_hours(3)));
         assert_eq!(inc.diagnosed, Some(SimTime::from_hours(3)));
-        assert_eq!(inc.repaired_by, Some(Actor::Human));
-        assert_eq!(inc.repair_action.as_deref(), Some("restart oracle"));
+        assert_eq!(inc.repaired_by(), Some(Actor::Human));
+        assert_eq!(inc.repair_action(), Some("restart oracle"));
+        assert_eq!(inc.attempts().len(), 1);
+        assert!(inc.attempts()[0].resolved);
         assert!(!inc.auto_repaired());
         assert!(inc.lifecycle_violation().is_none());
         assert!(l.open_incidents().is_empty());
@@ -525,7 +615,45 @@ mod tests {
         // Second restore is a no-op.
         l.restore(id, SimTime::from_hours(9), Actor::Human, "late");
         assert_eq!(l.get(id).unwrap().restored, Some(SimTime::from_hours(2)));
-        assert_eq!(l.get(id).unwrap().repaired_by, Some(Actor::Agent));
+        assert_eq!(l.get(id).unwrap().repaired_by(), Some(Actor::Agent));
+        assert_eq!(l.get(id).unwrap().attempts().len(), 1);
+    }
+
+    #[test]
+    fn attempt_history_keeps_agent_try_then_human_escalation() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::FirewallNetwork, "switch", SimTime::ZERO);
+        assert!(l.attempt(id, SimTime::from_mins(5), Actor::Agent, "detect-and-page"));
+        l.escalate(id, SimTime::from_mins(5));
+        l.restore(id, SimTime::from_hours(3), Actor::Human, "fix switch");
+        let inc = l.get(id).unwrap();
+        assert_eq!(inc.attempts().len(), 2);
+        assert_eq!(inc.attempts()[0].actor, Actor::Agent);
+        assert!(!inc.attempts()[0].resolved);
+        assert_eq!(inc.attempts()[1].actor, Actor::Human);
+        assert!(inc.attempts()[1].resolved);
+        // The resolving attempt is what the headline accessors report.
+        assert_eq!(inc.repaired_by(), Some(Actor::Human));
+        assert_eq!(inc.repair_action(), Some("fix switch"));
+        assert!(!inc.auto_repaired());
+        assert!(inc.lifecycle_violation().is_none());
+        // The history is frozen after close.
+        assert!(l.attempt(id, SimTime::from_hours(4), Actor::Agent, "late"));
+        assert_eq!(l.get(id).unwrap().attempts().len(), 2);
+    }
+
+    #[test]
+    fn restore_drops_attempts_stamped_after_resolution() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open(FaultCategory::LsfError, "x", SimTime::ZERO);
+        // A manual pipeline pre-records its (future) scheduled try, then
+        // loses the race to an agent repair.
+        l.attempt(id, SimTime::from_hours(5), Actor::Human, "scheduled");
+        l.restore(id, SimTime::from_mins(10), Actor::Agent, "self-heal");
+        let inc = l.get(id).unwrap();
+        assert_eq!(inc.attempts().len(), 1);
+        assert!(inc.attempts()[0].resolved);
+        assert!(inc.lifecycle_violation().is_none());
     }
 
     #[test]
@@ -619,13 +747,46 @@ mod tests {
             .lifecycle_violation()
             .unwrap()
             .contains("without an actor"));
-        inc.repaired_by = Some(Actor::Human);
+        // An unresolved attempt alone does not make an actor.
+        inc.attempts.push(RepairAttempt {
+            at: SimTime::from_hours(1),
+            actor: Actor::Agent,
+            action: "try".into(),
+            resolved: false,
+        });
+        assert!(inc
+            .lifecycle_violation()
+            .unwrap()
+            .contains("without an actor"));
+        inc.attempts.push(RepairAttempt {
+            at: SimTime::from_hours(2),
+            actor: Actor::Human,
+            action: String::new(),
+            resolved: true,
+        });
         assert!(inc
             .lifecycle_violation()
             .unwrap()
             .contains("without a repair action"));
-        inc.repair_action = Some("swap board".into());
+        inc.attempts[1].action = "swap board".into();
         assert!(inc.lifecycle_violation().is_none());
+        // Attempts after the resolving one are a violation.
+        inc.attempts.push(RepairAttempt {
+            at: SimTime::from_hours(3),
+            actor: Actor::Agent,
+            action: "late".into(),
+            resolved: false,
+        });
+        assert!(inc
+            .lifecycle_violation()
+            .unwrap()
+            .contains("after the resolving"));
+        inc.attempts.pop();
+        // Out-of-order attempt history.
+        inc.attempts[0].at = SimTime::from_hours(9);
+        inc.attempts[1].at = SimTime::from_hours(2);
+        assert!(inc.lifecycle_violation().unwrap().contains("out of order"));
+        inc.attempts[0].at = SimTime::from_hours(1);
         // Out-of-order lifecycle.
         inc.diagnosed = Some(SimTime::from_mins(10));
         assert!(inc.lifecycle_violation().unwrap().contains("diagnosed"));

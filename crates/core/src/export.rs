@@ -10,14 +10,17 @@
 //!   "mode": "Intelliagents",
 //!   "ledger": { "incidents": [...], "totals": {...}, ... },
 //!   "trace": { "enabled": true, "total": 123, "evicted": 0,
-//!              "counters": {"fault": 9, ...}, "events": ["0|0|kern|run-start|...", ...] }
+//!              "counters": {"fault": 9, ...}, "events": ["0|0|kern|run-start|...", ...] },
+//!   "profile": { "enabled": true, "wall_ns": ..., "subsystems": [...], ... }
 //! }
 //! ```
 
 use crate::downtime::json_str;
+use crate::profile::ProfileReport;
 use crate::world::World;
 
-/// Serialise a (typically finished) world's ledger and trace as JSON.
+/// Serialise a (typically finished) world's ledger, trace, and profile
+/// as JSON.
 pub fn run_export_json(world: &World) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("\"seed\": {},\n", world.cfg.seed));
@@ -49,7 +52,9 @@ pub fn run_export_json(world: &World) -> String {
         out.push_str("    ");
         out.push_str(&json_str(line));
     }
-    out.push_str("\n  ]\n}\n}\n");
+    out.push_str("\n  ]\n},\n\"profile\": ");
+    out.push_str(&ProfileReport::from_world(world).to_json());
+    out.push_str("\n}\n");
     out
 }
 
@@ -91,5 +96,107 @@ mod tests {
         assert!(json.contains("\"trace\""));
         assert!(json.contains("\"counters\""));
         assert!(json.contains("run-start"));
+    }
+
+    fn run(seed: u64, profiled: bool) -> World {
+        let mut cfg = ScenarioConfig::small(seed, ManagementMode::Intelliagents);
+        cfg.horizon = SimDuration::from_days(2);
+        let mut world = World::build(cfg);
+        if profiled {
+            world = world.enable_trace().enable_profile();
+        }
+        world.run_to_end();
+        world
+    }
+
+    /// The exported document, read back through the in-tree JSON
+    /// reader, agrees with the live registry: every counter, every
+    /// per-kind count, and the per-kind latency percentiles survive the
+    /// round trip exactly.
+    #[test]
+    fn export_round_trips_through_the_json_reader() {
+        let world = run(42, true);
+        let doc = crate::jsonv::parse(&run_export_json(&world)).expect("export parses");
+
+        let profile = doc.get("profile").expect("profile section");
+        assert_eq!(profile.get("enabled").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            profile.get("events_processed").and_then(|v| v.as_u64()),
+            Some(world.metrics.counter("events.processed"))
+        );
+
+        // Every registry counter appears verbatim.
+        let counters = profile.get("counters").expect("counters object");
+        for (name, value) in world.metrics.counters() {
+            assert_eq!(
+                counters.get(name).and_then(|v| v.as_u64()),
+                Some(value),
+                "counter {name}"
+            );
+        }
+
+        // Per-kind dispatch counts and percentiles match the profiler.
+        let kinds = profile
+            .get("kinds")
+            .and_then(|v| v.as_arr())
+            .expect("kinds");
+        assert!(!kinds.is_empty());
+        for k in kinds {
+            let name = k.get("kind").and_then(|v| v.as_str()).expect("kind name");
+            let hist = world.profiler.span(name).expect("span exists");
+            let s = hist.summary();
+            assert_eq!(k.get("count").and_then(|v| v.as_u64()), Some(s.count));
+            let ns = k.get("ns").expect("ns summary");
+            assert_eq!(ns.get("p50_ns").and_then(|v| v.as_u64()), Some(s.p50));
+            assert_eq!(ns.get("p99_ns").and_then(|v| v.as_u64()), Some(s.p99));
+            assert_eq!(ns.get("max_ns").and_then(|v| v.as_u64()), Some(s.max));
+        }
+
+        // Subsystem shares are a partition of the accounted time.
+        let subs = profile
+            .get("subsystems")
+            .and_then(|v| v.as_arr())
+            .expect("subsystems");
+        let total: f64 = subs
+            .iter()
+            .filter_map(|s| s.get("share").and_then(|v| v.as_f64()))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+
+        // The ledger side round-trips too: incident count matches.
+        let incidents = doc
+            .get("ledger")
+            .and_then(|l| l.get("incidents"))
+            .and_then(|v| v.as_arr())
+            .expect("ledger incidents");
+        assert_eq!(incidents.len(), world.ledger.incidents().count());
+    }
+
+    /// Instrumentation is observation only: the same scenario run with
+    /// and without the profiler produces the identical ledger document,
+    /// and the unprofiled export says so (`"enabled": false`).
+    #[test]
+    fn unprofiled_run_exports_identical_ledger_and_disabled_profile() {
+        let plain = run(7, false);
+        let profiled = run(7, true);
+        assert_eq!(plain.ledger.to_json(), profiled.ledger.to_json());
+
+        let doc = crate::jsonv::parse(&run_export_json(&plain)).expect("export parses");
+        let profile = doc.get("profile").expect("profile section");
+        assert_eq!(
+            profile.get("enabled").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        assert_eq!(
+            profile.get("events_processed").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        assert_eq!(
+            profile
+                .get("kinds")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(0)
+        );
     }
 }

@@ -21,8 +21,11 @@
 //!   injected → detected → diagnosed → repaired/escalated lifecycle.
 //! * [`divergence`] — paired-run divergence finder guarding the
 //!   same-seed before/after invariant.
-//! * [`export`] — JSON run export (ledger + trace) for the triage
-//!   tooling.
+//! * [`export`] — JSON run export (ledger + trace + profile) for the
+//!   triage tooling.
+//! * [`profile`] — per-run self-measurement report (subsystem time
+//!   share, per-event-kind latency percentiles, hottest sweeps).
+//! * [`jsonv`] — minimal JSON reader used to validate evidence files.
 //! * [`scenario`] / [`world`] — deterministic whole-datacenter
 //!   scenarios with paired before/after (manual vs intelliagent) runs.
 
@@ -34,8 +37,10 @@ pub mod divergence;
 pub mod downtime;
 pub mod export;
 pub mod flags;
+pub mod jsonv;
 pub mod notify;
 pub mod ontogen;
+pub mod profile;
 pub mod resched;
 pub mod rulesets;
 pub mod scenario;
@@ -48,7 +53,9 @@ pub use divergence::{first_divergence, Divergence, Stream};
 pub use downtime::{Actor, CategoryTotals, DowntimeLedger, Incident, IncidentId};
 pub use export::run_export_json;
 pub use flags::{Flag, FlagOutcome};
+pub use jsonv::JsonValue;
 pub use notify::{Channel, Notification, NotificationBus, Severity};
+pub use profile::ProfileReport;
 pub use resched::DgsplSelector;
 pub use scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
 pub use world::{run_scenario, World, WorldEvent};

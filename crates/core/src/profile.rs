@@ -1,0 +1,368 @@
+//! Run profile report: the machine-readable evidence a profiled world
+//! run carries.
+//!
+//! [`World::enable_profile`](crate::world::World::enable_profile) turns
+//! on the [`MetricsRegistry`] / [`Profiler`] pair that
+//! `World::run_to_end` feeds; this module folds those raw counters and
+//! span histograms into the shape the bench binaries and
+//! `scripts/triage.sh` publish next to every figure:
+//!
+//! * throughput — events processed and events/second of wall clock,
+//! * per-event-kind dispatch counts and latency percentiles,
+//! * wall-clock **time share per subsystem** (fault, workload, agent,
+//!   admin, manual), computed from the dispatch spans of the twelve
+//!   [`WorldEvent`](crate::world::WorldEvent) kinds,
+//! * the top-k hottest inner spans (per-agent-category sweeps, DGSPL
+//!   generation, LSF dispatch) — the list the next scaling PR will be
+//!   judged against.
+
+use crate::downtime::json_str;
+use crate::world::{World, WorldEvent};
+use intelliqos_simkern::HistSummary;
+
+/// How many of the hottest inner spans the report keeps.
+pub const TOP_K: usize = 8;
+
+/// Dispatch profile of one event kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindProfile {
+    /// Event-kind label (one of [`WorldEvent::KINDS`]).
+    pub kind: &'static str,
+    /// How many events of this kind were dispatched.
+    pub count: u64,
+    /// Wall-clock nanoseconds per dispatch, summarised.
+    pub ns: HistSummary,
+}
+
+/// Accumulated wall-clock share of one subsystem's event handlers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsystemShare {
+    /// Subsystem label (`fault`, `workload`, `agent`, `admin`, `manual`).
+    pub subsystem: &'static str,
+    /// Total nanoseconds spent dispatching this subsystem's events.
+    pub ns: u64,
+    /// Fraction of all accounted dispatch time (0 when nothing ran).
+    pub share: f64,
+}
+
+/// One hot inner span (sweep category, DGSPL generation, LSF dispatch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpan {
+    /// Span name, e.g. `sweep.service`.
+    pub span: String,
+    /// Wall-clock nanoseconds summarised over all firings.
+    pub ns: HistSummary,
+}
+
+/// The full self-measurement evidence of one world run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Whether the run was actually profiled (`enable_profile`).
+    pub enabled: bool,
+    /// Wall-clock nanoseconds of the whole event loop (`run.total`).
+    pub wall_ns: u64,
+    /// Events popped and dispatched within the horizon.
+    pub events_processed: u64,
+    /// Dispatch throughput: events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Per-event-kind dispatch profile, hottest (by total ns) first.
+    pub kinds: Vec<KindProfile>,
+    /// Wall-clock share per subsystem, largest first.
+    pub subsystems: Vec<SubsystemShare>,
+    /// Top-[`TOP_K`] hottest inner spans by total ns, largest first.
+    pub hottest: Vec<HotSpan>,
+    /// All semantic counters (faults injected, jobs dispatched, …).
+    pub counters: Vec<(&'static str, u64)>,
+    /// All gauges (DGSPL entries, horizon seconds, …).
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+/// Which subsystem a dispatched event kind is accounted to.
+pub fn kind_subsystem(kind: &str) -> &'static str {
+    match kind {
+        "submit-arrival" | "job-done" => "workload",
+        "inject-fault" | "crash-sweep" | "reboot-done" => "fault",
+        "agent-sweep" | "e2e-sweep" | "perf-sweep" | "service-ready" => "agent",
+        "admin-sweep" | "dgspl-regen" => "admin",
+        "manual-restore" => "manual",
+        _ => "other",
+    }
+}
+
+impl ProfileReport {
+    /// Fold a (typically finished) world's registry + profiler into the
+    /// report. Cheap; callable on an unprofiled world (everything zero,
+    /// `enabled: false`).
+    pub fn from_world(world: &World) -> Self {
+        let metrics = &world.metrics;
+        let profiler = &world.profiler;
+        let wall_ns = profiler.total_ns("run.total");
+        let events_processed = metrics.counter("events.processed");
+        let events_per_sec = if wall_ns > 0 {
+            events_processed as f64 / (wall_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+
+        let mut kinds: Vec<KindProfile> = WorldEvent::KINDS
+            .iter()
+            .filter_map(|&kind| {
+                let count = metrics.counter(kind);
+                if count == 0 {
+                    return None;
+                }
+                let ns = profiler.span(kind).map(|h| h.summary()).unwrap_or_default();
+                Some(KindProfile { kind, count, ns })
+            })
+            .collect();
+        kinds.sort_by(|a, b| b.ns.sum.cmp(&a.ns.sum).then(a.kind.cmp(b.kind)));
+
+        let mut by_subsystem: Vec<(&'static str, u64)> = Vec::new();
+        for k in &kinds {
+            let sub = kind_subsystem(k.kind);
+            match by_subsystem.iter_mut().find(|(s, _)| *s == sub) {
+                Some((_, ns)) => *ns += k.ns.sum,
+                None => by_subsystem.push((sub, k.ns.sum)),
+            }
+        }
+        let accounted: u64 = by_subsystem.iter().map(|(_, ns)| ns).sum();
+        let mut subsystems: Vec<SubsystemShare> = by_subsystem
+            .into_iter()
+            .map(|(subsystem, ns)| SubsystemShare {
+                subsystem,
+                ns,
+                share: if accounted > 0 {
+                    ns as f64 / accounted as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        subsystems.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.subsystem.cmp(b.subsystem)));
+
+        // Inner spans: everything the profiler holds that is not a
+        // top-level dispatch span or the run marker.
+        let mut hottest: Vec<HotSpan> = profiler
+            .spans()
+            .filter(|(name, _)| *name != "run.total" && !WorldEvent::KINDS.contains(name))
+            .map(|(name, h)| HotSpan {
+                span: name.to_string(),
+                ns: h.summary(),
+            })
+            .collect();
+        hottest.sort_by(|a, b| b.ns.sum.cmp(&a.ns.sum).then(a.span.cmp(&b.span)));
+        hottest.truncate(TOP_K);
+
+        ProfileReport {
+            enabled: metrics.is_enabled(),
+            wall_ns,
+            events_processed,
+            events_per_sec,
+            kinds,
+            subsystems,
+            hottest,
+            counters: metrics.counters().collect(),
+            gauges: metrics.gauges().collect(),
+        }
+    }
+
+    /// Human-readable table for terminals (`triage`'s profile section).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.enabled {
+            out.push_str("profile: disabled (run with --profile)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "profile: {} events in {:.3} s wall  ({:.0} events/s)\n",
+            self.events_processed,
+            self.wall_ns as f64 / 1e9,
+            self.events_per_sec
+        ));
+        out.push_str("  time share per subsystem:\n");
+        for s in &self.subsystems {
+            out.push_str(&format!(
+                "    {:<10} {:>6.1}%  {:>12} ns\n",
+                s.subsystem,
+                s.share * 100.0,
+                s.ns
+            ));
+        }
+        out.push_str("  event kinds (hottest first):\n");
+        for k in &self.kinds {
+            out.push_str(&format!(
+                "    {:<16} n={:<8} total={:>12} ns  p50={} p99={} max={}\n",
+                k.kind, k.count, k.ns.sum, k.ns.p50, k.ns.p99, k.ns.max
+            ));
+        }
+        out.push_str("  hottest inner spans:\n");
+        for h in &self.hottest {
+            out.push_str(&format!(
+                "    {:<20} n={:<8} total={:>12} ns  p50={} p99={} max={}\n",
+                h.span, h.ns.count, h.ns.sum, h.ns.p50, h.ns.p99, h.ns.max
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering, embedded by [`crate::export::run_export_json`]
+    /// and written as evidence by the bench binaries.
+    pub fn to_json(&self) -> String {
+        fn hist(ns: &HistSummary) -> String {
+            format!(
+                "{{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                ns.count, ns.sum, ns.p50, ns.p90, ns.p99, ns.max
+            )
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
+        out.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            self.events_processed
+        ));
+        out.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            json_f64(self.events_per_sec)
+        ));
+        out.push_str("  \"subsystems\": [");
+        for (i, s) in self.subsystems.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"subsystem\": {}, \"ns\": {}, \"share\": {}}}",
+                json_str(s.subsystem),
+                s.ns,
+                json_f64(s.share)
+            ));
+        }
+        out.push_str("],\n  \"kinds\": [");
+        for (i, k) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"kind\": {}, \"count\": {}, \"ns\": {}}}",
+                json_str(k.kind),
+                k.count,
+                hist(&k.ns)
+            ));
+        }
+        out.push_str("],\n  \"hottest\": [");
+        for (i, h) in self.hottest.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"span\": {}, \"ns\": {}}}",
+                json_str(&h.span),
+                hist(&h.ns)
+            ));
+        }
+        out.push_str("],\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(k), v));
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(k), json_f64(*v)));
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+/// Finite-float JSON rendering (NaN/inf have no JSON literal; clamp to
+/// 0 so the document stays parseable whatever the gauges held).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints no decimal point; keep it a JSON
+        // number either way (integers are valid JSON numbers).
+        s
+    } else {
+        "0".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ManagementMode, ScenarioConfig};
+    use intelliqos_simkern::SimDuration;
+
+    fn run(profiled: bool) -> World {
+        let mut cfg = ScenarioConfig::small(7, ManagementMode::Intelliagents);
+        cfg.horizon = SimDuration::from_days(3);
+        let mut world = World::build(cfg);
+        if profiled {
+            world = world.enable_profile();
+        }
+        world.run_to_end();
+        world
+    }
+
+    #[test]
+    fn unprofiled_run_reports_disabled_and_empty() {
+        let world = run(false);
+        let p = ProfileReport::from_world(&world);
+        assert!(!p.enabled);
+        assert_eq!(p.wall_ns, 0);
+        assert_eq!(p.events_processed, 0);
+        assert!(p.kinds.is_empty());
+        assert!(p.subsystems.is_empty());
+        assert!(p.hottest.is_empty());
+    }
+
+    #[test]
+    fn profiled_run_accounts_every_dispatched_event() {
+        let world = run(true);
+        let p = ProfileReport::from_world(&world);
+        assert!(p.enabled);
+        assert!(p.wall_ns > 0);
+        assert!(p.events_per_sec > 0.0);
+        // Every dispatched event is in exactly one kind row.
+        let by_kind: u64 = p.kinds.iter().map(|k| k.count).sum();
+        assert_eq!(by_kind, p.events_processed);
+        // Span counts agree with the counters.
+        for k in &p.kinds {
+            assert_eq!(k.ns.count, k.count, "{}", k.kind);
+        }
+        // Shares sum to ~1 over the accounted subsystems.
+        let total: f64 = p.subsystems.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        // The agent sweeps leave inner spans behind.
+        assert!(p.hottest.iter().any(|h| h.span.starts_with("sweep.")));
+    }
+
+    #[test]
+    fn kind_subsystem_covers_all_kinds() {
+        for kind in WorldEvent::KINDS {
+            assert_ne!(kind_subsystem(kind), "other", "{kind} unmapped");
+        }
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let world = run(true);
+        let p = ProfileReport::from_world(&world);
+        let table = p.render_table();
+        assert!(table.contains("time share per subsystem"));
+        assert!(table.contains("agent"));
+        let json = p.to_json();
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"subsystem\": \"agent\""));
+        let parsed = crate::jsonv::parse(&json).expect("profile JSON parses");
+        assert_eq!(
+            parsed.get("events_processed").and_then(|v| v.as_u64()),
+            Some(p.events_processed)
+        );
+    }
+}

@@ -9,7 +9,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use intelliqos_simkern::{EventQueue, EventToken, SimDuration, SimRng, SimTime, Subsystem, Trace};
+use intelliqos_simkern::{
+    EventQueue, EventToken, MetricsRegistry, Profiler, SimDuration, SimRng, SimTime, Subsystem,
+    Trace,
+};
 
 use intelliqos_cluster::faults::{
     Complexity, FaultCategory, FaultEvent, FaultInjector, FaultMechanism, TargetClass,
@@ -76,6 +79,43 @@ pub enum WorldEvent {
     ServiceReady(ServiceId),
     /// A server finishes rebooting.
     RebootDone(ServerId),
+}
+
+impl WorldEvent {
+    /// Stable machine-readable kind label, used as the per-event-kind
+    /// metrics counter and profiler span name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorldEvent::SubmitArrival(_) => "submit-arrival",
+            WorldEvent::InjectFault(_) => "inject-fault",
+            WorldEvent::JobDone(_) => "job-done",
+            WorldEvent::CrashSweep => "crash-sweep",
+            WorldEvent::AgentSweep => "agent-sweep",
+            WorldEvent::AdminSweep => "admin-sweep",
+            WorldEvent::DgsplRegen => "dgspl-regen",
+            WorldEvent::E2eSweep => "e2e-sweep",
+            WorldEvent::PerfSweep => "perf-sweep",
+            WorldEvent::ManualRestore(_) => "manual-restore",
+            WorldEvent::ServiceReady(_) => "service-ready",
+            WorldEvent::RebootDone(_) => "reboot-done",
+        }
+    }
+
+    /// Every kind label, in match order (drives profile tables).
+    pub const KINDS: [&'static str; 12] = [
+        "submit-arrival",
+        "inject-fault",
+        "job-done",
+        "crash-sweep",
+        "agent-sweep",
+        "admin-sweep",
+        "dgspl-regen",
+        "e2e-sweep",
+        "perf-sweep",
+        "manual-restore",
+        "service-ready",
+        "reboot-done",
+    ];
 }
 
 /// How an open fault's effects get undone at repair time.
@@ -174,6 +214,13 @@ pub struct World {
     /// Structured event log (disabled by default; enable before running
     /// with [`World::enable_trace`] for triage and divergence checks).
     pub trace: Trace,
+    /// Run metrics: per-event-kind and per-subsystem counters, gauges,
+    /// size histograms. Disabled by default; see [`World::enable_profile`].
+    pub metrics: MetricsRegistry,
+    /// Wall-clock span profiler over the hot path: event dispatch by
+    /// kind, agent sweeps by category, DGSPL regeneration, LSF
+    /// dispatch. Disabled by default; see [`World::enable_profile`].
+    pub profiler: Profiler,
 
     queue: EventQueue<WorldEvent>,
     fault_tape: Vec<FaultEvent>,
@@ -418,6 +465,8 @@ impl World {
             admin,
             db_crash_count: 0,
             trace: Trace::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            profiler: Profiler::disabled(),
             queue: EventQueue::new(),
             fault_tape,
             workload_tape,
@@ -551,9 +600,16 @@ impl World {
             .emit(self.queue.now(), Subsystem::Kernel, "run-start", || {
                 format!("seed={seed} mode={mode:?} horizon={}s", horizon.as_secs())
             });
+        let run_timer = self.profiler.start();
+        let mut processed: u64 = 0;
         while let Some((now, ev)) = self.queue.pop_until(horizon) {
             self.handle(ev, now);
+            processed += 1;
         }
+        self.profiler.record("run.total", run_timer);
+        self.metrics.add("events.processed", processed);
+        self.metrics
+            .set_gauge("sim.horizon-secs", horizon.as_secs() as f64);
         let open = self.ledger.open_incidents().len();
         self.trace.emit(horizon, Subsystem::Kernel, "run-end", || {
             format!("open_incidents={open}")
@@ -568,12 +624,28 @@ impl World {
         self
     }
 
+    /// Switch on the metrics registry and wall-clock profiler (before
+    /// running) and return `self` for chaining. A profiled
+    /// [`run_to_end`](World::run_to_end) then carries per-event-kind
+    /// counts/latencies, per-sweep-category timing, and subsystem time
+    /// shares, exported via `core::export`.
+    pub fn enable_profile(mut self) -> Self {
+        self.metrics = MetricsRegistry::enabled();
+        self.profiler = Profiler::enabled();
+        self
+    }
+
     /// Advance the world up to `deadline` only (for tests and staged
     /// experiments); the world remains usable afterwards.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let run_timer = self.profiler.start();
+        let mut processed: u64 = 0;
         while let Some((now, ev)) = self.queue.pop_until(deadline) {
             self.handle(ev, now);
+            processed += 1;
         }
+        self.profiler.record("run.total", run_timer);
+        self.metrics.add("events.processed", processed);
         self.queue.advance_clock(deadline);
     }
 
@@ -615,6 +687,14 @@ impl World {
     // ---------------------------------------------------------------
 
     fn handle(&mut self, ev: WorldEvent, now: SimTime) {
+        let kind = ev.kind();
+        self.metrics.inc(kind);
+        let t = self.profiler.start();
+        self.dispatch_event(ev, now);
+        self.profiler.record(kind, t);
+    }
+
+    fn dispatch_event(&mut self, ev: WorldEvent, now: SimTime) {
         match ev {
             WorldEvent::SubmitArrival(i) => {
                 let spec = self.workload_tape[i].spec.clone();
@@ -666,6 +746,7 @@ impl World {
         if self.lsf.pending_count() == 0 {
             return;
         }
+        let t = self.profiler.start();
         let db_serving = self.db_serving_map();
         let mut selector = WorldSelector {
             manual: &mut self.manual_selector,
@@ -680,6 +761,7 @@ impl World {
             |sid| db_serving.get(&sid).copied().unwrap_or(false),
             now,
         );
+        self.metrics.add("lsf.dispatched", dispatches.len() as u64);
         for d in dispatches {
             let tok = self
                 .queue
@@ -694,6 +776,7 @@ impl World {
                 )
             });
         }
+        self.profiler.record("lsf.dispatch", t);
     }
 
     /// Effective repair capability under the configured mode and parts.
@@ -778,6 +861,7 @@ impl World {
 
     fn db_crash(&mut self, sid: ServerId, now: SimTime) {
         self.db_crash_count += 1;
+        self.metrics.inc("faults.db-crash");
         let svc = self.db_service_of[&sid];
         {
             let server = self.servers.get_mut(&sid).expect("db host exists");
@@ -933,6 +1017,13 @@ impl World {
             None => onset + self.manual_detection_delay(cat, onset, latent),
         };
         self.ledger.detect(inc, detected);
+        if detected_at.is_some() {
+            // An agent found the fault but could not (or was not allowed
+            // to) heal it: record the failed agent try before the human
+            // escalation so the attempt history shows both actors.
+            self.ledger
+                .attempt(inc, detected, Actor::Agent, "detect-and-page");
+        }
         let engaged = detected
             + self
                 .repair_model
@@ -965,6 +1056,7 @@ impl World {
 
     fn on_fault(&mut self, fault: FaultEvent, now: SimTime) {
         use FaultMechanism::*;
+        self.metrics.inc("faults.injected");
         let cat = fault.mechanism.category();
         let agents = self.cfg.mode == ManagementMode::Intelliagents;
         // Resolve the target with exactly one draw so both modes stay
@@ -1427,7 +1519,9 @@ impl World {
             if !self.servers[&sid].is_up() {
                 continue;
             }
+            self.metrics.inc("agent.hosts-swept");
             // Service agent.
+            let t_service = self.profiler.start();
             let report = {
                 let server = self.servers.get_mut(&sid).expect("host exists");
                 run_service_agent(
@@ -1462,7 +1556,10 @@ impl World {
                         .schedule(ready, WorldEvent::ServiceReady(finding.service));
                 }
             }
-            // OS / resource agents.
+            self.profiler.record("sweep.service", t_service);
+            // OS / resource agents run fused over a single fact base, so
+            // they are timed as one span.
+            let t_osres = self.profiler.start();
             {
                 let expected: &[String] = self
                     .expected_procs_of
@@ -1472,14 +1569,19 @@ impl World {
                 let server = self.servers.get_mut(&sid).expect("host exists");
                 run_os_resource_agents(server, expected, self.cfg.agent_parts, &mut self.bus, now);
             }
+            self.profiler.record("sweep.os-resource", t_osres);
             // Hardware agent.
+            let t_hw = self.profiler.start();
             {
                 let server = self.servers.get_mut(&sid).expect("host exists");
                 run_hardware_agent(server, self.cfg.agent_parts, &mut self.bus, now);
             }
+            self.profiler.record("sweep.hardware", t_hw);
             // Close any locally-healed open faults on this host by
             // checking that their effect really is gone.
+            let t_heal = self.profiler.start();
             self.close_healed_local_faults(sid, now);
+            self.profiler.record("sweep.close-healed", t_heal);
         }
         self.queue
             .schedule(now + self.cfg.agent_period, WorldEvent::AgentSweep);
@@ -1563,6 +1665,7 @@ impl World {
             // Resubmit failed batch jobs through the DGSPL policy.
             let failed = self.lsf.failed_ids();
             let resubmitted = failed.len();
+            self.metrics.add("lsf.resubmitted", resubmitted as u64);
             for id in failed {
                 self.lsf.resubmit(id);
             }
@@ -1595,10 +1698,12 @@ impl World {
                 if !self.cron_enabled.get(&sid).copied().unwrap_or(true) {
                     continue;
                 }
+                let t_status = self.profiler.start();
                 let dlsp = {
                     let server = self.servers.get_mut(&sid).expect("host exists");
                     run_status_agent(server, &self.registry, &mut self.rng_probe, now)
                 };
+                self.profiler.record("sweep.status", t_status);
                 // Ship over the agent network (private preferred,
                 // automatic fallback to public — Figure 1's design).
                 // Size estimate: ~140 bytes of host header + ~80 per
@@ -1609,6 +1714,7 @@ impl World {
                         .transmit(sid, admin_host, bytes, SegmentKind::PrivateAgent, now);
                 self.admin.ingest_dlsp(dlsp, now);
             }
+            let t_gen = self.profiler.start();
             let dgspl =
                 self.admin
                     .generate_dgspl(now, self.cfg.dgspl_period.times(2), |model, cpus| {
@@ -1618,7 +1724,10 @@ impl World {
                             .map(|m| m.cpu_power() * cpus as f64)
                             .unwrap_or(cpus as f64 * 0.5)
                     });
+            self.profiler.record("dgspl.generate", t_gen);
+            self.metrics.inc("dgspl.regens");
             let entries = dgspl.entries.len();
+            self.metrics.set_gauge("dgspl.entries", entries as f64);
             self.trace.emit(now, Subsystem::Admin, "dgspl", || {
                 format!("entries={entries}")
             });
@@ -1659,6 +1768,7 @@ impl World {
                 .schedule(now + self.cfg.perf_period, WorldEvent::PerfSweep);
             return;
         }
+        let t_perf = self.profiler.start();
         let hosts: Vec<ServerId> = self.perf.keys().copied().collect();
         for sid in hosts {
             if !self.cron_enabled.get(&sid).copied().unwrap_or(true) {
@@ -1710,6 +1820,7 @@ impl World {
             self.active_breaches
                 .retain(|(s, v)| *s != sid || breached.contains(v));
         }
+        self.profiler.record("sweep.performance", t_perf);
         self.queue
             .schedule(now + self.cfg.perf_period, WorldEvent::PerfSweep);
     }

@@ -21,6 +21,9 @@
 //!   timestamp-join the performance intelliagents perform.
 //! * [`Trace`] — zero-cost-when-disabled structured event log with
 //!   circular retention and per-subsystem lifetime counters.
+//! * [`MetricsRegistry`] / [`Profiler`] — counters, gauges,
+//!   log-bucketed histograms, and wall-clock span profiling, also
+//!   zero-cost when disabled; every run can be self-measuring.
 //!
 //! Nothing here knows about clusters, agents, or services; those live in
 //! the higher crates.
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod events;
+pub mod metrics;
 mod ring;
 mod rng;
 mod series;
@@ -36,6 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use events::{EventQueue, EventToken};
+pub use metrics::{HistSummary, LogHistogram, MetricsRegistry, Profiler, SpanTimer};
 pub use ring::CircularQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;

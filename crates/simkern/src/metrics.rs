@@ -1,0 +1,543 @@
+//! In-tree metrics registry and wall-clock span profiler.
+//!
+//! The simulation's published numbers (Figure 2 tables, ablation rows)
+//! need attached *evidence*: what the run actually did and where the
+//! wall-clock time went. This module supplies the measurement layer:
+//!
+//! * [`MetricsRegistry`] — monotonic counters, gauges, and log-bucketed
+//!   value histograms keyed by `&'static str` names;
+//! * [`LogHistogram`] — power-of-two-bucketed `u64` histogram (latency
+//!   in nanoseconds, sizes in bytes) with p50/p90/p99/max summaries and
+//!   an exact running sum, O(1) memory regardless of sample count;
+//! * [`Profiler`] — named wall-clock spans recorded into log histograms
+//!   via a start/record pair that borrows nothing across the measured
+//!   region (so it drops into `&mut self` event handlers).
+//!
+//! Everything follows the same discipline as [`crate::trace::Trace`]:
+//! **zero cost when disabled**. A disabled registry's `inc`/`observe`
+//! are a single branch; a disabled profiler's [`Profiler::start`] does
+//! not even read the clock (it returns an empty [`SpanTimer`]), and
+//! `record` returns immediately. Production runs pay nothing.
+//!
+//! Wall-clock readings come from [`std::time::Instant`] and are the one
+//! deliberately non-deterministic measurement in the kernel: they never
+//! feed back into simulation state, only into the emitted profile.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds the value 0,
+/// bucket `b` (1 ≤ b ≤ 64) holds values whose highest set bit is
+/// `b - 1`, i.e. the range `[2^(b-1), 2^b)`.
+pub const LOG_BUCKETS: usize = 65;
+
+/// Log-bucketed `u64` histogram with exact count/sum/max and
+/// percentile estimates from the bucket boundaries.
+///
+/// Quantile queries return the upper edge of the bucket holding the
+/// requested rank (clamped to the exact maximum), so estimates are
+/// accurate to within one power of two — plenty for "where did the time
+/// go" profiles while keeping memory at a fixed 65 counters.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; LOG_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; LOG_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Upper edge (inclusive) of bucket `b`.
+    fn bucket_hi(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `q`-quantile estimate (`0.0 ≤ q ≤ 1.0`): upper edge of the bucket
+    /// containing the rank, clamped to the exact max. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_hi(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Condensed summary: count, sum, p50/p90/p99, max.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            max: self.max,
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The five numbers a histogram row reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// Monotonic counters, gauges, and log histograms under one roof.
+///
+/// Disabled by default: every mutator is a single branch, and the maps
+/// stay empty (no allocation). Enable with [`MetricsRegistry::enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry (the default): mutators are no-ops.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// An enabled, empty registry.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Is the registry recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name, v);
+    }
+
+    /// Record one sample into the named log histogram.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.entry(name).or_default().record(v);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters, name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the other side's value, histograms merge. Used to combine
+    /// per-subsystem (or per-shard) registries into one run total.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name, *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+}
+
+/// An in-flight span measurement. Empty when the profiler was disabled
+/// at [`Profiler::start`] — the clock is never read on that path.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Option<Instant>);
+
+impl SpanTimer {
+    /// A timer that will record nothing.
+    pub fn noop() -> Self {
+        SpanTimer(None)
+    }
+}
+
+/// Wall-clock span profiler: named spans accumulated into log
+/// histograms of nanoseconds.
+///
+/// Usage is a start/record pair rather than a guard or closure so the
+/// measured region can freely take `&mut self` on the world:
+///
+/// ```
+/// # use intelliqos_simkern::metrics::Profiler;
+/// let mut p = Profiler::enabled();
+/// let t = p.start();
+/// // ... measured work ...
+/// p.record("sweep.service", t);
+/// assert_eq!(p.span("sweep.service").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    spans: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl Profiler {
+    /// A disabled profiler (the default): `start` never reads the
+    /// clock, `record` is a no-op.
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    /// An enabled, empty profiler.
+    pub fn enabled() -> Self {
+        Profiler {
+            enabled: true,
+            spans: BTreeMap::new(),
+        }
+    }
+
+    /// Is the profiler recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begin a span. Cheap when disabled: no clock read, no allocation.
+    #[inline]
+    pub fn start(&self) -> SpanTimer {
+        if self.enabled {
+            SpanTimer(Some(Instant::now()))
+        } else {
+            SpanTimer(None)
+        }
+    }
+
+    /// Close a span under `name`, returning the elapsed nanoseconds
+    /// recorded (0 when the timer was empty / profiler disabled).
+    #[inline]
+    pub fn record(&mut self, name: &'static str, timer: SpanTimer) -> u64 {
+        let Some(start) = timer.0 else {
+            return 0;
+        };
+        if !self.enabled {
+            return 0;
+        }
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.spans.entry(name).or_default().record(ns);
+        ns
+    }
+
+    /// The named span's histogram (nanoseconds), if it ever closed.
+    pub fn span(&self, name: &str) -> Option<&LogHistogram> {
+        self.spans.get(name)
+    }
+
+    /// Total nanoseconds accumulated under `name`.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans.get(name).map(|h| h.sum()).unwrap_or(0)
+    }
+
+    /// All spans, name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.spans.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Fold another profiler's spans into this one.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, h) in &other.spans {
+            self.spans.entry(name).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_buckets_partition_the_u64_range() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        // Edges agree with membership: hi(b) is the largest value in b.
+        for b in 1..64usize {
+            assert_eq!(LogHistogram::bucket_of(LogHistogram::bucket_hi(b)), b);
+            assert_eq!(
+                LogHistogram::bucket_of(LogHistogram::bucket_hi(b) + 1),
+                b + 1
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_001_106);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 1_001_106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values_within_a_bucket() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // True median 500; estimate is the bucket edge above it.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        // Max is exact, and q=1.0 returns it.
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.summary().max, 1000);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(LogHistogram::new().quantile(0.5), None);
+        assert_eq!(LogHistogram::new().summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let mut whole = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for v in 0..500u64 {
+            whole.record(v * 7);
+            if v % 2 == 0 {
+                left.record(v * 7);
+            } else {
+                right.record(v * 7);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.sum(), whole.sum());
+        assert_eq!(left.max(), whole.max());
+        assert_eq!(left.quantile(0.9), whole.quantile(0.9));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        m.inc("a");
+        m.add("a", 10);
+        m.set_gauge("g", 1.0);
+        m.observe("h", 42);
+        assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.gauge("g"), None);
+        assert!(m.histogram("h").is_none());
+        assert_eq!(m.counters().count(), 0);
+    }
+
+    #[test]
+    fn enabled_registry_counts_and_observes() {
+        let mut m = MetricsRegistry::enabled();
+        m.inc("events");
+        m.add("events", 4);
+        m.set_gauge("load", 0.75);
+        m.set_gauge("load", 0.5);
+        m.observe("latency", 100);
+        m.observe("latency", 200);
+        assert_eq!(m.counter("events"), 5);
+        assert_eq!(m.gauge("load"), Some(0.5));
+        assert_eq!(m.histogram("latency").unwrap().count(), 2);
+        assert_eq!(m.histogram("latency").unwrap().sum(), 300);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::enabled();
+        let mut b = MetricsRegistry::enabled();
+        a.add("fault.injected", 3);
+        b.add("fault.injected", 4);
+        b.add("lsf.dispatched", 9);
+        a.observe("bytes", 10);
+        b.observe("bytes", 1000);
+        b.set_gauge("dgspl.entries", 12.0);
+        a.merge(&b);
+        assert_eq!(a.counter("fault.injected"), 7);
+        assert_eq!(a.counter("lsf.dispatched"), 9);
+        assert_eq!(a.histogram("bytes").unwrap().count(), 2);
+        assert_eq!(a.histogram("bytes").unwrap().max(), 1000);
+        assert_eq!(a.gauge("dgspl.entries"), Some(12.0));
+    }
+
+    #[test]
+    fn disabled_profiler_never_reads_the_clock() {
+        let mut p = Profiler::disabled();
+        let t = p.start();
+        assert!(t.0.is_none(), "disabled start must not capture an instant");
+        assert_eq!(p.record("x", t), 0);
+        assert!(p.span("x").is_none());
+        assert_eq!(p.spans().count(), 0);
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates_spans() {
+        let mut p = Profiler::enabled();
+        for _ in 0..3 {
+            let t = p.start();
+            std::hint::black_box(());
+            p.record("work", t);
+        }
+        let h = p.span("work").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(p.total_ns("work"), h.sum());
+        assert!(h.summary().max >= h.summary().p50);
+    }
+
+    #[test]
+    fn profiler_merge_combines_span_histograms() {
+        let mut a = Profiler::enabled();
+        let mut b = Profiler::enabled();
+        let t = a.start();
+        a.record("s", t);
+        let t = b.start();
+        b.record("s", t);
+        let t = b.start();
+        b.record("other", t);
+        a.merge(&b);
+        assert_eq!(a.span("s").unwrap().count(), 2);
+        assert_eq!(a.span("other").unwrap().count(), 1);
+    }
+}

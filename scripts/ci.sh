@@ -18,4 +18,11 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== evidence smoke (fig2_downtime --profile --trace)"
+rm -rf results/evidence
+./target/release/fig2_downtime --seed 11 --days 2 --profile --trace > /dev/null
+test -s results/evidence/fig2_downtime_manual.json
+test -s results/evidence/fig2_downtime_agents.json
+./target/release/evidence_check
+
 echo "CI gate passed."

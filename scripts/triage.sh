@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Paired-run triage: run the same scenario under ManualOps and
-# Intelliagents with structured tracing on, check the paired-run
-# invariant (identical fault/workload tapes) and the incident-ledger
-# lifecycle, and export ledger+trace JSON for both runs.
+# Intelliagents with structured tracing and the profiler on, check the
+# paired-run invariant (identical fault/workload tapes), the replay
+# determinism of the handler streams, and the incident-ledger
+# lifecycle; print the per-subsystem time-share profile; and export
+# ledger+trace+profile JSON for both runs.
 #
 #   scripts/triage.sh [--seed N] [--days N]
 #
-# Exits non-zero if the tapes diverge or any incident record is
-# lifecycle-incomplete. JSON output lands in target/triage/.
+# Exits non-zero if the tapes diverge, a replay diverges mid-run, or
+# any incident record is lifecycle-incomplete. JSON output lands in
+# target/triage/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -47,13 +47,18 @@ fn every_incident_has_a_complete_ordered_lifecycle() {
         for inc in world.ledger.incidents() {
             if inc.restored.is_some() {
                 assert!(
-                    inc.repaired_by.is_some(),
+                    inc.repaired_by().is_some(),
                     "{}: closed without actor",
                     inc.id
                 );
                 assert!(
-                    inc.repair_action.as_deref().is_some_and(|a| !a.is_empty()),
+                    inc.repair_action().is_some_and(|a| !a.is_empty()),
                     "{}: closed without action",
+                    inc.id
+                );
+                assert!(
+                    !inc.attempts().is_empty(),
+                    "{}: closed without an attempt history",
                     inc.id
                 );
             }

@@ -1,0 +1,64 @@
+//! Property tests over the world loop: random scenario shapes (seed,
+//! management mode, horizon) must all settle cleanly.
+//!
+//! Each trial builds a small site with a freshly generated fault tape,
+//! runs past the horizon by a grace window long enough for the slowest
+//! human pipeline (weekend detection ~25 h, latent escalation, paging,
+//! complex multi-expert repair ~4 h — days, not weeks), and asserts the
+//! two ledger invariants that every figure in the paper rests on:
+//!
+//! * no incident violates its injected → detected → diagnosed →
+//!   repaired/escalated lifecycle (including the attempt-history
+//!   ordering rules), and
+//! * no incident leaks: everything opened during the horizon is closed
+//!   once the grace window has elapsed.
+
+mod common;
+
+use common::cases;
+use intelliqos_core::{ManagementMode, ScenarioConfig, World};
+use intelliqos_simkern::{SimDuration, SimTime};
+
+/// Grace past the horizon for pending human pipelines to finish. The
+/// worst case is a latent weekend fault (~25 h detection) plus
+/// escalation, paging, and a complex repair — under three days; a week
+/// leaves margin for pile-ups.
+const GRACE: SimDuration = SimDuration::from_days(7);
+
+#[test]
+fn random_fault_tapes_settle_without_violations_or_leaks() {
+    cases(8, |g| {
+        let seed = g.u64_in(0, 1 << 40);
+        let mode = *g.choose(&[ManagementMode::ManualOps, ManagementMode::Intelliagents]);
+        let days = g.u64_in(2, 6);
+        let mut cfg = ScenarioConfig::small(seed, mode);
+        cfg.horizon = SimDuration::from_days(days);
+        let horizon = SimTime::ZERO + cfg.horizon;
+
+        let mut world = World::build(cfg);
+        world.run_until(horizon + GRACE);
+
+        let violations = world.ledger.lifecycle_violations();
+        assert!(
+            violations.is_empty(),
+            "seed={seed} mode={mode:?} days={days}: {violations:?}"
+        );
+        let open = world.ledger.open_incidents();
+        assert!(
+            open.is_empty(),
+            "seed={seed} mode={mode:?} days={days}: {} incidents still open \
+             {GRACE:?} past the horizon: {:?}",
+            open.len(),
+            open.iter().map(|i| i.id).collect::<Vec<_>>()
+        );
+        // Closed incidents all carry a non-empty attempt history ending
+        // in the resolving attempt.
+        for inc in world.ledger.incidents() {
+            assert!(
+                inc.attempts().last().is_some_and(|a| a.resolved),
+                "seed={seed}: {} closed without a resolving attempt",
+                inc.id
+            );
+        }
+    });
+}
