@@ -67,6 +67,57 @@ fn check_profile(profile: &JsonValue) -> Vec<String> {
     bad
 }
 
+/// Structural checks on an `ontology_check` report document. Returns
+/// the list of complaints (empty = good).
+fn check_ontology_report(doc: &JsonValue) -> Vec<String> {
+    let mut bad = Vec::new();
+    let scenarios = match doc.get("scenarios").and_then(|v| v.as_arr()) {
+        Some(s) if !s.is_empty() => s,
+        _ => {
+            bad.push("scenarios missing or empty".to_string());
+            return bad;
+        }
+    };
+    let mut per_scenario_total = 0u64;
+    for s in scenarios {
+        if s.get("scenario").and_then(|v| v.as_str()).is_none() {
+            bad.push("scenarios entry lacks a scenario name".to_string());
+        }
+        match s.get("findings").and_then(|v| v.as_u64()) {
+            Some(n) => per_scenario_total += n,
+            None => bad.push("scenarios entry lacks a findings count".to_string()),
+        }
+    }
+    let findings = doc.get("findings").and_then(|v| v.as_u64());
+    if findings != Some(per_scenario_total) {
+        bad.push(format!(
+            "findings total {findings:?} disagrees with per-scenario sum {per_scenario_total}"
+        ));
+    }
+    match doc.get("diagnostics").and_then(|v| v.as_arr()) {
+        Some(diags) => {
+            if Some(diags.len() as u64) != findings {
+                bad.push(format!(
+                    "diagnostics array has {} entries, findings says {findings:?}",
+                    diags.len()
+                ));
+            }
+            for d in diags {
+                let complete = d.get("rule").and_then(|v| v.as_str()).is_some()
+                    && d.get("severity").and_then(|v| v.as_str()).is_some()
+                    && d.get("location").and_then(|v| v.as_str()).is_some()
+                    && d.get("message").and_then(|v| v.as_str()).is_some();
+                if !complete {
+                    bad.push("diagnostics entry lacks rule/severity/location/message".to_string());
+                    break;
+                }
+            }
+        }
+        None => bad.push("diagnostics array missing".to_string()),
+    }
+    bad
+}
+
 fn check_file(path: &PathBuf) -> Vec<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -76,7 +127,11 @@ fn check_file(path: &PathBuf) -> Vec<String> {
         Ok(d) => d,
         Err(e) => return vec![format!("invalid JSON: {e}")],
     };
-    // Run exports carry a profile section; sample evidence does not.
+    // Ontology reports announce themselves; run exports carry a
+    // profile section; sample evidence needs only to parse.
+    if doc.get("report").and_then(|v| v.as_str()) == Some("ontology_check") {
+        return check_ontology_report(&doc);
+    }
     match doc.get("profile") {
         Some(profile) => check_profile(profile),
         None => Vec::new(),

@@ -1,0 +1,105 @@
+//! ONTOLOGY-CHECK — standalone site-ontology validation gate.
+//!
+//! Runs the qoslint ontology pass (startup-sequence cycles, duplicate
+//! ports on co-hosted services, dangling references, ISSL caps, DGSPL
+//! schema) over the site ontologies the shipped scenario presets
+//! materialise, exactly as `World::try_build` does at construction
+//! time. CI runs this so an ontology regression is caught even by jobs
+//! that never construct a full world.
+//!
+//! ```text
+//! cargo run --release -p intelliqos-bench --bin ontology_check [--seed N] [--no-evidence]
+//! ```
+//!
+//! Writes a machine-readable report to
+//! `results/evidence/ontology_check_site.json` (validated by
+//! `evidence_check`). Exit status: 0 when every preset's ontology is
+//! clean; 1 when any rule fires.
+
+use intelliqos_bench::write_evidence_json;
+use intelliqos_core::{ManagementMode, ScenarioConfig, World};
+use intelliqos_qoslint::diag::{render_report, Diagnostic};
+
+/// Build one preset's world and collect its ontology diagnostics (via
+/// the same gate `World::build` applies).
+fn check_preset(cfg: ScenarioConfig) -> Vec<Diagnostic> {
+    match World::try_build(cfg) {
+        Ok(world) => world.ontology_diagnostics(), // empty by construction
+        Err(err) => err.diags,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 11u64;
+    let mut evidence = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                i += 1;
+                seed = args[i].parse().unwrap_or(seed);
+            }
+            "--no-evidence" => evidence = false,
+            other => {
+                eprintln!("ontology_check: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let presets = [
+        (
+            "small_manual",
+            ScenarioConfig::small(seed, ManagementMode::ManualOps),
+        ),
+        (
+            "small_agents",
+            ScenarioConfig::small(seed, ManagementMode::Intelliagents),
+        ),
+        (
+            "financial_site",
+            ScenarioConfig::financial_site(seed, ManagementMode::Intelliagents),
+        ),
+    ];
+
+    let mut findings = 0usize;
+    let mut scenario_rows = Vec::new();
+    let mut finding_rows = Vec::new();
+    for (name, cfg) in presets {
+        let diags = check_preset(cfg);
+        if diags.is_empty() {
+            println!("ok   {name}");
+        } else {
+            println!("FAIL {name}: {} ontology finding(s)", diags.len());
+            print!("{}", render_report(&diags));
+        }
+        scenario_rows.push(format!(
+            "{{\"scenario\": \"{name}\", \"findings\": {}}}",
+            diags.len()
+        ));
+        finding_rows.extend(diags.iter().map(|d| d.to_json()));
+        findings += diags.len();
+    }
+
+    if evidence {
+        let json = format!(
+            "{{\n  \"report\": \"ontology_check\",\n  \"seed\": {seed},\n  \
+             \"findings\": {findings},\n  \"scenarios\": [{}],\n  \"diagnostics\": [{}]\n}}\n",
+            scenario_rows.join(", "),
+            finding_rows.join(", ")
+        );
+        match write_evidence_json("ontology_check", "site", &json) {
+            Ok(path) => println!("evidence: {}", path.display()),
+            Err(e) => {
+                eprintln!("evidence FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if findings > 0 {
+        std::process::exit(1);
+    }
+}

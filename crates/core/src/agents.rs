@@ -200,6 +200,7 @@ pub fn run_service_agent(
     let mut worst: Option<FlagOutcome> = None;
     for id in ids {
         let probe_result = {
+            // qoslint::allow(no-panic, id came from this registry's own listing one event ago)
             let svc = registry.get(id).expect("listed id exists");
             probe(svc, server, rng)
         };
@@ -213,6 +214,7 @@ pub fn run_service_agent(
             ProbeResult::QueryError => "query-error",
         };
         let (name, status, mount_missing) = {
+            // qoslint::allow(no-panic, id came from this registry's own listing one event ago)
             let svc = registry.get(id).expect("listed id exists");
             let missing_mount = svc
                 .spec
@@ -234,6 +236,7 @@ pub fn run_service_agent(
             let mut facts = FactBase::new();
             facts.assert_fact("probe", probe_text);
             let missing = {
+                // qoslint::allow(no-panic, id came from this registry's own listing one event ago)
                 let svc = registry.get(id).expect("listed id exists");
                 svc.process_mismatches(server).len() as f64
             };
@@ -254,6 +257,7 @@ pub fn run_service_agent(
                                 server.fs.set_mounted(m, true);
                             }
                             RepairAction::RestartService(_) => {
+                                // qoslint::allow(no-panic, repair actions only name ids the diagnosis pass just resolved)
                                 let svc = registry.get_mut(id).expect("id exists");
                                 // A hung instance must be stopped first.
                                 if svc.status == ServiceStatus::Hung {
@@ -264,6 +268,7 @@ pub fn run_service_agent(
                                 }
                             }
                             RepairAction::BounceService(_) => {
+                                // qoslint::allow(no-panic, repair actions only name ids the diagnosis pass just resolved)
                                 let svc = registry.get_mut(id).expect("id exists");
                                 svc.stop(server);
                                 if let Ok(ready) = svc.start(server, now) {
@@ -271,6 +276,7 @@ pub fn run_service_agent(
                                 }
                             }
                             RepairAction::RestoreService(_) => {
+                                // qoslint::allow(no-panic, repair actions only name ids the diagnosis pass just resolved)
                                 let svc = registry.get_mut(id).expect("id exists");
                                 svc.restore();
                                 if let Ok(ready) = svc.start(server, now) {

@@ -58,4 +58,4 @@ pub use notify::{Channel, Notification, NotificationBus, Severity};
 pub use profile::ProfileReport;
 pub use resched::DgsplSelector;
 pub use scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
-pub use world::{run_scenario, World, WorldEvent};
+pub use world::{run_scenario, OntologyError, World, WorldEvent};

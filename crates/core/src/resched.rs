@@ -58,6 +58,11 @@ impl DgsplSelector {
         self.dgspl = dgspl;
     }
 
+    /// The DGSPL snapshot currently driving selection.
+    pub fn current(&self) -> &Dgspl {
+        &self.dgspl
+    }
+
     /// Set the SLKT power floor for resubmitting work off a failed
     /// server.
     pub fn set_replacement_floor(&mut self, model: impl Into<String>, power: f64, ram_gb: u32) {

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use intelliqos_cluster::faults::{FaultCategory, FaultRates};
 use intelliqos_lsf::workload::WorkloadConfig;
+use intelliqos_services::spec::ServiceSpec;
 use intelliqos_simkern::{SimDuration, YEAR};
 
 use crate::agents::AgentParts;
@@ -78,6 +79,13 @@ pub struct ScenarioConfig {
     pub agent_parts: AgentParts,
     /// Resubmission policy (T-RESCHED compares these).
     pub resched: ReschedPolicy,
+    /// Additional services deployed after the standard tiers, as
+    /// `(hostname, spec)` pairs. This is how scenario authors model
+    /// site-specific daemons — and how the ontology-checker tests seed
+    /// deliberately broken topologies (dependency cycles, duplicate
+    /// ports, dangling references) that [`crate::world::World`] must
+    /// refuse to construct.
+    pub extra_services: Vec<(String, ServiceSpec)>,
 }
 
 impl ScenarioConfig {
@@ -105,6 +113,7 @@ impl ScenarioConfig {
             workload: WorkloadConfig::default(),
             agent_parts: AgentParts::all(),
             resched: ReschedPolicy::Dgspl,
+            extra_services: Vec::new(),
         }
     }
 

@@ -7,6 +7,7 @@
 //! "year after" — the exogenous fault tape and the analyst workload tape
 //! are bit-identical between the two, so the comparison is paired.
 
+// qoslint::allow-file(no-panic, world construction and event dispatch treat broken cross-references as fatal bugs: every expect names a structural invariant and failing fast beats simulating a corrupt site)
 use std::collections::{BTreeMap, BTreeSet};
 
 use intelliqos_simkern::{
@@ -33,6 +34,8 @@ use intelliqos_lsf::select::{
 use intelliqos_lsf::workload::{Arrival, WorkloadGenerator};
 
 use intelliqos_ontology::dgspl::Dgspl;
+use intelliqos_qoslint::ontology::{check_site, SiteOntology};
+use intelliqos_qoslint::{diag::render_report, Diagnostic};
 
 use intelliqos_services::distributed::{DistributedApp, E2eResult};
 use intelliqos_services::instance::{ServiceId, ServiceStatus};
@@ -191,6 +194,27 @@ enum RepairPower {
     Blind,
 }
 
+/// An invalid site ontology, carrying every rule violation found. The
+/// `Display` form is the full rustc-style report, so `World::build`'s
+/// fail-fast panic names each rule, location, and fix hint.
+#[derive(Debug)]
+pub struct OntologyError {
+    /// The individual rule violations.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid site ontology — refusing to construct the world\n{}",
+            render_report(&self.diags)
+        )
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
 /// The full simulated datacenter.
 pub struct World {
     /// Configuration the world was built from.
@@ -260,7 +284,24 @@ pub struct World {
 impl World {
     /// Build the datacenter from a configuration. Everything is
     /// deterministic in `(cfg, cfg.seed)`.
+    ///
+    /// Fail-fast wrapper around [`World::try_build`]: an ontology that
+    /// violates a site constraint (startup-sequence cycle, duplicate
+    /// port on a co-hosted pair, dangling dependency, …) panics with
+    /// the full rustc-style diagnostic report naming each rule, rather
+    /// than simulating a site that could never boot.
     pub fn build(cfg: ScenarioConfig) -> World {
+        match World::try_build(cfg) {
+            Ok(world) => world,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Build the datacenter, returning the ontology diagnostics instead
+    /// of constructing when the implied site ontology is invalid. The
+    /// check runs on the exact SLKT/ISSL set that `install_ontologies`
+    /// materialises, before any service is started.
+    pub fn try_build(cfg: ScenarioConfig) -> Result<World, OntologyError> {
         let seed = cfg.seed;
         let site = Site::new("London", "LDN-DC1");
         let mut servers: BTreeMap<ServerId, Server> = BTreeMap::new();
@@ -366,6 +407,16 @@ impl World {
                 id,
             );
             fe_service_of.insert(id, svc);
+        }
+
+        // Scenario-author extras: site-specific daemons deployed on
+        // existing hosts after the standard tiers. The ontology gate
+        // below vets whatever topology these create.
+        for (hostname, spec) in &cfg.extra_services {
+            let id = *host_ids
+                .get(hostname)
+                .expect("extra_services names a host allocated by the standard tiers");
+            registry.deploy(spec.clone(), id);
         }
 
         // Admin HA pair (kept off the fault-target lists, as dedicated
@@ -488,9 +539,33 @@ impl World {
             public_segs: vec![pub1, pub2],
         };
         world.install_ontologies();
+        let diags = world.ontology_diagnostics();
+        if !diags.is_empty() {
+            return Err(OntologyError { diags });
+        }
         world.bring_up_services();
         world.schedule_tapes();
-        world
+        Ok(world)
+    }
+
+    /// Run the qoslint ontology pass over this world's materialised
+    /// site ontology: the per-server SLKTs, the ISSL chunks, and the
+    /// current DGSPL (skipped until the first regeneration — an empty
+    /// DGSPL is the documented pre-boot state, not a violation). Empty
+    /// result = valid site.
+    pub fn ontology_diagnostics(&self) -> Vec<Diagnostic> {
+        let slkts: Vec<_> = self
+            .servers
+            .values()
+            .map(|s| ontogen::generate_slkt(s, &self.registry))
+            .collect();
+        let issls = ontogen::generate_issls(self.servers.values(), &self.registry);
+        let dgspl = self.dgspl_selector.current();
+        check_site(&SiteOntology {
+            slkts: &slkts,
+            issls: &issls,
+            dgspl: (!dgspl.entries.is_empty()).then_some(dgspl),
+        })
     }
 
     /// Materialise the static ontologies at install time: per-server

@@ -1,0 +1,5 @@
+// Fixture: a reasonless suppression — the target is silenced, but the
+// missing reason is itself exactly one bad-suppression finding.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // qoslint::allow(no-panic)
+}

@@ -1,0 +1,4 @@
+// Fixture: exactly one no-panic finding.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+// Fixture: exactly one thread-spawn finding.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,8 @@
+// Fixture: exactly one unordered-collections finding.
+pub fn tally(xs: &[&str]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for x in xs {
+        *seen.entry(*x).or_insert(0usize) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,5 @@
+// Fixture: exactly one wall-clock finding.
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,25 @@
+// Fixture: determinism-clean code — ordered collections, no wall
+// clock, panics only inside the test module (exempt by rule).
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[&str]) -> BTreeMap<String, usize> {
+    let mut seen = BTreeMap::new();
+    for x in xs {
+        *seen.entry(x.to_string()).or_insert(0usize) += 1;
+    }
+    seen
+}
+
+// Mentioning HashMap or Instant in a comment (or "in a string") is fine.
+pub const NOTE: &str = "HashMap and Instant are banned in code, not prose";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies() {
+        let t = tally(&["a", "b", "a"]);
+        assert_eq!(*t.get("a").unwrap(), 2);
+    }
+}

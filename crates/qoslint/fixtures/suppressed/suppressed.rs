@@ -1,0 +1,18 @@
+// Fixture: every hazard carries a reasoned suppression — zero findings.
+// qoslint::allow-file(wall-clock, fixture models a sanctioned measurement shim)
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    // qoslint::allow(no-panic, callers guarantee a non-empty slice)
+    *xs.first().unwrap()
+}
+
+pub fn scratch_set(xs: &[u32]) -> usize {
+    // qoslint::allow(unordered-collections, local scratch set whose order never escapes)
+    let seen: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

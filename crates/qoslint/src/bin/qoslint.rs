@@ -1,0 +1,92 @@
+//! QOSLINT — the determinism lint over the workspace sources.
+//!
+//! ```text
+//! cargo run -q -p intelliqos-qoslint --bin qoslint [--rules] [PATH ...]
+//! ```
+//!
+//! With no paths, scans the determinism-critical crates —
+//! `crates/core/src` and `crates/simkern/src` — exactly as
+//! `scripts/ci.sh` does. Any unsuppressed finding exits 1. `--rules`
+//! prints the rule catalogue and exits.
+//!
+//! Paths may be files or directories (searched recursively for `.rs`,
+//! in sorted order so output is stable).
+
+use std::path::{Path, PathBuf};
+
+use intelliqos_qoslint::diag::render_report;
+use intelliqos_qoslint::rules::{render_catalogue, scan_source};
+use intelliqos_qoslint::Diagnostic;
+
+/// The default scan scope: the two crates whose determinism the
+/// sharded-run roadmap leans on.
+const DEFAULT_ROOTS: [&str; 2] = ["crates/core/src", "crates/simkern/src"];
+
+fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        eprintln!("qoslint: cannot read {}", path.display());
+        std::process::exit(2);
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        collect_rs(&child, out);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        print!("{}", render_catalogue());
+        return;
+    }
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        DEFAULT_ROOTS.iter().map(PathBuf::from).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if !root.exists() {
+            eprintln!(
+                "qoslint: {} does not exist (run from the workspace root)",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+        collect_rs(root, &mut files);
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => diags.extend(scan_source(&file.display().to_string(), &text)),
+            Err(e) => {
+                eprintln!("qoslint: cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if diags.is_empty() {
+        println!(
+            "qoslint: {} file(s) clean ({})",
+            files.len(),
+            roots
+                .iter()
+                .map(|r| r.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return;
+    }
+    print!("{}", render_report(&diags));
+    std::process::exit(1);
+}

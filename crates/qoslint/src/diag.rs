@@ -1,0 +1,179 @@
+//! The shared diagnostics type both lint front-ends emit.
+//!
+//! A [`Diagnostic`] carries a stable rule id, a severity, a location
+//! (either `file:line:col` for source findings or a structural path
+//! like `slkt://db000/trades-db-000` for ontology findings), the
+//! message, and a fix hint. Rendering follows rustc's shape so the
+//! output drops into editors and CI logs that already understand it:
+//!
+//! ```text
+//! error[unordered-collections]: std::collections::HashSet in simulation state
+//!   --> crates/simkern/src/events.rs:69:11
+//!   = hint: use BTreeSet/BTreeMap so iteration order is deterministic
+//! ```
+
+use std::fmt;
+
+/// How bad a finding is. Both severities gate CI; the distinction is
+/// for readers triaging a long report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/robustness hazard (e.g. a panic path in library code).
+    Warning,
+    /// Correctness hazard (e.g. nondeterministic iteration order).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding from either front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `wall-clock` or `startup-cycle`.
+    pub rule: &'static str,
+    /// Severity (both levels gate CI).
+    pub severity: Severity,
+    /// Source file or structural path the finding anchors to.
+    pub location: String,
+    /// 1-based line (0 = not line-addressable, e.g. ontology findings).
+    pub line: usize,
+    /// 1-based column (0 = not column-addressable).
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Render rustc-style (two or three lines).
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.rule, self.message);
+        if self.line > 0 {
+            out.push_str(&format!(
+                "  --> {}:{}:{}\n",
+                self.location,
+                self.line,
+                self.col.max(1)
+            ));
+        } else {
+            out.push_str(&format!("  --> {}\n", self.location));
+        }
+        if !self.hint.is_empty() {
+            out.push_str(&format!("  = hint: {}\n", self.hint));
+        }
+        out
+    }
+
+    /// Serialise as a JSON object (hand-rolled; the workspace carries
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\": {}, \"severity\": {}, \"location\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.location),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.hint),
+        )
+    }
+}
+
+/// Render a batch of diagnostics followed by a one-line summary.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "qoslint: {} finding(s) ({errors} error(s), {warnings} warning(s))\n",
+        diags.len()
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (mirrors `core::downtime::json_str`,
+/// re-implemented here because qoslint sits below `core`).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "wall-clock",
+            severity: Severity::Error,
+            location: "crates/simkern/src/x.rs".into(),
+            line: 12,
+            col: 5,
+            message: "std::time::Instant outside the metrics clock shim".into(),
+            hint: "route wall-clock reads through simkern::metrics".into(),
+        }
+    }
+
+    #[test]
+    fn renders_rustc_style() {
+        let r = sample().render();
+        assert!(r.starts_with("error[wall-clock]:"));
+        assert!(r.contains("--> crates/simkern/src/x.rs:12:5"));
+        assert!(r.contains("= hint:"));
+    }
+
+    #[test]
+    fn structural_locations_omit_line() {
+        let mut d = sample();
+        d.line = 0;
+        d.location = "slkt://db000/trades-db-000".into();
+        let r = d.render();
+        assert!(r.contains("--> slkt://db000/trades-db-000\n"));
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut w = sample();
+        w.severity = Severity::Warning;
+        let out = render_report(&[sample(), w]);
+        assert!(out.contains("2 finding(s) (1 error(s), 1 warning(s))"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let d = sample();
+        let j = d.to_json();
+        assert!(j.contains("\"rule\": \"wall-clock\""));
+        assert!(j.contains("\"line\": 12"));
+    }
+}

@@ -1,0 +1,409 @@
+//! A lightweight Rust lexer for the determinism lint.
+//!
+//! This is not a parser: the rules only need to know, per line, **what
+//! is code** (as opposed to comment, string-literal, or char-literal
+//! content), whether the line sits inside a `#[cfg(test)]` item, and
+//! which `qoslint::allow` suppression comments are in force. The lexer
+//! produces exactly that — a per-line *code shadow* where comment and
+//! literal contents are blanked with spaces (columns are preserved so
+//! findings stay clickable), plus the parsed suppression list.
+//!
+//! Handled: line comments (incl. doc comments), nested block comments,
+//! string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any
+//! hash depth, `b`-prefixed forms), char literals vs. lifetimes, and
+//! multi-line literals/comments. That covers everything the rule
+//! patterns can trip over in this workspace.
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comment and literal contents blanked (delimiters
+    /// kept, columns preserved).
+    pub code: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// One parsed `qoslint::allow(...)` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment sits on (1-based).
+    pub line: usize,
+    /// Line the suppression applies to: the same line for trailing
+    /// comments, the next code line for comments on their own line.
+    /// Irrelevant for `file_scope` suppressions.
+    pub applies_to: usize,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The mandatory reason string (empty = malformed, itself a
+    /// finding).
+    pub reason: String,
+    /// True for `qoslint::allow-file(...)`, which covers the whole file.
+    pub file_scope: bool,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// Path as given to [`lex`] (used verbatim in diagnostics).
+    pub path: String,
+    /// All lines, in order.
+    pub lines: Vec<SourceLine>,
+    /// All suppression comments found.
+    pub suppressions: Vec<Suppression>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lex one file into its code shadow + suppressions.
+pub fn lex(path: &str, text: &str) -> LexedFile {
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut comments: Vec<(usize, String)> = Vec::new(); // (line, comment text)
+    let mut state = State::Code;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let number = idx + 1;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment_text = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            match state {
+                State::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: capture text, blank the rest.
+                        let text: String = chars[i..].iter().collect();
+                        comment_text.push_str(&text);
+                        for _ in i..chars.len() {
+                            code.push(' ');
+                        }
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_open(&chars, i) {
+                        // r"…" / r#"…"# / br##"…"## — skip prefix + quote.
+                        let prefix = prefix_len(&chars, i) + hashes as usize + 1;
+                        for _ in 0..prefix {
+                            code.push(' ');
+                        }
+                        state = State::RawStr(hashes);
+                        i += prefix;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..(j + 1).min(chars.len()) {
+                                code.push(' ');
+                            }
+                            i = (j + 1).min(chars.len());
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("   ");
+                            i += 3;
+                        } else {
+                            // A lifetime: keep as code.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        let d = depth - 1;
+                        state = if d == 0 {
+                            State::Code
+                        } else {
+                            State::BlockComment(d)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment_text.push(chars[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !comment_text.is_empty() {
+            comments.push((number, comment_text));
+        }
+        lines.push(SourceLine {
+            number,
+            code,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+    let suppressions = parse_suppressions(&comments, &lines);
+    LexedFile {
+        path: path.to_string(),
+        lines,
+        suppressions,
+    }
+}
+
+/// Length of the `r` / `b` / `br` prefix of a raw string starting at
+/// `i`, assuming [`raw_string_open`] matched there.
+fn prefix_len(chars: &[char], i: usize) -> usize {
+    if chars[i] == 'b' {
+        2
+    } else {
+        1
+    }
+}
+
+/// Does a raw string literal open at position `i`? Returns the hash
+/// count if so. Guards against identifiers ending in `r` (e.g. `var"`,
+/// which is not valid Rust anyway) by requiring the previous char not
+/// be alphanumeric.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let prev_ok = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    if !prev_ok {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Does the `"` at position `i` close a raw string with `hashes` hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Mark every line inside a `#[cfg(test)]` item by tracking brace depth
+/// across the code shadows.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut depth: i64 = 0;
+    let mut test_stack: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+    for line in lines.iter_mut() {
+        if !test_stack.is_empty() || pending_attr {
+            line.in_test = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        test_stack.push(depth);
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_attr && test_stack.is_empty() => {
+                    // `#[cfg(test)] use …;` — attribute consumed with no
+                    // block to cover.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        if !test_stack.is_empty() {
+            line.in_test = true;
+        }
+    }
+}
+
+/// Parse `qoslint::allow(rule, reason)` / `qoslint::allow-file(rule,
+/// reason)` out of the collected comment texts.
+fn parse_suppressions(comments: &[(usize, String)], lines: &[SourceLine]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (line_no, text) in comments {
+        for (marker, file_scope) in [("qoslint::allow-file(", true), ("qoslint::allow(", false)] {
+            let mut rest = text.as_str();
+            // `allow-file(` never matches the `allow(` pattern (the
+            // hyphen breaks it), so the two passes cannot double-count.
+            while let Some(pos) = rest.find(marker) {
+                let after = &rest[pos + marker.len()..];
+                let close = after.rfind(')').unwrap_or(after.len());
+                let inner = &after[..close];
+                let (rule, reason) = match inner.split_once(',') {
+                    Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+                    None => (inner.trim().to_string(), String::new()),
+                };
+                out.push(Suppression {
+                    line: *line_no,
+                    applies_to: applies_to(*line_no, lines),
+                    rule,
+                    reason,
+                    file_scope,
+                });
+                rest = &after[close.min(after.len())..];
+            }
+        }
+    }
+    out
+}
+
+/// The line a line-scoped suppression targets: its own line when code
+/// shares it, otherwise the next line carrying code.
+fn applies_to(line_no: usize, lines: &[SourceLine]) -> usize {
+    let own = lines
+        .get(line_no - 1)
+        .map(|l| l.code.trim().is_empty())
+        .unwrap_or(false);
+    if !own {
+        return line_no;
+    }
+    lines
+        .iter()
+        .skip(line_no) // lines after the comment line
+        .find(|l| !l.code.trim().is_empty())
+        .map(|l| l.number)
+        .unwrap_or(line_no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = lex(
+            "t.rs",
+            "let x = \"HashMap inside string\"; // HashMap in comment\nlet y = 1; /* Instant */",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x = \""));
+        assert!(!f.lines[1].code.contains("Instant"));
+    }
+
+    #[test]
+    fn multiline_block_comments_and_raw_strings() {
+        let src = "/* spans\nInstant::now()\n*/ let a = r#\"SystemTime\nHashMap\"#;\nlet b = 2;";
+        let f = lex("t.rs", src);
+        let all: String = f.lines.iter().map(|l| l.code.as_str()).collect();
+        assert!(!all.contains("Instant"));
+        assert!(!all.contains("SystemTime"));
+        assert!(!all.contains("HashMap"));
+        assert!(f.lines[4].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = lex(
+            "t.rs",
+            "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }",
+        );
+        // The lifetime survives; the char literals are blanked and do
+        // not open a string state.
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(f.lines[0].code.contains("let d ="));
+        assert!(!f.lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = lex("t.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "region must close with the brace");
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_poison_rest_of_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}";
+        let f = lex("t.rs", src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn suppressions_parse_with_scope_and_target() {
+        let src = "// qoslint::allow-file(wall-clock, sanctioned shim)\nlet a = 1; // qoslint::allow(no-panic, init invariant)\n// qoslint::allow(thread-spawn, next line)\nlet b = 2;\n// qoslint::allow(no-panic)";
+        let f = lex("t.rs", src);
+        assert_eq!(f.suppressions.len(), 4);
+        assert!(f.suppressions[0].file_scope);
+        assert_eq!(f.suppressions[0].rule, "wall-clock");
+        assert_eq!(f.suppressions[0].reason, "sanctioned shim");
+        assert_eq!(f.suppressions[1].applies_to, 2);
+        assert_eq!(
+            f.suppressions[2].applies_to, 4,
+            "own-line targets next code line"
+        );
+        assert_eq!(
+            f.suppressions[3].reason, "",
+            "missing reason surfaces as empty"
+        );
+    }
+}

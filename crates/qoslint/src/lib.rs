@@ -1,0 +1,40 @@
+//! # intelliqos-qoslint
+//!
+//! In-tree static analysis for the intelliqos workspace, two front-ends
+//! over one diagnostics type:
+//!
+//! * [`rules`] — the **determinism lint**: a lightweight Rust lexer
+//!   ([`lexer`]) plus a rule engine that scans `crates/core` and
+//!   `crates/simkern` sources for nondeterminism hazards *before* they
+//!   reach a run — wall-clock reads outside the metrics shim, unordered
+//!   `std` collections whose iteration order can leak into exported
+//!   JSON or traces, unsanctioned thread spawns, and panic paths
+//!   (`unwrap`/`expect`) in non-test library code. Findings are
+//!   suppressible in place with `// qoslint::allow(rule, reason)`; a
+//!   suppression without a reason is itself a finding.
+//! * [`ontology`] — the **ontology constraint checker**: a library pass
+//!   over parsed SLKT/ISSL/DGSPL structures that rejects
+//!   startup-sequence dependency cycles, duplicate port claims across
+//!   co-hosted services, dangling dependency / service / process-name
+//!   references, ISSL lists over the paper's 200-entry cap, and DGSPL
+//!   schema violations. `intelliqos_core::World` runs it at
+//!   construction time (fail-fast), and the `ontology_check` bench
+//!   binary runs it standalone over the shipped scenarios.
+//!
+//! Both front-ends emit [`diag::Diagnostic`]s (rule id, severity,
+//! location, message, fix hint) rendered rustc-style, and both are
+//! wired into `scripts/ci.sh`, which fails on any unsuppressed finding.
+//!
+//! The crate depends only on `intelliqos-ontology` (for the parsed
+//! structure types), so every layer above — including `core` — can call
+//! it without a dependency cycle, matching the repo's offline, no
+//! external-crate discipline.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod ontology;
+pub mod rules;
+
+pub use diag::{Diagnostic, Severity};

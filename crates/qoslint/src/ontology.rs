@@ -1,0 +1,596 @@
+//! Ontology constraint checking (lint front-end 2).
+//!
+//! The intelliagents reason causally over the static ontologies — SLKT
+//! templates, ISSL bootstrap lists, and regenerated DGSPLs — so a
+//! malformed ontology does not fail loudly: a cyclic startup ordering
+//! just never converges, a duplicate port claim turns into phantom
+//! connectivity diagnoses, a dangling dependency into an agent that
+//! waits forever. Following Dearle et al.'s constraint-based deployment
+//! argument (arXiv:1006.4730), these constraints are checked **before**
+//! the world runs:
+//!
+//! | rule | flags |
+//! |------|-------|
+//! | `startup-cycle` | dependency cycles in the site-wide service graph (cycle printed) |
+//! | `duplicate-port` | two co-hosted apps claiming the same nonzero port |
+//! | `dangling-dependency` | `depends_on` naming a service no SLKT provides |
+//! | `dangling-service` | ISSL entries referencing services/hosts absent from the SLKTs |
+//! | `dangling-process` | empty, duplicated, or zero-count process expectations |
+//! | `issl-overflow` | an ISSL over the paper's 200-entry cap (§3.1) |
+//! | `dgspl-schema` | malformed DGSPL entries (empty names, NaN/negative load, zero hardware, duplicates) |
+//!
+//! `intelliqos_core::World` runs [`check_site`] at construction and
+//! refuses to build on any finding; the `ontology_check` bench binary
+//! runs the same pass standalone and drops a report under
+//! `results/evidence/`.
+
+use std::collections::BTreeMap;
+
+use intelliqos_ontology::dgspl::Dgspl;
+use intelliqos_ontology::issl::{Issl, IsslEntry, ISSL_MAX_ENTRIES};
+use intelliqos_ontology::slkt::Slkt;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Everything the site-level check looks at. The DGSPL is optional
+/// because none exists yet at world-construction time.
+pub struct SiteOntology<'a> {
+    /// One SLKT per server.
+    pub slkts: &'a [Slkt],
+    /// The ISSL chunks from the admin shared pool.
+    pub issls: &'a [Issl],
+    /// The latest regenerated DGSPL, when one exists.
+    pub dgspl: Option<&'a Dgspl>,
+}
+
+/// Run every ontology rule over a site. Empty result = valid.
+pub fn check_site(site: &SiteOntology) -> Vec<Diagnostic> {
+    let mut diags = check_slkts(site.slkts);
+    for (i, issl) in site.issls.iter().enumerate() {
+        diags.extend(check_issl_entries(issl.entries(), &format!("issl_{i}")));
+    }
+    diags.extend(check_issls_against_slkts(site.issls, site.slkts));
+    if let Some(dgspl) = site.dgspl {
+        diags.extend(check_dgspl(dgspl));
+    }
+    diags
+}
+
+fn err(rule: &'static str, location: String, message: String, hint: &str) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        location,
+        line: 0,
+        col: 0,
+        message,
+        hint: hint.to_string(),
+    }
+}
+
+fn slkt_loc(host: &str, app: &str) -> String {
+    format!("slkt://{host}/{app}")
+}
+
+/// SLKT-level rules: startup cycles, duplicate ports, dangling
+/// dependencies, process-expectation anomalies.
+pub fn check_slkts(slkts: &[Slkt]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Site-wide app universe: name → hosting server.
+    let mut host_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for slkt in slkts {
+        for app in &slkt.apps {
+            host_of.insert(&app.name, &slkt.hostname);
+        }
+    }
+
+    // Dangling dependencies + the dependency graph for cycle detection
+    // (edges restricted to resolvable targets so one mistake yields one
+    // finding, not one per rule).
+    let mut graph: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for slkt in slkts {
+        for app in &slkt.apps {
+            let edges = graph.entry(&app.name).or_default();
+            for dep in &app.depends_on {
+                if host_of.contains_key(dep.as_str()) {
+                    edges.push(dep);
+                } else {
+                    diags.push(err(
+                        "dangling-dependency",
+                        slkt_loc(&slkt.hostname, &app.name),
+                        format!("'{}' depends on '{dep}', which no SLKT provides", app.name),
+                        "every depends_on target must be an app in some server's SLKT; \
+                         fix the name or deploy the missing service",
+                    ));
+                }
+            }
+        }
+    }
+    for cycle in find_cycles(&graph) {
+        let head = cycle[0];
+        let host = host_of.get(head).copied().unwrap_or("?");
+        let mut path = cycle.join(" -> ");
+        path.push_str(&format!(" -> {head}"));
+        diags.push(err(
+            "startup-cycle",
+            slkt_loc(host, head),
+            format!("startup-sequence dependency cycle: {path}"),
+            "no startup order satisfies these dependencies; break the cycle so \
+             bring-up and agent restarts can converge",
+        ));
+    }
+
+    // Per-host rules.
+    for slkt in slkts {
+        let mut port_claim: BTreeMap<u16, &str> = BTreeMap::new();
+        for app in &slkt.apps {
+            if app.port != 0 {
+                if let Some(first) = port_claim.get(&app.port) {
+                    diags.push(err(
+                        "duplicate-port",
+                        slkt_loc(&slkt.hostname, &app.name),
+                        format!(
+                            "port {} on {} claimed by both '{first}' and '{}'",
+                            app.port, slkt.hostname, app.name
+                        ),
+                        "co-hosted services must listen on distinct ports; the agents' \
+                         connectivity probes cannot tell these apart",
+                    ));
+                } else {
+                    port_claim.insert(app.port, &app.name);
+                }
+            }
+            diags.extend(check_processes(slkt, app));
+        }
+    }
+    diags
+}
+
+fn check_processes(slkt: &Slkt, app: &intelliqos_ontology::slkt::SlktApp) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let loc = slkt_loc(&slkt.hostname, &app.name);
+    if app.processes.is_empty() {
+        diags.push(err(
+            "dangling-process",
+            loc.clone(),
+            format!("'{}' lists no expected processes", app.name),
+            "the OS agent screens the process table against this list; an empty \
+             list makes the service invisible to diagnosis",
+        ));
+    }
+    let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+    for (name, count) in &app.processes {
+        if *count == 0 {
+            diags.push(err(
+                "dangling-process",
+                loc.clone(),
+                format!("'{}' expects zero instances of process '{name}'", app.name),
+                "a zero count is unobservable; drop the entry or give it a \
+                 positive expected count",
+            ));
+        }
+        if seen.insert(name, ()).is_some() {
+            diags.push(err(
+                "dangling-process",
+                loc.clone(),
+                format!("'{}' lists process '{name}' twice", app.name),
+                "merge the duplicate entries into one expectation with the \
+                 combined count",
+            ));
+        }
+    }
+    diags
+}
+
+/// One ISSL's local rules (the paper's §3.1 200-entry cap, duplicate
+/// hostnames). Operates on a raw entry slice so hand-maintained lists
+/// can be checked before [`Issl`]'s own cap enforcement applies.
+pub fn check_issl_entries(entries: &[IsslEntry], list: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if entries.len() > ISSL_MAX_ENTRIES {
+        diags.push(err(
+            "issl-overflow",
+            format!("issl://{list}"),
+            format!(
+                "{} entries exceed the {ISSL_MAX_ENTRIES}-entry ISSL cap",
+                entries.len()
+            ),
+            "split the list — a site larger than the cap maintains several \
+             ISSLs (§3.1)",
+        ));
+    }
+    let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+    for e in entries {
+        if seen.insert(&e.hostname, ()).is_some() {
+            diags.push(err(
+                "dangling-service",
+                format!("issl://{list}/{}", e.hostname),
+                format!("hostname '{}' appears twice in {list}", e.hostname),
+                "one bootstrap entry per host; merge the service lists",
+            ));
+        }
+    }
+    diags
+}
+
+/// Cross-check: every ISSL reference must be backed by the SLKTs.
+pub fn check_issls_against_slkts(issls: &[Issl], slkts: &[Slkt]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let by_host: BTreeMap<&str, &Slkt> = slkts.iter().map(|s| (s.hostname.as_str(), s)).collect();
+    for (i, issl) in issls.iter().enumerate() {
+        for e in issl.entries() {
+            let loc = format!("issl://issl_{i}/{}", e.hostname);
+            let Some(slkt) = by_host.get(e.hostname.as_str()) else {
+                diags.push(err(
+                    "dangling-service",
+                    loc,
+                    format!("ISSL host '{}' has no SLKT", e.hostname),
+                    "every bootstrap host needs a should-be template; remove the \
+                     entry or install the SLKT",
+                ));
+                continue;
+            };
+            for svc in &e.services {
+                if slkt.app(svc).is_none() {
+                    diags.push(err(
+                        "dangling-service",
+                        loc.clone(),
+                        format!(
+                            "ISSL lists service '{svc}' on '{}', but its SLKT does not",
+                            e.hostname
+                        ),
+                        "the bootstrap list and the template must agree on what \
+                         runs where",
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// DGSPL schema rules: every entry must be usable by the shortlist
+/// ordering ("best choice always first" breaks on NaN loads and empty
+/// names).
+pub fn check_dgspl(dgspl: &Dgspl) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: BTreeMap<(&str, &str), ()> = BTreeMap::new();
+    for (i, e) in dgspl.entries.iter().enumerate() {
+        let loc = format!("dgspl://entry[{i}]/{}", e.hostname);
+        if e.hostname.is_empty() || e.service.is_empty() || e.app_type.is_empty() {
+            diags.push(err(
+                "dgspl-schema",
+                loc.clone(),
+                format!("entry {i} lacks a hostname, service, or app_type"),
+                "regenerate from DLSPs; partial entries cannot be submitted to",
+            ));
+        }
+        if e.load.is_nan() || e.load < 0.0 {
+            diags.push(err(
+                "dgspl-schema",
+                loc.clone(),
+                format!("entry {i} ('{}') has invalid load {}", e.service, e.load),
+                "load scores must be finite and non-negative or the shortlist \
+                 ordering is undefined",
+            ));
+        }
+        if e.cpus == 0 || e.ram_gb == 0 || e.compute_power <= 0.0 || e.compute_power.is_nan() {
+            diags.push(err(
+                "dgspl-schema",
+                loc.clone(),
+                format!(
+                    "entry {i} ('{}') has impossible hardware (cpus={}, ram_gb={}, power={})",
+                    e.service, e.cpus, e.ram_gb, e.compute_power
+                ),
+                "the SLKT equal-or-higher-power replacement ordering needs real \
+                 hardware numbers",
+            ));
+        }
+        if !e.hostname.is_empty() && seen.insert((&e.hostname, &e.service), ()).is_some() {
+            diags.push(err(
+                "dgspl-schema",
+                loc,
+                format!("service '{}' on '{}' appears twice", e.service, e.hostname),
+                "one availability entry per (host, service); deduplicate at \
+                 regeneration",
+            ));
+        }
+    }
+    diags
+}
+
+/// Find elementary cycles in the dependency graph (one representative
+/// path per strongly-cyclic region). Kahn-style: peel nodes with no
+/// unresolved dependencies; whatever remains is cyclic, and a walk
+/// restricted to the remainder recovers a concrete cycle to print.
+fn find_cycles<'a>(graph: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a str>> {
+    // out_deg = unresolved dependency count; peel from the leaves of
+    // the dependency relation upward.
+    let mut deg: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut rev: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (&n, deps) in graph {
+        deg.entry(n).or_insert(0);
+        for &d in deps {
+            *deg.entry(n).or_insert(0) += 1;
+            rev.entry(d).or_default().push(n);
+        }
+    }
+    let mut queue: Vec<&str> = deg
+        .iter()
+        .filter(|(_, &c)| c == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    while let Some(n) = queue.pop() {
+        if let Some(dependants) = rev.get(n) {
+            for &m in dependants {
+                if let Some(c) = deg.get_mut(m) {
+                    *c -= 1;
+                    if *c == 0 {
+                        queue.push(m);
+                    }
+                }
+            }
+        }
+    }
+    let cyclic: BTreeMap<&str, ()> = deg
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(&n, _)| (n, ()))
+        .collect();
+
+    // Walk each unvisited cyclic node until a repeat closes a loop.
+    let mut cycles = Vec::new();
+    let mut visited: BTreeMap<&str, ()> = BTreeMap::new();
+    for &start in cyclic.keys() {
+        if visited.contains_key(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut cur = start;
+        loop {
+            if let Some(pos) = path.iter().position(|&p| p == cur) {
+                let cycle: Vec<&str> = path[pos..].to_vec();
+                for &n in &cycle {
+                    visited.insert(n, ());
+                }
+                cycles.push(cycle);
+                break;
+            }
+            if visited.contains_key(cur) {
+                break; // joined a cycle already reported
+            }
+            visited.insert(cur, ());
+            path.push(cur);
+            // Every cyclic node keeps at least one edge into the cyclic
+            // set; follow the first.
+            match graph
+                .get(cur)
+                .and_then(|deps| deps.iter().find(|d| cyclic.contains_key(**d)))
+            {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intelliqos_ontology::slkt::{SlktApp, SlktHardware};
+
+    fn app(name: &str, port: u16, deps: &[&str]) -> SlktApp {
+        SlktApp {
+            name: name.into(),
+            app_type: "db-oracle".into(),
+            version: "1".into(),
+            binary_path: "/apps/bin".into(),
+            port,
+            processes: vec![(format!("{name}_proc"), 1)],
+            startup_sequence: vec!["start".into()],
+            depends_on: deps.iter().map(|d| d.to_string()).collect(),
+            mounts: vec![],
+            connect_timeout_secs: 30,
+        }
+    }
+
+    fn slkt(host: &str, apps: Vec<SlktApp>) -> Slkt {
+        Slkt {
+            hostname: host.into(),
+            ip: "10.0.0.1".into(),
+            hardware: SlktHardware {
+                model: "Sun-E4500".into(),
+                cpus: 8,
+                ram_gb: 8,
+                disks: 6,
+            },
+            apps,
+        }
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn a_clean_site_passes() {
+        let slkts = vec![
+            slkt("db000", vec![app("db", 1521, &[])]),
+            slkt("fe000", vec![app("fe", 9000, &["db"])]),
+        ];
+        assert!(check_slkts(&slkts).is_empty());
+    }
+
+    #[test]
+    fn startup_cycle_is_found_and_printed() {
+        let slkts = vec![slkt(
+            "h",
+            vec![
+                app("a", 1, &["b"]),
+                app("b", 2, &["c"]),
+                app("c", 3, &["a"]),
+            ],
+        )];
+        let d = check_slkts(&slkts);
+        assert_eq!(rules_of(&d), vec!["startup-cycle"]);
+        assert!(
+            d[0].message.contains("a -> b -> c -> a")
+                || d[0].message.contains("b -> c -> a -> b")
+                || d[0].message.contains("c -> a -> b -> c"),
+            "cycle path printed: {}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let slkts = vec![slkt("h", vec![app("a", 1, &["a"])])];
+        assert_eq!(rules_of(&check_slkts(&slkts)), vec!["startup-cycle"]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_yield_two_findings() {
+        let slkts = vec![slkt(
+            "h",
+            vec![
+                app("a", 1, &["b"]),
+                app("b", 2, &["a"]),
+                app("c", 3, &["d"]),
+                app("d", 4, &["c"]),
+            ],
+        )];
+        let d = check_slkts(&slkts);
+        assert_eq!(rules_of(&d), vec!["startup-cycle", "startup-cycle"]);
+    }
+
+    #[test]
+    fn duplicate_port_only_on_same_host_and_nonzero() {
+        let clash = vec![slkt("h", vec![app("a", 1521, &[]), app("b", 1521, &[])])];
+        assert_eq!(rules_of(&check_slkts(&clash)), vec!["duplicate-port"]);
+        // Same port on different hosts is fine; port 0 means "none".
+        let ok = vec![
+            slkt("h1", vec![app("a", 1521, &[])]),
+            slkt(
+                "h2",
+                vec![app("b", 1521, &[]), app("c", 0, &[]), app("d", 0, &[])],
+            ),
+        ];
+        assert!(check_slkts(&ok).is_empty());
+    }
+
+    #[test]
+    fn dangling_dependency_names_both_sides() {
+        let slkts = vec![slkt("h", vec![app("fe", 9000, &["ghost-db"])])];
+        let d = check_slkts(&slkts);
+        assert_eq!(rules_of(&d), vec!["dangling-dependency"]);
+        assert!(d[0].message.contains("fe") && d[0].message.contains("ghost-db"));
+    }
+
+    #[test]
+    fn process_anomalies_are_flagged() {
+        let mut empty = app("a", 1, &[]);
+        empty.processes.clear();
+        let mut zero = app("b", 2, &[]);
+        zero.processes = vec![("p".into(), 0)];
+        let mut dup = app("c", 3, &[]);
+        dup.processes = vec![("p".into(), 1), ("p".into(), 2)];
+        let d = check_slkts(&[slkt("h", vec![empty, zero, dup])]);
+        assert_eq!(
+            rules_of(&d),
+            vec!["dangling-process", "dangling-process", "dangling-process"]
+        );
+    }
+
+    #[test]
+    fn issl_cap_and_duplicate_hosts() {
+        let entries: Vec<IsslEntry> = (0..201)
+            .map(|i| IsslEntry {
+                hostname: format!("h{i}"),
+                ip: "10.0.0.1".into(),
+                services: vec![],
+            })
+            .collect();
+        let d = check_issl_entries(&entries, "issl_0");
+        assert_eq!(rules_of(&d), vec!["issl-overflow"]);
+        assert!(d[0].message.contains("201"));
+
+        let dup = vec![entries[0].clone(), entries[0].clone()];
+        assert_eq!(
+            rules_of(&check_issl_entries(&dup, "x")),
+            vec!["dangling-service"]
+        );
+    }
+
+    #[test]
+    fn issl_slkt_cross_check() {
+        let slkts = vec![slkt("known", vec![app("svc", 1, &[])])];
+        let mut issl = Issl::new();
+        issl.add(IsslEntry {
+            hostname: "known".into(),
+            ip: "1".into(),
+            services: vec!["svc".into(), "phantom".into()],
+        })
+        .unwrap();
+        issl.add(IsslEntry {
+            hostname: "ghost-host".into(),
+            ip: "2".into(),
+            services: vec![],
+        })
+        .unwrap();
+        let d = check_issls_against_slkts(&[issl], &slkts);
+        assert_eq!(rules_of(&d), vec!["dangling-service", "dangling-service"]);
+    }
+
+    #[test]
+    fn dgspl_schema_violations() {
+        use intelliqos_ontology::dgspl::DgsplEntry;
+        let good = DgsplEntry {
+            hostname: "h".into(),
+            server_type: "Sun-E4500".into(),
+            os: "Solaris".into(),
+            ram_gb: 8,
+            cpus: 8,
+            compute_power: 7.2,
+            app_type: "db-oracle".into(),
+            version: "1".into(),
+            load: 0.5,
+            users: 1,
+            location: "London".into(),
+            site: "LDN".into(),
+            service: "svc".into(),
+        };
+        assert!(check_dgspl(&Dgspl {
+            generated_at_secs: 0,
+            entries: vec![good.clone()]
+        })
+        .is_empty());
+
+        let mut nan_load = good.clone();
+        nan_load.service = "svc-nan".into();
+        nan_load.load = f64::NAN;
+        let mut no_hw = good.clone();
+        no_hw.service = "svc-nohw".into();
+        no_hw.cpus = 0;
+        let dup = good.clone();
+        let dg = Dgspl {
+            generated_at_secs: 0,
+            entries: vec![good, dup, nan_load, no_hw],
+        };
+        let rules = rules_of(&check_dgspl(&dg));
+        assert_eq!(rules.len(), 3);
+        assert!(rules.iter().all(|r| *r == "dgspl-schema"));
+    }
+
+    #[test]
+    fn check_site_composes_all_rules() {
+        let slkts = vec![slkt("h", vec![app("a", 1, &["a"])])];
+        let site = SiteOntology {
+            slkts: &slkts,
+            issls: &[],
+            dgspl: None,
+        };
+        assert_eq!(rules_of(&check_site(&site)), vec!["startup-cycle"]);
+    }
+}

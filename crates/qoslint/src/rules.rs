@@ -1,0 +1,311 @@
+//! The determinism rule engine (lint front-end 1).
+//!
+//! Four source rules plus one suppression-hygiene rule, all tuned to
+//! the hazards that matter for replay determinism and the upcoming
+//! multi-site sharded runs:
+//!
+//! | rule | severity | flags |
+//! |------|----------|-------|
+//! | `wall-clock` | error | `Instant` / `SystemTime` outside the metrics clock shim |
+//! | `unordered-collections` | error | `HashMap` / `HashSet` (iteration order leaks into JSON/trace output) |
+//! | `thread-spawn` | error | `thread::spawn` outside the sanctioned `thread::scope` helper |
+//! | `no-panic` | warning | `.unwrap()` / `.expect(` in non-test library code |
+//! | `bad-suppression` | error | `qoslint::allow` without a reason, or naming an unknown rule |
+//!
+//! Suppress a finding in place with `// qoslint::allow(rule, reason)`
+//! (same line, or alone on the line above), or for a whole file with
+//! `// qoslint::allow-file(rule, reason)`. The reason is mandatory: a
+//! reasonless suppression still silences its target but surfaces as a
+//! `bad-suppression` finding, so the gate stays red until the why is
+//! written down.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, LexedFile, Suppression};
+
+/// Static description of one source rule (drives scanning and the
+/// rendered catalogue).
+pub struct Rule {
+    /// Stable id, used in diagnostics and suppressions.
+    pub id: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Code patterns that trigger the rule.
+    pub patterns: &'static [Pattern],
+    /// One-line description for the catalogue.
+    pub summary: &'static str,
+    /// Fix hint attached to findings.
+    pub hint: &'static str,
+}
+
+/// How a rule pattern matches the code shadow.
+pub enum Pattern {
+    /// Match the text only when not embedded in a larger identifier.
+    Word(&'static str),
+    /// Match the text anywhere in the code.
+    Substr(&'static str),
+}
+
+/// The determinism rule catalogue.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        severity: Severity::Error,
+        patterns: &[Pattern::Word("Instant"), Pattern::Word("SystemTime")],
+        summary: "wall-clock reads outside the metrics clock shim",
+        hint: "derive times from SimTime, or route measurement through the \
+               simkern::metrics profiler (the sanctioned wall-clock shim)",
+    },
+    Rule {
+        id: "unordered-collections",
+        severity: Severity::Error,
+        patterns: &[Pattern::Word("HashMap"), Pattern::Word("HashSet")],
+        summary: "unordered std collections in sim-state or export paths",
+        hint: "use BTreeMap/BTreeSet so iteration order (and thus JSON/trace \
+               output) is deterministic",
+    },
+    Rule {
+        id: "thread-spawn",
+        severity: Severity::Error,
+        patterns: &[Pattern::Substr("thread::spawn")],
+        summary: "unscoped thread creation",
+        hint: "use std::thread::scope so shard threads join deterministically \
+               before their results merge",
+    },
+    Rule {
+        id: "no-panic",
+        severity: Severity::Warning,
+        patterns: &[Pattern::Substr(".unwrap()"), Pattern::Substr(".expect(")],
+        summary: "panic paths in non-test library code",
+        hint: "return a Result or handle the None; if the invariant is real, \
+               keep it and suppress with qoslint::allow(no-panic, why)",
+    },
+];
+
+/// Id of the suppression-hygiene rule (not pattern-driven).
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Is `id` a rule a suppression may name?
+pub fn known_rule(id: &str) -> bool {
+    id == BAD_SUPPRESSION || RULES.iter().any(|r| r.id == id)
+}
+
+/// Scan one file's text. Returns only unsuppressed findings (plus any
+/// suppression-hygiene findings).
+pub fn scan_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    scan_lexed(&lex(path, text))
+}
+
+/// Scan an already-lexed file.
+pub fn scan_lexed(file: &LexedFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Suppression hygiene first: malformed suppressions are findings in
+    // their own right, but well-formed-but-reasonless ones still
+    // silence their target (one finding per mistake, not two).
+    for s in &file.suppressions {
+        if !known_rule(&s.rule) {
+            diags.push(suppression_diag(
+                file,
+                s,
+                format!("suppression names unknown rule '{}'", s.rule),
+            ));
+        } else if s.reason.is_empty() {
+            diags.push(suppression_diag(
+                file,
+                s,
+                format!("qoslint::allow({}) without a reason", s.rule),
+            ));
+        }
+    }
+
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for rule in RULES {
+            for pat in rule.patterns {
+                for col in matches_of(&line.code, pat) {
+                    if suppressed(file, rule.id, line.number) {
+                        continue;
+                    }
+                    diags.push(Diagnostic {
+                        rule: rule.id,
+                        severity: rule.severity,
+                        location: file.path.clone(),
+                        line: line.number,
+                        col: col + 1,
+                        message: format!(
+                            "{}: `{}`",
+                            rule.summary,
+                            pattern_text(pat).trim_end_matches('(')
+                        ),
+                        hint: rule.hint.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn suppression_diag(file: &LexedFile, s: &Suppression, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: BAD_SUPPRESSION,
+        severity: Severity::Error,
+        location: file.path.clone(),
+        line: s.line,
+        col: 1,
+        message,
+        hint: "write qoslint::allow(rule, why-this-is-sound) — the reason is \
+               part of the contract"
+            .to_string(),
+    }
+}
+
+/// Is `rule` suppressed at `line` (by a rule-named file-scope or
+/// line-scope allow)? Reasonless suppressions still count — their
+/// missing reason is reported separately.
+fn suppressed(file: &LexedFile, rule: &str, line: usize) -> bool {
+    file.suppressions
+        .iter()
+        .any(|s| s.rule == rule && (s.file_scope || s.applies_to == line))
+}
+
+fn pattern_text(p: &Pattern) -> &'static str {
+    match p {
+        Pattern::Word(t) | Pattern::Substr(t) => t,
+    }
+}
+
+/// Byte columns (0-based) where `pat` matches `code`.
+fn matches_of(code: &str, pat: &Pattern) -> Vec<usize> {
+    let (needle, word) = match pat {
+        Pattern::Word(t) => (*t, true),
+        Pattern::Substr(t) => (*t, false),
+    };
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        from = at + needle.len();
+        if word {
+            let before = code[..at].chars().next_back();
+            let after = code[at + needle.len()..].chars().next();
+            let is_ident = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if is_ident(before) || is_ident(after) {
+                continue;
+            }
+        }
+        out.push(at);
+    }
+    out
+}
+
+/// Render the rule catalogue (the `--rules` CLI flag).
+pub fn render_catalogue() -> String {
+    let mut out = String::from("qoslint determinism rules:\n");
+    for r in RULES {
+        out.push_str(&format!(
+            "  {:>24}  {:7}  {}\n",
+            r.id,
+            r.severity.to_string(),
+            r.summary
+        ));
+    }
+    out.push_str(&format!(
+        "  {BAD_SUPPRESSION:>24}  error    qoslint::allow without a reason, or naming an unknown rule\n"
+    ));
+    out.push_str(
+        "\nsuppress with `// qoslint::allow(rule, reason)` on (or directly above) the line,\n\
+         or `// qoslint::allow-file(rule, reason)` for a whole file; the reason is mandatory.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_rule_fires_on_its_hazard() {
+        let cases = [
+            ("let t = Instant::now();", "wall-clock"),
+            ("let s = SystemTime::now();", "wall-clock"),
+            ("use std::collections::HashMap;", "unordered-collections"),
+            (
+                "let s: HashSet<u32> = HashSet::new();",
+                "unordered-collections",
+            ),
+            ("std::thread::spawn(|| {});", "thread-spawn"),
+            ("let v = x.unwrap();", "no-panic"),
+            ("let v = x.expect(\"why\");", "no-panic"),
+        ];
+        for (src, rule) in cases {
+            let d = scan_source("t.rs", src);
+            assert!(
+                d.iter().any(|d| d.rule == rule),
+                "{src:?} should trigger {rule}, got {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn words_do_not_match_inside_identifiers() {
+        assert!(scan_source("t.rs", "struct MyHashMapLike;").is_empty());
+        assert!(scan_source("t.rs", "let instant_like = 3;").is_empty());
+        // thread::scope is the sanctioned helper, not a finding.
+        assert!(scan_source("t.rs", "std::thread::scope(|s| {});").is_empty());
+        // expect_err is not expect.
+        assert!(scan_source("t.rs", "r.expect_err(\"x\");").is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_test_mods_are_exempt() {
+        assert!(scan_source("t.rs", "let s = \"HashMap\"; // Instant").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); let m = HashMap::new(); }\n}";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_without_one_reports() {
+        let ok = "let v = x.unwrap(); // qoslint::allow(no-panic, checked above)";
+        assert!(scan_source("t.rs", ok).is_empty());
+
+        let missing = "let v = x.unwrap(); // qoslint::allow(no-panic)";
+        let d = scan_source("t.rs", missing);
+        assert_eq!(d.len(), 1, "exactly the hygiene finding: {d:?}");
+        assert_eq!(d[0].rule, BAD_SUPPRESSION);
+
+        let unknown = "let v = x.unwrap(); // qoslint::allow(no-such-rule, reason)";
+        let d = scan_source("t.rs", unknown);
+        assert_eq!(d.len(), 2, "unknown rule suppresses nothing: {d:?}");
+        assert!(d.iter().any(|d| d.rule == BAD_SUPPRESSION));
+        assert!(d.iter().any(|d| d.rule == "no-panic"));
+    }
+
+    #[test]
+    fn file_scope_suppression_covers_every_line() {
+        let src = "// qoslint::allow-file(wall-clock, sanctioned shim)\n\
+                   use std::time::Instant;\n\
+                   fn f() { let t = Instant::now(); }";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn own_line_suppression_targets_next_code_line() {
+        let src = "// qoslint::allow(unordered-collections, sorted on export)\n\
+                   use std::collections::HashMap;";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_location_and_hint() {
+        let d = scan_source("dir/f.rs", "fn f() {\n    let t = Instant::now();\n}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].location, "dir/f.rs");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].col, 13);
+        assert!(!d[0].hint.is_empty());
+        assert!(render_catalogue().contains("wall-clock"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Fixture corpus: each bad snippet trips exactly one rule, the clean
+//! and suppressed snippets trip none. `scripts/ci.sh` additionally runs
+//! the `qoslint` binary over `fixtures/bad` as a must-fail self-test.
+
+use std::path::Path;
+
+use intelliqos_qoslint::rules::scan_source;
+use intelliqos_qoslint::Diagnostic;
+
+fn scan_fixture(rel: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    scan_source(rel, &text)
+}
+
+#[test]
+fn each_bad_fixture_trips_exactly_its_rule() {
+    let cases = [
+        ("bad/wall_clock.rs", "wall-clock"),
+        ("bad/unordered_map.rs", "unordered-collections"),
+        ("bad/thread_spawn.rs", "thread-spawn"),
+        ("bad/no_panic.rs", "no-panic"),
+        ("bad/missing_reason.rs", "bad-suppression"),
+    ];
+    for (file, rule) in cases {
+        let diags = scan_fixture(file);
+        assert_eq!(
+            diags.len(),
+            1,
+            "{file}: want exactly one finding, got {diags:?}"
+        );
+        assert_eq!(diags[0].rule, rule, "{file}: wrong rule: {diags:?}");
+        assert!(diags[0].line > 0, "{file}: finding should carry a line");
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = scan_fixture("clean/clean.rs");
+    assert!(
+        diags.is_empty(),
+        "clean fixture should scan clean: {diags:?}"
+    );
+}
+
+#[test]
+fn suppressed_fixture_is_clean_because_reasons_are_given() {
+    let diags = scan_fixture("suppressed/suppressed.rs");
+    assert!(
+        diags.is_empty(),
+        "reasoned suppressions silence cleanly: {diags:?}"
+    );
+}

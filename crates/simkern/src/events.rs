@@ -5,16 +5,18 @@
 //! number breaks ties), so a run is a pure function of the schedule calls
 //! — there is no iteration-order nondeterminism anywhere in the kernel.
 //!
-//! Cancellation is supported through [`EventToken`]s: cancelling is O(1)
-//! — the sequence number is dropped from the live set and the heap entry
-//! becomes a tombstone, silently skipped on pop and bulk-purged once
-//! tombstones outnumber live entries. This is how the cluster model
-//! retracts, e.g., a pending "job completes" event when the database
-//! hosting the job crashes first.
+//! Cancellation is supported through [`EventToken`]s: cancelling is
+//! O(log n) — the sequence number is dropped from the ordered live set
+//! and the heap entry becomes a tombstone, silently skipped on pop and
+//! bulk-purged once tombstones outnumber live entries. This is how the
+//! cluster model retracts, e.g., a pending "job completes" event when
+//! the database hosting the job crashes first. The live set is a
+//! `BTreeSet` (not a hash set) so that every traversal of pending state
+//! — debug dumps included — is deterministic across runs and hosts.
 
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -66,7 +68,7 @@ pub struct EventQueue<E> {
     /// Sequence numbers of events still pending (scheduled, not yet
     /// popped or cancelled). Heap entries whose seq is absent are
     /// tombstones awaiting the lazy purge.
-    live: HashSet<u64>,
+    live: BTreeSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -82,7 +84,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }

@@ -23,6 +23,7 @@
 //! deliberately non-deterministic measurement in the kernel: they never
 //! feed back into simulation state, only into the emitted profile.
 
+// qoslint::allow-file(wall-clock, this module IS the sanctioned clock shim: readings feed the emitted profile only, never simulation state)
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -539,5 +540,47 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.span("s").unwrap().count(), 2);
         assert_eq!(a.span("other").unwrap().count(), 1);
+    }
+
+    /// qoslint's determinism contract in miniature: exported metric
+    /// order is name order, never insertion order — two registries fed
+    /// the same facts in different orders export identically, and so
+    /// does a merged (shard-combined) registry. This is what keeps
+    /// paired-run and multi-site evidence JSON byte-comparable.
+    #[test]
+    fn export_order_is_name_order_not_insertion_order() {
+        let mut fwd = MetricsRegistry::enabled();
+        fwd.inc("alpha");
+        fwd.inc("mid");
+        fwd.inc("zeta");
+        fwd.set_gauge("g_a", 1.0);
+        fwd.set_gauge("g_z", 2.0);
+
+        let mut rev = MetricsRegistry::enabled();
+        rev.set_gauge("g_z", 2.0);
+        rev.set_gauge("g_a", 1.0);
+        rev.inc("zeta");
+        rev.inc("mid");
+        rev.inc("alpha");
+
+        let names = |r: &MetricsRegistry| {
+            (
+                r.counters().map(|(k, _)| k).collect::<Vec<_>>(),
+                r.gauges().map(|(k, _)| k).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(names(&fwd), names(&rev));
+        assert_eq!(names(&fwd).0, vec!["alpha", "mid", "zeta"]);
+
+        // A merged registry (the sharded-run combine path) keeps the
+        // same canonical order regardless of merge direction.
+        let mut ab = fwd.clone();
+        ab.merge(&rev);
+        let mut ba = rev.clone();
+        ba.merge(&fwd);
+        assert_eq!(
+            ab.counters().collect::<Vec<_>>(),
+            ba.counters().collect::<Vec<_>>()
+        );
     }
 }

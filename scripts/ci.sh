@@ -12,17 +12,28 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== qoslint (determinism lint, findings are errors)"
+cargo run -q --release -p intelliqos-qoslint --bin qoslint
+
+echo "== qoslint self-test (seeded-bad fixtures must fail the gate)"
+if cargo run -q --release -p intelliqos-qoslint --bin qoslint crates/qoslint/fixtures/bad > /dev/null; then
+    echo "qoslint self-test FAILED: bad fixtures scanned clean" >&2
+    exit 1
+fi
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
 echo "== cargo test"
 cargo test -q --workspace
 
-echo "== evidence smoke (fig2_downtime --profile --trace)"
+echo "== evidence smoke (fig2_downtime --profile --trace, ontology_check)"
 rm -rf results/evidence
 ./target/release/fig2_downtime --seed 11 --days 2 --profile --trace > /dev/null
 test -s results/evidence/fig2_downtime_manual.json
 test -s results/evidence/fig2_downtime_agents.json
+./target/release/ontology_check
+test -s results/evidence/ontology_check_site.json
 ./target/release/evidence_check
 
 echo "CI gate passed."
