@@ -55,6 +55,7 @@ fn main() {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_parts = *parts;
                 let (name, label) = (*name, *label);
+                let opts = opts.clone();
                 s.spawn(move || {
                     let (world, report) = run_world(&opts, cfg);
                     (name, label, world, report)

@@ -27,6 +27,7 @@ fn main() {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.agent_period = SimDuration::from_mins(m);
                 cfg.admin_period = SimDuration::from_mins(m + 5);
+                let opts = opts.clone();
                 s.spawn(move || {
                     let (world, report) = run_world(&opts, cfg);
                     (m, world, report)

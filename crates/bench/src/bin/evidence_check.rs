@@ -11,8 +11,12 @@
 //! cargo run --release -p intelliqos-bench --bin evidence_check [PATH ...]
 //! ```
 //!
-//! With no arguments, checks every `*.json` under `results/evidence/`.
-//! Exit status: 0 when every document checks out; 1 otherwise.
+//! With no arguments, checks every `*.json` under `results/evidence/`
+//! plus every trace spill directory (any subdirectory holding a
+//! `manifest.json`) — a truncated final chunk or a record-count
+//! mismatch is a failure. Directory arguments are validated as spill
+//! directories. Exit status: 0 when every document checks out; 1
+//! otherwise.
 
 use std::path::PathBuf;
 
@@ -118,6 +122,89 @@ fn check_ontology_report(doc: &JsonValue) -> Vec<String> {
     bad
 }
 
+/// Structural checks on an `slo` report document. Returns the list of
+/// complaints (empty = good).
+fn check_slo_report(doc: &JsonValue) -> Vec<String> {
+    let mut bad = Vec::new();
+    for key in ["target", "fleet_availability"] {
+        match doc.get(key).and_then(|v| v.as_f64()) {
+            Some(x) if (0.0..=1.0).contains(&x) => {}
+            other => bad.push(format!("{key} missing or outside [0,1]: {other:?}")),
+        }
+    }
+    let horizon = doc.get("horizon_secs").and_then(|v| v.as_u64());
+    let fleet = doc.get("fleet_size").and_then(|v| v.as_u64());
+    if horizon.is_none_or(|h| h == 0) {
+        bad.push("horizon_secs missing or zero".to_string());
+    }
+    if fleet.is_none_or(|f| f == 0) {
+        bad.push("fleet_size missing or zero".to_string());
+    }
+    let Some(services) = doc.get("services").and_then(|v| v.as_arr()) else {
+        bad.push("services array missing".to_string());
+        return bad;
+    };
+    let mut downtime_sum = 0u64;
+    let mut alert_sum = 0u64;
+    for s in services {
+        let named = s.get("service").and_then(|v| v.as_str()).is_some();
+        let avail = s.get("availability").and_then(|v| v.as_f64());
+        let down = s.get("downtime_secs").and_then(|v| v.as_u64());
+        let budgeted = s.get("budget_remaining_secs").and_then(|v| v.as_f64());
+        let mttr = s.get("mttr_secs").and_then(|v| v.as_f64());
+        if !named || down.is_none() || budgeted.is_none() || mttr.is_none() {
+            bad.push("services entry lacks service/downtime/budget/mttr".to_string());
+            break;
+        }
+        if avail.is_none_or(|a| !(0.0..=1.0).contains(&a)) {
+            bad.push(format!("service availability outside [0,1]: {avail:?}"));
+        }
+        downtime_sum += down.unwrap_or(0);
+        alert_sum += s.get("burn_alerts").and_then(|v| v.as_u64()).unwrap_or(0);
+    }
+    if doc.get("total_downtime_secs").and_then(|v| v.as_u64()) != Some(downtime_sum) {
+        bad.push(format!(
+            "total_downtime_secs disagrees with per-service sum {downtime_sum}"
+        ));
+    }
+    // Fleet availability must be consistent with the recorded downtime.
+    if let (Some(avail), Some(h), Some(f)) = (
+        doc.get("fleet_availability").and_then(|v| v.as_f64()),
+        horizon,
+        fleet,
+    ) {
+        if h > 0 && f > 0 {
+            let expect = (1.0 - downtime_sum as f64 / (h * f) as f64).clamp(0.0, 1.0);
+            if (avail - expect).abs() > 1e-6 {
+                bad.push(format!(
+                    "fleet_availability {avail} inconsistent with downtime (expect {expect:.8})"
+                ));
+            }
+        }
+    }
+    match doc.get("alerts").and_then(|v| v.as_arr()) {
+        Some(alerts) => {
+            if alerts.len() as u64 != alert_sum {
+                bad.push(format!(
+                    "alerts array has {} entries, per-service burn_alerts sum to {alert_sum}",
+                    alerts.len()
+                ));
+            }
+            for a in alerts {
+                let complete = a.get("at").and_then(|v| v.as_u64()).is_some()
+                    && a.get("service").and_then(|v| v.as_str()).is_some()
+                    && a.get("burn_rate").and_then(|v| v.as_f64()).is_some();
+                if !complete {
+                    bad.push("alerts entry lacks at/service/burn_rate".to_string());
+                    break;
+                }
+            }
+        }
+        None => bad.push("alerts array missing".to_string()),
+    }
+    bad
+}
+
 fn check_file(path: &PathBuf) -> Vec<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -132,21 +219,51 @@ fn check_file(path: &PathBuf) -> Vec<String> {
     if doc.get("report").and_then(|v| v.as_str()) == Some("ontology_check") {
         return check_ontology_report(&doc);
     }
+    if doc.get("report").and_then(|v| v.as_str()) == Some("slo") {
+        return check_slo_report(&doc);
+    }
     match doc.get("profile") {
         Some(profile) => check_profile(profile),
         None => Vec::new(),
     }
 }
 
+/// Recursively collect every directory under `dir` (inclusive) that
+/// holds a trace-spill `manifest.json`.
+fn find_spill_dirs(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    if dir.join("manifest.json").is_file() {
+        out.push(dir.to_path_buf());
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                find_spill_dirs(&p, out);
+            }
+        }
+    }
+}
+
 fn main() {
-    let mut paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
-    if paths.is_empty() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut spill_dirs: Vec<PathBuf> = Vec::new();
+    for a in args {
+        if a.is_dir() {
+            find_spill_dirs(&a, &mut spill_dirs);
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.is_empty() && spill_dirs.is_empty() {
         let dir = evidence_dir();
         if let Ok(entries) = std::fs::read_dir(&dir) {
             for e in entries.flatten() {
                 let p = e.path();
                 if p.extension().is_some_and(|x| x == "json") {
                     paths.push(p);
+                } else if p.is_dir() {
+                    find_spill_dirs(&p, &mut spill_dirs);
                 }
             }
         }
@@ -156,6 +273,7 @@ fn main() {
             std::process::exit(1);
         }
     }
+    spill_dirs.sort();
 
     let mut failures = 0usize;
     for path in &paths {
@@ -169,7 +287,22 @@ fn main() {
             }
         }
     }
-    println!("{} document(s), {failures} failure(s)", paths.len());
+    for dir in &spill_dirs {
+        let bad = intelliqos_core::validate_spill_dir(dir);
+        if bad.is_empty() {
+            println!("ok   {} (spill)", dir.display());
+        } else {
+            failures += 1;
+            for b in &bad {
+                println!("FAIL {}: {b}", dir.display());
+            }
+        }
+    }
+    println!(
+        "{} document(s), {} spill dir(s), {failures} failure(s)",
+        paths.len(),
+        spill_dirs.len()
+    );
     if failures > 0 {
         std::process::exit(1);
     }

@@ -36,6 +36,7 @@ fn main() {
             .map(|(name, policy)| {
                 let mut cfg = opts.site(ManagementMode::Intelliagents);
                 cfg.resched = *policy;
+                let opts = opts.clone();
                 s.spawn(move || {
                     let (world, report) = run_world(&opts, cfg);
                     (*name, world, report)

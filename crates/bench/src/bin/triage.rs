@@ -13,7 +13,13 @@
 //!
 //! ```text
 //! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N]
+//! cargo run --release -p intelliqos-bench --bin triage -- --incident N [--seed N] [--days N]
 //! ```
+//!
+//! With `--incident N` the tool instead renders the complete causal
+//! timeline of one incident — every trace event carrying that incident's
+//! correlation id (inject → pipeline/diagnose → heal/restore/escalate),
+//! in both the manual and the agents run, next to the ledger lifecycle.
 //!
 //! Exit status: 0 when every invariant holds and both ledgers are
 //! lifecycle-clean; 1 otherwise. JSON lands in `target/triage/`.
@@ -22,7 +28,9 @@ use std::path::Path;
 
 use intelliqos_bench::{banner, HarnessOpts};
 use intelliqos_core::divergence::{first_divergence, first_trace_divergence};
-use intelliqos_core::{run_export_json, ManagementMode, ProfileReport, ScenarioConfig, World};
+use intelliqos_core::{
+    run_export_json, IncidentId, ManagementMode, ProfileReport, ScenarioConfig, World,
+};
 use intelliqos_simkern::{SimDuration, Subsystem};
 
 fn run_instrumented(seed: u64, days: u64, mode: ManagementMode) -> World {
@@ -33,8 +41,90 @@ fn run_instrumented(seed: u64, days: u64, mode: ManagementMode) -> World {
     world
 }
 
+/// Render every trace event correlated to `id`, in causal order, next
+/// to the ledger's lifecycle record. Returns false when the incident is
+/// unknown to this world.
+fn render_incident(world: &World, name: &str, id: IncidentId) -> bool {
+    let Some(rec) = world.ledger.get(id) else {
+        println!("{name}: no incident {id}");
+        return false;
+    };
+    println!("--- {name}: incident {id} ---");
+    println!(
+        "category={:?} service={} {:?}",
+        rec.category, rec.service, rec.description
+    );
+    // Plain seconds for grep-ability.
+    let stamp = |t: Option<intelliqos_simkern::SimTime>| -> String {
+        t.map(|t| t.as_secs().to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    println!(
+        "ledger: onset={} detected={} diagnosed={} restored={} escalated={}",
+        rec.onset.as_secs(),
+        stamp(rec.detected),
+        stamp(rec.diagnosed),
+        stamp(rec.restored),
+        rec.escalated
+    );
+    for a in &rec.attempts {
+        println!(
+            "attempt: at={} actor={:?} action={} resolved={}",
+            a.at.as_secs(),
+            a.actor,
+            a.action,
+            a.resolved
+        );
+    }
+    let mut events: Vec<_> = world
+        .trace
+        .events()
+        .into_iter()
+        .filter(|e| e.corr == Some(id.0))
+        .collect();
+    events.sort_by_key(|e| (e.at, e.seq));
+    if events.is_empty() {
+        println!("timeline: no correlated trace events retained");
+    } else {
+        println!("timeline ({} event(s)):", events.len());
+        for e in events {
+            println!("  {}", e.render());
+        }
+    }
+    println!();
+    true
+}
+
 fn main() {
     let opts = HarnessOpts::parse(14);
+    let args: Vec<String> = std::env::args().collect();
+    let incident: Option<u64> = args
+        .iter()
+        .position(|a| a == "--incident")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    if let Some(id) = incident {
+        let id = IncidentId(id);
+        banner("TRIAGE", "incident-correlated causal timeline");
+        println!("seed={} horizon={}d incident={id}\n", opts.seed, opts.days);
+        let (manual, agents): (World, World) = std::thread::scope(|s| {
+            let m = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::ManualOps));
+            let a =
+                s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+            (m.join().expect("manual run"), a.join().expect("agent run"))
+        });
+        let mut found = false;
+        for (name, world) in [("manual", &manual), ("agents", &agents)] {
+            found |= render_incident(world, name, id);
+            println!("{}", world.slo.report(world.cfg.horizon).render_summary());
+        }
+        if !found {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     banner(
         "TRIAGE",
         "paired-run divergence + replay determinism + ledger lifecycle + profile",
@@ -86,6 +176,14 @@ fn main() {
             ok = false;
             println!("  VIOLATION {v}");
         }
+    }
+
+    println!("\n--- slo observatory ---");
+    for (name, world) in [("manual", &manual), ("agents", &agents)] {
+        println!(
+            "{name}: {}",
+            world.slo.report(world.cfg.horizon).render_summary()
+        );
     }
 
     println!("\n--- trace counters (events by subsystem) ---");

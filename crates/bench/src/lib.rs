@@ -12,7 +12,17 @@
 //!   profiler), print the time-share table, and drop the evidence JSON
 //!   under `results/evidence/`;
 //! * `--trace` — run with the structured trace enabled and include it
-//!   in the evidence JSON (combines with `--profile`).
+//!   in the evidence JSON (combines with `--profile`);
+//! * `--trace-file DIR` — flight-recorder mode: spill every trace event
+//!   to chunked JSONL under `DIR/<mode>/` (implies `--trace`; nothing
+//!   is evicted no matter how long the run);
+//! * `--trace-cap N` / `--trace-cap tag=N` — in-memory trace capacity,
+//!   globally or as a dedicated ring for one subsystem (repeatable);
+//! * `--trace-only tag[,tag...]` — record only the named subsystems.
+//!
+//! Instrumented runs also drop a schema-validated `slo_report`
+//! (`<bin>_<label>_slo.json`) with per-service availability, downtime
+//! budgets, MTTR, and burn-rate alerts.
 
 pub mod microbench;
 
@@ -21,7 +31,7 @@ pub use microbench::{black_box, Bencher, Criterion};
 use std::path::{Path, PathBuf};
 
 use intelliqos_core::{run_export_json, ManagementMode, ProfileReport, ScenarioConfig, World};
-use intelliqos_simkern::SimDuration;
+use intelliqos_simkern::{SimDuration, SpillConfig, Subsystem, TraceOptions};
 
 /// Paper reference values for Figure 2 (downtime hours by category).
 /// Order matches `FaultCategory::ALL`:
@@ -64,7 +74,7 @@ pub const MTTR_SIMPLE_H: f64 = 2.0;
 pub const MTTR_COMPLEX_H: f64 = 4.0;
 
 /// Parsed common CLI options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Scenario seed.
     pub seed: u64,
@@ -76,21 +86,41 @@ pub struct HarnessOpts {
     pub profile: bool,
     /// Run with the structured trace enabled and emit evidence.
     pub trace: bool,
+    /// Spill the trace to chunked JSONL under this directory (implies
+    /// `trace`; paired runs write into `<dir>/<mode>` subdirectories).
+    pub trace_file: Option<String>,
+    /// Override the in-memory trace capacity (ring size, or spill tail).
+    pub trace_cap: Option<usize>,
+    /// Dedicated per-subsystem ring capacities (`--trace-cap tag=N`).
+    pub trace_caps: Vec<(Subsystem, usize)>,
+    /// Record only these subsystems (`--trace-only tag[,tag...]`).
+    pub trace_only: Option<Vec<Subsystem>>,
 }
 
 impl HarnessOpts {
-    /// Parse `--seed`, `--days`, `--full`, `--profile`, `--trace` from
+    /// Parse `--seed`, `--days`, `--full`, `--profile`, `--trace`,
+    /// `--trace-file DIR`, `--trace-cap N` / `--trace-cap tag=N`
+    /// (repeatable), and `--trace-only tag[,tag...]` from
     /// `std::env::args`, with the given default horizon.
     pub fn parse(default_days: u64) -> HarnessOpts {
-        let args: Vec<String> = std::env::args().collect();
+        Self::parse_from(std::env::args().skip(1), default_days)
+    }
+
+    /// [`HarnessOpts::parse`] over an explicit argument list (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>, default_days: u64) -> HarnessOpts {
+        let args: Vec<String> = args.into_iter().collect();
         let mut opts = HarnessOpts {
             seed: 11,
             days: default_days,
             full: false,
             profile: false,
             trace: false,
+            trace_file: None,
+            trace_cap: None,
+            trace_caps: Vec::new(),
+            trace_only: None,
         };
-        let mut i = 1;
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--seed" => {
@@ -110,6 +140,42 @@ impl HarnessOpts {
                 "--full" => opts.full = true,
                 "--profile" => opts.profile = true,
                 "--trace" => opts.trace = true,
+                "--trace-file" => {
+                    opts.trace_file = args.get(i + 1).cloned();
+                    i += 1;
+                }
+                "--trace-cap" => {
+                    if let Some(v) = args.get(i + 1) {
+                        match v.split_once('=') {
+                            Some((tag, n)) => {
+                                if let (Some(sub), Ok(cap)) =
+                                    (Subsystem::from_tag(tag), n.parse::<usize>())
+                                {
+                                    opts.trace_caps.push((sub, cap));
+                                } else {
+                                    eprintln!("ignoring bad --trace-cap value: {v}");
+                                }
+                            }
+                            None => match v.parse::<usize>() {
+                                Ok(cap) => opts.trace_cap = Some(cap),
+                                Err(_) => eprintln!("ignoring bad --trace-cap value: {v}"),
+                            },
+                        }
+                    }
+                    i += 1;
+                }
+                "--trace-only" => {
+                    if let Some(v) = args.get(i + 1) {
+                        let subs: Vec<Subsystem> =
+                            v.split(',').filter_map(Subsystem::from_tag).collect();
+                        if subs.is_empty() {
+                            eprintln!("ignoring bad --trace-only value: {v}");
+                        } else {
+                            opts.trace_only = Some(subs);
+                        }
+                    }
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -117,15 +183,42 @@ impl HarnessOpts {
         opts
     }
 
-    /// Whether this invocation should drop evidence JSON.
-    pub fn wants_evidence(&self) -> bool {
-        self.profile || self.trace
+    /// Whether this invocation runs traced at all (`--trace`, or any of
+    /// the trace-shaping flags, which imply it).
+    pub fn traced(&self) -> bool {
+        self.trace
+            || self.trace_file.is_some()
+            || self.trace_cap.is_some()
+            || !self.trace_caps.is_empty()
+            || self.trace_only.is_some()
     }
 
-    /// Apply the `--profile`/`--trace` flags to a freshly built world.
+    /// Whether this invocation should drop evidence JSON.
+    pub fn wants_evidence(&self) -> bool {
+        self.profile || self.traced()
+    }
+
+    /// The trace configuration for a run in `mode` (the spill directory
+    /// gets a per-mode subdirectory so paired runs never collide).
+    pub fn trace_options(&self, mode: ManagementMode) -> TraceOptions {
+        let mut topts = TraceOptions::default();
+        if let Some(cap) = self.trace_cap {
+            topts.capacity = cap;
+        }
+        topts.per_subsystem = self.trace_caps.clone();
+        topts.only = self.trace_only.clone();
+        if let Some(dir) = &self.trace_file {
+            let sub = format!("{mode:?}").to_lowercase();
+            topts.spill = Some(SpillConfig::new(Path::new(dir).join(sub)));
+        }
+        topts
+    }
+
+    /// Apply the `--profile`/`--trace*` flags to a freshly built world.
     pub fn instrument(&self, mut world: World) -> World {
-        if self.trace {
-            world = world.enable_trace();
+        if self.traced() {
+            let topts = self.trace_options(world.cfg.mode);
+            world = world.enable_trace_with(topts);
         }
         if self.profile {
             world = world.enable_profile();
@@ -187,6 +280,24 @@ pub fn emit_run_evidence(opts: &HarnessOpts, bin: &str, label: &str, world: &Wor
             eprintln!("evidence FAILED: {e}");
             std::process::exit(1);
         }
+    }
+    let slo_json = world
+        .slo
+        .report(world.cfg.horizon)
+        .to_json_with_run(world.cfg.seed, &format!("{:?}", world.cfg.mode));
+    match write_evidence_json(bin, &format!("{label}_slo"), &slo_json) {
+        Ok(path) => println!("evidence: {}", path.display()),
+        Err(e) => {
+            eprintln!("evidence FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+    if world.trace.sink_kind() == "spill" {
+        println!(
+            "trace: sink=spill total={} dropped={}",
+            world.trace.total(),
+            world.trace.dropped()
+        );
     }
 }
 
@@ -291,16 +402,47 @@ mod tests {
 
     #[test]
     fn annualize_scales() {
-        let opts = HarnessOpts {
-            seed: 1,
-            days: 73,
-            full: false,
-            profile: false,
-            trace: false,
-        };
+        let opts = HarnessOpts::parse_from(std::iter::empty::<String>(), 73);
         assert!((opts.annualize() - 5.0).abs() < 1e-9);
         let full = HarnessOpts { full: true, ..opts };
         assert_eq!(full.annualize(), 1.0);
+    }
+
+    #[test]
+    fn trace_flags_parse_and_imply_tracing() {
+        let args = [
+            "--seed",
+            "7",
+            "--trace-file",
+            "out/spill",
+            "--trace-cap",
+            "1024",
+            "--trace-cap",
+            "fault=4096",
+            "--trace-only",
+            "fault,agent",
+        ]
+        .map(String::from);
+        let opts = HarnessOpts::parse_from(args, 365);
+        assert_eq!(opts.seed, 7);
+        assert!(!opts.trace, "--trace itself was not passed");
+        assert!(opts.traced(), "trace-shaping flags imply tracing");
+        assert!(opts.wants_evidence());
+        assert_eq!(opts.trace_file.as_deref(), Some("out/spill"));
+        assert_eq!(opts.trace_cap, Some(1024));
+        assert_eq!(opts.trace_caps, vec![(Subsystem::Fault, 4096)]);
+        assert_eq!(
+            opts.trace_only,
+            Some(vec![Subsystem::Fault, Subsystem::Agent])
+        );
+        // Paired runs spill into per-mode subdirectories.
+        let manual = opts.trace_options(ManagementMode::ManualOps);
+        let agents = opts.trace_options(ManagementMode::Intelliagents);
+        let (m, a) = (manual.spill.unwrap().dir, agents.spill.unwrap().dir);
+        assert_ne!(m, a);
+        assert!(m.ends_with("manualops"));
+        assert!(a.ends_with("intelliagents"));
+        assert_eq!(manual.capacity, 1024);
     }
 
     #[test]

@@ -151,6 +151,7 @@ fn handler_stream(world: &World) -> Vec<String> {
     world
         .trace
         .events()
+        .into_iter()
         .filter(|e| matches!(e.subsystem, Subsystem::Fault | Subsystem::Workload))
         .map(|e| {
             let rendered = e.render();

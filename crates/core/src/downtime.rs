@@ -76,6 +76,10 @@ pub struct Incident {
     pub id: IncidentId,
     /// Figure 2 category.
     pub category: FaultCategory,
+    /// The service (or host / infrastructure domain) whose availability
+    /// this incident charges — the SLO accounting key. `"site"` when the
+    /// incident is not attributable to one service.
+    pub service: String,
     /// Free-form description (mechanism, target).
     pub description: String,
     /// Fault onset (injection time).
@@ -247,10 +251,25 @@ impl DowntimeLedger {
         DowntimeLedger::default()
     }
 
-    /// Open a new incident at fault onset.
+    /// Open a new incident at fault onset, charged to the whole site.
+    /// Prefer [`DowntimeLedger::open_scoped`] when the affected service
+    /// or host is known — the SLO observatory keys availability on it.
     pub fn open(
         &mut self,
         category: FaultCategory,
+        description: impl Into<String>,
+        onset: SimTime,
+    ) -> IncidentId {
+        self.open_scoped(category, "site", description, onset)
+    }
+
+    /// Open a new incident at fault onset, charging the downtime to
+    /// `service` (a service name, hostname, or infrastructure domain
+    /// such as `"network"`).
+    pub fn open_scoped(
+        &mut self,
+        category: FaultCategory,
+        service: impl Into<String>,
         description: impl Into<String>,
         onset: SimTime,
     ) -> IncidentId {
@@ -261,6 +280,7 @@ impl DowntimeLedger {
             Incident {
                 id,
                 category,
+                service: service.into(),
                 description: description.into(),
                 onset,
                 detected: None,
@@ -464,6 +484,7 @@ impl DowntimeLedger {
                 "\"category\": {}, ",
                 json_str(inc.category.label())
             ));
+            out.push_str(&format!("\"service\": {}, ", json_str(&inc.service)));
             out.push_str(&format!(
                 "\"description\": {}, ",
                 json_str(&inc.description)
@@ -586,6 +607,21 @@ mod tests {
         assert!(inc.lifecycle_violation().is_none());
         assert!(l.open_incidents().is_empty());
         assert!(l.lifecycle_violations().is_empty());
+    }
+
+    #[test]
+    fn scoped_open_records_service_and_exports_it() {
+        let mut l = DowntimeLedger::new();
+        let id = l.open_scoped(
+            FaultCategory::MidJobDbCrash,
+            "db003",
+            "crash",
+            SimTime::ZERO,
+        );
+        assert_eq!(l.get(id).unwrap().service, "db003");
+        let plain = l.open(FaultCategory::Hardware, "cpu", SimTime::ZERO);
+        assert_eq!(l.get(plain).unwrap().service, "site");
+        assert!(l.to_json().contains("\"service\": \"db003\""));
     }
 
     #[test]

@@ -33,9 +33,19 @@ pub fn run_export_json(world: &World) -> String {
     out.push_str(",\n\"trace\": {\n");
     let t = &world.trace;
     out.push_str(&format!("  \"enabled\": {},\n", t.is_enabled()));
+    out.push_str(&format!("  \"sink\": {},\n", json_str(t.sink_kind())));
     out.push_str(&format!("  \"total\": {},\n", t.total()));
     out.push_str(&format!("  \"evicted\": {},\n", t.evicted()));
-    out.push_str("  \"counters\": {");
+    out.push_str(&format!("  \"dropped\": {},\n", t.dropped()));
+    out.push_str(&format!("  \"filtered\": {},\n", t.filtered()));
+    out.push_str("  \"dropped_by_subsystem\": {");
+    for (i, (tag, n)) in t.dropped_by_subsystem().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(tag), n));
+    }
+    out.push_str("},\n  \"counters\": {");
     let counters = t.counters();
     for (i, (tag, n)) in counters.iter().enumerate() {
         if i > 0 {
@@ -56,6 +66,113 @@ pub fn run_export_json(world: &World) -> String {
     out.push_str(&ProfileReport::from_world(world).to_json());
     out.push_str("\n}\n");
     out
+}
+
+/// Validate a trace spill directory: the manifest parses, every listed
+/// chunk exists with exactly the promised number of newline-terminated
+/// JSONL records, each record parses and carries the event fields, and
+/// the chunk totals agree with the manifest's `total`.
+///
+/// Returns human-readable findings; an empty vector means the spill is
+/// complete and well-formed. A truncated final chunk (killed run,
+/// full disk) surfaces as a record-count mismatch or a missing trailing
+/// newline.
+pub fn validate_spill_dir(dir: &std::path::Path) -> Vec<String> {
+    use intelliqos_simkern::trace::SPILL_MANIFEST;
+
+    let mut findings = Vec::new();
+    let manifest_path = dir.join(SPILL_MANIFEST);
+    let manifest_text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            findings.push(format!("{}: unreadable: {e}", manifest_path.display()));
+            return findings;
+        }
+    };
+    let manifest = match crate::jsonv::parse(&manifest_text) {
+        Ok(v) => v,
+        Err(e) => {
+            findings.push(format!("{}: bad JSON: {e}", manifest_path.display()));
+            return findings;
+        }
+    };
+    if manifest.get("report").and_then(|v| v.as_str()) != Some("trace_spill") {
+        findings.push(format!(
+            "{}: missing report=trace_spill tag",
+            manifest_path.display()
+        ));
+    }
+    let io_errors = manifest
+        .get("io_errors")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if io_errors > 0 {
+        findings.push(format!("manifest reports {io_errors} io error(s)"));
+    }
+    let total = manifest.get("total").and_then(|v| v.as_u64());
+    let Some(chunks) = manifest.get("chunks").and_then(|v| v.as_arr()) else {
+        findings.push(format!("{}: no chunks array", manifest_path.display()));
+        return findings;
+    };
+    let mut counted = 0u64;
+    for chunk in chunks {
+        let Some(file) = chunk.get("file").and_then(|v| v.as_str()) else {
+            findings.push("chunk entry without a file name".to_string());
+            continue;
+        };
+        let expected = chunk.get("records").and_then(|v| v.as_u64()).unwrap_or(0);
+        let path = dir.join(file);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                findings.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            findings.push(format!(
+                "{}: truncated (no trailing newline)",
+                path.display()
+            ));
+        }
+        let mut records = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            records += 1;
+            match crate::jsonv::parse(line) {
+                Ok(ev) => {
+                    for key in ["seq", "at", "subsystem", "code"] {
+                        if ev.get(key).is_none() {
+                            findings.push(format!(
+                                "{}:{}: record missing {key}",
+                                path.display(),
+                                lineno + 1
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    findings.push(format!("{}:{}: bad JSONL: {e}", path.display(), lineno + 1))
+                }
+            }
+        }
+        if records != expected {
+            findings.push(format!(
+                "{}: {records} record(s) on disk but manifest promises {expected}",
+                path.display()
+            ));
+        }
+        counted += records;
+    }
+    if let Some(total) = total {
+        if counted != total {
+            findings.push(format!(
+                "manifest total {total} but chunks hold {counted} record(s)"
+            ));
+        }
+    } else {
+        findings.push(format!("{}: no total field", manifest_path.display()));
+    }
+    findings
 }
 
 #[cfg(test)]

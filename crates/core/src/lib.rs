@@ -25,6 +25,8 @@
 //!   triage tooling.
 //! * [`profile`] — per-run self-measurement report (subsystem time
 //!   share, per-event-kind latency percentiles, hottest sweeps).
+//! * [`slo`] — online QoS observatory: per-service availability
+//!   budgets, MTTR, and windowed error-budget burn-rate alerts.
 //! * [`jsonv`] — minimal JSON reader used to validate evidence files.
 //! * [`scenario`] / [`world`] — deterministic whole-datacenter
 //!   scenarios with paired before/after (manual vs intelliagent) runs.
@@ -44,6 +46,7 @@ pub mod profile;
 pub mod resched;
 pub mod rulesets;
 pub mod scenario;
+pub mod slo;
 pub mod status;
 pub mod world;
 
@@ -51,11 +54,12 @@ pub use admin::AdminPair;
 pub use agents::{AgentKind, AgentParts, AgentRunReport, ServiceFinding};
 pub use divergence::{first_divergence, Divergence, Stream};
 pub use downtime::{Actor, CategoryTotals, DowntimeLedger, Incident, IncidentId};
-pub use export::run_export_json;
+pub use export::{run_export_json, validate_spill_dir};
 pub use flags::{Flag, FlagOutcome};
 pub use jsonv::JsonValue;
 pub use notify::{Channel, Notification, NotificationBus, Severity};
 pub use profile::ProfileReport;
 pub use resched::DgsplSelector;
 pub use scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
+pub use slo::{SloAlert, SloConfig, SloReport, SloTracker};
 pub use world::{run_scenario, OntologyError, World, WorldEvent};

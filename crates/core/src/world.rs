@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use intelliqos_simkern::{
     EventQueue, EventToken, MetricsRegistry, Profiler, SimDuration, SimRng, SimTime, Subsystem,
-    Trace,
+    Trace, TraceOptions,
 };
 
 use intelliqos_cluster::faults::{
@@ -49,6 +49,7 @@ use crate::notify::NotificationBus;
 use crate::ontogen;
 use crate::resched::DgsplSelector;
 use crate::scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
+use crate::slo::{SloConfig, SloTracker};
 use crate::status::run_status_agent;
 
 use intelliqos_ontology::constraint::ConstraintStore;
@@ -245,6 +246,10 @@ pub struct World {
     /// kind, agent sweeps by category, DGSPL regeneration, LSF
     /// dispatch. Disabled by default; see [`World::enable_profile`].
     pub profiler: Profiler,
+    /// The online QoS observatory: per-service availability budgets,
+    /// MTTR, and burn-rate alerts, maintained at every incident close.
+    /// Always on — pure simulation-time arithmetic.
+    pub slo: SloTracker,
 
     queue: EventQueue<WorldEvent>,
     fault_tape: Vec<FaultEvent>,
@@ -506,6 +511,7 @@ impl World {
             rng_detect: SimRng::stream(seed, "detect"),
             rng_repair: SimRng::stream(seed, "repair"),
             rng_target: SimRng::stream(seed, "target"),
+            slo: SloTracker::new(SloConfig::default(), servers.len() as u64),
             cfg,
             servers,
             fabric,
@@ -689,6 +695,12 @@ impl World {
         self.trace.emit(horizon, Subsystem::Kernel, "run-end", || {
             format!("open_incidents={open}")
         });
+        // Flight-recorder discipline: a spill sink must not lose its
+        // pending record or manifest because the run ended.
+        if let Err(e) = self.trace.flush() {
+            self.metrics.inc("trace.flush-errors");
+            eprintln!("trace flush failed: {e}");
+        }
         self.report(horizon)
     }
 
@@ -696,6 +708,14 @@ impl World {
     /// for chaining.
     pub fn enable_trace(mut self) -> Self {
         self.trace = Trace::enabled();
+        self
+    }
+
+    /// Switch on structured tracing with explicit options — custom ring
+    /// capacity, per-subsystem rings, a spill-to-disk sink, or a
+    /// subsystem filter — and return `self` for chaining.
+    pub fn enable_trace_with(mut self, opts: TraceOptions) -> Self {
+        self.trace = Trace::with_options(opts);
         self
     }
 
@@ -954,8 +974,9 @@ impl World {
         if self.open_by_service.contains_key(&svc) {
             return;
         }
-        let inc = self.ledger.open(
+        let inc = self.ledger.open_scoped(
             FaultCategory::MidJobDbCrash,
+            self.slo_key_service(svc),
             format!(
                 "database on {sid} crashed mid-job ({} jobs lost)",
                 failed.len()
@@ -963,9 +984,10 @@ impl World {
             now,
         );
         let lost = failed.len();
-        self.trace.emit(now, Subsystem::Fault, "db-crash", || {
-            format!("inc={inc} server={sid} jobs_lost={lost}")
-        });
+        self.trace
+            .emit_corr(now, Subsystem::Fault, "db-crash", Some(inc.0), || {
+                format!("inc={inc} server={sid} jobs_lost={lost}")
+            });
         self.open_by_service.insert(svc, (inc, false));
         self.open_faults.push(OpenFault {
             incident: inc,
@@ -1113,14 +1135,15 @@ impl World {
                 .sample_repair(complexity, &mut self.rng_repair);
         self.queue
             .schedule(restored, WorldEvent::ManualRestore(inc));
-        self.trace.emit(onset, Subsystem::Manual, "pipeline", || {
-            format!(
-                "inc={inc} cat={cat:?} detect={} engage={} restore={}",
-                detected.as_secs(),
-                engaged.as_secs(),
-                restored.as_secs()
-            )
-        });
+        self.trace
+            .emit_corr(onset, Subsystem::Manual, "pipeline", Some(inc.0), || {
+                format!(
+                    "inc={inc} cat={cat:?} detect={} engage={} restore={}",
+                    detected.as_secs(),
+                    engaged.as_secs(),
+                    restored.as_secs()
+                )
+            });
     }
 
     /// Time of the next agent sweep strictly after `now`.
@@ -1158,9 +1181,13 @@ impl World {
                     let cap = server.effective_spec().compute_power();
                     server.external_cpu_demand += cap * 0.3;
                 }
-                let inc = self
-                    .ledger
-                    .open(cat, format!("obscure slowdown on {sid}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("obscure slowdown on {sid}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1228,9 +1255,13 @@ impl World {
                         }
                     }
                 };
-                let inc = self
-                    .ledger
-                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("{:?} on {sid}", fault.mechanism),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1273,9 +1304,13 @@ impl World {
                     .fail_all_on(sid, FailReason::DbCrash, &mut self.servers, now);
                 self.cancel_job_events(&failed);
                 self.sync_lsf_master();
-                let inc = self
-                    .ledger
-                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_service(svc),
+                    format!("{:?} on {sid}", fault.mechanism),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_by_service.insert(svc, (inc, false));
                 self.open_faults.push(OpenFault {
                     incident: inc,
@@ -1290,9 +1325,13 @@ impl World {
                 if !agents {
                     // Year 1 has no agent crontab; a disabled monitoring
                     // cron is a minor incident found during rounds.
-                    let inc =
-                        self.ledger
-                            .open(cat, format!("monitoring cron disabled on {sid}"), now);
+                    let inc = self.ledger.open_scoped(
+                        cat,
+                        self.slo_key_host(sid),
+                        format!("monitoring cron disabled on {sid}"),
+                        now,
+                    );
+                    self.trace.correlate_last(inc.0);
                     self.open_faults.push(OpenFault {
                         incident: inc,
                         mechanism: fault.mechanism,
@@ -1310,9 +1349,13 @@ impl World {
                     return;
                 }
                 self.cron_enabled.insert(sid, false);
-                let inc = self
-                    .ledger
-                    .open(cat, format!("agent crontab disabled on {sid}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("agent crontab disabled on {sid}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1337,7 +1380,13 @@ impl World {
                 if let Some(server) = self.servers.get_mut(&sid) {
                     server.ntp_synced = false;
                 }
-                let inc = self.ledger.open(cat, format!("NTP broken on {sid}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("NTP broken on {sid}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1383,9 +1432,13 @@ impl World {
                             .fail_all_on(sid, FailReason::DbCrash, &mut self.servers, now);
                     self.cancel_job_events(&failed);
                 }
-                let inc = self
-                    .ledger
-                    .open(cat, format!("{:?} on {sid}", fault.mechanism), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_service(svc),
+                    format!("{:?} on {sid}", fault.mechanism),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_by_service.insert(svc, (inc, false));
                 self.open_faults.push(OpenFault {
                     incident: inc,
@@ -1401,9 +1454,13 @@ impl World {
                 };
                 let seg = self.public_segs[self.rng_target.index(self.public_segs.len().max(1))];
                 self.fabric.set_firewall_block(seg, sid, true);
-                let inc =
-                    self.ledger
-                        .open(cat, format!("firewall rule blocks {sid} on {seg}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    "network".to_string(),
+                    format!("firewall rule blocks {sid} on {seg}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1444,7 +1501,13 @@ impl World {
                 // network — outages there exercise the reroute path.
                 let seg = self.private_seg;
                 self.fabric.set_segment_up(seg, false);
-                let inc = self.ledger.open(cat, format!("segment {seg} down"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    "network".to_string(),
+                    format!("segment {seg} down"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1487,9 +1550,13 @@ impl World {
                     let server = self.servers.get_mut(&sid).expect("target exists");
                     server.set_component_health(class, 0, ComponentHealth::Degraded);
                 }
-                let inc = self
-                    .ledger
-                    .open(cat, format!("{class} degrading on {sid}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("{class} degrading on {sid}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 self.open_faults.push(OpenFault {
                     incident: inc,
                     mechanism: fault.mechanism,
@@ -1528,9 +1595,13 @@ impl World {
                     server.set_component_health(class, 0, ComponentHealth::Failed);
                     server.fatal_hardware_fault()
                 };
-                let inc = self
-                    .ledger
-                    .open(cat, format!("{class} failed on {sid}"), now);
+                let inc = self.ledger.open_scoped(
+                    cat,
+                    self.slo_key_host(sid),
+                    format!("{class} failed on {sid}"),
+                    now,
+                );
+                self.trace.correlate_last(inc.0);
                 if fatal {
                     // The machine goes down with everything on it.
                     self.servers.get_mut(&sid).expect("target exists").crash();
@@ -1569,6 +1640,42 @@ impl World {
                     detected_at,
                 );
             }
+        }
+    }
+
+    /// SLO accounting key for a host-scoped incident: the hostname.
+    fn slo_key_host(&self, sid: ServerId) -> String {
+        self.servers
+            .get(&sid)
+            .map(|s| s.hostname.clone())
+            .unwrap_or_else(|| sid.to_string())
+    }
+
+    /// SLO accounting key for a service-scoped incident: the deployed
+    /// service's name.
+    fn slo_key_service(&self, svc: ServiceId) -> String {
+        self.registry
+            .get(svc)
+            .map(|s| s.spec.name.clone())
+            .unwrap_or_else(|| "service".to_string())
+    }
+
+    /// Feed one just-closed incident to the online SLO tracker; emits
+    /// the fast-burn `SloAlert` trace event when the service blew its
+    /// windowed budget. Call immediately after `ledger.restore`.
+    fn slo_observe(&mut self, inc: IncidentId, now: SimTime) {
+        let Some(rec) = self.ledger.get(inc) else {
+            return;
+        };
+        let service = rec.service.clone();
+        let (onset, detected) = (rec.onset, rec.detected.unwrap_or(rec.onset));
+        if let Some(alert) = self.slo.on_close(&service, inc, onset, detected, now) {
+            self.metrics.inc("slo.alerts");
+            let burn = alert.burn_rate;
+            self.trace
+                .emit_corr(now, Subsystem::Slo, "burn-alert", Some(inc.0), || {
+                    format!("inc={inc} service={service} burn={burn:.1}")
+                });
         }
     }
 
@@ -1616,9 +1723,10 @@ impl World {
                     self.ledger.detect(inc, now);
                     self.ledger.diagnose(inc, now);
                     let (svc, repairing) = (finding.service, finding.repair_completes.is_some());
-                    self.trace.emit(now, Subsystem::Agent, "diagnose", || {
-                        format!("inc={inc} service={svc:?} repairing={repairing}")
-                    });
+                    self.trace
+                        .emit_corr(now, Subsystem::Agent, "diagnose", Some(inc.0), || {
+                            format!("inc={inc} service={svc:?} repairing={repairing}")
+                        });
                     if let Some(ready) = finding.repair_completes {
                         self.open_by_service.insert(finding.service, (inc, true));
                         self.queue
@@ -1699,14 +1807,18 @@ impl World {
                 self.ledger.detect(inc, now);
                 self.ledger.diagnose(inc, now);
                 self.ledger.restore(inc, now, Actor::Agent, action);
-                self.trace.emit(now, Subsystem::Agent, "local-heal", || {
-                    format!("inc={inc} host={sid} action={action}")
-                });
-                closed.push(idx);
+                self.trace
+                    .emit_corr(now, Subsystem::Agent, "local-heal", Some(inc.0), || {
+                        format!("inc={inc} host={sid} action={action}")
+                    });
+                closed.push((idx, inc));
             }
         }
-        for idx in closed.into_iter().rev() {
+        for &(idx, _) in closed.iter().rev() {
             self.open_faults.remove(idx);
+        }
+        for (_, inc) in closed {
+            self.slo_observe(inc, now);
         }
     }
 
@@ -1732,9 +1844,11 @@ impl World {
                     self.ledger.detect(inc, now);
                     self.ledger.diagnose(inc, now);
                     self.ledger.restore(inc, now, Actor::Admin, "enable-cron");
-                    self.trace.emit(now, Subsystem::Admin, "cron-repair", || {
-                        format!("inc={inc} host={sid}")
-                    });
+                    self.trace
+                        .emit_corr(now, Subsystem::Admin, "cron-repair", Some(inc.0), || {
+                            format!("inc={inc} host={sid}")
+                        });
+                    self.slo_observe(inc, now);
                 }
             }
             // Resubmit failed batch jobs through the DGSPL policy.
@@ -1827,9 +1941,10 @@ impl World {
             if let E2eResult::FailedAt { component, .. } = result {
                 if let Some((inc, _)) = self.open_by_service.get(&component).copied() {
                     self.ledger.detect(inc, now);
-                    self.trace.emit(now, Subsystem::Agent, "e2e-fail", || {
-                        format!("inc={inc} component={component:?}")
-                    });
+                    self.trace
+                        .emit_corr(now, Subsystem::Agent, "e2e-fail", Some(inc.0), || {
+                            format!("inc={inc} component={component:?}")
+                        });
                 }
             }
         }
@@ -1906,9 +2021,11 @@ impl World {
     fn close_human(&mut self, inc: IncidentId, now: SimTime, action: &str) {
         self.ledger.restore(inc, now, Actor::Human, action);
         let action = action.to_string();
-        self.trace.emit(now, Subsystem::Manual, "restore", || {
-            format!("inc={inc} action={action}")
-        });
+        self.trace
+            .emit_corr(now, Subsystem::Manual, "restore", Some(inc.0), || {
+                format!("inc={inc} action={action}")
+            });
+        self.slo_observe(inc, now);
     }
 
     fn on_manual_restore(&mut self, inc: IncidentId, now: SimTime) {
@@ -2081,9 +2198,11 @@ impl World {
             if auto {
                 self.ledger
                     .restore(inc, now, Actor::Agent, "restart-service");
-                self.trace.emit(now, Subsystem::Agent, "restore", || {
-                    format!("inc={inc} action=restart-service")
-                });
+                self.trace
+                    .emit_corr(now, Subsystem::Agent, "restore", Some(inc.0), || {
+                        format!("inc={inc} action=restart-service")
+                    });
+                self.slo_observe(inc, now);
             } else {
                 self.close_human(inc, now, "restart-service");
             }

@@ -46,4 +46,6 @@ pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, WEEK, YEAR};
-pub use trace::{Subsystem, Trace, TraceEvent};
+pub use trace::{
+    RingSink, SpillConfig, SpillSink, Subsystem, Trace, TraceEvent, TraceOptions, TraceSink,
+};

@@ -72,6 +72,11 @@ impl<T> CircularQueue<T> {
         self.buf.back()
     }
 
+    /// Mutable access to the newest retained element.
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        self.buf.back_mut()
+    }
+
     /// Iterate oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.buf.iter()

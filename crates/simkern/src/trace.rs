@@ -7,11 +7,30 @@
 //! unless tracing is on, so a production run pays one branch per call
 //! site and nothing else.
 //!
-//! Retention follows the paper's circular-measurement-file discipline
-//! (§3.5): a bounded ring keeps the most recent events, per-subsystem
-//! counters keep exact lifetime totals even after eviction. Rendered
-//! lines use the same pipe-delimited flat-ASCII shape as the ontology
-//! documents, so a trace dump greps like everything else in the system.
+//! Retention is pluggable behind the [`TraceSink`] trait:
+//!
+//! * [`RingSink`] follows the paper's circular-measurement-file
+//!   discipline (§3.5): a bounded ring keeps the most recent events
+//!   (with optional dedicated per-subsystem rings), per-subsystem
+//!   counters keep exact lifetime totals even after eviction.
+//! * [`SpillSink`] is the flight recorder: every event is appended to
+//!   chunked JSONL files on disk (nothing is ever lost), while a
+//!   bounded in-memory tail keeps recent events available to
+//!   in-process consumers (divergence finder, `triage`).
+//!
+//! Rendered lines use the same pipe-delimited flat-ASCII shape as the
+//! ontology documents, so a trace dump greps like everything else in
+//! the system.
+//!
+//! Events may carry a **correlation id** (the incident id they belong
+//! to) so a post-hoc reader can reassemble the complete causal
+//! timeline of one incident: inject → detect → diagnose → heal or
+//! escalate. Correlation ids never appear in the rendered pipe lines —
+//! the flat-ASCII shape is stable — but they are written to spill
+//! records and are queryable in-process.
+
+use std::io::Write;
+use std::path::PathBuf;
 
 use crate::ring::CircularQueue;
 use crate::time::SimTime;
@@ -34,11 +53,13 @@ pub enum Subsystem {
     Workload,
     /// The simulation kernel itself (run lifecycle markers).
     Kernel,
+    /// The online SLO observatory (availability budgets, burn alerts).
+    Slo,
 }
 
 impl Subsystem {
     /// All subsystems, in counter order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Fault,
         Subsystem::Agent,
         Subsystem::Admin,
@@ -46,6 +67,7 @@ impl Subsystem {
         Subsystem::Manual,
         Subsystem::Workload,
         Subsystem::Kernel,
+        Subsystem::Slo,
     ];
 
     /// Short lower-case tag used in rendered lines.
@@ -58,7 +80,13 @@ impl Subsystem {
             Subsystem::Manual => "manual",
             Subsystem::Workload => "work",
             Subsystem::Kernel => "kern",
+            Subsystem::Slo => "slo",
         }
+    }
+
+    /// Inverse of [`Subsystem::tag`]; used by CLI per-subsystem options.
+    pub fn from_tag(tag: &str) -> Option<Subsystem> {
+        Subsystem::ALL.iter().copied().find(|s| s.tag() == tag)
     }
 
     fn index(self) -> usize {
@@ -70,6 +98,7 @@ impl Subsystem {
             Subsystem::Manual => 4,
             Subsystem::Workload => 5,
             Subsystem::Kernel => 6,
+            Subsystem::Slo => 7,
         }
     }
 }
@@ -87,6 +116,10 @@ pub struct TraceEvent {
     pub subsystem: Subsystem,
     /// Short machine-stable event code, e.g. `inject`, `detect`, `repair`.
     pub code: &'static str,
+    /// Correlation id: the incident this event belongs to, when known.
+    /// Not part of the rendered pipe line (the flat-ASCII shape is
+    /// stable); written to spill records as `corr`.
+    pub corr: Option<u64>,
     /// Free-form detail (already rendered; escaped on output).
     pub detail: String,
 }
@@ -115,22 +148,464 @@ impl TraceEvent {
             detail
         )
     }
+
+    /// One spill record: a single JSON object per line (JSONL). The
+    /// `corr` key is present only when the event is incident-correlated.
+    pub fn render_jsonl(&self) -> String {
+        let mut line = String::with_capacity(self.detail.len() + 64);
+        line.push_str("{\"seq\":");
+        line.push_str(&self.seq.to_string());
+        line.push_str(",\"at\":");
+        line.push_str(&self.at.as_secs().to_string());
+        line.push_str(",\"subsystem\":\"");
+        line.push_str(self.subsystem.tag());
+        line.push_str("\",\"code\":\"");
+        line.push_str(self.code);
+        line.push('"');
+        if let Some(c) = self.corr {
+            line.push_str(",\"corr\":");
+            line.push_str(&c.to_string());
+        }
+        line.push_str(",\"detail\":\"");
+        json_escape_into(&self.detail, &mut line);
+        line.push_str("\"}");
+        line
+    }
+}
+
+/// Escape `s` for inclusion inside a JSON string literal.
+fn json_escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 /// Default ring capacity: enough for the interesting tail of a year-long
 /// run without letting a pathological run grow without bound.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
+/// Default spill chunk size, in records per JSONL chunk file.
+pub const DEFAULT_CHUNK_RECORDS: usize = 65_536;
+
+/// Name of the spill-directory manifest written by [`SpillSink::flush`].
+pub const SPILL_MANIFEST: &str = "manifest.json";
+
+/// Where recorded events go. The trace owns exactly one sink; the sink
+/// decides what is retained in memory, what is persisted, and what is
+/// dropped. Sinks are `Send` so traced worlds can run on the paired
+/// before/after threads.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Consume one event. Events arrive in strictly increasing `seq`
+    /// order.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Events still available in memory, oldest → newest. Spill sinks
+    /// retain a bounded tail; the full stream lives on disk.
+    fn retained(&self) -> Vec<&TraceEvent>;
+
+    /// Events durably lost: evicted from a ring with no disk copy, or
+    /// failed to reach disk. A spill sink that is keeping up reports 0.
+    fn dropped(&self) -> u64;
+
+    /// Per-subsystem breakdown of [`TraceSink::dropped`], in
+    /// [`Subsystem::ALL`] order.
+    fn dropped_by_subsystem(&self) -> [u64; Subsystem::ALL.len()];
+
+    /// Retroactively attach a correlation id to the most recently
+    /// recorded event. Used when an event is emitted just before the
+    /// incident it belongs to is opened (e.g. the fault injector's
+    /// `inject` line).
+    fn set_last_corr(&mut self, corr: u64);
+
+    /// Flush buffered output to durable storage (no-op for rings).
+    fn flush(&mut self) -> Result<(), String>;
+
+    /// Stable sink name for exports: `"ring"` or `"spill"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// The in-memory ring sink: a shared bounded ring, plus optional
+/// dedicated rings for individual subsystems so a chatty subsystem
+/// (workload, LSF) cannot evict the sparse one you are triaging.
+#[derive(Debug)]
+pub struct RingSink {
+    shared: CircularQueue<TraceEvent>,
+    per: Vec<(Subsystem, CircularQueue<TraceEvent>)>,
+    dropped_by: [u64; Subsystem::ALL.len()],
+}
+
+impl RingSink {
+    /// A ring sink with one shared ring of `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            shared: CircularQueue::new(capacity),
+            per: Vec::new(),
+            dropped_by: [0; Subsystem::ALL.len()],
+        }
+    }
+
+    /// Give `subsystem` its own dedicated ring of `capacity` events;
+    /// its events no longer compete with the shared ring.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_subsystem_capacity(mut self, subsystem: Subsystem, capacity: usize) -> Self {
+        if let Some(slot) = self.per.iter_mut().find(|(s, _)| *s == subsystem) {
+            slot.1 = CircularQueue::new(capacity);
+        } else {
+            self.per.push((subsystem, CircularQueue::new(capacity)));
+        }
+        self
+    }
+
+    fn ring_for(&mut self, subsystem: Subsystem) -> &mut CircularQueue<TraceEvent> {
+        match self.per.iter_mut().find(|(s, _)| *s == subsystem) {
+            Some((_, ring)) => ring,
+            None => &mut self.shared,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        let sub = ev.subsystem;
+        if let Some(evicted) = self.ring_for(sub).push(ev) {
+            self.dropped_by[evicted.subsystem.index()] += 1;
+        }
+    }
+
+    fn retained(&self) -> Vec<&TraceEvent> {
+        if self.per.is_empty() {
+            return self.shared.iter().collect();
+        }
+        let mut all: Vec<&TraceEvent> = self.shared.iter().collect();
+        for (_, ring) in &self.per {
+            all.extend(ring.iter());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped_by.iter().sum()
+    }
+
+    fn dropped_by_subsystem(&self) -> [u64; Subsystem::ALL.len()] {
+        self.dropped_by
+    }
+
+    fn set_last_corr(&mut self, corr: u64) {
+        // The most recently recorded event is the back entry with the
+        // globally highest seq across all rings.
+        let mut best: Option<(Option<usize>, u64)> = self.shared.back().map(|e| (None, e.seq));
+        for (i, (_, ring)) in self.per.iter().enumerate() {
+            if let Some(e) = ring.back() {
+                if best.is_none_or(|(_, s)| e.seq > s) {
+                    best = Some((Some(i), e.seq));
+                }
+            }
+        }
+        let back = match best {
+            Some((Some(i), _)) => self.per[i].1.back_mut(),
+            Some((None, _)) => self.shared.back_mut(),
+            None => None,
+        };
+        if let Some(e) = back {
+            e.corr = Some(corr);
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// Configuration for the spill-to-disk sink.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory receiving `chunk-NNNNN.jsonl` files and the manifest.
+    /// Created on first write.
+    pub dir: PathBuf,
+    /// Records per chunk file before rotating to the next chunk.
+    pub chunk_records: usize,
+    /// Capacity of the in-memory tail kept for in-process consumers.
+    pub tail_capacity: usize,
+}
+
+impl SpillConfig {
+    /// Spill into `dir` with default chunking and tail retention.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpillConfig {
+            dir: dir.into(),
+            chunk_records: DEFAULT_CHUNK_RECORDS,
+            tail_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// The flight recorder: every event is appended to chunked JSONL files
+/// under [`SpillConfig::dir`], so nothing is lost no matter how long
+/// the run; a bounded tail ring keeps recent events for in-process
+/// consumers. [`SpillSink::flush`] writes a `manifest.json` naming
+/// every chunk and its record count so a validator can detect
+/// truncation.
+///
+/// Writing is deliberately one event behind: the newest event is held
+/// pending so a correlation id assigned immediately after emission
+/// (see [`TraceSink::set_last_corr`]) still reaches the disk record.
+#[derive(Debug)]
+pub struct SpillSink {
+    cfg: SpillConfig,
+    tail: CircularQueue<TraceEvent>,
+    pending: Option<TraceEvent>,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    records_in_chunk: u64,
+    chunks_done: Vec<(String, u64)>,
+    written_total: u64,
+    io_errors: u64,
+    io_errors_by: [u64; Subsystem::ALL.len()],
+    last_error: Option<String>,
+}
+
+impl SpillSink {
+    /// A spill sink writing under `cfg.dir`. The directory is created
+    /// lazily on the first record.
+    ///
+    /// # Panics
+    /// Panics if `cfg.chunk_records == 0` or `cfg.tail_capacity == 0`.
+    pub fn new(cfg: SpillConfig) -> Self {
+        assert!(cfg.chunk_records > 0, "spill chunk size must be positive");
+        let tail = CircularQueue::new(cfg.tail_capacity);
+        SpillSink {
+            cfg,
+            tail,
+            pending: None,
+            writer: None,
+            records_in_chunk: 0,
+            chunks_done: Vec::new(),
+            written_total: 0,
+            io_errors: 0,
+            io_errors_by: [0; Subsystem::ALL.len()],
+            last_error: None,
+        }
+    }
+
+    /// Records written to disk so far (the newest event may still be
+    /// pending in memory until the next record or flush).
+    pub fn written_total(&self) -> u64 {
+        self.written_total
+    }
+
+    /// The most recent IO error, if any write has failed.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    fn chunk_name(index: usize) -> String {
+        format!("chunk-{index:05}.jsonl")
+    }
+
+    fn note_error(&mut self, sub: Subsystem, err: String) {
+        self.io_errors += 1;
+        self.io_errors_by[sub.index()] += 1;
+        self.last_error = Some(err);
+    }
+
+    fn write_out(&mut self, ev: &TraceEvent) {
+        if self.writer.is_none() {
+            if let Err(e) = std::fs::create_dir_all(&self.cfg.dir) {
+                self.note_error(
+                    ev.subsystem,
+                    format!("create {}: {e}", self.cfg.dir.display()),
+                );
+                return;
+            }
+            let path = self.cfg.dir.join(Self::chunk_name(self.chunks_done.len()));
+            match std::fs::File::create(&path) {
+                Ok(f) => self.writer = Some(std::io::BufWriter::new(f)),
+                Err(e) => {
+                    self.note_error(ev.subsystem, format!("create {}: {e}", path.display()));
+                    return;
+                }
+            }
+        }
+        let line = ev.render_jsonl();
+        let ok = match self.writer.as_mut() {
+            Some(w) => writeln!(w, "{line}").map_err(|e| e.to_string()),
+            None => Err("spill writer unavailable".to_string()),
+        };
+        match ok {
+            Ok(()) => {
+                self.records_in_chunk += 1;
+                self.written_total += 1;
+                if self.records_in_chunk >= self.cfg.chunk_records as u64 {
+                    self.rotate_chunk();
+                }
+            }
+            Err(e) => self.note_error(ev.subsystem, e),
+        }
+    }
+
+    fn rotate_chunk(&mut self) {
+        if let Some(mut w) = self.writer.take() {
+            if let Err(e) = w.flush() {
+                self.last_error = Some(e.to_string());
+                self.io_errors += 1;
+            }
+        }
+        self.chunks_done.push((
+            Self::chunk_name(self.chunks_done.len()),
+            self.records_in_chunk,
+        ));
+        self.records_in_chunk = 0;
+    }
+
+    fn write_manifest(&mut self) -> Result<(), String> {
+        let mut chunks: Vec<(String, u64)> = self.chunks_done.clone();
+        if self.records_in_chunk > 0 {
+            chunks.push((Self::chunk_name(chunks.len()), self.records_in_chunk));
+        }
+        let mut body = String::with_capacity(256);
+        body.push_str("{\n  \"report\": \"trace_spill\",\n");
+        body.push_str(&format!(
+            "  \"chunk_records\": {},\n  \"total\": {},\n  \"io_errors\": {},\n",
+            self.cfg.chunk_records, self.written_total, self.io_errors
+        ));
+        body.push_str("  \"chunks\": [");
+        for (i, (name, records)) in chunks.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "\n    {{\"file\": \"{name}\", \"records\": {records}}}"
+            ));
+        }
+        if !chunks.is_empty() {
+            body.push_str("\n  ");
+        }
+        body.push_str("]\n}\n");
+        std::fs::create_dir_all(&self.cfg.dir)
+            .map_err(|e| format!("create {}: {e}", self.cfg.dir.display()))?;
+        let path = self.cfg.dir.join(SPILL_MANIFEST);
+        std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
+impl TraceSink for SpillSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(prev) = self.pending.take() {
+            self.write_out(&prev);
+        }
+        self.tail.push(ev.clone());
+        self.pending = Some(ev);
+    }
+
+    fn retained(&self) -> Vec<&TraceEvent> {
+        self.tail.iter().collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        // Tail evictions are not losses — the disk copy has the event.
+        self.io_errors
+    }
+
+    fn dropped_by_subsystem(&self) -> [u64; Subsystem::ALL.len()] {
+        self.io_errors_by
+    }
+
+    fn set_last_corr(&mut self, corr: u64) {
+        if let Some(ev) = self.pending.as_mut() {
+            ev.corr = Some(corr);
+        }
+        if let Some(ev) = self.tail.back_mut() {
+            ev.corr = Some(corr);
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        if let Some(prev) = self.pending.take() {
+            self.write_out(&prev);
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                let msg = e.to_string();
+                self.io_errors += 1;
+                self.last_error = Some(msg.clone());
+                return Err(msg);
+            }
+        }
+        self.write_manifest()
+    }
+
+    fn kind(&self) -> &'static str {
+        "spill"
+    }
+}
+
+impl Drop for SpillSink {
+    fn drop(&mut self) {
+        // Best-effort: don't lose the pending event or the manifest if
+        // the owner forgot the final flush.
+        let _ = self.flush();
+    }
+}
+
+/// Everything configurable about a trace, bundled for CLI plumbing.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Shared in-memory capacity: ring size for [`RingSink`], tail size
+    /// for [`SpillSink`].
+    pub capacity: usize,
+    /// Dedicated per-subsystem ring capacities (ring sink only).
+    pub per_subsystem: Vec<(Subsystem, usize)>,
+    /// When set, use a [`SpillSink`] writing under this configuration.
+    pub spill: Option<SpillConfig>,
+    /// When set, record only these subsystems; everything else is
+    /// counted as filtered and never reaches the sink.
+    pub only: Option<Vec<Subsystem>>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            per_subsystem: Vec::new(),
+            spill: None,
+            only: None,
+        }
+    }
+}
+
 /// A run-wide structured event log.
 ///
 /// Construct with [`Trace::disabled`] (the default for production
-/// simulations — every `emit` is a single branch) or [`Trace::enabled`].
-#[derive(Debug, Clone)]
+/// simulations — every `emit` is a single branch), [`Trace::enabled`],
+/// or [`Trace::with_options`] for spill / capacity / filter control.
+#[derive(Debug)]
 pub struct Trace {
     enabled: bool,
-    ring: CircularQueue<TraceEvent>,
+    sink: Box<dyn TraceSink>,
     next_seq: u64,
     counts: [u64; Subsystem::ALL.len()],
+    filter: [bool; Subsystem::ALL.len()],
+    filtered: u64,
 }
 
 impl Default for Trace {
@@ -145,9 +620,11 @@ impl Trace {
         Trace {
             enabled: false,
             // Capacity 1: the ring is never pushed to while disabled.
-            ring: CircularQueue::new(1),
+            sink: Box::new(RingSink::new(1)),
             next_seq: 0,
             counts: [0; Subsystem::ALL.len()],
+            filter: [true; Subsystem::ALL.len()],
+            filtered: 0,
         }
     }
 
@@ -162,11 +639,44 @@ impl Trace {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn with_capacity(capacity: usize) -> Self {
+        Trace::with_options(TraceOptions {
+            capacity,
+            ..TraceOptions::default()
+        })
+    }
+
+    /// An enabled trace configured by `opts`: ring or spill sink,
+    /// per-subsystem capacities, subsystem filter.
+    ///
+    /// # Panics
+    /// Panics if any configured capacity or chunk size is zero.
+    pub fn with_options(opts: TraceOptions) -> Self {
+        let sink: Box<dyn TraceSink> = match opts.spill {
+            Some(mut spill) => {
+                spill.tail_capacity = opts.capacity;
+                Box::new(SpillSink::new(spill))
+            }
+            None => {
+                let mut ring = RingSink::new(opts.capacity);
+                for (sub, cap) in opts.per_subsystem {
+                    ring = ring.with_subsystem_capacity(sub, cap);
+                }
+                Box::new(ring)
+            }
+        };
+        let mut filter = [opts.only.is_none(); Subsystem::ALL.len()];
+        if let Some(only) = opts.only {
+            for sub in only {
+                filter[sub.index()] = true;
+            }
+        }
         Trace {
             enabled: true,
-            ring: CircularQueue::new(capacity),
+            sink,
             next_seq: 0,
             counts: [0; Subsystem::ALL.len()],
+            filter,
+            filtered: 0,
         }
     }
 
@@ -186,19 +696,49 @@ impl Trace {
         code: &'static str,
         detail: impl FnOnce() -> String,
     ) {
+        self.emit_corr(at, subsystem, code, None, detail);
+    }
+
+    /// Record one incident-correlated event. Identical to [`Trace::emit`]
+    /// except the event carries `corr` (an incident id) for timeline
+    /// reassembly.
+    #[inline]
+    pub fn emit_corr(
+        &mut self,
+        at: SimTime,
+        subsystem: Subsystem,
+        code: &'static str,
+        corr: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
+            return;
+        }
+        if !self.filter[subsystem.index()] {
+            self.filtered += 1;
             return;
         }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.counts[subsystem.index()] += 1;
-        self.ring.push(TraceEvent {
+        self.sink.record(TraceEvent {
             seq,
             at,
             subsystem,
             code,
+            corr,
             detail: detail(),
         });
+    }
+
+    /// Retroactively attach a correlation id to the most recently
+    /// emitted event. Used when the incident id only exists *after* the
+    /// event was emitted (the fault injector's `inject` line precedes
+    /// the ledger open).
+    pub fn correlate_last(&mut self, corr: u64) {
+        if self.enabled {
+            self.sink.set_last_corr(corr);
+        }
     }
 
     /// Lifetime event count for one subsystem (evicted events included).
@@ -211,19 +751,53 @@ impl Trace {
         self.next_seq
     }
 
-    /// How many events the ring has dropped.
+    /// How many events the sink has durably lost (ring evictions with
+    /// no disk copy; failed spill writes). Kept under the historical
+    /// name — `dropped` is an alias.
     pub fn evicted(&self) -> u64 {
-        self.ring.evicted_count()
+        self.sink.dropped()
+    }
+
+    /// How many events the sink has durably lost.
+    pub fn dropped(&self) -> u64 {
+        self.sink.dropped()
+    }
+
+    /// Per-subsystem breakdown of dropped events as `(tag, count)`
+    /// pairs, in [`Subsystem::ALL`] order.
+    pub fn dropped_by_subsystem(&self) -> Vec<(&'static str, u64)> {
+        let by = self.sink.dropped_by_subsystem();
+        Subsystem::ALL
+            .iter()
+            .map(|&s| (s.tag(), by[s.index()]))
+            .collect()
+    }
+
+    /// Events suppressed by the subsystem filter (never counted, never
+    /// sequenced, never recorded).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Stable name of the active sink: `"ring"` or `"spill"`.
+    pub fn sink_kind(&self) -> &'static str {
+        self.sink.kind()
+    }
+
+    /// Flush the sink to durable storage. No-op for ring sinks; writes
+    /// pending records and the chunk manifest for spill sinks.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.sink.flush()
     }
 
     /// Retained events, oldest → newest.
-    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.ring.iter()
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        self.sink.retained()
     }
 
     /// Retained events rendered as pipe-delimited lines, oldest → newest.
     pub fn render_lines(&self) -> Vec<String> {
-        self.ring.iter().map(TraceEvent::render).collect()
+        self.sink.retained().iter().map(|e| e.render()).collect()
     }
 
     /// Per-subsystem lifetime counters as `(tag, count)` pairs, in
@@ -240,6 +814,12 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("intelliqos-trace-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn disabled_trace_never_evaluates_detail() {
         let mut t = Trace::disabled();
@@ -251,7 +831,7 @@ mod tests {
         assert!(!evaluated);
         assert_eq!(t.total(), 0);
         assert_eq!(t.count(Subsystem::Fault), 0);
-        assert!(t.events().next().is_none());
+        assert!(t.events().is_empty());
     }
 
     #[test]
@@ -284,8 +864,10 @@ mod tests {
         assert_eq!(t.total(), 10);
         assert_eq!(t.count(Subsystem::Workload), 10);
         assert_eq!(t.evicted(), 6);
-        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let by = t.dropped_by_subsystem();
+        assert!(by.contains(&("work", 6)));
     }
 
     #[test]
@@ -295,6 +877,7 @@ mod tests {
             at: SimTime::from_secs(60),
             subsystem: Subsystem::Admin,
             code: "dgspl",
+            corr: None,
             detail: "a|b\\c\nd\re".into(),
         };
         assert_eq!(e.render(), "3|60|admin|dgspl|a\\pb\\\\c\\nd\\re");
@@ -303,12 +886,166 @@ mod tests {
     }
 
     #[test]
+    fn corr_never_changes_the_rendered_line() {
+        let mut plain = TraceEvent {
+            seq: 0,
+            at: SimTime::from_secs(5),
+            subsystem: Subsystem::Fault,
+            code: "inject",
+            corr: None,
+            detail: "db000".into(),
+        };
+        let rendered = plain.render();
+        plain.corr = Some(42);
+        assert_eq!(plain.render(), rendered);
+        // ... but the spill record carries it.
+        assert!(plain.render_jsonl().contains("\"corr\":42"));
+    }
+
+    #[test]
+    fn jsonl_escapes_quotes_and_controls() {
+        let e = TraceEvent {
+            seq: 1,
+            at: SimTime::from_secs(2),
+            subsystem: Subsystem::Agent,
+            code: "diagnose",
+            corr: Some(7),
+            detail: "say \"hi\"\nback\\slash".into(),
+        };
+        assert_eq!(
+            e.render_jsonl(),
+            "{\"seq\":1,\"at\":2,\"subsystem\":\"agent\",\"code\":\"diagnose\",\
+             \"corr\":7,\"detail\":\"say \\\"hi\\\"\\nback\\\\slash\"}"
+        );
+    }
+
+    #[test]
     fn counters_listing_covers_all_subsystems() {
         let t = Trace::enabled();
         let tags: Vec<&str> = t.counters().into_iter().map(|(tag, _)| tag).collect();
         assert_eq!(
             tags,
-            vec!["fault", "agent", "admin", "lsf", "manual", "work", "kern"]
+            vec!["fault", "agent", "admin", "lsf", "manual", "work", "kern", "slo"]
         );
+    }
+
+    #[test]
+    fn subsystem_tags_round_trip() {
+        for sub in Subsystem::ALL {
+            assert_eq!(Subsystem::from_tag(sub.tag()), Some(sub));
+        }
+        assert_eq!(Subsystem::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn per_subsystem_ring_protects_sparse_stream() {
+        let mut t = Trace::with_options(TraceOptions {
+            capacity: 4,
+            per_subsystem: vec![(Subsystem::Fault, 8)],
+            ..TraceOptions::default()
+        });
+        t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || "f0".into());
+        for i in 0..20u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+                String::new()
+            });
+        }
+        // The flood evicted workload events but the fault line survives.
+        assert_eq!(t.evicted(), 16);
+        let events = t.events();
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].subsystem, Subsystem::Fault);
+        // Merged view stays seq-sorted.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+        let by = t.dropped_by_subsystem();
+        assert!(by.contains(&("work", 16)));
+        assert!(by.contains(&("fault", 0)));
+    }
+
+    #[test]
+    fn subsystem_filter_suppresses_without_sequencing() {
+        let mut t = Trace::with_options(TraceOptions {
+            only: Some(vec![Subsystem::Fault, Subsystem::Agent]),
+            ..TraceOptions::default()
+        });
+        t.emit(SimTime::ZERO, Subsystem::Workload, "arrive", || "w".into());
+        t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || "f".into());
+        t.emit(SimTime::ZERO, Subsystem::Lsf, "dispatch", || "l".into());
+        t.emit(SimTime::ZERO, Subsystem::Agent, "detect", || "a".into());
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.filtered(), 2);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]); // no gaps: filtered events never sequence
+        assert_eq!(t.count(Subsystem::Workload), 0);
+    }
+
+    #[test]
+    fn correlate_last_patches_ring_event() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || "f".into());
+        t.correlate_last(9);
+        assert_eq!(t.events()[0].corr, Some(9));
+    }
+
+    #[test]
+    fn spill_writes_every_event_and_rotates_chunks() {
+        let dir = test_dir("rotate");
+        let mut t = Trace::with_options(TraceOptions {
+            capacity: 4, // tiny tail: tail eviction must not lose records
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                chunk_records: 10,
+                tail_capacity: 0, // overwritten by capacity
+            }),
+            ..TraceOptions::default()
+        });
+        for i in 0..25u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+                format!("job{i}")
+            });
+        }
+        t.correlate_last(3);
+        t.flush().unwrap();
+        assert_eq!(t.sink_kind(), "spill");
+        assert_eq!(t.dropped(), 0);
+        // Chunks: 10 + 10 + 5.
+        let c0 = std::fs::read_to_string(dir.join("chunk-00000.jsonl")).unwrap();
+        let c1 = std::fs::read_to_string(dir.join("chunk-00001.jsonl")).unwrap();
+        let c2 = std::fs::read_to_string(dir.join("chunk-00002.jsonl")).unwrap();
+        assert_eq!(c0.lines().count(), 10);
+        assert_eq!(c1.lines().count(), 10);
+        assert_eq!(c2.lines().count(), 5);
+        // The last record carries the retro-correlation.
+        assert!(c2.lines().last().unwrap().contains("\"corr\":3"));
+        // Manifest names all three chunks and the full total.
+        let manifest = std::fs::read_to_string(dir.join(SPILL_MANIFEST)).unwrap();
+        assert!(manifest.contains("\"total\": 25"));
+        assert!(manifest.contains("chunk-00002.jsonl"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_tail_serves_in_process_consumers() {
+        let dir = test_dir("tail");
+        let mut t = Trace::with_options(TraceOptions {
+            capacity: 3,
+            spill: Some(SpillConfig::new(dir.clone())),
+            ..TraceOptions::default()
+        });
+        for i in 0..8u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Agent, "sweep", || {
+                String::new()
+            });
+        }
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        assert_eq!(t.dropped(), 0); // tail eviction is not loss
+        t.flush().unwrap();
+        let chunk = std::fs::read_to_string(dir.join("chunk-00000.jsonl")).unwrap();
+        assert_eq!(chunk.lines().count(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

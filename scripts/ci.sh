@@ -32,8 +32,21 @@ rm -rf results/evidence
 ./target/release/fig2_downtime --seed 11 --days 2 --profile --trace > /dev/null
 test -s results/evidence/fig2_downtime_manual.json
 test -s results/evidence/fig2_downtime_agents.json
+test -s results/evidence/fig2_downtime_manual_slo.json
+test -s results/evidence/fig2_downtime_agents_slo.json
 ./target/release/ontology_check
 test -s results/evidence/ontology_check_site.json
 ./target/release/evidence_check
+
+echo "== flight-recorder smoke (traced spill run, validated)"
+./target/release/fig2_downtime --seed 11 --days 2 --profile --trace-file results/evidence/fig2_spill > /dev/null
+test -s results/evidence/fig2_spill/manualops/manifest.json
+test -s results/evidence/fig2_spill/intelliagents/manifest.json
+./target/release/evidence_check results/evidence/fig2_spill
+
+echo "== triage --incident smoke (correlated timeline renders)"
+# Plain grep (not -q) so the reader drains triage's full output; -q would
+# close the pipe early and kill the writer with SIGPIPE.
+./target/release/triage --incident 0 --seed 11 --days 3 | grep "timeline" > /dev/null
 
 echo "CI gate passed."

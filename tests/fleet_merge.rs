@@ -1,0 +1,94 @@
+//! Cross-thread fleet aggregation: N threads each run an independent
+//! site simulation, their `MetricsRegistry` / `Profiler` instances are
+//! merged into one fleet-wide profile, and the merged result must equal
+//! the single-threaded sum — merging is associative, order-insensitive,
+//! and loses nothing across thread boundaries.
+
+use std::collections::BTreeMap;
+
+use intelliqos::core::World;
+use intelliqos::prelude::*;
+use intelliqos::simkern::{MetricsRegistry, Profiler};
+use intelliqos_simkern::SimDuration;
+
+const SITE_SEEDS: [u64; 3] = [11, 23, 42];
+
+fn run_site(seed: u64) -> World {
+    let mut cfg = ScenarioConfig::small(seed, ManagementMode::Intelliagents);
+    cfg.horizon = SimDuration::from_days(7);
+    let mut world = World::build(cfg).enable_profile();
+    world.run_to_end();
+    world
+}
+
+fn counter_map(reg: &MetricsRegistry) -> BTreeMap<&'static str, u64> {
+    reg.counters().collect()
+}
+
+fn span_counts(prof: &Profiler) -> BTreeMap<&'static str, u64> {
+    prof.spans().map(|(name, h)| (name, h.count())).collect()
+}
+
+/// Merged-across-threads equals merged-sequentially equals the
+/// element-wise sum: fleet counters are exact, not approximate.
+#[test]
+fn threaded_fleet_merge_equals_single_threaded_sum() {
+    // Sequential reference: run each site on this thread and fold.
+    let sequential: Vec<World> = SITE_SEEDS.iter().map(|&s| run_site(s)).collect();
+    let mut seq_metrics = MetricsRegistry::enabled();
+    let mut seq_profile = Profiler::enabled();
+    for world in &sequential {
+        seq_metrics.merge(&world.metrics);
+        seq_profile.merge(&world.profiler);
+    }
+
+    // Threaded fleet: same sites, one thread each, merged on join.
+    let threaded: Vec<World> = std::thread::scope(|s| {
+        let handles: Vec<_> = SITE_SEEDS
+            .iter()
+            .map(|&seed| s.spawn(move || run_site(seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("site run"))
+            .collect()
+    });
+    let mut fleet_metrics = MetricsRegistry::enabled();
+    let mut fleet_profile = Profiler::enabled();
+    for world in &threaded {
+        fleet_metrics.merge(&world.metrics);
+        fleet_profile.merge(&world.profiler);
+    }
+
+    // Counters are simulation-driven, hence identical across the two
+    // execution shapes, and the merge is the exact element-wise sum.
+    assert_eq!(counter_map(&fleet_metrics), counter_map(&seq_metrics));
+    let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for world in &threaded {
+        for (name, v) in world.metrics.counters() {
+            *expected.entry(name).or_insert(0) += v;
+        }
+    }
+    assert_eq!(counter_map(&fleet_metrics), expected);
+    assert!(
+        fleet_metrics.counter("events.processed") > 0,
+        "sites actually ran"
+    );
+
+    // Span *counts* are deterministic (wall-clock values are not): the
+    // merged profiler holds exactly the per-site sums, on both shapes.
+    assert_eq!(span_counts(&fleet_profile), span_counts(&seq_profile));
+    let mut expected_spans: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for world in &threaded {
+        for (name, h) in world.profiler.spans() {
+            *expected_spans.entry(name).or_insert(0) += h.count();
+        }
+    }
+    assert_eq!(span_counts(&fleet_profile), expected_spans);
+    assert!(!expected_spans.is_empty(), "profiler recorded spans");
+
+    // And the per-site simulations themselves are thread-invariant.
+    for (a, b) in sequential.iter().zip(&threaded) {
+        assert_eq!(a.ledger.to_json(), b.ledger.to_json());
+    }
+}

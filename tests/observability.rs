@@ -2,10 +2,12 @@
 //! structured trace, the paired-run divergence finder, and the JSON run
 //! export, all exercised through whole-datacenter scenarios.
 
+use std::path::PathBuf;
+
 use intelliqos::core::divergence::{first_divergence, Stream};
-use intelliqos::core::run_export_json;
+use intelliqos::core::{run_export_json, validate_spill_dir, IncidentId};
 use intelliqos::prelude::*;
-use intelliqos::simkern::Subsystem;
+use intelliqos::simkern::{SpillConfig, Subsystem, TraceOptions};
 
 fn small(seed: u64, mode: ManagementMode) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::small(seed, mode);
@@ -89,6 +91,7 @@ fn trace_records_each_injected_fault_exactly_once() {
     let injects: Vec<_> = world
         .trace
         .events()
+        .into_iter()
         .filter(|e| e.subsystem == Subsystem::Fault && e.code == "inject")
         .collect();
     assert_eq!(
@@ -154,6 +157,201 @@ fn json_export_reflects_ledger_and_trace() {
         json.matches("\"category\": ").count(),
         world.ledger.incidents().count()
     );
+}
+
+/// Every correlation id on a trace event resolves to a ledger incident
+/// (no orphaned ids, no events emitted for an unknown — e.g. already
+/// dropped — incident), the correlated story always starts at the
+/// injection, and nothing is emitted for an incident after it closed.
+#[test]
+fn correlation_ids_reference_known_incidents_and_respect_close() {
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let (world, _) = run_traced(23, mode);
+        let mut correlated = 0usize;
+        for ev in world.trace.events() {
+            let Some(corr) = ev.corr else { continue };
+            correlated += 1;
+            let rec = world
+                .ledger
+                .get(IncidentId(corr))
+                .unwrap_or_else(|| panic!("{mode:?}: event {} has unknown corr {corr}", ev.seq));
+            if let Some(restored) = rec.restored {
+                assert!(
+                    ev.at <= restored,
+                    "{mode:?}: {} event for incident {corr} at {} after close {}",
+                    ev.code,
+                    ev.at.as_secs(),
+                    restored.as_secs()
+                );
+            }
+        }
+        assert!(correlated > 0, "{mode:?}: no correlated events at all");
+        // Every incident's timeline is complete: it begins with the
+        // injection ("inject" or "db-crash") and, when the incident
+        // closed, ends with a closing event.
+        for rec in world.ledger.incidents() {
+            let timeline: Vec<_> = world
+                .trace
+                .events()
+                .into_iter()
+                .filter(|e| e.corr == Some(rec.id.0))
+                .collect();
+            assert!(
+                !timeline.is_empty(),
+                "{mode:?}: incident {} has no correlated events",
+                rec.id
+            );
+            assert!(
+                matches!(timeline[0].code, "inject" | "db-crash"),
+                "{mode:?}: incident {} timeline starts with {:?}",
+                rec.id,
+                timeline[0].code
+            );
+            if rec.restored.is_some() {
+                let closes = timeline.iter().any(|e| {
+                    matches!(
+                        e.code,
+                        "restore" | "local-heal" | "cron-repair" | "burn-alert"
+                    )
+                });
+                assert!(
+                    closes,
+                    "{mode:?}: closed incident {} has no closing event",
+                    rec.id
+                );
+            }
+        }
+    }
+}
+
+/// The SLO observatory's online accounting agrees with the ledger: the
+/// total downtime equals the sum over closed incidents, and every
+/// service row's incident count matches the ledger's records.
+#[test]
+fn slo_report_is_consistent_with_the_ledger() {
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let (world, _) = run_traced(23, mode);
+        let report = world.slo.report(world.cfg.horizon);
+        let closed: Vec<_> = world
+            .ledger
+            .incidents()
+            .filter(|i| i.restored.is_some())
+            .collect();
+        let expected_downtime: u64 = closed
+            .iter()
+            .map(|i| i.restored.expect("closed").since(i.onset).as_secs())
+            .sum();
+        assert_eq!(report.total_downtime_secs(), expected_downtime, "{mode:?}");
+        let expected_incidents = closed.len() as u64;
+        let reported: u64 = report.services.iter().map(|s| s.incidents).sum();
+        assert_eq!(reported, expected_incidents, "{mode:?}");
+        for row in &report.services {
+            let in_ledger = closed.iter().filter(|i| i.service == row.service).count() as u64;
+            assert_eq!(row.incidents, in_ledger, "{mode:?} service {}", row.service);
+        }
+        // Manual hours-long repairs must burn budget faster than agent
+        // repairs; the export is schema-valid JSON either way.
+        let json = report.to_json_with_run(world.cfg.seed, &format!("{mode:?}"));
+        let doc = intelliqos::core::jsonv::parse(&json).expect("slo export parses");
+        assert_eq!(
+            doc.get("report").and_then(|v| v.as_str()),
+            Some("slo"),
+            "{mode:?}"
+        );
+        assert_eq!(
+            doc.get("alerts").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(world.slo.alerts().len()),
+            "{mode:?}"
+        );
+    }
+}
+
+fn spill_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("intelliqos-obs-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_spilled(seed: u64, dir: PathBuf, chunk_records: usize) -> (World, ScenarioReport) {
+    let mut spill = SpillConfig::new(dir);
+    spill.chunk_records = chunk_records;
+    let opts = TraceOptions {
+        spill: Some(spill),
+        ..TraceOptions::default()
+    };
+    let mut world =
+        World::build(small(seed, ManagementMode::Intelliagents)).enable_trace_with(opts);
+    let report = world.run_to_end();
+    (world, report)
+}
+
+/// Flight-recorder mode: the spill sink persists *every* emitted event
+/// (zero drops), rotates chunks at the configured size, the validator
+/// finds the directory complete, and the recorded stream is identical
+/// to what a ring-sink run of the same scenario retains.
+#[test]
+fn spill_sink_persists_every_event_and_matches_the_ring() {
+    let dir = spill_dir("full");
+    let (spilled, report_spilled) = run_spilled(11, dir.clone(), 500);
+    let (ringed, report_ringed) = run_traced(11, ManagementMode::Intelliagents);
+    assert_eq!(report_spilled, report_ringed, "sink choice changes nothing");
+
+    // Nothing dropped, everything on disk.
+    assert_eq!(spilled.trace.dropped(), 0);
+    assert_eq!(spilled.trace.sink_kind(), "spill");
+    let findings = validate_spill_dir(&dir);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+    let doc = intelliqos::core::jsonv::parse(&manifest).expect("manifest parses");
+    assert_eq!(
+        doc.get("total").and_then(|v| v.as_u64()),
+        Some(spilled.trace.total()),
+        "every emitted event is a disk record"
+    );
+    let chunks = doc.get("chunks").and_then(|v| v.as_arr()).expect("chunks");
+    let expected_chunks = (spilled.trace.total() as usize).div_ceil(500);
+    assert_eq!(
+        chunks.len(),
+        expected_chunks,
+        "chunks rotate at 500 records"
+    );
+
+    // Same scenario, same stream: the spill's totals and per-subsystem
+    // counters match the ring run exactly.
+    assert_eq!(spilled.trace.total(), ringed.trace.total());
+    let (a, b): (Vec<_>, Vec<_>) = (spilled.trace.counters(), ringed.trace.counters());
+    assert_eq!(a, b);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a run mid-write leaves a truncated final chunk; the
+/// validator must say so rather than bless the spill.
+#[test]
+fn truncated_spill_chunk_is_detected() {
+    let dir = spill_dir("trunc");
+    let (_world, _) = run_spilled(7, dir.clone(), 1000);
+    assert!(validate_spill_dir(&dir).is_empty());
+
+    // Chop the final chunk mid-record.
+    let doc = intelliqos::core::jsonv::parse(
+        &std::fs::read_to_string(dir.join("manifest.json")).expect("manifest"),
+    )
+    .expect("parses");
+    let chunks = doc.get("chunks").and_then(|v| v.as_arr()).expect("chunks");
+    let last = chunks
+        .last()
+        .and_then(|c| c.get("file"))
+        .and_then(|v| v.as_str())
+        .expect("last chunk name");
+    let path = dir.join(last);
+    let text = std::fs::read_to_string(&path).expect("chunk");
+    std::fs::write(&path, &text[..text.len() - 20]).expect("truncate");
+
+    let findings = validate_spill_dir(&dir);
+    assert!(!findings.is_empty(), "truncated chunk must fail validation");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A world run with tracing left at the default (disabled) must record
