@@ -11,7 +11,7 @@
 //! cargo run --release -p intelliqos-bench --bin abl_agent_parts [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, maybe_build_evdb, run_world, HarnessOpts};
 use intelliqos_core::{AgentParts, ManagementMode, ScenarioReport, World};
 
 fn main() {
@@ -75,6 +75,7 @@ fn main() {
     for (_, label, world, _) in &runs {
         emit_run_evidence(&opts, "abl_agent_parts", label, world);
     }
+    maybe_build_evdb(&opts);
     let results: Vec<(&str, &ScenarioReport)> = runs.iter().map(|(n, _, _, r)| (*n, r)).collect();
 
     println!(

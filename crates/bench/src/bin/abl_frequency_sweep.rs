@@ -9,7 +9,7 @@
 //! cargo run --release -p intelliqos-bench --bin abl_frequency_sweep [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, maybe_build_evdb, run_world, HarnessOpts};
 use intelliqos_core::{ManagementMode, ScenarioReport, World};
 use intelliqos_simkern::SimDuration;
 use intelliqos_telemetry::AgentFootprint;
@@ -42,6 +42,7 @@ fn main() {
     for (m, world, _) in &runs {
         emit_run_evidence(&opts, "abl_frequency_sweep", &format!("{m}min"), world);
     }
+    maybe_build_evdb(&opts);
     let reports: Vec<(u64, &ScenarioReport)> = runs.iter().map(|(m, _, r)| (*m, r)).collect();
 
     println!(

@@ -10,7 +10,7 @@
 //! cargo run --release -p intelliqos-bench --bin abl_private_network [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, emit_run_evidence, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, maybe_build_evdb, HarnessOpts};
 use intelliqos_cluster::net::SegmentKind;
 use intelliqos_core::{ManagementMode, World};
 use intelliqos_simkern::{SimTime, DAY};
@@ -62,6 +62,7 @@ fn main() {
         "B: private network down from t=0 (reroute over public)",
     );
     emit_run_evidence(&opts, "abl_private_network", "private-down", &w);
+    maybe_build_evdb(&opts);
 
     println!(
         "reading: in A the private LAN absorbs all agent traffic (public\n\

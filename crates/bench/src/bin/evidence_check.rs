@@ -8,20 +8,27 @@
 //! FIG4) only need to parse.
 //!
 //! ```text
-//! cargo run --release -p intelliqos-bench --bin evidence_check [PATH ...]
+//! cargo run --release -p intelliqos-bench --bin evidence_check [PATH ...] [--evdb DIR ...]
 //! ```
 //!
 //! With no arguments, checks every `*.json` under `results/evidence/`
 //! plus every trace spill directory (any subdirectory holding a
 //! `manifest.json`) — a truncated final chunk or a record-count
 //! mismatch is a failure. Directory arguments are validated as spill
-//! directories. Exit status: 0 when every document checks out; 1
-//! otherwise.
+//! directories; a directory argument under which no spill
+//! `manifest.json` exists is itself a failure (never a silent fallback
+//! to the default sweep). `--evdb DIR` validates an indexed evidence
+//! store built by `evdb ingest`: segment headers and row counts against
+//! the store manifest, index references in bounds, and the recorded
+//! source files still present with the ingested byte sizes (a stale
+//! store is a failure). Exit status: 0 when every document checks out;
+//! 1 otherwise.
 
 use std::path::PathBuf;
 
 use intelliqos_bench::evidence_dir;
 use intelliqos_core::jsonv::{parse, JsonValue};
+use intelliqos_evdb::Store;
 
 /// Structural checks on a run export's `profile` section. Returns the
 /// list of complaints (empty = good).
@@ -245,17 +252,44 @@ fn find_spill_dirs(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
 }
 
 fn main() {
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<PathBuf> = Vec::new();
+    let mut evdb_dirs: Vec<PathBuf> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--evdb" {
+            match it.next() {
+                Some(dir) => evdb_dirs.push(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--evdb needs a directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(PathBuf::from(a));
+        }
+    }
+
+    let mut failures = 0usize;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut spill_dirs: Vec<PathBuf> = Vec::new();
+    let explicit = !args.is_empty();
     for a in args {
         if a.is_dir() {
+            let before = spill_dirs.len();
             find_spill_dirs(&a, &mut spill_dirs);
+            if spill_dirs.len() == before {
+                failures += 1;
+                println!(
+                    "FAIL {}: no spill manifest.json under directory",
+                    a.display()
+                );
+            }
         } else {
             paths.push(a);
         }
     }
-    if paths.is_empty() && spill_dirs.is_empty() {
+    if !explicit && evdb_dirs.is_empty() {
         let dir = evidence_dir();
         if let Ok(entries) = std::fs::read_dir(&dir) {
             for e in entries.flatten() {
@@ -275,7 +309,6 @@ fn main() {
     }
     spill_dirs.sort();
 
-    let mut failures = 0usize;
     for path in &paths {
         let bad = check_file(path);
         if bad.is_empty() {
@@ -298,10 +331,25 @@ fn main() {
             }
         }
     }
+    for dir in &evdb_dirs {
+        let bad = match Store::open(dir) {
+            Ok(store) => store.validate(),
+            Err(e) => vec![e],
+        };
+        if bad.is_empty() {
+            println!("ok   {} (evdb store)", dir.display());
+        } else {
+            failures += 1;
+            for b in &bad {
+                println!("FAIL {}: {b}", dir.display());
+            }
+        }
+    }
     println!(
-        "{} document(s), {} spill dir(s), {failures} failure(s)",
+        "{} document(s), {} spill dir(s), {} evdb store(s), {failures} failure(s)",
         paths.len(),
-        spill_dirs.len()
+        spill_dirs.len(),
+        evdb_dirs.len()
     );
     if failures > 0 {
         std::process::exit(1);

@@ -16,8 +16,8 @@
 //! (ledger + trace + profile) lands under `results/evidence/`.
 
 use intelliqos_bench::{
-    banner, emit_run_evidence, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR1_TOTAL, FIG2_YEAR2,
-    FIG2_YEAR2_TOTAL,
+    banner, emit_run_evidence, maybe_build_evdb, row, HarnessOpts, FIG2_YEAR1, FIG2_YEAR1_TOTAL,
+    FIG2_YEAR2, FIG2_YEAR2_TOTAL,
 };
 use intelliqos_cluster::faults::FaultCategory;
 use intelliqos_core::{ManagementMode, World};
@@ -102,4 +102,5 @@ fn main() {
 
     emit_run_evidence(&opts, "fig2_downtime", "manual", &before_world);
     emit_run_evidence(&opts, "fig2_downtime", "agents", &after_world);
+    maybe_build_evdb(&opts);
 }

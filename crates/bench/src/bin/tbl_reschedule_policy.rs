@@ -10,7 +10,7 @@
 //! cargo run --release -p intelliqos-bench --bin tbl_reschedule_policy [--seed N] [--days N]
 //! ```
 
-use intelliqos_bench::{banner, emit_run_evidence, run_world, HarnessOpts};
+use intelliqos_bench::{banner, emit_run_evidence, maybe_build_evdb, run_world, HarnessOpts};
 use intelliqos_cluster::faults::FaultCategory;
 use intelliqos_core::{ManagementMode, ReschedPolicy, ScenarioReport, World};
 
@@ -51,6 +51,7 @@ fn main() {
     for (name, world, _) in &runs {
         emit_run_evidence(&opts, "tbl_reschedule_policy", name, world);
     }
+    maybe_build_evdb(&opts);
     let reports: Vec<(&str, &ScenarioReport)> = runs.iter().map(|(n, _, r)| (*n, r)).collect();
 
     println!(

@@ -14,12 +14,20 @@
 //! ```text
 //! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N]
 //! cargo run --release -p intelliqos-bench --bin triage -- --incident N [--seed N] [--days N]
+//! cargo run --release -p intelliqos-bench --bin triage -- --incident N --evdb results/evdb
+//! cargo run --release -p intelliqos-bench --bin triage -- --incident N --evidence results/evidence
 //! ```
 //!
 //! With `--incident N` the tool instead renders the complete causal
 //! timeline of one incident — every trace event carrying that incident's
 //! correlation id (inject → pipeline/diagnose → heal/restore/escalate),
 //! in both the manual and the agents run, next to the ledger lifecycle.
+//!
+//! With `--evdb DIR` (indexed evidence store) or `--evidence DIR`
+//! (linear reference scan) the incident timeline is answered from
+//! previously exported evidence instead of re-running the simulation.
+//! Both backends print byte-identical timelines for the same evidence —
+//! stats and warnings go to stderr only — which CI verifies with `diff`.
 //!
 //! Exit status: 0 when every invariant holds and both ledgers are
 //! lifecycle-clean; 1 otherwise. JSON lands in `target/triage/`.
@@ -31,6 +39,7 @@ use intelliqos_core::divergence::{first_divergence, first_trace_divergence};
 use intelliqos_core::{
     run_export_json, IncidentId, ManagementMode, ProfileReport, ScenarioConfig, World,
 };
+use intelliqos_evdb::{render_corr_timelines, scan_query, Query, Rec, Store};
 use intelliqos_simkern::{SimDuration, Subsystem};
 
 fn run_instrumented(seed: u64, days: u64, mode: ManagementMode) -> World {
@@ -95,6 +104,70 @@ fn render_incident(world: &World, name: &str, id: IncidentId) -> bool {
     true
 }
 
+/// Answer `--incident N` from exported evidence: the indexed store
+/// (`--evdb DIR`) or the linear reference scan (`--evidence DIR`).
+///
+/// Only the timeline goes to stdout — stats and warnings are stderr —
+/// so the two backends are byte-comparable with `diff`. Returns the
+/// process exit code: 0 incident found, 1 not found, 2 backend error.
+fn evidence_incident(id: u64, evdb_dir: Option<&str>, evidence_dir: Option<&str>) -> i32 {
+    let q = Query {
+        corr: Some(id),
+        ..Query::default()
+    };
+    let recs = match (evdb_dir, evidence_dir) {
+        (Some(dir), _) => {
+            let store = match Store::open(Path::new(dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("triage: {e}");
+                    return 2;
+                }
+            };
+            match store.query(&q) {
+                Ok((recs, stats)) => {
+                    eprintln!(
+                        "triage: evdb: {} index file(s), {} segment(s), {} row(s) loaded, \
+                         {} matched, {} source file(s) re-read",
+                        stats.index_files_read,
+                        stats.segments_read,
+                        stats.rows_loaded,
+                        stats.rows_matched,
+                        stats.source_files_read
+                    );
+                    recs
+                }
+                Err(e) => {
+                    eprintln!("triage: {e}");
+                    return 2;
+                }
+            }
+        }
+        (None, Some(dir)) => match scan_query(Path::new(dir), &q) {
+            Ok((recs, stats, warnings)) => {
+                for w in &warnings {
+                    eprintln!("triage: warning: {w}");
+                }
+                eprintln!(
+                    "triage: scan: {} source file(s), {} row(s) matched",
+                    stats.source_files_read, stats.rows_matched
+                );
+                recs
+            }
+            Err(e) => {
+                eprintln!("triage: {e}");
+                return 2;
+            }
+        },
+        (None, None) => unreachable!("caller checks one backend is set"),
+    };
+    print!("{}", render_corr_timelines(&recs, id));
+    let found = recs
+        .iter()
+        .any(|r| matches!(r, Rec::Incident(inc) if inc.id == id));
+    i32::from(!found)
+}
+
 fn main() {
     let opts = HarnessOpts::parse(14);
     let args: Vec<String> = std::env::args().collect();
@@ -103,6 +176,26 @@ fn main() {
         .position(|a| a == "--incident")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let evdb_dir = flag_value("--evdb");
+    let evidence_dir = flag_value("--evidence");
+
+    if evdb_dir.is_some() || evidence_dir.is_some() {
+        let Some(id) = incident else {
+            eprintln!("triage: --evdb/--evidence require --incident N");
+            std::process::exit(2);
+        };
+        std::process::exit(evidence_incident(
+            id,
+            evdb_dir.as_deref(),
+            evidence_dir.as_deref(),
+        ));
+    }
 
     if let Some(id) = incident {
         let id = IncidentId(id);

@@ -19,6 +19,9 @@
 //! * `--trace-cap N` / `--trace-cap tag=N` — in-memory trace capacity,
 //!   globally or as a dedicated ring for one subsystem (repeatable);
 //! * `--trace-only tag[,tag...]` — record only the named subsystems.
+//! * `--evdb DIR` — after the evidence lands, rebuild the indexed
+//!   evidence store at `DIR` (`evdb ingest` inline), so queries and
+//!   indexed triage are available immediately after the run.
 //!
 //! Instrumented runs also drop a schema-validated `slo_report`
 //! (`<bin>_<label>_slo.json`) with per-service availability, downtime
@@ -95,13 +98,16 @@ pub struct HarnessOpts {
     pub trace_caps: Vec<(Subsystem, usize)>,
     /// Record only these subsystems (`--trace-only tag[,tag...]`).
     pub trace_only: Option<Vec<Subsystem>>,
+    /// Rebuild the indexed evidence store here after the run
+    /// (`--evdb DIR`).
+    pub evdb: Option<String>,
 }
 
 impl HarnessOpts {
     /// Parse `--seed`, `--days`, `--full`, `--profile`, `--trace`,
     /// `--trace-file DIR`, `--trace-cap N` / `--trace-cap tag=N`
-    /// (repeatable), and `--trace-only tag[,tag...]` from
-    /// `std::env::args`, with the given default horizon.
+    /// (repeatable), `--trace-only tag[,tag...]`, and `--evdb DIR`
+    /// from `std::env::args`, with the given default horizon.
     pub fn parse(default_days: u64) -> HarnessOpts {
         Self::parse_from(std::env::args().skip(1), default_days)
     }
@@ -119,6 +125,7 @@ impl HarnessOpts {
             trace_cap: None,
             trace_caps: Vec::new(),
             trace_only: None,
+            evdb: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -174,6 +181,10 @@ impl HarnessOpts {
                             opts.trace_only = Some(subs);
                         }
                     }
+                    i += 1;
+                }
+                "--evdb" => {
+                    opts.evdb = args.get(i + 1).cloned();
                     i += 1;
                 }
                 _ => {}
@@ -329,7 +340,37 @@ pub fn run_paired_site(
     });
     emit_run_evidence(opts, bin, "manual", &manual_world);
     emit_run_evidence(opts, bin, "agents", &agents_world);
+    maybe_build_evdb(opts);
     (manual, agents)
+}
+
+/// Rebuild the indexed evidence store (`--evdb DIR`) over the default
+/// evidence directory, once the run's evidence is on disk. No-op
+/// without the flag; a failed ingest is fatal — a run asked to index
+/// its evidence must not exit 0 having silently skipped it.
+pub fn maybe_build_evdb(opts: &HarnessOpts) {
+    let Some(dir) = &opts.evdb else {
+        return;
+    };
+    match intelliqos_evdb::Store::build(&evidence_dir(), Path::new(dir)) {
+        Ok(report) => {
+            for w in &report.warnings {
+                eprintln!("evdb warning: {w}");
+            }
+            println!(
+                "evdb: {} record(s) from {} source file(s) indexed at {dir} \
+                 ({} segment(s), {} index file(s))",
+                report.records,
+                report.sources.len(),
+                report.segments,
+                report.index_files
+            );
+        }
+        Err(e) => {
+            eprintln!("evdb ingest FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Render a float slice as a JSON array (non-finite values become 0,
@@ -421,6 +462,8 @@ mod tests {
             "fault=4096",
             "--trace-only",
             "fault,agent",
+            "--evdb",
+            "out/evdb",
         ]
         .map(String::from);
         let opts = HarnessOpts::parse_from(args, 365);
@@ -435,6 +478,7 @@ mod tests {
             opts.trace_only,
             Some(vec![Subsystem::Fault, Subsystem::Agent])
         );
+        assert_eq!(opts.evdb.as_deref(), Some("out/evdb"));
         // Paired runs spill into per-mode subdirectories.
         let manual = opts.trace_options(ManagementMode::ManualOps);
         let agents = opts.trace_options(ManagementMode::Intelliagents);

@@ -10,7 +10,8 @@
 //!   "mode": "Intelliagents",
 //!   "ledger": { "incidents": [...], "totals": {...}, ... },
 //!   "trace": { "enabled": true, "total": 123, "evicted": 0,
-//!              "counters": {"fault": 9, ...}, "events": ["0|0|kern|run-start|...", ...] },
+//!              "counters": {"fault": 9, ...},
+//!              "events": [{"seq":0,"at":0,"subsystem":"kern","code":"run-start",...}, ...] },
 //!   "profile": { "enabled": true, "wall_ns": ..., "subsystems": [...], ... }
 //! }
 //! ```
@@ -54,13 +55,15 @@ pub fn run_export_json(world: &World) -> String {
         out.push_str(&format!("{}: {}", json_str(tag), n));
     }
     out.push_str("},\n  \"events\": [\n");
-    let lines = t.render_lines();
-    for (i, line) in lines.iter().enumerate() {
+    // Each event is the same JSONL object the spill sink writes, so the
+    // export carries correlation ids and one parser serves both the
+    // flight recording and the in-document trace.
+    for (i, ev) in t.events().iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
         out.push_str("    ");
-        out.push_str(&json_str(line));
+        out.push_str(&ev.render_jsonl());
     }
     out.push_str("\n  ]\n},\n\"profile\": ");
     out.push_str(&ProfileReport::from_world(world).to_json());
@@ -102,12 +105,16 @@ pub fn validate_spill_dir(dir: &std::path::Path) -> Vec<String> {
             manifest_path.display()
         ));
     }
-    let io_errors = manifest
-        .get("io_errors")
-        .and_then(|v| v.as_u64())
-        .unwrap_or(0);
-    if io_errors > 0 {
-        findings.push(format!("manifest reports {io_errors} io error(s)"));
+    // A manifest that omits io_errors is as suspect as one that admits
+    // them: the field is the writer's own loss accounting, and its
+    // absence means the spill came from something other than SpillSink.
+    match manifest.get("io_errors").and_then(|v| v.as_u64()) {
+        Some(0) => {}
+        Some(io_errors) => findings.push(format!("manifest reports {io_errors} io error(s)")),
+        None => findings.push(format!(
+            "{}: manifest missing io_errors count",
+            manifest_path.display()
+        )),
     }
     let total = manifest.get("total").and_then(|v| v.as_u64());
     let Some(chunks) = manifest.get("chunks").and_then(|v| v.as_arr()) else {
@@ -315,5 +322,66 @@ mod tests {
                 .map(|a| a.len()),
             Some(0)
         );
+    }
+
+    fn spill_fixture(name: &str, manifest: &str, chunk: Option<&str>) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("intelliqos-export-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.json"), manifest).unwrap();
+        if let Some(text) = chunk {
+            std::fs::write(dir.join("chunk-00000.jsonl"), text).unwrap();
+        }
+        dir
+    }
+
+    const GOOD_CHUNK: &str =
+        "{\"seq\":0,\"at\":1,\"subsystem\":\"fault\",\"code\":\"inject\",\"detail\":\"x\"}\n";
+
+    #[test]
+    fn spill_manifest_with_io_errors_is_a_finding() {
+        let dir = spill_fixture(
+            "ioerr",
+            "{\"report\": \"trace_spill\", \"total\": 1, \"io_errors\": 3,\n \
+             \"chunks\": [{\"file\": \"chunk-00000.jsonl\", \"records\": 1}]}\n",
+            Some(GOOD_CHUNK),
+        );
+        let findings = validate_spill_dir(&dir);
+        assert!(
+            findings.iter().any(|f| f.contains("3 io error(s)")),
+            "io_errors must surface: {findings:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_manifest_missing_io_errors_is_a_finding() {
+        // A spill whose manifest never accounted for write failures is
+        // not evidence of a clean recording — absence must not pass.
+        let dir = spill_fixture(
+            "noioerr",
+            "{\"report\": \"trace_spill\", \"total\": 1,\n \
+             \"chunks\": [{\"file\": \"chunk-00000.jsonl\", \"records\": 1}]}\n",
+            Some(GOOD_CHUNK),
+        );
+        let findings = validate_spill_dir(&dir);
+        assert!(
+            findings.iter().any(|f| f.contains("missing io_errors")),
+            "missing io_errors must surface: {findings:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_spill_manifest_validates_with_no_findings() {
+        let dir = spill_fixture(
+            "clean",
+            "{\"report\": \"trace_spill\", \"total\": 1, \"io_errors\": 0,\n \
+             \"chunks\": [{\"file\": \"chunk-00000.jsonl\", \"records\": 1}]}\n",
+            Some(GOOD_CHUNK),
+        );
+        let findings = validate_spill_dir(&dir);
+        assert!(findings.is_empty(), "clean spill flagged: {findings:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -172,6 +172,7 @@ impl SloTracker {
                     availability,
                     budget_secs: budget,
                     budget_remaining_secs: budget - downtime_secs as f64,
+                    repair_secs: st.repair.as_secs(),
                     mttr_secs: if st.incidents == 0 {
                         0.0
                     } else {
@@ -208,6 +209,10 @@ pub struct ServiceSloRow {
     pub budget_secs: f64,
     /// Budget minus charged downtime (negative = budget blown).
     pub budget_remaining_secs: f64,
+    /// Total repair time (`restored - detected` summed), seconds. The
+    /// integer MTTR numerator, kept so merged reports can recompute
+    /// MTTR exactly instead of averaging averages.
+    pub repair_secs: u64,
     /// Mean time to repair: mean of `restored - detected`, seconds.
     pub mttr_secs: f64,
     /// Fast-burn alerts fired for this service.
@@ -290,13 +295,15 @@ impl SloReport {
             out.push_str(&format!(
                 "\n    {{\"service\": {}, \"incidents\": {}, \"downtime_secs\": {}, \
                  \"availability\": {:.8}, \"budget_secs\": {:.2}, \
-                 \"budget_remaining_secs\": {:.2}, \"mttr_secs\": {:.2}, \"burn_alerts\": {}}}",
+                 \"budget_remaining_secs\": {:.2}, \"repair_secs\": {}, \
+                 \"mttr_secs\": {:.2}, \"burn_alerts\": {}}}",
                 json_str(&s.service),
                 s.incidents,
                 s.downtime_secs,
                 s.availability,
                 s.budget_secs,
                 s.budget_remaining_secs,
+                s.repair_secs,
                 s.mttr_secs,
                 s.burn_alerts
             ));
@@ -322,6 +329,76 @@ impl SloReport {
         }
         out.push_str("]\n}\n");
         out
+    }
+
+    /// Merge `other` into `self` — the fleet-assembly operation: rows
+    /// for the same service key combine as if one tracker had accounted
+    /// every incident. Downtime, repair time, incident and alert counts
+    /// add as integers; availability, budgets, and MTTR are then
+    /// recomputed from the merged integers, so the result is exactly
+    /// the single-ledger computation, not an average of averages.
+    /// Disjoint services interleave in key order, fleet sizes add, and
+    /// the alert streams merge in firing order. The two reports must
+    /// describe the same SLO regime — identical target, window, burn
+    /// threshold, and horizon — because the derived numbers are only
+    /// comparable against one budget line.
+    pub fn merge(&mut self, other: &SloReport) -> Result<(), String> {
+        if self.target.to_bits() != other.target.to_bits()
+            || self.window_secs != other.window_secs
+            || self.burn_threshold.to_bits() != other.burn_threshold.to_bits()
+        {
+            return Err(format!(
+                "SLO config mismatch: target {} vs {}, window {} vs {}, threshold {} vs {}",
+                self.target,
+                other.target,
+                self.window_secs,
+                other.window_secs,
+                self.burn_threshold,
+                other.burn_threshold
+            ));
+        }
+        if self.horizon_secs != other.horizon_secs {
+            return Err(format!(
+                "horizon mismatch: {} vs {} seconds",
+                self.horizon_secs, other.horizon_secs
+            ));
+        }
+        self.fleet_size += other.fleet_size;
+        for row in &other.services {
+            match self
+                .services
+                .binary_search_by(|r| r.service.cmp(&row.service))
+            {
+                Ok(i) => {
+                    let r = &mut self.services[i];
+                    r.incidents += row.incidents;
+                    r.downtime_secs += row.downtime_secs;
+                    r.repair_secs += row.repair_secs;
+                    r.burn_alerts += row.burn_alerts;
+                }
+                Err(i) => self.services.insert(i, row.clone()),
+            }
+        }
+        let horizon = self.horizon_secs.max(1) as f64;
+        let budget = (1.0 - self.target) * horizon;
+        for r in &mut self.services {
+            r.availability = (1.0 - r.downtime_secs as f64 / horizon).clamp(0.0, 1.0);
+            r.budget_secs = budget;
+            r.budget_remaining_secs = budget - r.downtime_secs as f64;
+            r.mttr_secs = if r.incidents == 0 {
+                0.0
+            } else {
+                r.repair_secs as f64 / r.incidents as f64
+            };
+        }
+        let mut alerts = Vec::with_capacity(self.alerts.len() + other.alerts.len());
+        alerts.extend(self.alerts.iter().cloned());
+        alerts.extend(other.alerts.iter().cloned());
+        alerts.sort_by(|a, b| {
+            (a.at, &a.service, a.incident.0).cmp(&(b.at, &b.service, b.incident.0))
+        });
+        self.alerts = alerts;
+        Ok(())
     }
 
     /// Short human summary for triage output.
@@ -434,6 +511,114 @@ mod tests {
         });
         assert_eq!(depth, 0);
         assert!(r.render_summary().contains("1 over budget"));
+    }
+
+    fn close_det(
+        t: &mut SloTracker,
+        svc: &str,
+        id: u64,
+        onset_s: u64,
+        detected_s: u64,
+        restored_s: u64,
+    ) {
+        t.on_close(
+            svc,
+            IncidentId(id),
+            SimTime::from_secs(onset_s),
+            SimTime::from_secs(detected_s),
+            SimTime::from_secs(restored_s),
+        );
+    }
+
+    #[test]
+    fn merged_report_equals_single_ledger_computation() {
+        // The same incident stream fed whole into one tracker, and
+        // split across two trackers whose reports are then merged: the
+        // per-service availability and MTTR must match exactly (bit
+        // equality, not epsilon), because merge recomputes them from
+        // the summed integer numerators.
+        let incidents: [(&str, u64, u64, u64); 7] = [
+            ("db003", 100, 130, 400),
+            ("web001", 50, 55, 150),
+            ("db003", 10_000, 10_200, 10_600),
+            ("lsf", 2_000, 2_001, 2_047),
+            ("web001", 40_000, 40_010, 41_000),
+            ("db003", 80_000, 80_003, 80_900),
+            ("mail", 5, 6, 7),
+        ];
+        let mut whole = SloTracker::new(SloConfig::default(), 10);
+        let mut left = SloTracker::new(SloConfig::default(), 6);
+        let mut right = SloTracker::new(SloConfig::default(), 4);
+        for (i, &(svc, onset, det, rest)) in incidents.iter().enumerate() {
+            close_det(&mut whole, svc, i as u64, onset, det, rest);
+            let half = if i % 2 == 0 { &mut left } else { &mut right };
+            close_det(half, svc, i as u64, onset, det, rest);
+        }
+        let horizon = SimDuration::from_days(2);
+        let single = whole.report(horizon);
+        let mut merged = left.report(horizon);
+        merged.merge(&right.report(horizon)).unwrap();
+
+        assert_eq!(merged.fleet_size, single.fleet_size);
+        assert_eq!(merged.services.len(), single.services.len());
+        for (m, s) in merged.services.iter().zip(&single.services) {
+            assert_eq!(m.service, s.service);
+            assert_eq!(m.incidents, s.incidents);
+            assert_eq!(m.downtime_secs, s.downtime_secs);
+            assert_eq!(m.repair_secs, s.repair_secs);
+            assert_eq!(
+                m.availability.to_bits(),
+                s.availability.to_bits(),
+                "availability for {} must merge exactly",
+                m.service
+            );
+            assert_eq!(
+                m.mttr_secs.to_bits(),
+                s.mttr_secs.to_bits(),
+                "MTTR for {} must merge exactly",
+                m.service
+            );
+            assert_eq!(m.budget_secs.to_bits(), s.budget_secs.to_bits());
+            assert_eq!(
+                m.budget_remaining_secs.to_bits(),
+                s.budget_remaining_secs.to_bits()
+            );
+        }
+        assert_eq!(merged.total_downtime_secs(), single.total_downtime_secs());
+        assert_eq!(
+            merged.fleet_availability().to_bits(),
+            single.fleet_availability().to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_services_in_key_order() {
+        let mut a = SloTracker::new(SloConfig::default(), 1);
+        close(&mut a, "web001", 0, 0, 10);
+        close(&mut a, "db003", 1, 0, 10);
+        let mut b = SloTracker::new(SloConfig::default(), 1);
+        close(&mut b, "lsf", 2, 0, 10);
+        close(&mut b, "admin", 3, 0, 10);
+        let horizon = SimDuration::from_days(1);
+        let mut merged = a.report(horizon);
+        merged.merge(&b.report(horizon)).unwrap();
+        let keys: Vec<&str> = merged.services.iter().map(|s| s.service.as_str()).collect();
+        assert_eq!(keys, ["admin", "db003", "lsf", "web001"]);
+        assert_eq!(merged.fleet_size, 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_regimes() {
+        let t = SloTracker::new(SloConfig::default(), 1);
+        let mut a = t.report(SimDuration::from_days(1));
+        let b = t.report(SimDuration::from_days(2));
+        assert!(a.merge(&b).is_err(), "horizon mismatch must be rejected");
+        let other_cfg = SloConfig {
+            availability_target: 0.999,
+            ..SloConfig::default()
+        };
+        let c = SloTracker::new(other_cfg, 1).report(SimDuration::from_days(1));
+        assert!(a.merge(&c).is_err(), "target mismatch must be rejected");
     }
 
     #[test]

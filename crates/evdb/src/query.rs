@@ -1,0 +1,146 @@
+//! The query model: which records match, independent of backend.
+//!
+//! The predicate here is the *only* definition of what a query means.
+//! The indexed store uses its indexes purely to shrink the candidate
+//! set, then applies this same predicate; the linear scan applies it to
+//! everything. A filter on a field a record kind does not have excludes
+//! that kind outright (asking for `--service` excludes trace events;
+//! asking for `--corr` excludes SLO samples), so a query's result set
+//! is never padded with records the filter could not examine.
+
+use crate::model::{Kind, Rec};
+
+/// A conjunctive filter over the store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    /// Restrict to one record kind.
+    pub kind: Option<Kind>,
+    /// Restrict to one run label.
+    pub run: Option<String>,
+    /// Service key (incidents and SLO samples).
+    pub service: Option<String>,
+    /// Incident category / trace subsystem tag.
+    pub category: Option<String>,
+    /// Correlation id (incident id, trace `corr`).
+    pub corr: Option<u64>,
+    /// Inclusive time window over incident onset / trace `at`.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Query {
+    /// Parse the CLI `t0..t1` window syntax.
+    pub fn parse_window(s: &str) -> Result<(u64, u64), String> {
+        let (a, b) = s
+            .split_once("..")
+            .ok_or_else(|| format!("window {s:?} is not t0..t1"))?;
+        let t0: u64 = a.parse().map_err(|e| format!("bad window start: {e}"))?;
+        let t1: u64 = b.parse().map_err(|e| format!("bad window end: {e}"))?;
+        if t0 > t1 {
+            return Err(format!("window start {t0} after end {t1}"));
+        }
+        Ok((t0, t1))
+    }
+
+    /// Whether `kind` can possibly satisfy the set filters — used by
+    /// the store to skip whole kinds without touching disk.
+    pub fn admits_kind(&self, kind: Kind) -> bool {
+        if self.kind.is_some_and(|k| k != kind) {
+            return false;
+        }
+        match kind {
+            Kind::Incident => true,
+            Kind::Trace => self.service.is_none(),
+            Kind::Slo => self.corr.is_none() && self.category.is_none() && self.window.is_none(),
+        }
+    }
+
+    /// The full predicate.
+    pub fn matches(&self, rec: &Rec) -> bool {
+        if !self.admits_kind(rec.kind()) {
+            return false;
+        }
+        if let Some(run) = &self.run {
+            if rec.run() != run {
+                return false;
+            }
+        }
+        match rec {
+            Rec::Incident(r) => {
+                self.corr.is_none_or(|c| r.id == c)
+                    && self.service.as_deref().is_none_or(|s| r.service == s)
+                    && self.category.as_deref().is_none_or(|c| r.category == c)
+                    && self
+                        .window
+                        .is_none_or(|(t0, t1)| r.onset >= t0 && r.onset <= t1)
+            }
+            Rec::Trace(r) => {
+                self.corr.is_none_or(|c| r.corr == Some(c))
+                    && self.category.as_deref().is_none_or(|c| r.subsystem == c)
+                    && self.window.is_none_or(|(t0, t1)| r.at >= t0 && r.at <= t1)
+            }
+            Rec::Slo(r) => self.service.as_deref().is_none_or(|s| r.service == s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SloRec, TraceRec};
+
+    fn trace(corr: Option<u64>, at: u64) -> Rec {
+        Rec::Trace(TraceRec {
+            run: "r".to_string(),
+            seq: 0,
+            at,
+            subsystem: "agent".to_string(),
+            code: "x".to_string(),
+            corr,
+            detail: String::new(),
+        })
+    }
+
+    #[test]
+    fn service_filter_excludes_trace_events() {
+        let q = Query {
+            service: Some("db003".to_string()),
+            ..Query::default()
+        };
+        assert!(!q.matches(&trace(Some(1), 0)));
+        assert!(q.matches(&Rec::Slo(SloRec {
+            run: "r".to_string(),
+            service: "db003".to_string(),
+            incidents: 0,
+            downtime_secs: 0,
+            availability: 1.0,
+            mttr_secs: 0.0,
+            burn_alerts: 0,
+        })));
+    }
+
+    #[test]
+    fn corr_filter_requires_a_correlated_event() {
+        let q = Query {
+            corr: Some(4),
+            ..Query::default()
+        };
+        assert!(q.matches(&trace(Some(4), 0)));
+        assert!(!q.matches(&trace(Some(5), 0)));
+        assert!(!q.matches(&trace(None, 0)));
+    }
+
+    #[test]
+    fn window_is_inclusive_on_both_ends() {
+        let q = Query {
+            window: Some((10, 20)),
+            ..Query::default()
+        };
+        assert!(q.matches(&trace(None, 10)));
+        assert!(q.matches(&trace(None, 20)));
+        assert!(!q.matches(&trace(None, 9)));
+        assert!(!q.matches(&trace(None, 21)));
+        assert_eq!(Query::parse_window("10..20"), Ok((10, 20)));
+        assert!(Query::parse_window("20..10").is_err());
+        assert!(Query::parse_window("nope").is_err());
+    }
+}

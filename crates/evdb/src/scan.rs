@@ -1,0 +1,45 @@
+//! The reference backend: a linear scan over the raw evidence
+//! directory.
+//!
+//! This is the semantics oracle. It extracts every record through the
+//! same [`crate::extract`] walk the store's ingest uses, applies the
+//! same [`crate::query::Query::matches`] predicate, and sorts by the
+//! same [`crate::model::Rec::sort_key`] — so an indexed answer that
+//! differs from the scan answer is a store bug by definition, and the
+//! equivalence property test holds the two to byte identity.
+
+use std::path::Path;
+
+use crate::extract::extract_dir;
+use crate::model::Rec;
+use crate::query::Query;
+
+/// What the scan cost: the counters the indexed path is measured
+/// against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Evidence files opened and parsed.
+    pub source_files_read: u64,
+    /// Total bytes of evidence read.
+    pub bytes_read: u64,
+    /// Records satisfying the query.
+    pub rows_matched: u64,
+}
+
+/// Run `q` by scanning `evidence_dir` linearly. Returns the matching
+/// records in canonical order, the cost, and any extraction warnings.
+pub fn scan_query(
+    evidence_dir: &Path,
+    q: &Query,
+) -> Result<(Vec<Rec>, ScanStats, Vec<String>), String> {
+    let ex = extract_dir(evidence_dir)?;
+    let mut stats = ScanStats {
+        source_files_read: ex.sources.len() as u64,
+        bytes_read: ex.sources.iter().map(|s| s.bytes).sum(),
+        rows_matched: 0,
+    };
+    let mut out: Vec<Rec> = ex.records.into_iter().filter(|r| q.matches(r)).collect();
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    stats.rows_matched = out.len() as u64;
+    Ok((out, stats, ex.warnings))
+}

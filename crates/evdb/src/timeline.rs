@@ -1,0 +1,130 @@
+//! Evidence-backed incident timelines: the rendering `triage
+//! --incident N` prints when it answers from evidence instead of
+//! re-running the simulation.
+//!
+//! Exactly one renderer exists, and both triage backends call it with
+//! the result of the same correlation query — the indexed store on one
+//! side, the linear scan on the other. That is the second half of the
+//! byte-identity guarantee: the backends can only differ if the record
+//! sets differ, which the equivalence property test rules out.
+
+use crate::model::{IncidentRec, Rec, TraceRec};
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+/// Render every incident with the given id across all runs in `recs`
+/// (the sorted result of a `corr = id` query), each followed by its
+/// correlated trace timeline.
+pub fn render_corr_timelines(recs: &[Rec], id: u64) -> String {
+    let incidents: Vec<&IncidentRec> = recs
+        .iter()
+        .filter_map(|r| match r {
+            Rec::Incident(inc) if inc.id == id => Some(inc),
+            _ => None,
+        })
+        .collect();
+    if incidents.is_empty() {
+        return format!("no incident {id} in evidence\n");
+    }
+    let mut out = String::new();
+    for inc in incidents {
+        out.push_str(&format!("--- {}: incident {} ---\n", inc.run, inc.id));
+        out.push_str(&format!(
+            "category={} service={}\n{}\n",
+            inc.category, inc.service, inc.description
+        ));
+        out.push_str(&format!(
+            "ledger: onset={} detected={} diagnosed={} restored={} escalated={}\n",
+            inc.onset,
+            opt(inc.detected),
+            opt(inc.diagnosed),
+            opt(inc.restored),
+            inc.escalated
+        ));
+        if !inc.attempts.is_empty() {
+            out.push_str("attempts:\n");
+            for a in &inc.attempts {
+                out.push_str(&format!(
+                    "  at={} actor={} action={} resolved={}\n",
+                    a.at, a.actor, a.action, a.resolved
+                ));
+            }
+        }
+        let mut events: Vec<&TraceRec> = recs
+            .iter()
+            .filter_map(|r| match r {
+                Rec::Trace(t) if t.run == inc.run && t.corr == Some(id) => Some(t),
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|e| (e.at, e.seq));
+        out.push_str(&format!("timeline ({} events):\n", events.len()));
+        for e in events {
+            out.push_str(&format!(
+                "  {:>8} {:<6} {:<18} {}\n",
+                e.at, e.subsystem, e.code, e.detail
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AttemptRec;
+
+    #[test]
+    fn timeline_renders_incident_then_time_sorted_events() {
+        let recs = vec![
+            Rec::Incident(IncidentRec {
+                run: "run_a".to_string(),
+                id: 2,
+                category: "MidJobDbCrash".to_string(),
+                service: "db003".to_string(),
+                description: "db crashed".to_string(),
+                onset: 100,
+                detected: Some(110),
+                diagnosed: Some(120),
+                restored: Some(300),
+                actor: Some("db_agent".to_string()),
+                action: Some("restart".to_string()),
+                escalated: false,
+                attempts: vec![AttemptRec {
+                    at: 130,
+                    actor: "db_agent".to_string(),
+                    action: "restart".to_string(),
+                    resolved: true,
+                }],
+            }),
+            Rec::Trace(TraceRec {
+                run: "run_a".to_string(),
+                seq: 9,
+                at: 110,
+                subsystem: "agent".to_string(),
+                code: "detect".to_string(),
+                corr: Some(2),
+                detail: "db003".to_string(),
+            }),
+            Rec::Trace(TraceRec {
+                run: "run_a".to_string(),
+                seq: 4,
+                at: 100,
+                subsystem: "fault".to_string(),
+                code: "inject".to_string(),
+                corr: Some(2),
+                detail: "db003".to_string(),
+            }),
+        ];
+        let text = render_corr_timelines(&recs, 2);
+        assert!(text.starts_with("--- run_a: incident 2 ---\n"));
+        assert!(text.contains("timeline (2 events):"));
+        let tl = &text[text.find("timeline").unwrap()..];
+        let inject = tl.find("inject").unwrap();
+        let detect = tl.find("detect").unwrap();
+        assert!(inject < detect, "events render in time order");
+        assert!(render_corr_timelines(&recs, 99).contains("no incident 99"));
+    }
+}

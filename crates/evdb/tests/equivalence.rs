@@ -1,0 +1,333 @@
+//! The store/scan equivalence property: for any synthetic evidence
+//! directory — run exports with random incidents and trace events, SLO
+//! reports written by the real `SloTracker`, spill directories written
+//! by the real `SpillSink` (with random chunk sizes and randomly
+//! truncated final chunks) — every random query answered through the
+//! indexed store equals the linear scan over the same evidence,
+//! record-for-record, and the indexed answer never re-opens a raw
+//! evidence file. Correlation queries additionally render byte-
+//! identical triage timelines, which is the `triage --evdb` guarantee.
+
+#[path = "../../../tests/common/mod.rs"]
+mod common;
+
+use std::path::{Path, PathBuf};
+
+use common::{cases, Gen};
+use intelliqos_core::slo::{SloConfig, SloTracker};
+use intelliqos_core::IncidentId;
+use intelliqos_evdb::{render_corr_timelines, scan_query, Kind, Query, Store};
+use intelliqos_simkern::trace::{SpillConfig, Subsystem, Trace, TraceOptions};
+use intelliqos_simkern::{SimDuration, SimTime};
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn opt_str(v: Option<&str>) -> String {
+    v.map_or_else(|| "null".to_string(), json_str)
+}
+
+const CATEGORIES: &[&str] = &["MidJobDbCrash", "DiskFull", "DaemonHang", "NfsStale"];
+const SERVICES: &[&str] = &["db003", "web001", "lsf", "mail", "nfs02"];
+const CODES: &[&str] = &["inject", "detect", "diagnose", "heal", "sweep", "dispatch"];
+
+/// Write one synthetic run export (`{run}.json`) plus its SLO report
+/// (`{run}_slo.json`); returns the incident ids it used.
+fn write_run(dir: &Path, run: &str, g: &mut Gen) -> Vec<u64> {
+    let n_inc = g.usize_in(0, 6);
+    let mut tracker = SloTracker::new(SloConfig::default(), 8);
+    let mut incidents = Vec::new();
+    let mut ids = Vec::new();
+    for id in 0..n_inc as u64 {
+        ids.push(id);
+        let onset = g.u64_in(0, 160_000);
+        let detected = g.bool().then(|| onset + g.u64_in(1, 600));
+        let diagnosed = detected.map(|d| d + g.u64_in(1, 300)).filter(|_| g.bool());
+        let restored = detected
+            .map(|d| d + g.u64_in(1, 7_000))
+            .filter(|_| g.bool());
+        let service = *g.choose(SERVICES);
+        if let (Some(det), Some(rest)) = (detected, restored) {
+            tracker.on_close(
+                service,
+                IncidentId(id),
+                SimTime::from_secs(onset),
+                SimTime::from_secs(det),
+                SimTime::from_secs(rest),
+            );
+        }
+        let n_att = g.usize_in(0, 3);
+        let attempts: Vec<String> = (0..n_att)
+            .map(|_| {
+                format!(
+                    "{{\"at\": {}, \"actor\": {}, \"action\": {}, \"resolved\": {}}}",
+                    onset + g.u64_in(0, 1000),
+                    json_str(&g.ident()),
+                    json_str(&g.ascii_value(12)),
+                    g.bool()
+                )
+            })
+            .collect();
+        let category = g.choose(CATEGORIES);
+        incidents.push(format!(
+            "{{\"id\": {id}, \"category\": {}, \"service\": {}, \"description\": {}, \
+             \"onset\": {onset}, \"detected\": {}, \"diagnosed\": {}, \"restored\": {}, \
+             \"actor\": {}, \"action\": {}, \"escalated\": {}, \"attempts\": [{}]}}",
+            json_str(category),
+            json_str(service),
+            json_str(&g.ascii_value(20)),
+            opt_num(detected),
+            opt_num(diagnosed),
+            opt_num(restored),
+            opt_str(g.bool().then(|| g.ident()).as_deref()),
+            opt_str(g.bool().then(|| g.ascii_value(10)).as_deref()),
+            g.bool(),
+            attempts.join(", ")
+        ));
+    }
+    let n_ev = g.usize_in(0, 24);
+    let mut events = Vec::new();
+    for seq in 0..n_ev as u64 {
+        let corr = if !ids.is_empty() && g.bool() {
+            format!(",\"corr\":{}", *g.choose(&ids))
+        } else {
+            String::new()
+        };
+        let code = g.choose(CODES);
+        events.push(format!(
+            "{{\"seq\":{seq},\"at\":{},\"subsystem\":{},\"code\":{}{corr},\"detail\":{}}}",
+            g.u64_in(0, 170_000),
+            json_str(g.choose(Subsystem::ALL.as_slice()).tag()),
+            json_str(code),
+            json_str(&g.ascii_value(16))
+        ));
+    }
+    let export = format!(
+        "{{\n\"seed\": 1,\n\"mode\": \"Test\",\n\"ledger\": {{\"incidents\": [{}]}},\n\
+         \"trace\": {{\"events\": [{}]}}\n}}\n",
+        incidents.join(", "),
+        events.join(", ")
+    );
+    std::fs::write(dir.join(format!("{run}.json")), export).unwrap();
+    let report = tracker.report(SimDuration::from_days(2));
+    std::fs::write(
+        dir.join(format!("{run}_slo.json")),
+        report.to_json_with_run(1, "Test"),
+    )
+    .unwrap();
+    ids
+}
+
+/// Write a real spill directory under `dir/{name}` with random chunk
+/// rotation, optionally chopping the final chunk mid-record.
+fn write_spill(dir: &Path, name: &str, ids: &[u64], g: &mut Gen) {
+    let spill_dir = dir.join(name);
+    let chunk_records = g.usize_in(2, 9);
+    let mut t = Trace::with_options(TraceOptions {
+        capacity: 4,
+        spill: Some(SpillConfig {
+            dir: spill_dir.clone(),
+            chunk_records,
+            tail_capacity: 0,
+        }),
+        ..TraceOptions::default()
+    });
+    let n = g.usize_in(1, 30);
+    for _ in 0..n {
+        let at = SimTime::from_secs(g.u64_in(0, 170_000));
+        let sub = *g.choose(Subsystem::ALL.as_slice());
+        let code = *g.choose(CODES);
+        let detail = g.ascii_value(16);
+        t.emit(at, sub, code, || detail.clone());
+        if !ids.is_empty() && g.bool() {
+            t.correlate_last(*g.choose(ids));
+        }
+    }
+    t.flush().unwrap();
+    if g.bool() {
+        // Chop the final chunk mid-record (killed-run shape).
+        let mut chunks: Vec<PathBuf> = std::fs::read_dir(&spill_dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("chunk-"))
+            })
+            .collect();
+        chunks.sort();
+        if let Some(last) = chunks.last() {
+            let text = std::fs::read_to_string(last).unwrap();
+            if text.len() > 4 {
+                let cut = g.usize_in(1, text.len().min(40));
+                std::fs::write(last, &text[..text.len() - cut]).unwrap();
+            }
+        }
+    }
+}
+
+fn random_query(g: &mut Gen, runs: &[String]) -> Query {
+    let mut q = Query::default();
+    if g.usize_in(0, 4) == 0 {
+        q.kind = Some(*g.choose(&[Kind::Incident, Kind::Trace, Kind::Slo]));
+    }
+    if g.bool() {
+        q.run = Some(if g.bool() {
+            g.choose(runs).clone()
+        } else {
+            "no_such_run".to_string()
+        });
+    }
+    if g.bool() {
+        q.service = Some(g.choose(SERVICES).to_string());
+    }
+    if g.usize_in(0, 3) == 0 {
+        q.category = Some(if g.bool() {
+            g.choose(CATEGORIES).to_string()
+        } else {
+            g.choose(Subsystem::ALL.as_slice()).tag().to_string()
+        });
+    }
+    if g.usize_in(0, 3) == 0 {
+        q.corr = Some(g.u64_in(0, 6));
+    }
+    if g.usize_in(0, 3) == 0 {
+        let t0 = g.u64_in(0, 160_000);
+        q.window = Some((t0, t0 + g.u64_in(0, 90_000)));
+    }
+    q
+}
+
+#[test]
+fn every_indexed_query_matches_the_linear_scan() {
+    cases(25, |g| {
+        let trial_dir = std::env::temp_dir().join(format!(
+            "intelliqos-evdb-prop-{}",
+            g.u64_in(0, u64::MAX - 1)
+        ));
+        let evidence = trial_dir.join("evidence");
+        let store_dir = trial_dir.join("store");
+        let _ = std::fs::remove_dir_all(&trial_dir);
+        std::fs::create_dir_all(&evidence).unwrap();
+
+        let n_runs = g.usize_in(1, 4);
+        let mut runs = Vec::new();
+        let mut all_ids = Vec::new();
+        for i in 0..n_runs {
+            let run = format!("{}_{i}", g.ident());
+            let ids = write_run(&evidence, &run, g);
+            all_ids.extend(ids);
+            runs.push(run);
+        }
+        if g.bool() {
+            let name = format!("spill_{}", g.usize_in(0, 100));
+            write_spill(&evidence, &name, &all_ids, g);
+            runs.push(name);
+        }
+        // A bystander document the extractor must leave alone.
+        std::fs::write(
+            evidence.join("ontology_check_site.json"),
+            "{\"report\": \"ontology\", \"findings\": []}\n",
+        )
+        .unwrap();
+
+        Store::build(&evidence, &store_dir).unwrap();
+        let store = Store::open(&store_dir).unwrap();
+
+        for _ in 0..6 {
+            let q = random_query(g, &runs);
+            let (indexed, stats) = store.query(&q).unwrap();
+            let (scanned, _, _) = scan_query(&evidence, &q).unwrap();
+            assert_eq!(
+                indexed, scanned,
+                "indexed result diverged from scan for {q:?}"
+            );
+            assert_eq!(
+                stats.source_files_read, 0,
+                "indexed query re-opened raw evidence for {q:?}"
+            );
+            assert_eq!(stats.rows_matched as usize, indexed.len());
+        }
+
+        // Correlation timelines — the `triage --evdb` path — are byte-
+        // identical between backends.
+        for id in 0..3 {
+            let q = Query {
+                corr: Some(id),
+                ..Query::default()
+            };
+            let (indexed, _) = store.query(&q).unwrap();
+            let (scanned, _, _) = scan_query(&evidence, &q).unwrap();
+            assert_eq!(
+                render_corr_timelines(&indexed, id),
+                render_corr_timelines(&scanned, id),
+                "timelines diverged for incident {id}"
+            );
+        }
+
+        let _ = std::fs::remove_dir_all(&trial_dir);
+    });
+}
+
+/// Re-ingesting the same evidence is byte-stable: every store file is
+/// reproduced identically, so the store can be rebuilt anywhere and
+/// compared with a plain `diff -r`.
+#[test]
+fn ingest_is_deterministic_across_rebuilds() {
+    cases(5, |g| {
+        let trial_dir = std::env::temp_dir().join(format!(
+            "intelliqos-evdb-rebuild-{}",
+            g.u64_in(0, u64::MAX - 1)
+        ));
+        let evidence = trial_dir.join("evidence");
+        let _ = std::fs::remove_dir_all(&trial_dir);
+        std::fs::create_dir_all(&evidence).unwrap();
+        let ids = write_run(&evidence, "run_a", g);
+        write_spill(&evidence, "spill_a", &ids, g);
+
+        let snapshot = |dir: &Path| -> Vec<(String, Vec<u8>)> {
+            let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .map(|e| e.path())
+                .collect();
+            files.sort();
+            files
+                .into_iter()
+                .map(|p| {
+                    (
+                        p.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read(&p).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        let store_dir = trial_dir.join("store");
+        Store::build(&evidence, &store_dir).unwrap();
+        let first = snapshot(&store_dir);
+        Store::build(&evidence, &store_dir).unwrap();
+        let second = snapshot(&store_dir);
+        assert_eq!(first, second, "rebuild changed store bytes");
+        let _ = std::fs::remove_dir_all(&trial_dir);
+    });
+}

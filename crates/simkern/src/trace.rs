@@ -567,6 +567,213 @@ impl Drop for SpillSink {
     }
 }
 
+/// One record read back from a spill chunk: the parsed form of
+/// [`TraceEvent::render_jsonl`]. `code` is owned — the writing
+/// process's static string table is gone by read time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRecord {
+    /// Sequence number as written.
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Emitting subsystem.
+    pub subsystem: Subsystem,
+    /// Machine-stable event code.
+    pub code: String,
+    /// Correlation id, when the record carried one.
+    pub corr: Option<u64>,
+    /// Free-form detail, unescaped.
+    pub detail: String,
+}
+
+/// Positional reader over one spill JSONL line. The writer emits a
+/// fixed key order (`seq`, `at`, `subsystem`, `code`, optional `corr`,
+/// `detail`), so the reader can be a cursor rather than a JSON parser.
+struct LineCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn tag(&mut self, lit: &str) -> Result<(), String> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.pos))
+        }
+    }
+
+    fn peek(&self, lit: &str) -> bool {
+        self.bytes
+            .get(self.pos..self.pos + lit.len())
+            .is_some_and(|s| s == lit.as_bytes())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    /// A quoted value with no escapes (subsystem tags, event codes);
+    /// consumes the closing quote.
+    fn plain_string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("bad UTF-8 at byte {start}"))?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => return Err(format!("unexpected escape at byte {}", self.pos)),
+                _ => self.pos += 1,
+            }
+        }
+        Err(format!("unterminated string at byte {start}"))
+    }
+
+    /// A quoted value with JSON escapes (the detail field); consumes
+    /// the closing quote.
+    fn escaped_string(&mut self) -> Result<String, String> {
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "bad UTF-8 in string".to_string())
+                }
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            let ch = char::from_u32(hex)
+                                .ok_or_else(|| format!("bad \\u codepoint {hex:#x}"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => out.push(b),
+            }
+        }
+    }
+}
+
+impl SpillRecord {
+    /// Parse one spill-chunk JSONL line (the exact shape
+    /// [`TraceEvent::render_jsonl`] writes). Trailing garbage is an
+    /// error — a concatenation of two records must not half-parse.
+    pub fn parse(line: &str) -> Result<SpillRecord, String> {
+        let mut c = LineCursor {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        c.tag("{\"seq\":")?;
+        let seq = c.number()?;
+        c.tag(",\"at\":")?;
+        let at = SimTime::from_secs(c.number()?);
+        c.tag(",\"subsystem\":\"")?;
+        let sub_tag = c.plain_string()?;
+        let subsystem = Subsystem::from_tag(&sub_tag)
+            .ok_or_else(|| format!("unknown subsystem tag {sub_tag:?}"))?;
+        c.tag(",\"code\":\"")?;
+        let code = c.plain_string()?;
+        let corr = if c.peek(",\"corr\":") {
+            c.tag(",\"corr\":")?;
+            Some(c.number()?)
+        } else {
+            None
+        };
+        c.tag(",\"detail\":\"")?;
+        let detail = c.escaped_string()?;
+        c.tag("}")?;
+        if c.pos != line.len() {
+            return Err(format!("trailing bytes after record at byte {}", c.pos));
+        }
+        Ok(SpillRecord {
+            seq,
+            at,
+            subsystem,
+            code,
+            corr,
+            detail,
+        })
+    }
+}
+
+/// Read every complete record from a spill directory's chunk files, in
+/// chunk order. Returns the records plus a warning for anything
+/// incomplete: a truncated final record (no trailing newline — a killed
+/// run or a full disk) or a line that does not parse. The reader is
+/// deliberately permissive — triage over a crashed run's flight
+/// recording must surface everything that did reach disk — while the
+/// warnings let a strict validator still fail the artifact.
+pub fn read_spill_chunks(dir: &std::path::Path) -> Result<(Vec<SpillRecord>, Vec<String>), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("chunk-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let mut lines: Vec<&str> = text.lines().collect();
+        if !text.is_empty() && !text.ends_with('\n') {
+            lines.pop();
+            warnings.push(format!(
+                "{}: truncated final record ignored",
+                path.display()
+            ));
+        }
+        for (lineno, line) in lines.iter().enumerate() {
+            match SpillRecord::parse(line) {
+                Ok(r) => records.push(r),
+                Err(e) => warnings.push(format!("{}:{}: {e}", path.display(), lineno + 1)),
+            }
+        }
+    }
+    Ok((records, warnings))
+}
+
 /// Everything configurable about a trace, bundled for CLI plumbing.
 #[derive(Debug, Clone)]
 pub struct TraceOptions {
@@ -1046,6 +1253,131 @@ mod tests {
         t.flush().unwrap();
         let chunk = std::fs::read_to_string(dir.join("chunk-00000.jsonl")).unwrap();
         assert_eq!(chunk.lines().count(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_record_round_trips_render_jsonl() {
+        let cases = [
+            TraceEvent {
+                seq: 0,
+                at: SimTime::from_secs(5),
+                subsystem: Subsystem::Fault,
+                code: "inject",
+                corr: None,
+                detail: "db000|MidJobDbCrash".into(),
+            },
+            TraceEvent {
+                seq: 17,
+                at: SimTime::from_secs(86_400),
+                subsystem: Subsystem::Agent,
+                code: "diagnose",
+                corr: Some(7),
+                detail: "say \"hi\"\nback\\slash\ttab\u{1}ctl".into(),
+            },
+            TraceEvent {
+                seq: 3,
+                at: SimTime::ZERO,
+                subsystem: Subsystem::Slo,
+                code: "burn_alert",
+                corr: Some(0),
+                detail: String::new(),
+            },
+        ];
+        for ev in cases {
+            let line = ev.render_jsonl();
+            let rec = SpillRecord::parse(&line).unwrap();
+            assert_eq!(rec.seq, ev.seq);
+            assert_eq!(rec.at, ev.at);
+            assert_eq!(rec.subsystem, ev.subsystem);
+            assert_eq!(rec.code, ev.code);
+            assert_eq!(rec.corr, ev.corr);
+            assert_eq!(rec.detail, ev.detail);
+        }
+    }
+
+    #[test]
+    fn spill_record_rejects_malformed_lines() {
+        assert!(SpillRecord::parse("").is_err());
+        assert!(SpillRecord::parse("{\"seq\":1").is_err());
+        assert!(SpillRecord::parse("not json at all").is_err());
+        // Unknown subsystem tag.
+        assert!(SpillRecord::parse(
+            "{\"seq\":1,\"at\":2,\"subsystem\":\"nope\",\"code\":\"x\",\"detail\":\"d\"}"
+        )
+        .is_err());
+        // Trailing garbage after a well-formed record.
+        assert!(SpillRecord::parse(
+            "{\"seq\":1,\"at\":2,\"subsystem\":\"agent\",\"code\":\"x\",\"detail\":\"d\"}extra"
+        )
+        .is_err());
+        // A record sliced mid-detail (the truncated-final-line shape).
+        assert!(SpillRecord::parse(
+            "{\"seq\":1,\"at\":2,\"subsystem\":\"agent\",\"code\":\"x\",\"detail\":\"d"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn read_spill_chunks_recovers_all_records_in_order() {
+        let dir = test_dir("readback");
+        let mut t = Trace::with_options(TraceOptions {
+            capacity: 4,
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                chunk_records: 7,
+                tail_capacity: 0,
+            }),
+            ..TraceOptions::default()
+        });
+        for i in 0..23u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+                format!("job{i}|with\npipe and newline")
+            });
+        }
+        t.correlate_last(5);
+        t.flush().unwrap();
+        let (records, warnings) = read_spill_chunks(&dir).unwrap();
+        assert!(
+            warnings.is_empty(),
+            "clean spill must read clean: {warnings:?}"
+        );
+        assert_eq!(records.len(), 23);
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..23).collect::<Vec<u64>>());
+        assert_eq!(records[22].corr, Some(5));
+        assert_eq!(records[0].detail, "job0|with\npipe and newline");
+        assert_eq!(records[0].subsystem, Subsystem::Workload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_spill_chunks_skips_truncated_final_record_with_warning() {
+        let dir = test_dir("truncated");
+        let mut t = Trace::with_options(TraceOptions {
+            capacity: 4,
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                chunk_records: 100,
+                tail_capacity: 0,
+            }),
+            ..TraceOptions::default()
+        });
+        for i in 0..6u64 {
+            t.emit(SimTime::from_secs(i), Subsystem::Agent, "sweep", || {
+                format!("pass{i}")
+            });
+        }
+        t.flush().unwrap();
+        // Simulate a killed run: chop the final record mid-line.
+        let chunk = dir.join("chunk-00000.jsonl");
+        let text = std::fs::read_to_string(&chunk).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&chunk, &text[..cut]).unwrap();
+        let (records, warnings) = read_spill_chunks(&dir).unwrap();
+        assert_eq!(records.len(), 5, "complete records all survive");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("truncated final record"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

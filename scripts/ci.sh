@@ -49,4 +49,36 @@ echo "== triage --incident smoke (correlated timeline renders)"
 # close the pipe early and kill the writer with SIGPIPE.
 ./target/release/triage --incident 0 --seed 11 --days 3 | grep "timeline" > /dev/null
 
+echo "== evdb smoke (ingest, one query per index, report, diff)"
+rm -rf results/evdb
+./target/release/evdb ingest results/evidence --store results/evdb
+test -s results/evdb/manifest.json
+# One query per secondary index; each must answer without touching the
+# raw evidence (source_files_read stays 0 in the query report).
+./target/release/evdb query --store results/evdb --corr 0 --stats > /dev/null
+./target/release/evdb query --store results/evdb --service db003 --stats > /dev/null
+./target/release/evdb query --store results/evdb --category fault --stats > /dev/null
+./target/release/evdb query --store results/evdb --run fig2_downtime_manual --stats > /dev/null
+./target/release/evdb query --store results/evdb --window 0..86400 --stats > /dev/null
+grep '"source_files_read": 0' results/evdb/query_report.json > /dev/null
+./target/release/evdb diff fig2_downtime_manual fig2_downtime_agents --store results/evdb > /dev/null
+
+echo "== indexed triage byte-identity (evdb answer == linear scan answer)"
+# The plain triage run exports two full run ledgers (small config, 3
+# days — the horizon where incident 0 exists) under target/triage/;
+# both evidence backends must answer --incident 0 byte-identically.
+./target/release/triage --seed 11 --days 3 > /dev/null
+rm -rf target/triage_evdb
+./target/release/evdb ingest target/triage --store target/triage_evdb > /dev/null
+./target/release/triage --incident 0 --evdb target/triage_evdb > target/triage_evdb.out 2> /dev/null
+./target/release/triage --incident 0 --evidence target/triage > target/triage_scan.out 2> /dev/null
+diff target/triage_evdb.out target/triage_scan.out
+grep "timeline" target/triage_evdb.out > /dev/null
+
+echo "== evidence_check --evdb (store validates against its sources)"
+./target/release/evidence_check --evdb results/evdb > /dev/null
+
+echo "== qoslint over evdb (new crate holds the determinism bar)"
+cargo run -q --release -p intelliqos-qoslint --bin qoslint crates/evdb/src
+
 echo "CI gate passed."

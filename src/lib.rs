@@ -39,12 +39,14 @@
 //! | [`telemetry`] | metric groups, collectors, circular logs, reports, footprints |
 //! | [`baseline`] | BMC-Patrol-like monitor + human detection/repair models |
 //! | [`core`] | the intelliagents themselves, admin servers, scenarios, the world |
+//! | [`evdb`] | indexed evidence store: queryable incidents, traces, SLO samples |
 
 #![warn(missing_docs)]
 
 pub use intelliqos_baseline as baseline;
 pub use intelliqos_cluster as cluster;
 pub use intelliqos_core as core;
+pub use intelliqos_evdb as evdb;
 pub use intelliqos_lsf as lsf;
 pub use intelliqos_ontology as ontology;
 pub use intelliqos_services as services;
