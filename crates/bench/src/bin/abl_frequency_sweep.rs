@@ -36,6 +36,7 @@ fn main() {
             .collect();
         handles
             .into_iter()
+            // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
             .map(|h| h.join().expect("run"))
             .collect()
     });

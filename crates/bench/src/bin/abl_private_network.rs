@@ -20,6 +20,7 @@ fn segment_report(w: &mut World, label: &str) {
     println!("--- {label} ---");
     for kind in [SegmentKind::PrivateAgent, SegmentKind::Public] {
         for seg in w.fabric.segments_of(kind) {
+            // qoslint::allow(no-panic, segment ids come from the scenario topology)
             let s = w.fabric.segment(seg).unwrap();
             println!(
                 "{seg} ({kind:?}): mean util {:.6}% of bandwidth, up={}",

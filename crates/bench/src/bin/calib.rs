@@ -7,6 +7,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
     for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        // qoslint::allow(wall-clock, progress timing for the operator; never enters results)
         let t0 = std::time::Instant::now();
         let report = run_scenario(ScenarioConfig::financial_site(seed, mode));
         println!("== seed {seed} mode {mode:?} ({:.1?})", t0.elapsed());

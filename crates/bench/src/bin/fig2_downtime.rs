@@ -39,6 +39,7 @@ fn main() {
     let ((before_world, before), (after_world, after)) = std::thread::scope(|s| {
         let b = s.spawn(|| run(ManagementMode::ManualOps));
         let a = s.spawn(|| run(ManagementMode::Intelliagents));
+        // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
         (b.join().expect("manual run"), a.join().expect("agent run"))
     });
 

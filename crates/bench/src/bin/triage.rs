@@ -205,6 +205,7 @@ fn main() {
             let m = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::ManualOps));
             let a =
                 s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+            // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
             (m.join().expect("manual run"), a.join().expect("agent run"))
         });
         let mut found = false;
@@ -229,9 +230,10 @@ fn main() {
         let a = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
         let r = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
         (
+            // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
             m.join().expect("manual run"),
-            a.join().expect("agent run"),
-            r.join().expect("replay run"),
+            a.join().expect("agent run"), // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
+            r.join().expect("replay run"), // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
         )
     });
 

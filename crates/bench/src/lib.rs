@@ -336,6 +336,7 @@ pub fn run_paired_site(
     let ((manual_world, manual), (agents_world, agents)) = std::thread::scope(|s| {
         let m = s.spawn(|| run_world(opts, opts.site(ManagementMode::ManualOps)));
         let a = s.spawn(|| run_world(opts, opts.site(ManagementMode::Intelliagents)));
+        // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
         (m.join().expect("manual run"), a.join().expect("agent run"))
     });
     emit_run_evidence(opts, bin, "manual", &manual_world);

@@ -9,6 +9,7 @@
 //! maximum per-iteration times are printed in a fixed-width table so
 //! runs can be diffed.
 
+// qoslint::allow-file(wall-clock, microbenchmark harness measures real elapsed time by design)
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -271,6 +271,7 @@ impl Fabric {
                 Err(NetError::SegmentDown)
             };
         };
+        // qoslint::allow(no-panic, route() just chose this segment from the map)
         let seg = self.segments.get_mut(&via).expect("chosen segment exists");
         seg.roll_window(now);
         seg.window_bytes += bytes;

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use intelliqos_cluster::faults::FaultCategory;
+use intelliqos_simkern::lifecycle::{self, LifecycleState};
 use intelliqos_simkern::{SimDuration, SimTime};
 
 /// Incident identifier.
@@ -139,42 +140,111 @@ impl Incident {
         self.repaired_by().map(Actor::is_automatic).unwrap_or(false)
     }
 
-    /// A closed incident must carry the full, ordered lifecycle. Returns
-    /// the first violation found, or `None` when the record is sound.
+    /// When (if ever) the record first occupied an automaton state —
+    /// the projection [`Incident::lifecycle_violation`] interprets.
+    /// `Escalated` is a flag, not a timestamp, so it projects to `None`.
+    fn state_observed_at(&self, s: LifecycleState) -> Option<SimTime> {
+        match s {
+            LifecycleState::Injected => Some(self.onset),
+            LifecycleState::Detected => self.detected,
+            LifecycleState::Diagnosed => self.diagnosed,
+            LifecycleState::Attempting => self.attempts.first().map(|a| a.at),
+            LifecycleState::Escalated => None,
+            LifecycleState::Repaired => self.restored,
+        }
+    }
+
+    /// The ledger field name a spine state's timestamp is recorded in,
+    /// for violation messages.
+    fn state_field(s: LifecycleState) -> &'static str {
+        match s {
+            LifecycleState::Injected => "onset",
+            LifecycleState::Detected => "detected",
+            LifecycleState::Diagnosed => "diagnosed",
+            LifecycleState::Attempting => "attempted",
+            LifecycleState::Escalated => "escalated",
+            LifecycleState::Repaired => "restored",
+        }
+    }
+
+    /// A closed incident must witness a complete run of the declared
+    /// lifecycle automaton ([`intelliqos_simkern::lifecycle`]); an open
+    /// one must at least keep its observed states in automaton order.
+    /// Returns the first violation found, or `None` when the record is
+    /// sound.
+    ///
+    /// This is an *interpreter* over the declared automaton, not a list
+    /// of hand-written field checks: the record is projected onto
+    /// automaton states, timestamps must be non-decreasing along the
+    /// one-shot spine (the states [`lifecycle::revisitable`] rules out
+    /// of cycles), the completeness obligations for closed incidents
+    /// are exactly the mandatory waypoints
+    /// [`lifecycle::required_for_terminal`] derives from the edges, and
+    /// the attempt-history checks are the `Attempting` self-loop's
+    /// obligations (ordered retries, one resolving entry, nothing after
+    /// it).
     pub fn lifecycle_violation(&self) -> Option<String> {
-        let Some(restored) = self.restored else {
-            // Open incidents only need ordering on what exists so far.
+        if self.restored.is_none() {
+            // Open incidents only need ordering on what exists so far:
+            // detection precedes diagnosis. (The other spine pairs are
+            // clamped by the transition API itself until close.)
             if let (Some(d), Some(g)) = (self.detected, self.diagnosed) {
                 if g < d {
                     return Some(format!("{}: diagnosed {g} before detected {d}", self.id));
                 }
             }
             return None;
-        };
-        let Some(detected) = self.detected else {
-            return Some(format!("{}: closed without a detection time", self.id));
-        };
-        let Some(diagnosed) = self.diagnosed else {
-            return Some(format!("{}: closed without a diagnosis time", self.id));
-        };
-        if detected < self.onset {
-            return Some(format!(
-                "{}: detected {detected} before onset {}",
-                self.id, self.onset
-            ));
         }
-        if diagnosed < detected {
-            return Some(format!(
-                "{}: diagnosed {diagnosed} before detected {detected}",
-                self.id
-            ));
+
+        // Mandatory waypoints: states on every Injected → Repaired
+        // path must have been recorded. `Attempting`'s obligation is
+        // the resolving-attempt block below (a resolved attempt is how
+        // the record witnesses it).
+        for s in lifecycle::required_for_terminal() {
+            if s == LifecycleState::Attempting {
+                continue;
+            }
+            if self.state_observed_at(s).is_none() {
+                let what = match s {
+                    LifecycleState::Detected => "detection",
+                    LifecycleState::Diagnosed => "diagnosis",
+                    other => Self::state_field(other),
+                };
+                return Some(format!("{}: closed without a {what} time", self.id));
+            }
         }
-        if restored < diagnosed {
-            return Some(format!(
-                "{}: restored {restored} before diagnosed {diagnosed}",
-                self.id
-            ));
+
+        // Spine ordering: the one-shot states are visited at most once,
+        // so their timestamps must be non-decreasing in automaton
+        // order. (Revisitable states — the attempt/escalation loop —
+        // interleave freely; an agent may attempt before the diagnosis
+        // is final.)
+        let spine: Vec<(LifecycleState, SimTime)> = LifecycleState::ALL
+            .into_iter()
+            .filter(|&s| !lifecycle::revisitable(s))
+            .filter_map(|s| self.state_observed_at(s).map(|t| (s, t)))
+            .collect();
+        for w in spine.windows(2) {
+            let ((a, ta), (b, tb)) = (w[0], w[1]);
+            debug_assert!(
+                lifecycle::reachable(a, b),
+                "spine order must follow the automaton: {} -> {}",
+                a.name(),
+                b.name()
+            );
+            if tb < ta {
+                return Some(format!(
+                    "{}: {} {tb} before {} {ta}",
+                    self.id,
+                    Self::state_field(b),
+                    Self::state_field(a)
+                ));
+            }
         }
+
+        // Entering the terminal state requires the resolving attempt —
+        // the automaton's `Attempting` waypoint — with an actor and an
+        // action, exactly once, as the final history entry.
         if self.repaired_by().is_none() {
             return Some(format!("{}: closed without an actor", self.id));
         }
@@ -192,6 +262,8 @@ impl Incident {
                 ));
             }
         }
+        // The `Attempting` self-loop: retries are ordered among
+        // themselves.
         for pair in self.attempts.windows(2) {
             if pair[1].at < pair[0].at {
                 return Some(format!("{}: attempt history out of order", self.id));

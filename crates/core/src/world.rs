@@ -1114,6 +1114,15 @@ impl World {
             None => onset + self.manual_detection_delay(cat, onset, latent),
         };
         self.ledger.detect(inc, detected);
+        let engaged = detected
+            + self
+                .repair_model
+                .sample_paging(detected, &mut self.rng_repair);
+        // Humans pin the cause down when they engage; paging is the
+        // escalation record. Transitions are issued in automaton order
+        // (detect, diagnose, attempt, escalate) — the lifecycle-order
+        // lint checks this sequence against the declared automaton.
+        self.ledger.diagnose(inc, engaged);
         if detected_at.is_some() {
             // An agent found the fault but could not (or was not allowed
             // to) heal it: record the failed agent try before the human
@@ -1121,14 +1130,7 @@ impl World {
             self.ledger
                 .attempt(inc, detected, Actor::Agent, "detect-and-page");
         }
-        let engaged = detected
-            + self
-                .repair_model
-                .sample_paging(detected, &mut self.rng_repair);
-        // Humans pin the cause down when they engage; paging is the
-        // escalation record.
         self.ledger.escalate(inc, detected);
-        self.ledger.diagnose(inc, engaged);
         let restored = engaged
             + self
                 .repair_model

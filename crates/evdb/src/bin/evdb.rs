@@ -1,20 +1,27 @@
 //! `evdb` — ingest, query, and diff the evidence store.
 //!
 //! ```text
-//! evdb ingest [EVIDENCE_DIR] [--store DIR]
+//! evdb ingest [EVIDENCE_DIR] [--store DIR] [--full]
 //! evdb query  [--store DIR | --scan EVIDENCE_DIR] [--kind inc|trc|slo]
-//!             [--run R] [--service S] [--category C] [--corr N]
-//!             [--window T0..T1] [--stats]
+//!             [--run R] [--service S] [--category C] [--subsystem S]
+//!             [--corr N] [--window T0..T1] [--stats]
 //! evdb diff RUN_A RUN_B [--store DIR]
 //! ```
 //!
 //! `ingest` deterministically rebuilds the store from the evidence
-//! directory. `query` answers from the index by default; `--scan`
-//! answers from the linear reference scan instead — the two print
-//! byte-identical lines for the same filter, which CI checks. `--stats`
-//! writes `query_report.json` (indexed mode) with the
-//! `source_files_read` counter that proves the index never re-opened
-//! raw evidence. `diff` contrasts two runs side by side.
+//! directory — incrementally by default (runs whose evidence files all
+//! match the previous manifest by path and byte size are copied
+//! forward instead of re-parsed; the store bytes come out identical
+//! either way), or from scratch with `--full`. `query` answers from
+//! the index by default; `--scan` answers from the linear reference
+//! scan instead — the two print byte-identical lines for the same
+//! filter, which CI checks. `--category` takes an incident category
+//! label or a registered trace event code, `--subsystem` a registered
+//! subsystem tag; anything outside that closed world is rejected with
+//! a suggestion rather than answered emptily. `--stats` writes
+//! `query_report.json` (indexed mode) with the `source_files_read`
+//! counter that proves the index never re-opened raw evidence. `diff`
+//! contrasts two runs side by side.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,9 +33,9 @@ const DEFAULT_STORE: &str = "results/evdb";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: evdb ingest [EVIDENCE_DIR] [--store DIR]\n       \
+        "usage: evdb ingest [EVIDENCE_DIR] [--store DIR] [--full]\n       \
          evdb query [--store DIR | --scan EVIDENCE_DIR] [--kind inc|trc|slo] [--run R]\n              \
-         [--service S] [--category C] [--corr N] [--window T0..T1] [--stats]\n       \
+         [--service S] [--category C] [--subsystem S] [--corr N] [--window T0..T1] [--stats]\n       \
          evdb diff RUN_A RUN_B [--store DIR]"
     );
     ExitCode::from(2)
@@ -52,6 +59,7 @@ fn main() -> ExitCode {
 fn cmd_ingest(args: &[String]) -> ExitCode {
     let mut evidence = PathBuf::from(DEFAULT_EVIDENCE);
     let mut store = PathBuf::from(DEFAULT_STORE);
+    let mut full = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,21 +67,29 @@ fn cmd_ingest(args: &[String]) -> ExitCode {
                 Some(dir) => store = PathBuf::from(dir),
                 None => return fail("--store needs a directory"),
             },
+            "--full" => full = true,
             flag if flag.starts_with("--") => return usage(),
             dir => evidence = PathBuf::from(dir),
         }
     }
-    match Store::build(&evidence, &store) {
+    let built = if full {
+        Store::build(&evidence, &store)
+    } else {
+        Store::build_incremental(&evidence, &store)
+    };
+    match built {
         Ok(report) => {
             for w in &report.warnings {
                 eprintln!("evdb: warning: {w}");
             }
             println!(
                 "evdb: ingested {} records from {} source file(s) into {} \
-                 ({} segment(s), {} index file(s), {} warning(s))",
+                 ({} parsed, {} reused, {} segment(s), {} index file(s), {} warning(s))",
                 report.records,
                 report.sources.len(),
                 store.display(),
+                report.sources_parsed,
+                report.sources_reused,
                 report.segments,
                 report.index_files,
                 report.warnings.len()
@@ -124,6 +140,10 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 Ok(v) => q.category = Some(v),
                 Err(code) => return code,
             },
+            "--subsystem" => match value("--subsystem") {
+                Ok(v) => q.subsystem = Some(v),
+                Err(code) => return code,
+            },
             "--corr" => match value("--corr") {
                 Ok(v) => match v.parse() {
                     Ok(n) => q.corr = Some(n),
@@ -141,6 +161,12 @@ fn cmd_query(args: &[String]) -> ExitCode {
             "--stats" => stats_flag = true,
             _ => return usage(),
         }
+    }
+
+    // Operator-facing closed-world check: a typo'd category or
+    // subsystem is an error here, never an empty answer.
+    if let Err(e) = q.validate() {
+        return fail(&e);
     }
 
     if let Some(dir) = scan_dir {

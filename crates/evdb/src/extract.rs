@@ -35,6 +35,9 @@ pub struct SourceFile {
     pub rel: String,
     /// File size in bytes.
     pub bytes: u64,
+    /// Run label the file's records carry — the key incremental
+    /// ingest reuses previous segments under.
+    pub run: String,
 }
 
 /// Everything an evidence walk produced.
@@ -55,6 +58,194 @@ pub fn extract_dir(root: &Path) -> Result<Extraction, String> {
     Ok(ex)
 }
 
+/// What an incremental walk produced: the same source list a full walk
+/// would record, fresh records for changed or new evidence only, and
+/// the run labels whose records the caller must copy forward from the
+/// previous store.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalExtraction {
+    /// Fresh records plus the complete provenance list, in walk order.
+    pub extraction: Extraction,
+    /// Runs whose evidence was untouched — their records come from the
+    /// previous store's segments, not from re-parsing. Sorted, deduped.
+    pub reused_runs: Vec<String>,
+    /// Evidence files actually re-parsed.
+    pub sources_parsed: u64,
+    /// Evidence files skipped because path and byte size matched the
+    /// previous manifest.
+    pub sources_reused: u64,
+}
+
+/// One ingestion unit of the walk: the granularity at which evidence
+/// is parsed, and therefore at which re-parsing can be skipped.
+enum Unit {
+    /// A spill directory — its manifest plus every chunk parse as one.
+    Spill {
+        dir: PathBuf,
+        files: Vec<SourceFile>,
+    },
+    /// One candidate JSON document (run export, SLO report, or a
+    /// bystander the extractor will ignore after parsing).
+    Json {
+        path: PathBuf,
+        rel: String,
+        bytes: u64,
+    },
+}
+
+/// Mirror [`walk`]'s traversal exactly, but collect units instead of
+/// parsing — the cheap planning pass of an incremental ingest.
+fn collect_units(root: &Path, dir: &Path, units: &mut Vec<Unit>) -> Result<(), String> {
+    if is_spill_dir(dir) {
+        let run = rel_path(root, dir);
+        let mut files = Vec::new();
+        let stat = |path: &Path| SourceFile {
+            rel: rel_path(root, path),
+            bytes: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+            run: run.clone(),
+        };
+        files.push(stat(&dir.join("manifest.json")));
+        for chunk in spill_chunk_paths(dir) {
+            files.push(stat(&chunk));
+        }
+        units.push(Unit::Spill {
+            dir: dir.to_path_buf(),
+            files,
+        });
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_units(root, &path, units)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            units.push(Unit::Json {
+                rel: rel_path(root, &path),
+                bytes,
+                path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Walk `root` against the previous manifest's source list, re-parsing
+/// only evidence that changed. A run's records are reused only when
+/// *every* file it fed the previous ingest is still present with the
+/// same byte size and nothing that fed it was removed — otherwise the
+/// whole run re-parses, because extraction granularity is the unit
+/// (a spill directory, a run export, an SLO report), not the record.
+pub fn extract_dir_incremental(
+    root: &Path,
+    old_sources: &[SourceFile],
+) -> Result<IncrementalExtraction, String> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let mut units = Vec::new();
+    collect_units(root, root, &mut units)?;
+
+    let old_by_rel: BTreeMap<&str, &SourceFile> =
+        old_sources.iter().map(|s| (s.rel.as_str(), s)).collect();
+    let mut old_run_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for s in old_sources {
+        *old_run_counts.entry(s.run.clone()).or_default() += 1;
+    }
+
+    // A run stays reusable only while every unit that touches it is
+    // byte-identical to the previous ingest and every previous source
+    // of the run is claimed by some unchanged unit.
+    let mut claimed: BTreeMap<String, u64> = BTreeMap::new();
+    let mut disqualified: BTreeSet<String> = BTreeSet::new();
+    let unchanged = |f: &SourceFile| {
+        old_by_rel
+            .get(f.rel.as_str())
+            .is_some_and(|old| old.bytes == f.bytes && old.run == f.run)
+    };
+    for unit in &units {
+        match unit {
+            Unit::Spill { files, .. } => {
+                let run = files[0].run.clone();
+                if files.iter().all(unchanged) {
+                    *claimed.entry(run).or_default() += files.len() as u64;
+                } else {
+                    disqualified.insert(run);
+                }
+            }
+            Unit::Json { rel, bytes, .. } => {
+                if let Some(old) = old_by_rel.get(rel.as_str()) {
+                    if old.bytes == *bytes {
+                        *claimed.entry(old.run.clone()).or_default() += 1;
+                    } else {
+                        disqualified.insert(old.run.clone());
+                    }
+                }
+                // A file the previous ingest never recorded parses
+                // fresh below; it cannot disqualify anything here.
+            }
+        }
+    }
+    let skippable = |run: &str| {
+        !run.is_empty()
+            && !disqualified.contains(run)
+            && old_run_counts.get(run).copied().unwrap_or(0) > 0
+            && claimed.get(run).copied().unwrap_or(0) == old_run_counts[run]
+    };
+
+    let mut out = IncrementalExtraction::default();
+    let ex = &mut out.extraction;
+    for unit in &units {
+        match unit {
+            Unit::Spill { dir, files } => {
+                let run = files[0].run.clone();
+                if skippable(&run) {
+                    ex.sources.extend(files.iter().cloned());
+                    out.sources_reused += files.len() as u64;
+                    out.reused_runs.push(run);
+                } else {
+                    let before = ex.sources.len();
+                    extract_spill(root, dir, ex);
+                    out.sources_parsed += (ex.sources.len() - before) as u64;
+                }
+            }
+            Unit::Json { path, rel, bytes } => {
+                let old = old_by_rel.get(rel.as_str());
+                let reusable = old.is_some_and(|o| o.bytes == *bytes && skippable(&o.run));
+                if let (Some(old), true) = (old, reusable) {
+                    ex.sources.push(SourceFile {
+                        rel: rel.clone(),
+                        bytes: *bytes,
+                        run: old.run.clone(),
+                    });
+                    out.sources_reused += 1;
+                    out.reused_runs.push(old.run.clone());
+                } else {
+                    let before = ex.sources.len();
+                    extract_json(root, path, ex);
+                    out.sources_parsed += (ex.sources.len() - before) as u64;
+                }
+            }
+        }
+    }
+    out.reused_runs.sort();
+    out.reused_runs.dedup();
+
+    // A freshly parsed file may label its records with a run the plan
+    // chose to reuse (a new file whose stem collides with an existing
+    // run). Merging would duplicate or misorder records, so report the
+    // collision and let the caller fall back to a full walk.
+    if ex.records.iter().any(|r| {
+        out.reused_runs
+            .binary_search_by(|p| p.as_str().cmp(r.run()))
+            .is_ok()
+    }) {
+        return Err("incremental plan collided with a reused run".to_string());
+    }
+    Ok(out)
+}
+
 fn rel_path(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
     rel.components()
@@ -63,11 +254,12 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-fn push_source(root: &Path, path: &Path, ex: &mut Extraction) {
+fn push_source(root: &Path, path: &Path, run: &str, ex: &mut Extraction) {
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     ex.sources.push(SourceFile {
         rel: rel_path(root, path),
         bytes,
+        run: run.to_string(),
     });
 }
 
@@ -101,26 +293,33 @@ fn walk(root: &Path, dir: &Path, ex: &mut Extraction) -> Result<(), String> {
     Ok(())
 }
 
+/// The chunk files of a spill directory, sorted — the order both the
+/// reader and the provenance list use.
+fn spill_chunk_paths(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut chunks: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("chunk-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    chunks.sort();
+    chunks
+}
+
 fn extract_spill(root: &Path, dir: &Path, ex: &mut Extraction) {
     let run = rel_path(root, dir);
-    push_source(root, &dir.join("manifest.json"), ex);
+    push_source(root, &dir.join("manifest.json"), &run, ex);
     match read_spill_chunks(dir) {
         Ok((records, warnings)) => {
             // Charge every chunk file as a source, in the read order.
-            if let Ok(entries) = std::fs::read_dir(dir) {
-                let mut chunks: Vec<PathBuf> = entries
-                    .flatten()
-                    .map(|e| e.path())
-                    .filter(|p| {
-                        p.file_name()
-                            .and_then(|n| n.to_str())
-                            .is_some_and(|n| n.starts_with("chunk-") && n.ends_with(".jsonl"))
-                    })
-                    .collect();
-                chunks.sort();
-                for chunk in chunks {
-                    push_source(root, &chunk, ex);
-                }
+            for chunk in spill_chunk_paths(dir) {
+                push_source(root, &chunk, &run, ex);
             }
             ex.warnings.extend(warnings);
             ex.records.extend(records.into_iter().map(|r| {
@@ -163,10 +362,10 @@ fn extract_json(root: &Path, path: &Path, ex: &mut Extraction) {
         .to_string();
     if doc.get("report").and_then(|v| v.as_str()) == Some("slo") {
         let run = stem.strip_suffix("_slo").unwrap_or(&stem).to_string();
-        push_source(root, path, ex);
+        push_source(root, path, &run, ex);
         extract_slo(&doc, &run, path, ex);
     } else if doc.get("ledger").is_some() {
-        push_source(root, path, ex);
+        push_source(root, path, &stem, ex);
         extract_run_export(&doc, &stem, path, ex);
     }
 }

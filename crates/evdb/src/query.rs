@@ -5,8 +5,15 @@
 //! set, then applies this same predicate; the linear scan applies it to
 //! everything. A filter on a field a record kind does not have excludes
 //! that kind outright (asking for `--service` excludes trace events;
-//! asking for `--corr` excludes SLO samples), so a query's result set
-//! is never padded with records the filter could not examine.
+//! asking for `--corr` or `--subsystem` excludes SLO samples), so a
+//! query's result set is never padded with records the filter could
+//! not examine.
+//!
+//! `--category` means the record's own category: the fault-category
+//! label for incidents, the registered event *code* for trace events
+//! (`db-crash`, `diagnose`, ...). The subsystem tag is a separate
+//! `--subsystem` filter, and [`Query::validate`] holds both to the
+//! closed world declared in `intelliqos_simkern::trace::TRACE_REGISTRY`.
 
 use crate::model::{Kind, Rec};
 
@@ -19,8 +26,10 @@ pub struct Query {
     pub run: Option<String>,
     /// Service key (incidents and SLO samples).
     pub service: Option<String>,
-    /// Incident category / trace subsystem tag.
+    /// Incident category label / trace event code.
     pub category: Option<String>,
+    /// Trace subsystem tag (`fault`, `agent`, ...); trace events only.
+    pub subsystem: Option<String>,
     /// Correlation id (incident id, trace `corr`).
     pub corr: Option<u64>,
     /// Inclusive time window over incident onset / trace `at`.
@@ -48,10 +57,52 @@ impl Query {
             return false;
         }
         match kind {
-            Kind::Incident => true,
+            Kind::Incident => self.subsystem.is_none(),
             Kind::Trace => self.service.is_none(),
-            Kind::Slo => self.corr.is_none() && self.category.is_none() && self.window.is_none(),
+            Kind::Slo => {
+                self.corr.is_none()
+                    && self.category.is_none()
+                    && self.subsystem.is_none()
+                    && self.window.is_none()
+            }
         }
+    }
+
+    /// Closed-world validation for operator-facing queries (the CLI
+    /// runs this; programmatic callers may query synthetic categories
+    /// freely): `category` must be a registered trace code or a known
+    /// fault-category label, and `subsystem` must be a registered
+    /// subsystem tag. A typo'd filter is an error with the nearest
+    /// registered code, never a silently empty result.
+    pub fn validate(&self) -> Result<(), String> {
+        use intelliqos_cluster::faults::FaultCategory;
+        use intelliqos_simkern::trace::{nearest_registered_code, registered_codes, Subsystem};
+
+        if let Some(c) = self.category.as_deref() {
+            let known_code = registered_codes().contains(&c);
+            let known_label = FaultCategory::ALL.iter().any(|f| f.label() == c);
+            if !known_code && !known_label {
+                let hint = match nearest_registered_code(c) {
+                    Some((near, d)) if d <= intelliqos_simkern::trace::NEAR_MISS_DISTANCE => {
+                        format!("; did you mean {near:?}?")
+                    }
+                    _ => String::new(),
+                };
+                return Err(format!(
+                    "category {c:?} is neither a registered trace code nor a fault category label{hint}"
+                ));
+            }
+        }
+        if let Some(s) = self.subsystem.as_deref() {
+            if Subsystem::from_tag(s).is_none() {
+                let tags: Vec<&str> = Subsystem::ALL.iter().map(|v| v.tag()).collect();
+                return Err(format!(
+                    "subsystem {s:?} is not a registered tag (one of: {})",
+                    tags.join(", ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The full predicate.
@@ -75,7 +126,8 @@ impl Query {
             }
             Rec::Trace(r) => {
                 self.corr.is_none_or(|c| r.corr == Some(c))
-                    && self.category.as_deref().is_none_or(|c| r.subsystem == c)
+                    && self.category.as_deref().is_none_or(|c| r.code == c)
+                    && self.subsystem.as_deref().is_none_or(|s| r.subsystem == s)
                     && self.window.is_none_or(|(t0, t1)| r.at >= t0 && r.at <= t1)
             }
             Rec::Slo(r) => self.service.as_deref().is_none_or(|s| r.service == s),
@@ -127,6 +179,53 @@ mod tests {
         assert!(q.matches(&trace(Some(4), 0)));
         assert!(!q.matches(&trace(Some(5), 0)));
         assert!(!q.matches(&trace(None, 0)));
+    }
+
+    #[test]
+    fn category_matches_trace_codes_and_subsystem_is_separate() {
+        let q = Query {
+            category: Some("x".to_string()),
+            ..Query::default()
+        };
+        assert!(q.matches(&trace(None, 0)), "code 'x' should match");
+        let q = Query {
+            category: Some("agent".to_string()),
+            ..Query::default()
+        };
+        assert!(
+            !q.matches(&trace(None, 0)),
+            "the subsystem tag is not the category any more"
+        );
+        let q = Query {
+            subsystem: Some("agent".to_string()),
+            ..Query::default()
+        };
+        assert!(q.matches(&trace(None, 0)));
+        assert!(!q.matches(&Rec::Slo(SloRec {
+            run: "r".to_string(),
+            service: "db003".to_string(),
+            incidents: 0,
+            downtime_secs: 0,
+            availability: 1.0,
+            mttr_secs: 0.0,
+            burn_alerts: 0,
+        })));
+    }
+
+    #[test]
+    fn validate_holds_filters_to_the_closed_world() {
+        let ok = |category: Option<&str>, subsystem: Option<&str>| Query {
+            category: category.map(String::from),
+            subsystem: subsystem.map(String::from),
+            ..Query::default()
+        };
+        assert!(ok(Some("db-crash"), None).validate().is_ok());
+        assert!(ok(Some("Mid-crash"), None).validate().is_ok());
+        assert!(ok(None, Some("fault")).validate().is_ok());
+        assert!(ok(None, None).validate().is_ok());
+        let err = ok(Some("db-carsh"), None).validate().unwrap_err();
+        assert!(err.contains("db-crash"), "typo suggests the code: {err}");
+        assert!(ok(None, Some("faults")).validate().is_err());
     }
 
     #[test]

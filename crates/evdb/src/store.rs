@@ -19,15 +19,21 @@
 //!   `source_files_read` counter that proves an indexed query never
 //!   re-opened the raw evidence.
 //!
-//! Ingest is a full deterministic rebuild: same evidence in, same
-//! bytes out, and re-ingesting is idempotent.
+//! Ingest is deterministic: same evidence in, same bytes out, and
+//! re-ingesting is idempotent. [`Store::build`] re-parses everything;
+//! [`Store::build_incremental`] skips re-extracting every run whose
+//! evidence files all match the previous manifest by path and byte
+//! size, copying their records forward from the old segments — the
+//! resulting store bytes are identical either way (the equivalence
+//! test holds them to it), only the `ingest_report.json` cost counters
+//! differ.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use intelliqos_core::jsonv;
 
-use crate::extract::{extract_dir, SourceFile};
+use crate::extract::{extract_dir, extract_dir_incremental, Extraction, SourceFile};
 use crate::model::{escape, unescape, Kind, Rec};
 use crate::query::Query;
 
@@ -46,7 +52,7 @@ const SEG_VERSION: u64 = 1;
 fn index_fields(kind: Kind) -> &'static [&'static str] {
     match kind {
         Kind::Incident => &["corr", "service", "category", "run", "time"],
-        Kind::Trace => &["corr", "category", "run", "time"],
+        Kind::Trace => &["corr", "category", "subsystem", "run", "time"],
         Kind::Slo => &["service", "run"],
     }
 }
@@ -65,7 +71,8 @@ fn field_keys(rec: &Rec, field: &str) -> Option<String> {
         (Rec::Incident(r), "category") => Some(r.category.clone()),
         (Rec::Incident(r), "time") => Some(time_bucket(r.onset)),
         (Rec::Trace(r), "corr") => r.corr.map(|c| c.to_string()),
-        (Rec::Trace(r), "category") => Some(r.subsystem.clone()),
+        (Rec::Trace(r), "category") => Some(r.code.clone()),
+        (Rec::Trace(r), "subsystem") => Some(r.subsystem.clone()),
         (Rec::Trace(r), "time") => Some(time_bucket(r.at)),
         (Rec::Slo(r), "service") => Some(r.service.clone()),
         (_, "run") => Some(rec.run().to_string()),
@@ -115,6 +122,11 @@ pub struct IngestReport {
     pub index_files: u64,
     /// Evidence files read.
     pub sources: Vec<SourceFile>,
+    /// Evidence files actually re-parsed this ingest.
+    pub sources_parsed: u64,
+    /// Evidence files skipped by the incremental path because path and
+    /// byte size matched the previous manifest.
+    pub sources_reused: u64,
     /// Extraction warnings (truncated chunks, malformed rows).
     pub warnings: Vec<String>,
 }
@@ -157,9 +169,65 @@ pub struct Store {
 
 impl Store {
     /// Build (or deterministically rebuild) the store under
-    /// `store_dir` from the evidence under `evidence_dir`.
+    /// `store_dir` from the evidence under `evidence_dir`, re-parsing
+    /// every evidence file.
     pub fn build(evidence_dir: &Path, store_dir: &Path) -> Result<IngestReport, String> {
         let ex = extract_dir(evidence_dir)?;
+        let parsed = ex.sources.len() as u64;
+        Self::finish_build(evidence_dir, store_dir, ex, parsed, 0)
+    }
+
+    /// Build the store, reusing the previous build's records for every
+    /// run whose evidence files all match the old manifest by path and
+    /// byte size. Falls back to a full [`Store::build`] when there is
+    /// no usable previous store (or its manifest predates run-labelled
+    /// sources), when it was built from a different evidence
+    /// directory, or when the incremental plan cannot be merged safely.
+    /// Either way the resulting store bytes are identical to a full
+    /// rebuild, except for the cost counters in `ingest_report.json`.
+    pub fn build_incremental(
+        evidence_dir: &Path,
+        store_dir: &Path,
+    ) -> Result<IngestReport, String> {
+        let old = match Store::open(store_dir) {
+            Ok(s) => s,
+            Err(_) => return Self::build(evidence_dir, store_dir),
+        };
+        if old.evidence_dir != evidence_dir.display().to_string()
+            || old.sources.iter().any(|s| s.run.is_empty())
+        {
+            return Self::build(evidence_dir, store_dir);
+        }
+        let mut inc = match extract_dir_incremental(evidence_dir, &old.sources) {
+            Ok(inc) => inc,
+            Err(_) => return Self::build(evidence_dir, store_dir),
+        };
+        // Copy reused runs forward before the rebuild wipes the old
+        // segments. Loading can still fail (a segment deleted from
+        // under the manifest) — fall back to the full walk then, too.
+        let mut stats = QueryStats::default();
+        for (seg_id, seg) in old.segments.iter().enumerate() {
+            if inc.reused_runs.binary_search(&seg.run).is_err() {
+                continue;
+            }
+            match old.load_segment(seg_id as u64, None, &mut stats) {
+                Ok(rows) => inc.extraction.records.extend(rows),
+                Err(_) => return Self::build(evidence_dir, store_dir),
+            }
+        }
+        let (parsed, reused) = (inc.sources_parsed, inc.sources_reused);
+        Self::finish_build(evidence_dir, store_dir, inc.extraction, parsed, reused)
+    }
+
+    /// The shared back half of both build paths: sort, segment, index,
+    /// and write the manifest and ingest report.
+    fn finish_build(
+        evidence_dir: &Path,
+        store_dir: &Path,
+        ex: Extraction,
+        sources_parsed: u64,
+        sources_reused: u64,
+    ) -> Result<IngestReport, String> {
         let mut records = ex.records;
         records.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
 
@@ -244,6 +312,8 @@ impl Store {
             segments: segments.len() as u64,
             index_files: index_files.len() as u64,
             sources: ex.sources,
+            sources_parsed,
+            sources_reused,
             warnings: ex.warnings,
         };
         write_ingest_report(store_dir, &report)?;
@@ -308,6 +378,13 @@ impl Store {
                 Some(SourceFile {
                     rel: s.get("path").and_then(|v| v.as_str())?.to_string(),
                     bytes: s.get("bytes").and_then(|v| v.as_u64())?,
+                    // Absent in pre-incremental manifests; the empty
+                    // label makes `build_incremental` rebuild in full.
+                    run: s
+                        .get("run")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_string(),
                 })
             })
             .collect();
@@ -392,6 +469,11 @@ impl Store {
         if let Some(c) = &q.category {
             if has("category") {
                 return Plan::exact("category", c.clone());
+            }
+        }
+        if let Some(s) = &q.subsystem {
+            if has("subsystem") {
+                return Plan::exact("subsystem", s.clone());
             }
         }
         if let Some(r) = &q.run {
@@ -657,7 +739,8 @@ impl Store {
             .map_or_else(|| "null".to_string(), |(a, b)| format!("\"{a}..{b}\""));
         let body = format!(
             "{{\n  \"report\": \"evdb_query\",\n  \"query\": {{\n    \"kind\": {},\n    \
-             \"run\": {},\n    \"service\": {},\n    \"category\": {},\n    \"corr\": {},\n    \
+             \"run\": {},\n    \"service\": {},\n    \"category\": {},\n    \"subsystem\": {},\n    \
+             \"corr\": {},\n    \
              \"window\": {}\n  }},\n  \"stats\": {{\n    \"index_files_read\": {},\n    \
              \"segments_read\": {},\n    \"rows_loaded\": {},\n    \"rows_matched\": {},\n    \
              \"bytes_read\": {},\n    \"source_files_read\": {}\n  }}\n}}\n",
@@ -670,6 +753,9 @@ impl Store {
                 .as_deref()
                 .map_or_else(|| "null".to_string(), json_str),
             q.category
+                .as_deref()
+                .map_or_else(|| "null".to_string(), json_str),
+            q.subsystem
                 .as_deref()
                 .map_or_else(|| "null".to_string(), json_str),
             q.corr.map_or_else(|| "null".to_string(), |c| c.to_string()),
@@ -813,9 +899,10 @@ fn write_manifest(
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"path\": {}, \"bytes\": {}}}",
+            "\n    {{\"path\": {}, \"bytes\": {}, \"run\": {}}}",
             json_str(&s.rel),
-            s.bytes
+            s.bytes,
+            json_str(&s.run)
         ));
     }
     if !sources.is_empty() {
@@ -829,11 +916,14 @@ fn write_manifest(
 fn write_ingest_report(store_dir: &Path, report: &IngestReport) -> Result<(), String> {
     let mut out = String::from("{\n  \"report\": \"evdb_ingest\",\n");
     out.push_str(&format!(
-        "  \"records\": {},\n  \"segments\": {},\n  \"index_files\": {},\n  \"sources\": {},\n",
+        "  \"records\": {},\n  \"segments\": {},\n  \"index_files\": {},\n  \"sources\": {},\n  \
+         \"sources_parsed\": {},\n  \"sources_reused\": {},\n",
         report.records,
         report.segments,
         report.index_files,
-        report.sources.len()
+        report.sources.len(),
+        report.sources_parsed,
+        report.sources_reused
     ));
     out.push_str("  \"warnings\": [");
     for (i, w) in report.warnings.iter().enumerate() {

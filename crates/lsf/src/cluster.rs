@@ -200,6 +200,7 @@ impl LsfCluster {
         // The snapshot is built once and updated in place per placement.
         let mut cands = self.candidates(servers, &db_serving_on);
         while let Some(jid) = self.pending.pop_front() {
+            // qoslint::allow(no-panic, jid was drawn from the pending queue)
             let job = self.jobs.get(&jid).expect("pending job exists");
             if !cands.iter().any(|c| c.accepts_jobs()) {
                 still_pending.push_back(jid);
@@ -209,7 +210,9 @@ impl LsfCluster {
             let choice = selector.select(job, &cands);
             match choice {
                 Some(sid) => {
+                    // qoslint::allow(no-panic, sid and jid were validated by the dispatch scan above)
                     let srv = servers.get_mut(&sid).expect("candidate server exists");
+                    // qoslint::allow(no-panic, sid and jid were validated by the dispatch scan above)
                     let job = self.jobs.get_mut(&jid).expect("pending job exists");
                     let pid = srv.procs.spawn(
                         "lsf_job",

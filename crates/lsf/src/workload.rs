@@ -83,6 +83,7 @@ impl WorkloadGenerator {
         let kind_idx = self
             .rng
             .choose_weighted(&self.config.kind_weights)
+            // qoslint::allow(no-panic, scenario configs always carry positive kind weights)
             .expect("kind weights are positive");
         let kind = JobKind::ALL[kind_idx];
         let analyst = format!(

@@ -1,0 +1,7 @@
+// Fixture: exactly one lifecycle-order finding — detect after restore
+// on the same incident is unreachable in the lifecycle automaton
+// (repaired is terminal).
+pub fn close_out(world: &mut World, inc: IncidentId, at: SimTime) {
+    world.ledger.restore(inc, at, Actor::Human, "fixed");
+    world.ledger.detect(inc, at);
+}

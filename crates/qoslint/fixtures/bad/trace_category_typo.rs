@@ -1,0 +1,6 @@
+// Fixture: exactly one trace-category-typo finding — "db-carsh" is
+// edit distance 2 from the registered "db-crash", so the lint suggests
+// the intended spelling instead of reporting a plain unknown.
+pub fn crash(t: &mut Trace, at: SimTime) {
+    t.emit(at, Subsystem::Fault, "db-carsh", || String::new());
+}

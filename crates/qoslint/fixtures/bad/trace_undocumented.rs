@@ -1,0 +1,7 @@
+// Fixture: exactly one trace-undocumented finding — a CategorySpec
+// whose doc string is empty (the registry must explain every channel).
+pub const EXTRA: CategorySpec = CategorySpec {
+    subsystem: Subsystem::Fault,
+    code: "inject",
+    doc: "",
+};

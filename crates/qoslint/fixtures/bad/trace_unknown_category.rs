@@ -1,0 +1,6 @@
+// Fixture: exactly one trace-unknown-category finding — the category
+// is nowhere in simkern::trace::TRACE_REGISTRY and not close to any
+// registered spelling.
+pub fn announce(t: &mut Trace, at: SimTime) {
+    t.emit(at, Subsystem::Fault, "made-up-channel", || String::new());
+}

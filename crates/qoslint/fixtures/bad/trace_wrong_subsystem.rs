@@ -1,0 +1,5 @@
+// Fixture: exactly one trace-wrong-subsystem finding — "db-crash" is a
+// registered category, but it belongs to the fault subsystem, not lsf.
+pub fn crash(t: &mut Trace, at: SimTime) {
+    t.emit(at, Subsystem::Lsf, "db-crash", || String::new());
+}

@@ -1,8 +1,11 @@
-// Fixture: exactly one unordered-collections finding.
-pub fn tally(xs: &[&str]) -> usize {
+// Fixture: exactly one unordered-collections finding — the map's
+// iteration order flows into a trace sink in the same function.
+pub fn export(t: &mut Trace, xs: &[&str]) {
     let mut seen = std::collections::HashMap::new();
     for x in xs {
         *seen.entry(*x).or_insert(0usize) += 1;
     }
-    seen.len()
+    for (k, v) in &seen {
+        t.emit(*v, sub, code, || k.to_string());
+    }
 }

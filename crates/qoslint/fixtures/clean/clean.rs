@@ -13,6 +13,23 @@ pub fn tally(xs: &[&str]) -> BTreeMap<String, usize> {
 // Mentioning HashMap or Instant in a comment (or "in a string") is fine.
 pub const NOTE: &str = "HashMap and Instant are banned in code, not prose";
 
+// A lookup-only map beside a trace sink is fine: the flow-aware rule
+// fires only when the map's *iteration order* can reach the sink.
+pub fn lookup_only(t: &mut Trace, m: &std::collections::HashMap<u32, u32>, at: SimTime) {
+    if let Some(v) = m.get(&1) {
+        t.emit(at, Subsystem::Fault, "inject", || v.to_string());
+    }
+}
+
+// Ledger transitions in automaton order are fine.
+pub fn heal(world: &mut World, at: SimTime) {
+    let inc = world.ledger.open_scoped(cat, &svc, desc, at);
+    world.ledger.detect(inc, at);
+    world.ledger.diagnose(inc, at);
+    world.ledger.attempt(inc, at, Actor::Agent, "restart");
+    world.ledger.restore(inc, at, Actor::Agent, "restarted");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,22 @@ pub fn first(xs: &[u32]) -> u32 {
     *xs.first().unwrap()
 }
 
-pub fn scratch_set(xs: &[u32]) -> usize {
-    // qoslint::allow(unordered-collections, local scratch set whose order never escapes)
+pub fn export_len(t: &mut Trace, xs: &[u32], at: SimTime) {
+    // qoslint::allow(unordered-collections, only the set's size reaches the sink)
     let seen: std::collections::HashSet<u32> = xs.iter().copied().collect();
-    seen.len()
+    for v in &seen {
+        touch(v);
+    }
+    t.emit(at, sub, code, || seen.len().to_string());
+}
+
+pub fn prototype(t: &mut Trace, at: SimTime) {
+    // qoslint::allow(trace-unknown-category, prototype channel pending registration)
+    t.emit(at, Subsystem::Fault, "proto-channel", || String::new());
+}
+
+pub fn replay(world: &mut World, inc: IncidentId, at: SimTime) {
+    world.ledger.restore(inc, at, Actor::Human, "fixed");
+    // qoslint::allow(lifecycle-order, replay tooling rewinds closed incidents)
+    world.ledger.detect(inc, at);
 }

@@ -1,0 +1,666 @@
+//! Item-graph analyses over the [`crate::parser`] model.
+//!
+//! Three analysis families, all keyed to declarations that live in
+//! `intelliqos-simkern` so the lint, the runtime, and the evidence
+//! store answer to the *same* closed world:
+//!
+//! * **trace ontology** — every `emit`/`emit_corr` call site with
+//!   literal subsystem and category arguments is checked against
+//!   `simkern::trace::TRACE_REGISTRY`: unknown categories, near-miss
+//!   typos (edit distance ≤ `NEAR_MISS_DISTANCE`), and registered
+//!   categories emitted under the wrong subsystem are findings.
+//!   `CategorySpec` literals with an empty `doc` string are findings
+//!   too, so the registry cannot silently decay.
+//! * **lifecycle order** — `DowntimeLedger` transition call sites
+//!   (receiver chain ending in a `ledger` segment, method named in
+//!   `LifecycleState::for_transition`) are grouped per function per
+//!   incident key and consecutive transitions must be realisable in
+//!   `simkern::lifecycle::LIFECYCLE_EDGES`.
+//! * **flow-aware unordered collections** — `HashMap`/`HashSet`
+//!   bindings are findings only when their iteration order can
+//!   actually escape: the binding is iterated (`for … in`, `.iter()`,
+//!   `.keys()`, …) inside a function that also feeds a
+//!   determinism-sensitive sink (trace emission, JSON export, event
+//!   scheduling). Lookup-only maps are fine.
+//!
+//! Non-literal arguments are skipped, never guessed at: an `emit`
+//! whose category comes through a variable is outside this pass's
+//! closed world (the runtime validator still catches it).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::LexedFile;
+use crate::parser::{CallSite, FileModel};
+use intelliqos_simkern::lifecycle::{self, LifecycleState};
+use intelliqos_simkern::trace::{
+    nearest_registered_code, registry_lookup, Subsystem, NEAR_MISS_DISTANCE, TRACE_REGISTRY,
+};
+
+/// Static description of one analysis rule (catalogue + suppression
+/// vocabulary; the matching itself is code, not patterns).
+pub struct AnalysisRule {
+    /// Stable id, used in diagnostics and suppressions.
+    pub id: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// One-line description for the catalogue.
+    pub summary: &'static str,
+    /// Generic fix hint (findings may carry a more specific one).
+    pub hint: &'static str,
+}
+
+/// The item-graph analysis catalogue.
+pub const ANALYSIS_RULES: &[AnalysisRule] = &[
+    AnalysisRule {
+        id: "trace-unknown-category",
+        severity: Severity::Error,
+        summary: "emit of a trace category absent from the trace registry",
+        hint: "declare a CategorySpec for it in simkern::trace::TRACE_REGISTRY \
+               (with a doc line), or fix the call site",
+    },
+    AnalysisRule {
+        id: "trace-category-typo",
+        severity: Severity::Error,
+        summary: "emit of a near-miss of a registered trace category",
+        hint: "spell the category exactly as registered in \
+               simkern::trace::TRACE_REGISTRY",
+    },
+    AnalysisRule {
+        id: "trace-wrong-subsystem",
+        severity: Severity::Error,
+        summary: "emit of a registered trace category under the wrong subsystem",
+        hint: "emit the category under the subsystem it is registered with, or \
+               register a new (subsystem, category) pair",
+    },
+    AnalysisRule {
+        id: "trace-undocumented",
+        severity: Severity::Error,
+        summary: "trace registry entry with an empty doc string",
+        hint: "every CategorySpec must say what the category marks — one \
+               sentence is enough",
+    },
+    AnalysisRule {
+        id: "lifecycle-order",
+        severity: Severity::Error,
+        summary: "ledger transitions in an order the lifecycle automaton cannot realise",
+        hint: "order transitions along injected -> detected -> diagnosed -> \
+               attempt* -> (repaired | escalated); the legal edges are \
+               simkern::lifecycle::LIFECYCLE_EDGES",
+    },
+    AnalysisRule {
+        id: "unordered-collections",
+        severity: Severity::Error,
+        summary: "unordered collection iteration flowing into an export or trace sink",
+        hint: "use BTreeMap/BTreeSet (or sort before the sink) so iteration \
+               order cannot leak into JSON/trace output",
+    },
+];
+
+fn rule(id: &str) -> &'static AnalysisRule {
+    ANALYSIS_RULES
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or(&ANALYSIS_RULES[0])
+}
+
+fn finding(
+    file: &LexedFile,
+    id: &str,
+    line: usize,
+    col: usize,
+    message: String,
+    hint: Option<String>,
+) -> Diagnostic {
+    let r = rule(id);
+    Diagnostic {
+        rule: r.id,
+        severity: r.severity,
+        location: file.path.clone(),
+        line,
+        col,
+        message,
+        hint: hint.unwrap_or_else(|| r.hint.to_string()),
+    }
+}
+
+/// Run every analysis over one file's model. Suppressions are applied
+/// by the caller ([`crate::rules::scan_source`]), so this returns raw
+/// findings.
+pub fn analyze(file: &LexedFile, model: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_trace_calls(file, model, &mut out);
+    check_registry_docs(file, model, &mut out);
+    check_lifecycle_order(file, model, &mut out);
+    check_unordered_flow(file, model, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------- trace
+
+/// Parse `Subsystem::Variant` out of an argument's text.
+fn literal_subsystem(text: &str) -> Option<Subsystem> {
+    let at = text.find("Subsystem::")?;
+    let rest = &text[at + "Subsystem::".len()..];
+    let variant: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    Subsystem::ALL
+        .into_iter()
+        .find(|s| format!("{s:?}") == variant)
+}
+
+/// Parse a plain `"…"` string literal out of an argument's text.
+fn literal_str(text: &str) -> Option<&str> {
+    let t = text.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') && !t[1..t.len() - 1].contains('"') {
+        Some(&t[1..t.len() - 1])
+    } else {
+        None
+    }
+}
+
+fn check_trace_calls(file: &LexedFile, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for call in &model.calls {
+        if call.in_test || !(call.method == "emit" || call.method == "emit_corr") {
+            continue;
+        }
+        if call.args.len() < 3 {
+            continue;
+        }
+        // emit(at, subsystem, code, …) / emit_corr(at, subsystem, code, …).
+        let Some(sub) = literal_subsystem(&call.args[1].text) else {
+            continue; // non-literal subsystem: outside the closed world
+        };
+        let Some(code) = literal_str(&call.args[2].text) else {
+            continue; // non-literal category: runtime validation covers it
+        };
+        let (line, col) = (call.args[2].line, call.args[2].col);
+        if registry_lookup(sub, code).is_some() {
+            continue;
+        }
+        let owners: Vec<&str> = TRACE_REGISTRY
+            .iter()
+            .filter(|s| s.code == code)
+            .map(|s| s.subsystem.tag())
+            .collect();
+        if !owners.is_empty() {
+            out.push(finding(
+                file,
+                "trace-wrong-subsystem",
+                line,
+                col,
+                format!(
+                    "trace category \"{code}\" is registered under `{}`, not `{}`",
+                    owners.join("`, `"),
+                    sub.tag()
+                ),
+                None,
+            ));
+        } else if let Some((near, dist)) =
+            nearest_registered_code(code).filter(|&(_, d)| d <= NEAR_MISS_DISTANCE)
+        {
+            out.push(finding(
+                file,
+                "trace-category-typo",
+                line,
+                col,
+                format!("unregistered trace category ({}, \"{code}\")", sub.tag()),
+                Some(format!(
+                    "did you mean \"{near}\"? (edit distance {dist}); registered \
+                     categories live in simkern::trace::TRACE_REGISTRY"
+                )),
+            ));
+        } else {
+            out.push(finding(
+                file,
+                "trace-unknown-category",
+                line,
+                col,
+                format!("unregistered trace category ({}, \"{code}\")", sub.tag()),
+                None,
+            ));
+        }
+    }
+}
+
+fn check_registry_docs(file: &LexedFile, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let shadow = &model.shadow;
+    for pos in shadow.find_words("CategorySpec") {
+        let (line, _) = shadow.linecol(pos);
+        if shadow.line_in_test(line) {
+            continue;
+        }
+        let open = shadow.next_nonws(pos + "CategorySpec".len());
+        if shadow.at(open) != '{' {
+            continue; // a type mention, not a struct literal
+        }
+        let Some(close) = shadow.matching_close(open) else {
+            continue;
+        };
+        // Find the `doc:` field at the literal's own depth.
+        let mut depth = 0i64;
+        let mut i = open + 1;
+        while i < close {
+            match shadow.at(i) {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                'd' if depth == 0
+                    && shadow.at(i + 1) == 'o'
+                    && shadow.at(i + 2) == 'c'
+                    && !ident_char(shadow.at(i + 3))
+                    && (i == open + 1 || !ident_char(shadow.at(i - 1))) =>
+                {
+                    let colon = shadow.next_nonws(i + 3);
+                    if shadow.at(colon) != ':' {
+                        i += 3;
+                        continue;
+                    }
+                    let vstart = shadow.next_nonws(colon + 1);
+                    let mut vend = vstart;
+                    let mut d2 = 0i64;
+                    while vend < close {
+                        match shadow.at(vend) {
+                            '(' | '[' | '{' => d2 += 1,
+                            ')' | ']' | '}' => d2 -= 1,
+                            ',' if d2 == 0 => break,
+                            _ => {}
+                        }
+                        vend += 1;
+                    }
+                    if shadow.raw_text(vstart, vend) == "\"\"" {
+                        let (vline, vcol) = shadow.linecol(vstart);
+                        out.push(finding(
+                            file,
+                            "trace-undocumented",
+                            vline,
+                            vcol,
+                            "CategorySpec with an empty doc string".to_string(),
+                            None,
+                        ));
+                    }
+                    i = vend;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ------------------------------------------------------------ lifecycle
+
+/// Does the receiver chain end in a ledger? (`self.ledger`, `ledger`,
+/// `world.ledger` — but not `led` or `self.ledger_report`.)
+fn ledger_receiver(recv: &str) -> bool {
+    recv.rsplit('.').next().is_some_and(|seg| seg == "ledger")
+}
+
+/// For an `open`/`open_scoped` call, the `let` binding receiving the
+/// incident token (`let inc = self.ledger.open_scoped(…)` → `inc`).
+fn open_binding(file: &LexedFile, call: &CallSite) -> Option<String> {
+    let line = file.lines.get(call.recv_line - 1)?;
+    let prefix: Vec<char> = line.code.chars().take(call.recv_col - 1).collect();
+    // Parse `… let [mut] NAME =` backwards from the receiver.
+    let mut i = prefix.len();
+    while i > 0 && prefix[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    if i == 0 || prefix[i - 1] != '=' {
+        return None;
+    }
+    i -= 1;
+    while i > 0 && prefix[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    let name_end = i;
+    while i > 0 && ident_char(prefix[i - 1]) {
+        i -= 1;
+    }
+    if i == name_end {
+        return None;
+    }
+    let name: String = prefix[i..name_end].iter().collect();
+    let head: String = prefix[..i].iter().collect();
+    let head = head.trim_end();
+    let head = head.strip_suffix("mut").map(str::trim_end).unwrap_or(head);
+    if head.ends_with("let") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+fn check_lifecycle_order(file: &LexedFile, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for f in &model.fns {
+        if f.in_test {
+            continue;
+        }
+        // Last transition seen per incident key, in a Vec so the pass
+        // itself stays deterministic.
+        let mut last: Vec<(String, LifecycleState, String)> = Vec::new();
+        for &ci in &f.calls {
+            let call = &model.calls[ci];
+            if !ledger_receiver(&call.receiver) {
+                continue;
+            }
+            let Some(state) = LifecycleState::for_transition(&call.method) else {
+                continue;
+            };
+            let key = if state == LifecycleState::Injected {
+                open_binding(file, call).unwrap_or_else(|| format!("_open@{}", call.line))
+            } else if let Some(arg) = call.args.first() {
+                arg.text.clone()
+            } else {
+                continue;
+            };
+            if let Some(entry) = last.iter_mut().find(|(k, _, _)| *k == key) {
+                let (_, prev_state, prev_method) = entry;
+                if !lifecycle::reachable(*prev_state, state) {
+                    out.push(finding(
+                        file,
+                        "lifecycle-order",
+                        call.line,
+                        call.col,
+                        format!(
+                            "ledger `{}` after `{prev_method}` on `{key}`: `{}` is \
+                             unreachable from `{}` in the lifecycle automaton",
+                            call.method,
+                            state.name(),
+                            prev_state.name()
+                        ),
+                        None,
+                    ));
+                }
+                *prev_state = state;
+                *prev_method = call.method.clone();
+            } else {
+                last.push((key, state, call.method.clone()));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- unordered collections
+
+/// Sinks whose output must be deterministic: trace emission, JSON
+/// export, event scheduling.
+const SINKS: &[&str] = &[
+    ".emit(",
+    ".emit_corr(",
+    ".schedule(",
+    ".schedule_after(",
+    "to_json",
+    "json_str",
+    "render_jsonl",
+];
+
+/// Iterator-producing methods whose order is the collection's own.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// The binding a `HashMap`/`HashSet` mention at `col` introduces on
+/// this line, if any: `let [mut] NAME [: …] = …Hash…` or a
+/// `NAME: [&]Hash…` parameter/field.
+fn hash_binding(code: &str, col: usize) -> Option<String> {
+    let prefix: Vec<char> = code.chars().take(col).collect();
+    // Rightmost `let` word before the mention wins.
+    let text: String = prefix.iter().collect();
+    if let Some(at) = rightmost_word(&text, "let") {
+        let after: Vec<char> = text[at + 3..].chars().collect();
+        let mut i = 0;
+        while i < after.len() && after[i].is_whitespace() {
+            i += 1;
+        }
+        let rest: String = after[i..].iter().collect();
+        let rest = rest.strip_prefix("mut ").unwrap_or(&rest);
+        let name: String = rest.chars().take_while(|&c| ident_char(c)).collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    // Otherwise `NAME: …Hash…` (fn parameter). Find the rightmost
+    // single `:` (not `::`) and take the identifier before it.
+    let mut best: Option<usize> = None;
+    for (i, &c) in prefix.iter().enumerate() {
+        if c == ':' && prefix.get(i + 1).copied() != Some(':') && (i == 0 || prefix[i - 1] != ':') {
+            best = Some(i);
+        }
+    }
+    let colon = best?;
+    let mut i = colon;
+    while i > 0 && prefix[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && ident_char(prefix[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(prefix[i..end].iter().collect())
+}
+
+fn rightmost_word(text: &str, word: &str) -> Option<usize> {
+    let mut from = 0usize;
+    let mut found = None;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        from = at + word.len();
+        let before = text[..at].chars().next_back();
+        let after = text[at + word.len()..].chars().next();
+        let is_id = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !is_id(before) && !is_id(after) {
+            found = Some(at);
+        }
+    }
+    found
+}
+
+/// Does `code` iterate the binding `name`? Either `for … in [&[mut]]
+/// name` or `name.iter()`-family.
+fn iterates(code: &str, name: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(name) {
+        let at = from + pos;
+        from = at + name.len();
+        let before_ok = at == 0 || !ident_char(chars[at.saturating_sub(1)]);
+        let after = chars.get(at + name.len()).copied();
+        let after_ok = after.map(|c| !ident_char(c)).unwrap_or(true);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        // `name.iter()` family?
+        if after == Some('.') {
+            let rest = &code[at + name.len() + 1..];
+            let m: String = rest.chars().take_while(|&c| ident_char(c)).collect();
+            if ITER_METHODS.contains(&m.as_str()) {
+                return true;
+            }
+        }
+        // `for … in [&[mut ]]name`?
+        let mut i = at;
+        while i > 0 && (chars[i - 1] == '&' || chars[i - 1].is_whitespace()) {
+            i -= 1;
+        }
+        let head: String = chars[..i].iter().collect();
+        let head = head.trim_end();
+        let head = head.strip_suffix("mut").map(str::trim_end).unwrap_or(head);
+        if head.ends_with(" in") || head == "in" {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_unordered_flow(file: &LexedFile, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for f in &model.fns {
+        if f.in_test {
+            continue;
+        }
+        let range = f.line..=f.body_lines.1;
+        let body = || {
+            file.lines
+                .iter()
+                .filter(|l| range.contains(&l.number))
+                .map(|l| l.code.as_str())
+        };
+        // Collect Hash{Map,Set} bindings declared in this fn (params
+        // included), first mention wins.
+        let mut bindings: Vec<(String, usize, usize)> = Vec::new();
+        for l in file.lines.iter().filter(|l| range.contains(&l.number)) {
+            for word in ["HashMap", "HashSet"] {
+                let mut from = 0usize;
+                while let Some(pos) = l.code[from..].find(word) {
+                    let at = from + pos;
+                    from = at + word.len();
+                    let before = l.code[..at].chars().next_back();
+                    let after = l.code[at + word.len()..].chars().next();
+                    let is_id =
+                        |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if is_id(before) || is_id(after) {
+                        continue;
+                    }
+                    if let Some(name) = hash_binding(&l.code, at) {
+                        if !bindings.iter().any(|(n, _, _)| *n == name) {
+                            bindings.push((name, l.number, at + 1));
+                        }
+                    }
+                }
+            }
+        }
+        if bindings.is_empty() {
+            continue;
+        }
+        let has_sink = body().any(|code| SINKS.iter().any(|s| code.contains(s)));
+        if !has_sink {
+            continue;
+        }
+        for (name, line, col) in bindings {
+            if body().any(|code| iterates(code, &name)) {
+                out.push(finding(
+                    file,
+                    "unordered-collections",
+                    line,
+                    col,
+                    format!(
+                        "iteration over unordered `{name}` in a function that \
+                         feeds an export or trace sink"
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::scan_source;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        scan_source("t.rs", src)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn registered_literal_emits_are_clean() {
+        let src = "fn f(&mut self) {\n    self.trace.emit(now, Subsystem::Fault, \"inject\", || d());\n    self.trace\n        .emit_corr(now, Subsystem::Agent, \"diagnose\", Some(c), || d());\n}\n";
+        assert!(rules_of(src).is_empty(), "got {:?}", rules_of(src));
+    }
+
+    #[test]
+    fn unknown_typo_and_wrong_subsystem_are_distinguished() {
+        let unknown = "fn f() {\n    t.emit(now, Subsystem::Fault, \"totally-new\", || d());\n}\n";
+        assert_eq!(rules_of(unknown), vec!["trace-unknown-category"]);
+
+        let typo = "fn f() {\n    t.emit(now, Subsystem::Fault, \"db-carsh\", || d());\n}\n";
+        assert_eq!(rules_of(typo), vec!["trace-category-typo"]);
+        let d = scan_source("t.rs", typo);
+        assert!(d[0].hint.contains("db-crash"), "hint: {}", d[0].hint);
+
+        let wrong = "fn f() {\n    t.emit(now, Subsystem::Lsf, \"db-crash\", || d());\n}\n";
+        assert_eq!(rules_of(wrong), vec!["trace-wrong-subsystem"]);
+        let d = scan_source("t.rs", wrong);
+        assert!(
+            d[0].message.contains("`fault`"),
+            "message: {}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn non_literal_arguments_are_outside_the_closed_world() {
+        let src = "fn f(sub: Subsystem, code: &str) {\n    t.emit(now, sub, code, || d());\n    t.emit(now, Subsystem::Fault, code, || d());\n}\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_registry_entries_are_findings() {
+        let bad = "const X: CategorySpec = CategorySpec {\n    subsystem: Subsystem::Fault,\n    code: \"inject\",\n    doc: \"\",\n};\n";
+        assert_eq!(rules_of(bad), vec!["trace-undocumented"]);
+
+        let ok = "const X: CategorySpec = CategorySpec {\n    subsystem: Subsystem::Fault,\n    code: \"inject\",\n    doc: \"fault injected\",\n};\n";
+        assert!(rules_of(ok).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_order_checks_ledger_call_sequences() {
+        let ok = "fn f(&mut self) {\n    let inc = self.ledger.open_scoped(cat, &svc, d, now);\n    self.ledger.detect(inc, t1);\n    self.ledger.diagnose(inc, t2);\n    self.ledger.attempt(inc, t3, Actor::Agent, \"x\");\n    self.ledger.escalate(inc, t4);\n    self.ledger.restore(inc, t5, Actor::Human, \"y\");\n}\n";
+        assert!(rules_of(ok).is_empty(), "got {:?}", rules_of(ok));
+
+        let bad = "fn f(&mut self) {\n    self.ledger.restore(inc, t5, Actor::Human, \"y\");\n    self.ledger.detect(inc, t1);\n}\n";
+        assert_eq!(rules_of(bad), vec!["lifecycle-order"]);
+
+        // Distinct incidents do not interleave.
+        let two = "fn f(&mut self) {\n    self.ledger.restore(a, t1, Actor::Human, \"y\");\n    self.ledger.detect(b, t2);\n}\n";
+        assert!(rules_of(two).is_empty());
+
+        // Non-ledger receivers are not transitions.
+        let other =
+            "fn f(&mut self) {\n    instance.restore();\n    self.ledger.detect(inc, t);\n}\n";
+        assert!(rules_of(other).is_empty());
+    }
+
+    #[test]
+    fn unordered_fires_only_when_iteration_meets_a_sink() {
+        // Iterated map + trace sink in the same fn: finding.
+        let hot = "fn f(t: &mut Trace) {\n    let mut m = HashMap::new();\n    m.insert(1, 2);\n    for (k, v) in &m {\n        t.emit(k, Subsystem::Fault, \"inject\", || v.to_string());\n    }\n}\n";
+        assert_eq!(rules_of(hot), vec!["unordered-collections"]);
+        assert_eq!(scan_source("t.rs", hot).len(), 1, "fires once per binding");
+
+        // Lookup-only map next to a sink: clean.
+        let lookup = "fn f(t: &mut Trace, m: &HashMap<u32, u32>) {\n    if let Some(v) = m.get(&1) {\n        t.emit(*v, Subsystem::Fault, \"inject\", || String::new());\n    }\n}\n";
+        assert!(rules_of(lookup).is_empty(), "got {:?}", rules_of(lookup));
+
+        // Iterated set with no sink anywhere in the fn: clean.
+        let cold = "fn f() -> usize {\n    let s: HashSet<u32> = HashSet::new();\n    s.iter().count()\n}\n";
+        assert!(rules_of(cold).is_empty());
+
+        // A bare use statement introduces no binding: clean.
+        assert!(rules_of("use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn analysis_findings_respect_suppressions() {
+        let src = "fn f() {\n    // qoslint::allow(trace-unknown-category, prototyping a new channel)\n    t.emit(now, Subsystem::Fault, \"totally-new\", || d());\n}\n";
+        assert!(rules_of(src).is_empty(), "got {:?}", rules_of(src));
+    }
+}

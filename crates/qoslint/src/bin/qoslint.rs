@@ -1,22 +1,33 @@
 //! QOSLINT — the determinism lint over the workspace sources.
 //!
 //! ```text
-//! cargo run -q -p intelliqos-qoslint --bin qoslint [--rules] [PATH ...]
+//! cargo run -q -p intelliqos-qoslint --bin qoslint \
+//!     [--rules] [--workspace] [--format json] [--diff-baseline FILE] [PATH ...]
 //! ```
 //!
 //! With no paths, scans the determinism-critical crates —
-//! `crates/core/src` and `crates/simkern/src` — exactly as
-//! `scripts/ci.sh` does. Any unsuppressed finding exits 1. `--rules`
-//! prints the rule catalogue and exits.
+//! `crates/core/src` and `crates/simkern/src`. `--workspace` scans
+//! every `crates/*/src` directory plus the root `src/` (benches, tests
+//! and fixtures stay out of scope: they may exercise hazards on
+//! purpose). Any unsuppressed finding exits 1. `--rules` prints the
+//! rule catalogue and exits.
+//!
+//! `--format json` emits a machine-readable report with one finding
+//! object per line, so reports diff line-by-line. `--diff-baseline
+//! FILE` compares the current findings against a committed report
+//! (e.g. `crates/qoslint/baseline.json`): only findings absent from
+//! the baseline fail the run, so the gate catches regressions without
+//! re-litigating accepted debt. The shipped baseline is empty — the
+//! workspace scans clean — and should stay that way.
 //!
 //! Paths may be files or directories (searched recursively for `.rs`,
 //! in sorted order so output is stable).
 
 use std::path::{Path, PathBuf};
 
-use intelliqos_qoslint::diag::render_report;
+use intelliqos_qoslint::diag::{json_str, render_report};
 use intelliqos_qoslint::rules::{render_catalogue, scan_source};
-use intelliqos_qoslint::Diagnostic;
+use intelliqos_qoslint::{Diagnostic, Severity};
 
 /// The default scan scope: the two crates whose determinism the
 /// sharded-run roadmap leans on.
@@ -40,17 +51,100 @@ fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Every `crates/*/src` directory plus the root `src/`, sorted.
+fn workspace_roots() -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir("crates") else {
+        eprintln!("qoslint: no crates/ here (run from the workspace root)");
+        std::process::exit(2);
+    };
+    let mut roots: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path().join("src"))
+        .filter(|p| p.is_dir())
+        .collect();
+    let root_src = PathBuf::from("src");
+    if root_src.is_dir() {
+        roots.push(root_src);
+    }
+    roots.sort();
+    roots
+}
+
+/// The machine-readable report: one finding object per line so two
+/// reports diff line-by-line.
+fn render_json(files: usize, diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"report\": {},\n", json_str("qoslint")));
+    out.push_str(&format!("  \"files_scanned\": {files},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {},\n", diags.len() - errors));
+    out.push_str("  \"findings\": [\n");
+    let lines: Vec<String> = diags
+        .iter()
+        .map(|d| format!("    {}", d.to_json()))
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The finding lines of a JSON report (trimmed), for baseline diffing.
+fn finding_lines(report: &str) -> Vec<String> {
+    report
+        .lines()
+        .map(str::trim)
+        .map(|l| l.trim_end_matches(','))
+        .filter(|l| l.starts_with("{\"rule\":"))
+        .map(str::to_string)
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--rules") {
         print!("{}", render_catalogue());
         return;
     }
-    let roots: Vec<PathBuf> = if args.is_empty() {
-        DEFAULT_ROOTS.iter().map(PathBuf::from).collect()
-    } else {
-        args.iter().map(PathBuf::from).collect()
-    };
+
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => roots.extend(workspace_roots()),
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("qoslint: --format takes `json` or `text`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--diff-baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("qoslint: --diff-baseline needs a report file");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("qoslint: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots = DEFAULT_ROOTS.iter().map(PathBuf::from).collect();
+    }
 
     let mut files = Vec::new();
     for root in &roots {
@@ -63,6 +157,8 @@ fn main() {
         }
         collect_rs(root, &mut files);
     }
+    files.sort();
+    files.dedup();
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     for file in &files {
@@ -73,6 +169,50 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    let report = render_json(files.len(), &diags);
+
+    if let Some(base_path) = baseline {
+        let base = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("qoslint: cannot read baseline {}: {e}", base_path.display());
+            std::process::exit(2);
+        });
+        let known = finding_lines(&base);
+        let fresh: Vec<(String, &Diagnostic)> = diags
+            .iter()
+            .map(|d| (d.to_json(), d))
+            .filter(|(j, _)| !known.contains(j))
+            .collect();
+        if fresh.is_empty() {
+            println!(
+                "qoslint: no findings beyond baseline ({} baseline, {} current, {} file(s))",
+                known.len(),
+                diags.len(),
+                files.len()
+            );
+            return;
+        }
+        let new_diags: Vec<Diagnostic> = fresh.into_iter().map(|(_, d)| d.clone()).collect();
+        if json {
+            print!("{}", render_json(files.len(), &new_diags));
+        } else {
+            eprintln!(
+                "qoslint: {} finding(s) not in {}:",
+                new_diags.len(),
+                base_path.display()
+            );
+            print!("{}", render_report(&new_diags));
+        }
+        std::process::exit(1);
+    }
+
+    if json {
+        print!("{report}");
+        if !diags.is_empty() {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if diags.is_empty() {

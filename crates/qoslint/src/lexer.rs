@@ -81,8 +81,15 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                     let c = chars[i];
                     if c == '/' && chars.get(i + 1) == Some(&'/') {
                         // Line comment: capture text, blank the rest.
+                        // Doc comments (`///`, `//!`) never carry
+                        // suppressions — they are documentation *about*
+                        // the syntax, so mentioning `qoslint::allow`
+                        // there must not activate (or mis-report) it.
                         let text: String = chars[i..].iter().collect();
-                        comment_text.push_str(&text);
+                        let doc = text.starts_with("///") || text.starts_with("//!");
+                        if !doc {
+                            comment_text.push_str(&text);
+                        }
                         for _ in i..chars.len() {
                             code.push(' ');
                         }
@@ -106,8 +113,11 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                     } else if c == '\'' {
                         // Char literal vs lifetime.
                         if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
+                            // Escaped char literal: skip to the closing
+                            // quote, starting *after* the escaped
+                            // character so `'\''` does not stop on the
+                            // quote being escaped.
+                            let mut j = i + 3;
                             while j < chars.len() && chars[j] != '\'' {
                                 j += 1;
                             }
@@ -371,6 +381,54 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quote_char_literal_does_not_open_a_string() {
+        // `'\''` ends on the quote *after* the escaped one; a naive scan
+        // stops on the escaped quote and leaves a stray `'` in the
+        // shadow, which can silently disable every downstream rule.
+        let f = lex(
+            "t.rs",
+            "let q = '\\''; let m = std::collections::HashMap::new();",
+        );
+        assert!(
+            f.lines[0].code.contains("HashMap"),
+            "code after the literal must survive: {:?}",
+            f.lines[0].code
+        );
+        assert!(!f.lines[0].code.contains('\''), "literal fully blanked");
+        // The common escapes stay correct too.
+        let f = lex(
+            "t.rs",
+            "let n = '\\n'; let u = '\\u{41}'; let b = '\\\\'; Instant",
+        );
+        assert!(f.lines[0].code.contains("Instant"));
+        assert!(!f.lines[0].code.contains("41"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* outer /* inner */ still comment */ let live = 1;\n/* a /* b /* c */ */ HashMap */ let after = 2;";
+        let f = lex("t.rs", src);
+        assert!(f.lines[0].code.contains("let live = 1;"));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[1].code.contains("let after = 2;"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_ignore_shallower_closers() {
+        // `"#` inside an `r##"…"##` literal must not close it.
+        let src = "let s = r##\"quote\" and hash\"# still SystemTime\"##; let t = 1;";
+        let f = lex("t.rs", src);
+        assert!(!f.lines[0].code.contains("SystemTime"));
+        assert!(f.lines[0].code.contains("let t = 1;"));
+        // Multi-line, b-prefixed, and the close on its own line.
+        let src = "let s = br#\"line one\nInstant::now()\n\"#; let u = 2;";
+        let f = lex("t.rs", src);
+        assert!(!f.lines[1].code.contains("Instant"));
+        assert!(f.lines[2].code.contains("let u = 2;"));
+    }
+
+    #[test]
     fn cfg_test_modules_are_marked() {
         let src =
             "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
@@ -405,5 +463,16 @@ mod tests {
             f.suppressions[3].reason, "",
             "missing reason surfaces as empty"
         );
+    }
+
+    #[test]
+    fn doc_comments_mentioning_the_syntax_are_not_suppressions() {
+        let src = "//! Suppress with `qoslint::allow(rule, reason)`.\n\
+                   /// See `qoslint::allow-file(rule, reason)` for file scope.\n\
+                   // qoslint::allow(no-panic, a real one)\n\
+                   let v = x.unwrap();";
+        let f = lex("t.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rule, "no-panic");
     }
 }

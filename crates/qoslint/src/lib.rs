@@ -4,14 +4,21 @@
 //! over one diagnostics type:
 //!
 //! * [`rules`] — the **determinism lint**: a lightweight Rust lexer
-//!   ([`lexer`]) plus a rule engine that scans `crates/core` and
-//!   `crates/simkern` sources for nondeterminism hazards *before* they
-//!   reach a run — wall-clock reads outside the metrics shim, unordered
-//!   `std` collections whose iteration order can leak into exported
-//!   JSON or traces, unsanctioned thread spawns, and panic paths
-//!   (`unwrap`/`expect`) in non-test library code. Findings are
-//!   suppressible in place with `// qoslint::allow(rule, reason)`; a
-//!   suppression without a reason is itself a finding.
+//!   ([`lexer`]) plus a rule engine that scans workspace sources for
+//!   nondeterminism hazards *before* they reach a run — wall-clock
+//!   reads outside the metrics shim, unordered `std` collections whose
+//!   iteration order flows into exported JSON or traces, unsanctioned
+//!   thread spawns, and panic paths (`unwrap`/`expect`) in non-test
+//!   library code. Findings are suppressible in place with
+//!   `// qoslint::allow(rule, reason)`; a suppression without a reason
+//!   is itself a finding.
+//! * [`parser`] + [`analysis`] — the **item-graph pass**: a
+//!   lightweight per-file item/call-site model (fns, method calls,
+//!   literal arguments) over the same lexer, powering the closed-world
+//!   trace-ontology rules (every `emit` call site checked against
+//!   `simkern::trace::TRACE_REGISTRY`), the `lifecycle-order` check
+//!   against `simkern::lifecycle::LIFECYCLE_EDGES`, and the flow-aware
+//!   `unordered-collections` rule.
 //! * [`ontology`] — the **ontology constraint checker**: a library pass
 //!   over parsed SLKT/ISSL/DGSPL structures that rejects
 //!   startup-sequence dependency cycles, duplicate port claims across
@@ -32,9 +39,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod diag;
 pub mod lexer;
 pub mod ontology;
+pub mod parser;
 pub mod rules;
 
 pub use diag::{Diagnostic, Severity};

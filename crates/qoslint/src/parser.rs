@@ -1,0 +1,498 @@
+//! A lightweight item/call-site parser layered on the lexer (lint
+//! front-end 2).
+//!
+//! This is deliberately *not* a Rust grammar. The analyses built on it
+//! (trace ontology, lifecycle ordering, flow-aware collection rules)
+//! need exactly three structural facts the token-stream rules cannot
+//! see:
+//!
+//! 1. **function extents** — which lines belong to which `fn` body;
+//! 2. **method-call expressions** — receiver chain, method name, and
+//!    the argument list split at top-level commas (multi-line calls
+//!    included);
+//! 3. **literal arguments** — the raw source text of each argument,
+//!    recovered from the original lines (the lexer blanks literal
+//!    *contents* in the code shadow, but columns are preserved, so the
+//!    raw text at the same columns is the literal).
+//!
+//! Known limits, by design: no expression grammar (an argument is just
+//! its text), no type or name resolution (a receiver is the dotted
+//! chain to the left of the call), no macro expansion (code inside
+//! `macro_rules!` bodies is scanned as-is), and closures with multiple
+//! parameters inside an argument list would confuse the comma splitter
+//! (none of the patterns under analysis use them). Non-literal
+//! arguments are skipped by the analyses, never guessed at.
+
+use crate::lexer::LexedFile;
+
+/// The flattened code shadow of a file plus the aligned raw text:
+/// structure comes from the shadow (literals blanked, columns kept),
+/// argument text comes from the raw side at the same positions.
+pub struct Shadow {
+    chars: Vec<char>,
+    raw: Vec<char>,
+    /// 1-based (line, col) for every position, including the `\n`
+    /// joiners.
+    pos: Vec<(usize, usize)>,
+    in_test: Vec<bool>,
+}
+
+impl Shadow {
+    fn build(file: &LexedFile, raw_text: &str) -> Shadow {
+        let raw_lines: Vec<Vec<char>> = raw_text.lines().map(|l| l.chars().collect()).collect();
+        let mut chars = Vec::new();
+        let mut raw = Vec::new();
+        let mut pos = Vec::new();
+        let mut in_test = Vec::with_capacity(file.lines.len());
+        for line in &file.lines {
+            in_test.push(line.in_test);
+            let raw_line = raw_lines.get(line.number - 1);
+            for (col, c) in line.code.chars().enumerate() {
+                chars.push(c);
+                raw.push(raw_line.and_then(|l| l.get(col)).copied().unwrap_or(' '));
+                pos.push((line.number, col + 1));
+            }
+            chars.push('\n');
+            raw.push('\n');
+            pos.push((line.number, line.code.chars().count() + 1));
+        }
+        Shadow {
+            chars,
+            raw,
+            pos,
+            in_test,
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the shadow is empty (no lines at all).
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Shadow character at `i` (`\0` past the end).
+    pub fn at(&self, i: usize) -> char {
+        self.chars.get(i).copied().unwrap_or('\0')
+    }
+
+    /// 1-based (line, col) of position `i`.
+    pub fn linecol(&self, i: usize) -> (usize, usize) {
+        self.pos
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| self.pos.last().copied().unwrap_or((1, 1)))
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` region?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Raw source text over `[start, end)` with newlines dropped and
+    /// whitespace runs collapsed — the canonical argument text.
+    pub fn raw_text(&self, start: usize, end: usize) -> String {
+        let s: String = self.raw[start.min(self.raw.len())..end.min(self.raw.len())]
+            .iter()
+            .collect();
+        s.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    /// Every position where `word` matches the shadow on identifier
+    /// boundaries.
+    pub fn find_words(&self, word: &str) -> Vec<usize> {
+        let needle: Vec<char> = word.chars().collect();
+        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i + needle.len() <= self.chars.len() {
+            if self.chars[i..i + needle.len()] == needle[..] {
+                let before_ok = i == 0 || !is_ident(self.chars[i - 1]);
+                let after_ok = self
+                    .chars
+                    .get(i + needle.len())
+                    .map(|&c| !is_ident(c))
+                    .unwrap_or(true);
+                if before_ok && after_ok {
+                    out.push(i);
+                    i += needle.len();
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// First position at or after `i` holding a non-whitespace char.
+    pub fn next_nonws(&self, mut i: usize) -> usize {
+        while i < self.chars.len() && self.chars[i].is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Position of the delimiter closing the `(`/`[`/`{` at `open`,
+    /// tracking all three bracket kinds together. `None` when
+    /// unbalanced.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for i in open..self.chars.len() {
+            match self.chars[i] {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// One argument of a call expression.
+#[derive(Debug, Clone)]
+pub struct Arg {
+    /// Raw source text, whitespace-collapsed.
+    pub text: String,
+    /// 1-based line of the argument's first token.
+    pub line: usize,
+    /// 1-based column of the argument's first token.
+    pub col: usize,
+}
+
+/// One `recv.method(args…)` call expression.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Dotted receiver chain to the left of the call (whitespace
+    /// removed), e.g. `self.ledger`. Empty when the receiver is not a
+    /// simple chain (a call result, an expression).
+    pub receiver: String,
+    /// Method name.
+    pub method: String,
+    /// Arguments, split at top-level commas.
+    pub args: Vec<Arg>,
+    /// 1-based line of the method name.
+    pub line: usize,
+    /// 1-based column of the method name.
+    pub col: usize,
+    /// 1-based line where the receiver chain starts (the statement
+    /// line, for binding lookups).
+    pub recv_line: usize,
+    /// 1-based column where the receiver chain starts on `recv_line`.
+    pub recv_col: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive line range of the body (braces included).
+    pub body_lines: (usize, usize),
+    /// Shadow position range of the body, exclusive of the braces.
+    pub body_span: (usize, usize),
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Indices into [`FileModel::calls`] of calls inside this body
+    /// (innermost-fn attribution), in source order.
+    pub calls: Vec<usize>,
+}
+
+/// The per-file item/call-site model the analyses consume.
+pub struct FileModel {
+    /// All `fn` items with bodies, in source order.
+    pub fns: Vec<FnItem>,
+    /// All method-call expressions, in source order.
+    pub calls: Vec<CallSite>,
+    /// The flattened shadow, for analyses that need ad-hoc structure
+    /// (e.g. struct-literal field scanning).
+    pub shadow: Shadow,
+}
+
+/// Parse a lexed file (plus its raw text) into the item/call model.
+pub fn parse(file: &LexedFile, raw_text: &str) -> FileModel {
+    let shadow = Shadow::build(file, raw_text);
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut calls: Vec<CallSite> = Vec::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    let mut depth: i64 = 0;
+    // (fn index, declaration depth) awaiting its body brace.
+    let mut pending: Option<(usize, i64)> = None;
+    // Open fn bodies: (fn index, depth inside the body).
+    let mut stack: Vec<(usize, i64)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < shadow.len() {
+        let c = shadow.at(i);
+        match c {
+            '{' => {
+                if let Some((idx, d)) = pending {
+                    if d == depth {
+                        fns[idx].body_span.0 = i + 1;
+                        fns[idx].body_lines.0 = shadow.linecol(i).0;
+                        depth += 1;
+                        stack.push((idx, depth));
+                        pending = None;
+                        i += 1;
+                        continue;
+                    }
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if let Some(&(idx, d)) = stack.last() {
+                    if depth < d {
+                        fns[idx].body_span.1 = i;
+                        fns[idx].body_lines.1 = shadow.linecol(i).0;
+                        stack.pop();
+                    }
+                }
+            }
+            ';' => {
+                if let Some((_, d)) = pending {
+                    // Trait method declaration: no body follows.
+                    if d == depth {
+                        pending = None;
+                    }
+                }
+            }
+            'f' if shadow.at(i + 1) == 'n'
+                && (i == 0 || !is_ident(shadow.at(i - 1)))
+                && !is_ident(shadow.at(i + 2)) =>
+            {
+                // `fn` keyword: read the name (absent for fn-pointer
+                // types, which we ignore).
+                let mut j = shadow.next_nonws(i + 2);
+                if is_ident_start(shadow.at(j)) {
+                    let name_start = j;
+                    while is_ident(shadow.at(j)) {
+                        j += 1;
+                    }
+                    let name: String = (name_start..j).map(|k| shadow.at(k)).collect();
+                    let (line, _) = shadow.linecol(i);
+                    fns.push(FnItem {
+                        name,
+                        line,
+                        body_lines: (line, line),
+                        body_span: (i, i),
+                        in_test: shadow.line_in_test(line),
+                        calls: Vec::new(),
+                    });
+                    pending = Some((fns.len() - 1, depth));
+                    i = j;
+                    continue;
+                }
+            }
+            '.' if is_ident_start(shadow.at(i + 1)) => {
+                // Candidate method call: `.name` then `(`.
+                let mut j = i + 1;
+                while is_ident(shadow.at(j)) {
+                    j += 1;
+                }
+                let open = shadow.next_nonws(j);
+                if shadow.at(open) == '(' {
+                    let method: String = (i + 1..j).map(|k| shadow.at(k)).collect();
+                    if let Some(close) = shadow.matching_close(open) {
+                        let (recv, recv_start) = receiver_chain(&shadow, i);
+                        let (line, col) = shadow.linecol(i + 1);
+                        let (recv_line, recv_col) = shadow.linecol(recv_start);
+                        calls.push(CallSite {
+                            receiver: recv,
+                            method,
+                            args: split_args(&shadow, open, close),
+                            line,
+                            col,
+                            recv_line,
+                            recv_col,
+                            in_test: shadow.line_in_test(line),
+                        });
+                        if let Some(&(idx, _)) = stack.last() {
+                            fns[idx].calls.push(calls.len() - 1);
+                        }
+                        // Continue *inside* the argument list so nested
+                        // calls are found too.
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    FileModel { fns, calls, shadow }
+}
+
+/// Walk the receiver chain backwards from the `.` at `dot`: identifier
+/// chars, `.`, `:`, with whitespace tolerated between segments (for
+/// rustfmt-broken chains). Stops at anything else; returns the chain
+/// with whitespace removed and the position where it starts.
+fn receiver_chain(shadow: &Shadow, dot: usize) -> (String, usize) {
+    let is_chain = |c: char| c.is_alphanumeric() || c == '_' || c == '.' || c == ':';
+    let mut start = dot;
+    let mut k = dot;
+    while k > 0 {
+        let c = shadow.at(k - 1);
+        if is_chain(c) {
+            k -= 1;
+            start = k;
+        } else if c.is_whitespace() {
+            // Look through the whitespace: keep going only if the chain
+            // continues on the other side.
+            let mut p = k - 1;
+            while p > 0 && shadow.at(p - 1).is_whitespace() {
+                p -= 1;
+            }
+            if p > 0 && is_chain(shadow.at(p - 1)) {
+                k = p;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let chain: String = (start..dot)
+        .map(|k| shadow.at(k))
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    (chain, start)
+}
+
+/// Split the argument list between `open` and `close` (exclusive) at
+/// top-level commas.
+fn split_args(shadow: &Shadow, open: usize, close: usize) -> Vec<Arg> {
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut seg_start = open + 1;
+    let push = |from: usize, to: usize, args: &mut Vec<Arg>| {
+        let at = shadow.next_nonws(from);
+        if at >= to {
+            return; // empty segment (no args at all)
+        }
+        let (line, col) = shadow.linecol(at);
+        args.push(Arg {
+            text: shadow.raw_text(at, to),
+            line,
+            col,
+        });
+    };
+    for i in open + 1..close {
+        match shadow.at(i) {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                push(seg_start, i, &mut args);
+                seg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    push(seg_start, close, &mut args);
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        parse(&lex("t.rs", src), src)
+    }
+
+    #[test]
+    fn fn_extents_cover_bodies_and_nest() {
+        let src = "fn outer() {\n    fn inner(x: u32) -> u32 {\n        x\n    }\n    inner(1);\n}\nfn later() {}\n";
+        let m = model(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "later"]);
+        assert_eq!(m.fns[0].body_lines, (1, 6));
+        assert_eq!(m.fns[1].body_lines, (2, 4));
+        assert_eq!(m.fns[2].body_lines, (7, 7));
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src = "trait T {\n    fn sig(&self) -> u32;\n    fn has_body(&self) -> u32 {\n        1\n    }\n}\n";
+        let m = model(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[1].name, "has_body");
+        assert_eq!(m.fns[1].body_lines, (3, 5));
+    }
+
+    #[test]
+    fn method_calls_capture_receiver_method_and_literal_args() {
+        let src = "fn f(&mut self) {\n    self.trace.emit(now, Subsystem::Fault, \"inject\", || x());\n}\n";
+        let m = model(src);
+        let emit = m.calls.iter().find(|c| c.method == "emit").unwrap();
+        assert_eq!(emit.receiver, "self.trace");
+        assert_eq!(emit.line, 2);
+        assert_eq!(emit.args.len(), 4);
+        assert_eq!(emit.args[1].text, "Subsystem::Fault");
+        assert_eq!(emit.args[2].text, "\"inject\"");
+        // The nested `x()` call is found too, attributed to `f`.
+        assert!(m.calls.iter().any(|c| c.method == "emit"));
+        assert_eq!(m.fns[0].calls.len(), m.calls.len());
+    }
+
+    #[test]
+    fn multiline_chains_keep_their_receiver() {
+        let src = "fn f(&mut self) {\n    self.trace\n        .emit_corr(now, Subsystem::Slo, \"burn-alert\", Some(inc.0), || {\n            format!(\"x={}\", 1)\n        });\n}\n";
+        let m = model(src);
+        let call = m.calls.iter().find(|c| c.method == "emit_corr").unwrap();
+        assert_eq!(call.receiver, "self.trace");
+        assert_eq!(call.recv_line, 2);
+        assert_eq!(call.args.len(), 5);
+        assert_eq!(call.args[2].text, "\"burn-alert\"");
+        assert_eq!(call.args[2].line, 3);
+    }
+
+    #[test]
+    fn commas_inside_nested_brackets_do_not_split() {
+        let src = "fn f() {\n    q.push(vec![1, 2], (a, b), g(x, y));\n}\n";
+        let m = model(src);
+        let call = m.calls.iter().find(|c| c.method == "push").unwrap();
+        assert_eq!(call.args.len(), 3);
+        assert_eq!(call.args[0].text, "vec![1, 2]");
+        assert_eq!(call.args[1].text, "(a, b)");
+        assert_eq!(call.args[2].text, "g(x, y)");
+    }
+
+    #[test]
+    fn literal_text_is_recovered_from_raw_lines() {
+        // The shadow blanks string contents; the model must still see
+        // the category literal.
+        let src =
+            "fn f() {\n    t.emit(at, Subsystem::Admin, \"cron-repair\", || String::new());\n}\n";
+        let m = model(src);
+        let call = &m.calls[m.fns[0].calls[0]];
+        assert_eq!(call.args[2].text, "\"cron-repair\"");
+    }
+
+    #[test]
+    fn test_code_is_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        tr.emit(a, Subsystem::Fault, \"nope\", || s());\n    }\n}\n";
+        let m = model(src);
+        assert!(m.fns[0].in_test);
+        assert!(m.calls.iter().all(|c| c.in_test));
+    }
+}

@@ -1,16 +1,21 @@
 //! The determinism rule engine (lint front-end 1).
 //!
-//! Four source rules plus one suppression-hygiene rule, all tuned to
-//! the hazards that matter for replay determinism and the upcoming
+//! Three token-level rules plus one suppression-hygiene rule, all tuned
+//! to the hazards that matter for replay determinism and the upcoming
 //! multi-site sharded runs:
 //!
 //! | rule | severity | flags |
 //! |------|----------|-------|
 //! | `wall-clock` | error | `Instant` / `SystemTime` outside the metrics clock shim |
-//! | `unordered-collections` | error | `HashMap` / `HashSet` (iteration order leaks into JSON/trace output) |
 //! | `thread-spawn` | error | `thread::spawn` outside the sanctioned `thread::scope` helper |
 //! | `no-panic` | warning | `.unwrap()` / `.expect(` in non-test library code |
 //! | `bad-suppression` | error | `qoslint::allow` without a reason, or naming an unknown rule |
+//!
+//! The flow- and item-aware rules (`unordered-collections`, the
+//! `trace-*` ontology family, `lifecycle-order`) live in
+//! [`crate::analysis`] on top of the [`crate::parser`] item model;
+//! [`scan_source`] runs both engines and applies one suppression
+//! vocabulary to the merged findings.
 //!
 //! Suppress a finding in place with `// qoslint::allow(rule, reason)`
 //! (same line, or alone on the line above), or for a whole file with
@@ -56,14 +61,6 @@ pub const RULES: &[Rule] = &[
                simkern::metrics profiler (the sanctioned wall-clock shim)",
     },
     Rule {
-        id: "unordered-collections",
-        severity: Severity::Error,
-        patterns: &[Pattern::Word("HashMap"), Pattern::Word("HashSet")],
-        summary: "unordered std collections in sim-state or export paths",
-        hint: "use BTreeMap/BTreeSet so iteration order (and thus JSON/trace \
-               output) is deterministic",
-    },
-    Rule {
         id: "thread-spawn",
         severity: Severity::Error,
         patterns: &[Pattern::Substr("thread::spawn")],
@@ -86,16 +83,28 @@ pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
 /// Is `id` a rule a suppression may name?
 pub fn known_rule(id: &str) -> bool {
-    id == BAD_SUPPRESSION || RULES.iter().any(|r| r.id == id)
+    id == BAD_SUPPRESSION
+        || RULES.iter().any(|r| r.id == id)
+        || crate::analysis::ANALYSIS_RULES.iter().any(|r| r.id == id)
 }
 
-/// Scan one file's text. Returns only unsuppressed findings (plus any
-/// suppression-hygiene findings).
+/// Scan one file's text with both engines (token rules and item-graph
+/// analyses). Returns only unsuppressed findings (plus any
+/// suppression-hygiene findings), sorted by position.
 pub fn scan_source(path: &str, text: &str) -> Vec<Diagnostic> {
-    scan_lexed(&lex(path, text))
+    let file = lex(path, text);
+    let model = crate::parser::parse(&file, text);
+    let mut diags = scan_lexed(&file);
+    for d in crate::analysis::analyze(&file, &model) {
+        if !suppressed(&file, d.rule, d.line) {
+            diags.push(d);
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
 }
 
-/// Scan an already-lexed file.
+/// Scan an already-lexed file with the token rules only.
 pub fn scan_lexed(file: &LexedFile) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
@@ -212,6 +221,14 @@ pub fn render_catalogue() -> String {
             r.summary
         ));
     }
+    for r in crate::analysis::ANALYSIS_RULES {
+        out.push_str(&format!(
+            "  {:>24}  {:7}  {}\n",
+            r.id,
+            r.severity.to_string(),
+            r.summary
+        ));
+    }
     out.push_str(&format!(
         "  {BAD_SUPPRESSION:>24}  error    qoslint::allow without a reason, or naming an unknown rule\n"
     ));
@@ -231,9 +248,8 @@ mod tests {
         let cases = [
             ("let t = Instant::now();", "wall-clock"),
             ("let s = SystemTime::now();", "wall-clock"),
-            ("use std::collections::HashMap;", "unordered-collections"),
             (
-                "let s: HashSet<u32> = HashSet::new();",
+                "fn f(t: &mut T) {\n    let s: HashSet<u32> = HashSet::new();\n    for v in s.iter() {\n        t.emit(*v, Subsystem::Fault, \"inject\", || String::new());\n    }\n}",
                 "unordered-collections",
             ),
             ("std::thread::spawn(|| {});", "thread-spawn"),
@@ -293,8 +309,8 @@ mod tests {
 
     #[test]
     fn own_line_suppression_targets_next_code_line() {
-        let src = "// qoslint::allow(unordered-collections, sorted on export)\n\
-                   use std::collections::HashMap;";
+        let src = "// qoslint::allow(wall-clock, sanctioned probe)\n\
+                   let t = Instant::now();";
         assert!(scan_source("t.rs", src).is_empty());
     }
 

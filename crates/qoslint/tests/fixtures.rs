@@ -24,6 +24,11 @@ fn each_bad_fixture_trips_exactly_its_rule() {
         ("bad/thread_spawn.rs", "thread-spawn"),
         ("bad/no_panic.rs", "no-panic"),
         ("bad/missing_reason.rs", "bad-suppression"),
+        ("bad/trace_unknown_category.rs", "trace-unknown-category"),
+        ("bad/trace_category_typo.rs", "trace-category-typo"),
+        ("bad/trace_wrong_subsystem.rs", "trace-wrong-subsystem"),
+        ("bad/trace_undocumented.rs", "trace-undocumented"),
+        ("bad/lifecycle_order.rs", "lifecycle-order"),
     ];
     for (file, rule) in cases {
         let diags = scan_fixture(file);

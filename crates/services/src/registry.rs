@@ -145,6 +145,7 @@ impl ServiceRegistry {
         }
         self.instances
             .get_mut(&id)
+            // qoslint::allow(no-panic, presence was checked at the top of this fn)
             .expect("checked above")
             .start(server, now)
     }
@@ -154,6 +155,7 @@ impl ServiceRegistry {
         let ids = self.ids_on_server(server);
         let mut affected = Vec::new();
         for id in ids {
+            // qoslint::allow(no-panic, id comes from the registry index one line up)
             let svc = self.instances.get_mut(&id).expect("indexed id exists");
             if !matches!(
                 svc.status,

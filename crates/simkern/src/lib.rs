@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod events;
+pub mod lifecycle;
 pub mod metrics;
 mod ring;
 mod rng;
@@ -40,6 +41,7 @@ pub mod time;
 pub mod trace;
 
 pub use events::{EventQueue, EventToken};
+pub use lifecycle::{LifecycleState, LIFECYCLE_EDGES};
 pub use metrics::{HistSummary, LogHistogram, MetricsRegistry, Profiler, SpanTimer};
 pub use ring::CircularQueue;
 pub use rng::SimRng;
@@ -47,5 +49,6 @@ pub use series::TimeSeries;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, WEEK, YEAR};
 pub use trace::{
-    RingSink, SpillConfig, SpillSink, Subsystem, Trace, TraceEvent, TraceOptions, TraceSink,
+    CategorySpec, RingSink, SpillConfig, SpillSink, Subsystem, Trace, TraceEvent, TraceOptions,
+    TraceSink, TRACE_REGISTRY,
 };

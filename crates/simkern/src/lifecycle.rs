@@ -1,0 +1,233 @@
+//! The incident-lifecycle automaton, declared once as data.
+//!
+//! Every incident moves through `injected → detected → diagnosed →
+//! attempt* → (repaired | escalated)`. Before this module the state
+//! machine existed only as prose and as ad-hoc field checks scattered
+//! through `core::downtime`; now the states, the legal transitions, and
+//! the mapping from `DowntimeLedger` method names to states are one
+//! table that three consumers interpret:
+//!
+//! * `core::downtime::Incident::lifecycle_violation` walks an incident
+//!   record along the automaton and reports the first step the record
+//!   cannot justify;
+//! * `qoslint`'s `lifecycle-order` rule checks that ledger transition
+//!   *call sites* appear in an order the automaton can realise;
+//! * tests assert properties (reachability, required states) directly
+//!   against the declared edges.
+//!
+//! Keeping the automaton here (rather than in `core`) lets the lint
+//! crate depend on it without a dependency cycle.
+
+/// One state of the incident lifecycle.
+///
+/// Declaration order is the canonical spine order: every legal path
+/// visits states in non-decreasing declaration order except for the
+/// `Attempting ↔ Escalated` oscillation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LifecycleState {
+    /// The fault exists in the world (incident opened at onset).
+    Injected,
+    /// Monitoring or a human first knew about it.
+    Detected,
+    /// The cause was pinned down (rule fired, engineer engaged).
+    Diagnosed,
+    /// A repair attempt is being made (agent, admin, or human).
+    Attempting,
+    /// Humans were paged; the incident left the autonomic loop.
+    Escalated,
+    /// Service restored; the terminal state.
+    Repaired,
+}
+
+use LifecycleState::*;
+
+/// The legal transitions. `Attempting → Attempting` is the retry loop;
+/// `Attempting ↔ Escalated` models a failed automatic attempt handing
+/// off to humans (and humans making further attempts).
+pub const LIFECYCLE_EDGES: &[(LifecycleState, LifecycleState)] = &[
+    (Injected, Detected),
+    (Detected, Diagnosed),
+    (Diagnosed, Attempting),
+    (Attempting, Attempting),
+    (Attempting, Escalated),
+    (Attempting, Repaired),
+    (Escalated, Attempting),
+    (Escalated, Repaired),
+];
+
+impl LifecycleState {
+    /// Every state, in canonical spine order.
+    pub const ALL: [LifecycleState; 6] = [
+        Injected, Detected, Diagnosed, Attempting, Escalated, Repaired,
+    ];
+
+    /// Lower-case name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Injected => "injected",
+            Detected => "detected",
+            Diagnosed => "diagnosed",
+            Attempting => "attempting",
+            Escalated => "escalated",
+            Repaired => "repaired",
+        }
+    }
+
+    /// Dense index into `ALL` for table lookups.
+    fn index(self) -> usize {
+        match self {
+            Injected => 0,
+            Detected => 1,
+            Diagnosed => 2,
+            Attempting => 3,
+            Escalated => 4,
+            Repaired => 5,
+        }
+    }
+
+    /// The state a `DowntimeLedger` transition method drives an
+    /// incident into, or `None` for non-transition methods. This is the
+    /// contract the static call-site check keys on, so the names here
+    /// must track the ledger's public API.
+    pub fn for_transition(method: &str) -> Option<LifecycleState> {
+        match method {
+            "open" | "open_scoped" => Some(Injected),
+            "detect" => Some(Detected),
+            "diagnose" => Some(Diagnosed),
+            "attempt" => Some(Attempting),
+            "escalate" => Some(Escalated),
+            "restore" => Some(Repaired),
+            _ => None,
+        }
+    }
+
+    /// Whether this state ends the lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Repaired)
+    }
+}
+
+/// Whether `from → to` is a single declared edge.
+pub fn steps_to(from: LifecycleState, to: LifecycleState) -> bool {
+    LIFECYCLE_EDGES.contains(&(from, to))
+}
+
+/// Reflexive-transitive reachability over the declared edges: can an
+/// incident in `from` ever (after zero or more transitions) be in `to`?
+pub fn reachable(from: LifecycleState, to: LifecycleState) -> bool {
+    reachable_avoiding(from, to, None)
+}
+
+/// Reachability when `avoid` (if any) is removed from the automaton.
+/// `reachable_avoiding(Injected, Repaired, Some(s)) == false` means
+/// every complete lifecycle passes through `s`.
+pub fn reachable_avoiding(
+    from: LifecycleState,
+    to: LifecycleState,
+    avoid: Option<LifecycleState>,
+) -> bool {
+    if Some(from) == avoid || Some(to) == avoid {
+        return false;
+    }
+    let mut seen = [false; 6];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(s) = stack.pop() {
+        if s == to {
+            return true;
+        }
+        for &(a, b) in LIFECYCLE_EDGES {
+            if a == s && Some(b) != avoid && !seen[b.index()] {
+                seen[b.index()] = true;
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Whether the automaton can visit `s` more than once, i.e. `s` lies on
+/// a cycle. The one-shot states (everything except the
+/// `Attempting`/`Escalated` oscillation) form the lifecycle's monotone
+/// spine: their observation times must be non-decreasing in spine
+/// order, while revisitable states interleave freely (an agent can
+/// attempt before the diagnosis is final).
+pub fn revisitable(s: LifecycleState) -> bool {
+    LIFECYCLE_EDGES
+        .iter()
+        .any(|&(a, b)| a == s && reachable(b, s))
+}
+
+/// The states every complete lifecycle (injection to terminal) must
+/// pass through, in spine order — derived from the edges, not listed by
+/// hand, so the record checks in `core` stay true to the declaration.
+pub fn required_for_terminal() -> Vec<LifecycleState> {
+    LifecycleState::ALL
+        .into_iter()
+        .filter(|&s| s != Injected && !s.is_terminal())
+        .filter(|&s| !reachable_avoiding(Injected, Repaired, Some(s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_is_reachable_in_order_and_not_backwards() {
+        assert!(reachable(Injected, Repaired));
+        assert!(reachable(Detected, Escalated));
+        assert!(reachable(Diagnosed, Repaired));
+        assert!(reachable(Escalated, Attempting));
+        assert!(!reachable(Repaired, Detected));
+        assert!(!reachable(Diagnosed, Detected));
+        assert!(!reachable(Escalated, Diagnosed));
+        // Reflexive by definition.
+        for s in LifecycleState::ALL {
+            assert!(reachable(s, s), "{} not self-reachable", s.name());
+        }
+    }
+
+    #[test]
+    fn detection_diagnosis_and_attempt_are_mandatory_waypoints() {
+        assert_eq!(
+            required_for_terminal(),
+            vec![Detected, Diagnosed, Attempting]
+        );
+        // Escalation is optional: the agent path skips it.
+        assert!(reachable_avoiding(Injected, Repaired, Some(Escalated)));
+    }
+
+    #[test]
+    fn ledger_method_names_map_onto_states() {
+        assert_eq!(LifecycleState::for_transition("open"), Some(Injected));
+        assert_eq!(
+            LifecycleState::for_transition("open_scoped"),
+            Some(Injected)
+        );
+        assert_eq!(LifecycleState::for_transition("detect"), Some(Detected));
+        assert_eq!(LifecycleState::for_transition("diagnose"), Some(Diagnosed));
+        assert_eq!(LifecycleState::for_transition("attempt"), Some(Attempting));
+        assert_eq!(LifecycleState::for_transition("escalate"), Some(Escalated));
+        assert_eq!(LifecycleState::for_transition("restore"), Some(Repaired));
+        assert_eq!(LifecycleState::for_transition("totals"), None);
+    }
+
+    #[test]
+    fn only_the_attempt_escalation_loop_is_revisitable() {
+        let looped: Vec<LifecycleState> = LifecycleState::ALL
+            .into_iter()
+            .filter(|&s| revisitable(s))
+            .collect();
+        assert_eq!(looped, vec![Attempting, Escalated]);
+    }
+
+    #[test]
+    fn only_repair_terminates() {
+        for s in LifecycleState::ALL {
+            assert_eq!(s.is_terminal(), s == Repaired);
+        }
+        // Terminal means terminal: no outgoing edges.
+        assert!(!LIFECYCLE_EDGES.iter().any(|&(a, _)| a == Repaired));
+    }
+}

@@ -103,6 +103,202 @@ impl Subsystem {
     }
 }
 
+/// One declared trace category: a `(Subsystem, code)` pair plus the
+/// one-line documentation that makes the taxonomy reviewable.
+///
+/// The registry below is the **closed world** of trace categories.
+/// Three layers consume it: `Trace::emit`/`emit_corr` panic on an
+/// unregistered pair (when tracing is enabled), qoslint's trace
+/// ontology rules check every emit call site statically, and evdb
+/// validates `--category` / `--subsystem` query arguments against it —
+/// so a typo'd category can neither be emitted, committed, nor silently
+/// queried into an empty result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategorySpec {
+    /// The only subsystem allowed to emit this code.
+    pub subsystem: Subsystem,
+    /// The machine-stable event code, e.g. `"db-crash"`.
+    pub code: &'static str,
+    /// What an event with this code means. Must be non-empty — the
+    /// `trace-undocumented` lint rule and a unit test both enforce it.
+    pub doc: &'static str,
+}
+
+/// Every `(Subsystem, code)` pair the system may emit. Adding a
+/// category means adding a row here (with documentation) *first*; both
+/// the runtime validator and the static checker refuse anything else.
+pub const TRACE_REGISTRY: &[CategorySpec] = &[
+    CategorySpec {
+        subsystem: Subsystem::Fault,
+        code: "inject",
+        doc: "the fault tape injected a fault into the world",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Fault,
+        code: "db-crash",
+        doc: "the mid-job database crash mechanism fired",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Agent,
+        code: "diagnose",
+        doc: "an intelliagent sweep pinned a fault down to a cause",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Agent,
+        code: "local-heal",
+        doc: "an intelliagent repaired the fault locally on the server",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Agent,
+        code: "e2e-fail",
+        doc: "an end-to-end probe failed: detected, but not locally repairable",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Agent,
+        code: "restore",
+        doc: "an agent-driven service restart brought the service back",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Admin,
+        code: "cron-repair",
+        doc: "the admin pair re-enabled a disabled crontab",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Admin,
+        code: "resubmit",
+        doc: "the admin pair resubmitted jobs killed by a fault",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Admin,
+        code: "dgspl",
+        doc: "DGSPL regeneration produced a new dispatch schedule",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Lsf,
+        code: "dispatch",
+        doc: "the dispatcher placed a batch job on a server",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Lsf,
+        code: "done",
+        doc: "a batch job ran to completion",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Manual,
+        code: "pipeline",
+        doc: "the human detection/paging/repair pipeline was scheduled",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Manual,
+        code: "restore",
+        doc: "a human repair closed the incident",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Workload,
+        code: "submit",
+        doc: "the workload tape submitted a batch job",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Kernel,
+        code: "run-start",
+        doc: "a simulation run began",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Kernel,
+        code: "run-end",
+        doc: "a simulation run reached its horizon",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Kernel,
+        code: "tick",
+        doc: "kernel heartbeat used by the bench harness",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Slo,
+        code: "burn-alert",
+        doc: "an error-budget burn crossed the paging threshold",
+    },
+];
+
+/// Edit distance at or under which an unregistered code is reported as
+/// a near-miss of a registered one ("did you mean ...?").
+pub const NEAR_MISS_DISTANCE: usize = 2;
+
+/// Look a `(subsystem, code)` pair up in the registry.
+pub fn registry_lookup(subsystem: Subsystem, code: &str) -> Option<&'static CategorySpec> {
+    TRACE_REGISTRY
+        .iter()
+        .find(|s| s.subsystem == subsystem && s.code == code)
+}
+
+/// All registered codes, sorted and deduplicated — the vocabulary evdb
+/// accepts for trace category queries.
+pub fn registered_codes() -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = TRACE_REGISTRY.iter().map(|s| s.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// Levenshtein edit distance, used for near-miss suggestions.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registered code nearest to `code` by edit distance, with the
+/// distance. `None` only when the registry is empty.
+pub fn nearest_registered_code(code: &str) -> Option<(&'static str, usize)> {
+    registered_codes()
+        .into_iter()
+        .map(|c| (c, edit_distance(code, c)))
+        .min_by_key(|&(c, d)| (d, c))
+}
+
+/// Check a `(subsystem, code)` pair against the registry. The error
+/// string distinguishes the three failure modes — wrong subsystem,
+/// near-miss typo, and plain unknown — because each wants a different
+/// fix.
+pub fn validate_category(subsystem: Subsystem, code: &str) -> Result<(), String> {
+    if registry_lookup(subsystem, code).is_some() {
+        return Ok(());
+    }
+    let elsewhere: Vec<&'static str> = TRACE_REGISTRY
+        .iter()
+        .filter(|s| s.code == code)
+        .map(|s| s.subsystem.tag())
+        .collect();
+    if !elsewhere.is_empty() {
+        return Err(format!(
+            "trace category {code:?} is registered under `{}`, not `{}`",
+            elsewhere.join("`/`"),
+            subsystem.tag()
+        ));
+    }
+    match nearest_registered_code(code) {
+        Some((near, d)) if d <= NEAR_MISS_DISTANCE => Err(format!(
+            "unregistered trace category ({}, {code:?}); did you mean {near:?}?",
+            subsystem.tag()
+        )),
+        _ => Err(format!(
+            "unregistered trace category ({}, {code:?}); declare it in \
+             simkern::trace::TRACE_REGISTRY",
+            subsystem.tag()
+        )),
+    }
+}
+
 /// One retained trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -921,6 +1117,12 @@ impl Trace {
         if !self.enabled {
             return;
         }
+        // Closed-world check: an enabled trace refuses categories the
+        // registry does not declare. Sits after the `enabled` early
+        // return so disabled traces stay one-branch-and-out.
+        if let Err(why) = validate_category(subsystem, code) {
+            panic!("trace: {why}");
+        }
         if !self.filter[subsystem.index()] {
             self.filtered += 1;
             return;
@@ -1047,7 +1249,7 @@ mod tests {
         t.emit(SimTime::from_secs(5), Subsystem::Fault, "inject", || {
             "db000|MidJobDbCrash".into()
         });
-        t.emit(SimTime::from_secs(9), Subsystem::Agent, "detect", || {
+        t.emit(SimTime::from_secs(9), Subsystem::Agent, "diagnose", || {
             "db000".into()
         });
         assert_eq!(t.total(), 2);
@@ -1057,14 +1259,14 @@ mod tests {
         let lines = t.render_lines();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], "0|5|fault|inject|db000\\pMidJobDbCrash");
-        assert_eq!(lines[1], "1|9|agent|detect|db000");
+        assert_eq!(lines[1], "1|9|agent|diagnose|db000");
     }
 
     #[test]
     fn ring_evicts_but_counters_survive() {
         let mut t = Trace::with_capacity(4);
         for i in 0..10u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "submit", || {
                 String::new()
             });
         }
@@ -1153,7 +1355,7 @@ mod tests {
         });
         t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || "f0".into());
         for i in 0..20u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "submit", || {
                 String::new()
             });
         }
@@ -1178,10 +1380,10 @@ mod tests {
             only: Some(vec![Subsystem::Fault, Subsystem::Agent]),
             ..TraceOptions::default()
         });
-        t.emit(SimTime::ZERO, Subsystem::Workload, "arrive", || "w".into());
+        t.emit(SimTime::ZERO, Subsystem::Workload, "submit", || "w".into());
         t.emit(SimTime::ZERO, Subsystem::Fault, "inject", || "f".into());
         t.emit(SimTime::ZERO, Subsystem::Lsf, "dispatch", || "l".into());
-        t.emit(SimTime::ZERO, Subsystem::Agent, "detect", || "a".into());
+        t.emit(SimTime::ZERO, Subsystem::Agent, "diagnose", || "a".into());
         assert_eq!(t.total(), 2);
         assert_eq!(t.filtered(), 2);
         let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
@@ -1210,7 +1412,7 @@ mod tests {
             ..TraceOptions::default()
         });
         for i in 0..25u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "submit", || {
                 format!("job{i}")
             });
         }
@@ -1243,7 +1445,7 @@ mod tests {
             ..TraceOptions::default()
         });
         for i in 0..8u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Agent, "sweep", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Agent, "diagnose", || {
                 String::new()
             });
         }
@@ -1331,7 +1533,7 @@ mod tests {
             ..TraceOptions::default()
         });
         for i in 0..23u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Workload, "arrive", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Workload, "submit", || {
                 format!("job{i}|with\npipe and newline")
             });
         }
@@ -1364,7 +1566,7 @@ mod tests {
             ..TraceOptions::default()
         });
         for i in 0..6u64 {
-            t.emit(SimTime::from_secs(i), Subsystem::Agent, "sweep", || {
+            t.emit(SimTime::from_secs(i), Subsystem::Agent, "diagnose", || {
                 format!("pass{i}")
             });
         }
@@ -1379,5 +1581,76 @@ mod tests {
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("truncated final record"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_pairs_are_unique_and_documented() {
+        for (i, a) in TRACE_REGISTRY.iter().enumerate() {
+            assert!(!a.code.is_empty(), "empty code at row {i}");
+            assert!(
+                !a.doc.is_empty(),
+                "({}, {:?}) undocumented",
+                a.subsystem.tag(),
+                a.code
+            );
+            for b in &TRACE_REGISTRY[i + 1..] {
+                assert!(
+                    !(a.subsystem == b.subsystem && a.code == b.code),
+                    "duplicate registry row ({}, {:?})",
+                    a.subsystem.tag(),
+                    a.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_category_explains_each_failure_mode() {
+        assert_eq!(validate_category(Subsystem::Fault, "db-crash"), Ok(()));
+        // Wrong subsystem: the code exists, but not there.
+        let err = validate_category(Subsystem::Lsf, "db-crash").unwrap_err();
+        assert!(err.contains("registered under `fault`, not `lsf`"), "{err}");
+        // Near miss: suggest the nearest registered code.
+        let err = validate_category(Subsystem::Fault, "db-carsh").unwrap_err();
+        assert!(err.contains("did you mean \"db-crash\"?"), "{err}");
+        // Plain unknown: point at the registry.
+        let err = validate_category(Subsystem::Fault, "quux-flux-zot").unwrap_err();
+        assert!(err.contains("TRACE_REGISTRY"), "{err}");
+    }
+
+    #[test]
+    fn nearest_code_suggestion_is_deterministic() {
+        assert_eq!(edit_distance("db-crash", "db-crash"), 0);
+        assert_eq!(edit_distance("db-carsh", "db-crash"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        let (near, d) = nearest_registered_code("db-carsh").unwrap();
+        assert_eq!((near, d), ("db-crash", 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered trace category")]
+    fn enabled_trace_panics_on_unregistered_category() {
+        let mut t = Trace::enabled();
+        t.emit(
+            SimTime::ZERO,
+            Subsystem::Fault,
+            "definitely-not-a-code",
+            String::new,
+        );
+    }
+
+    #[test]
+    fn disabled_trace_skips_category_validation() {
+        // The zero-cost contract: a disabled trace returns before the
+        // registry check, so call sites compiled out of a run are never
+        // validated at runtime (qoslint checks them statically instead).
+        let mut t = Trace::disabled();
+        t.emit(
+            SimTime::ZERO,
+            Subsystem::Fault,
+            "definitely-not-a-code",
+            String::new,
+        );
+        assert_eq!(t.total(), 0);
     }
 }

@@ -12,14 +12,19 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== qoslint (determinism lint, findings are errors)"
-cargo run -q --release -p intelliqos-qoslint --bin qoslint
+echo "== qoslint (workspace scan, findings beyond the committed baseline are errors)"
+cargo run -q --release -p intelliqos-qoslint --bin qoslint -- \
+    --workspace --format json --diff-baseline crates/qoslint/baseline.json
 
 echo "== qoslint self-test (seeded-bad fixtures must fail the gate)"
+# One bad fixture per rule — token rules and the item-graph analyses
+# (trace ontology, lifecycle order, flow-aware unordered iteration).
 if cargo run -q --release -p intelliqos-qoslint --bin qoslint crates/qoslint/fixtures/bad > /dev/null; then
     echo "qoslint self-test FAILED: bad fixtures scanned clean" >&2
     exit 1
 fi
+cargo run -q --release -p intelliqos-qoslint --bin qoslint crates/qoslint/fixtures/clean \
+    crates/qoslint/fixtures/suppressed > /dev/null
 
 echo "== cargo build --release"
 cargo build --release --workspace
@@ -57,11 +62,22 @@ test -s results/evdb/manifest.json
 # raw evidence (source_files_read stays 0 in the query report).
 ./target/release/evdb query --store results/evdb --corr 0 --stats > /dev/null
 ./target/release/evdb query --store results/evdb --service db003 --stats > /dev/null
-./target/release/evdb query --store results/evdb --category fault --stats > /dev/null
+./target/release/evdb query --store results/evdb --category inject --stats > /dev/null
+./target/release/evdb query --store results/evdb --subsystem fault --stats > /dev/null
 ./target/release/evdb query --store results/evdb --run fig2_downtime_manual --stats > /dev/null
 ./target/release/evdb query --store results/evdb --window 0..86400 --stats > /dev/null
 grep '"source_files_read": 0' results/evdb/query_report.json > /dev/null
+# Closed-world rejection: a typo'd category must error, not answer emptily.
+if ./target/release/evdb query --store results/evdb --category db-carsh > /dev/null 2>&1; then
+    echo "evdb closed-world FAILED: typo'd category was accepted" >&2
+    exit 1
+fi
 ./target/release/evdb diff fig2_downtime_manual fig2_downtime_agents --store results/evdb > /dev/null
+
+echo "== evdb incremental re-ingest (nothing re-parses, bytes unchanged)"
+cp results/evdb/manifest.json target/evdb_manifest.before
+./target/release/evdb ingest results/evidence --store results/evdb | grep -E "\(0 parsed, [0-9]+ reused" > /dev/null
+diff results/evdb/manifest.json target/evdb_manifest.before
 
 echo "== indexed triage byte-identity (evdb answer == linear scan answer)"
 # The plain triage run exports two full run ledgers (small config, 3
@@ -77,8 +93,5 @@ grep "timeline" target/triage_evdb.out > /dev/null
 
 echo "== evidence_check --evdb (store validates against its sources)"
 ./target/release/evidence_check --evdb results/evdb > /dev/null
-
-echo "== qoslint over evdb (new crate holds the determinism bar)"
-cargo run -q --release -p intelliqos-qoslint --bin qoslint crates/evdb/src
 
 echo "CI gate passed."

@@ -1,0 +1,124 @@
+//! The runtime half of the closed-world trace ontology: whole-scenario
+//! smoke runs in both management modes, through both sinks (ring and
+//! spill), asserting that every `(subsystem, code)` pair that actually
+//! reaches a sink is declared in `TRACE_REGISTRY` — and that the
+//! evidence store's operator-facing queries reject anything outside
+//! that world instead of answering emptily. The static half lives in
+//! qoslint's trace ontology rules; both consume the same registry.
+
+use std::path::PathBuf;
+
+use intelliqos::core::run_export_json;
+use intelliqos::evdb::{Query, Store};
+use intelliqos::prelude::*;
+use intelliqos::simkern::trace::{read_spill_chunks, registry_lookup, SpillConfig, TraceOptions};
+
+fn small(seed: u64, mode: ManagementMode) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small(seed, mode);
+    cfg.horizon = SimDuration::from_days(7);
+    cfg
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("intelliqos-ontology-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Ring sink, both modes: the full event stream a scenario retains is
+/// inside the registry. A category that never got declared cannot even
+/// be emitted (`Trace::emit` panics), so this asserts the sink side:
+/// what was retained is exactly what was vocabulary-checked.
+#[test]
+fn every_ring_event_is_registered() {
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let mut world = World::build(small(23, mode)).enable_trace();
+        let report = world.run_to_end();
+        assert!(report.incidents > 0, "scenario must produce incidents");
+        let events = world.trace.events();
+        assert!(!events.is_empty(), "{mode:?}: trace must retain events");
+        for ev in events {
+            assert!(
+                registry_lookup(ev.subsystem, ev.code).is_some(),
+                "{mode:?}: unregistered category ({:?}, {:?}) reached the ring",
+                ev.subsystem,
+                ev.code
+            );
+        }
+    }
+}
+
+/// Spill sink: every event read back from the chunk files — the
+/// flight-recorder evidence later runs triage from — is registered.
+#[test]
+fn every_spilled_event_is_registered() {
+    let dir = tmp_dir("spill");
+    let opts = TraceOptions {
+        spill: Some(SpillConfig::new(dir.clone())),
+        ..TraceOptions::default()
+    };
+    let mut world = World::build(small(23, ManagementMode::Intelliagents)).enable_trace_with(opts);
+    world.run_to_end();
+    world.trace.flush().expect("spill flush");
+    let (records, warnings) = read_spill_chunks(&dir).expect("spill readable");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert!(!records.is_empty(), "spill must hold events");
+    for rec in records {
+        assert!(
+            registry_lookup(rec.subsystem, &rec.code).is_some(),
+            "unregistered category ({:?}, {:?}) reached the spill",
+            rec.subsystem,
+            rec.code
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The evidence store speaks the same vocabulary: real run evidence
+/// ingests cleanly, a registered code query answers, and the CLI-side
+/// validation rejects unknown categories (with a near-miss suggestion)
+/// and unknown subsystem tags.
+#[test]
+fn evdb_queries_are_held_to_the_registry() {
+    let dir = tmp_dir("evdb");
+    let evidence = dir.join("evidence");
+    std::fs::create_dir_all(&evidence).expect("mkdir");
+    let mut world = World::build(small(23, ManagementMode::Intelliagents)).enable_trace();
+    world.run_to_end();
+    std::fs::write(evidence.join("smoke.json"), run_export_json(&world)).expect("export");
+
+    let store_dir = dir.join("store");
+    Store::build(&evidence, &store_dir).expect("ingest");
+    let store = Store::open(&store_dir).expect("open");
+
+    let q = Query {
+        category: Some("inject".to_string()),
+        ..Query::default()
+    };
+    q.validate().expect("registered code is accepted");
+    let (recs, _) = store.query(&q).expect("query");
+    assert!(!recs.is_empty(), "fault injections must be queryable");
+
+    let q = Query {
+        subsystem: Some("fault".to_string()),
+        ..Query::default()
+    };
+    q.validate().expect("registered tag is accepted");
+    let (by_sub, _) = store.query(&q).expect("query");
+    assert!(by_sub.len() >= recs.len(), "subsystem is the wider filter");
+
+    let typo = Query {
+        category: Some("db-carsh".to_string()),
+        ..Query::default()
+    };
+    let err = typo.validate().expect_err("typo must be rejected");
+    assert!(err.contains("db-crash"), "suggests the near miss: {err}");
+
+    let bad_tag = Query {
+        subsystem: Some("faults".to_string()),
+        ..Query::default()
+    };
+    assert!(bad_tag.validate().is_err(), "unknown tag must be rejected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
