@@ -14,7 +14,14 @@
 //! With no arguments, checks every `*.json` under `results/evidence/`
 //! plus every trace spill directory (any subdirectory holding a
 //! `manifest.json`) — a truncated final chunk or a record-count
-//! mismatch is a failure. Directory arguments are validated as spill
+//! mismatch is a failure. Taxonomy-era documents face two extra gates:
+//! an SLO report carrying `burn_scope` must have its per-scope columns
+//! close exactly (`all == service + client + abort` for every integer
+//! column, per service and fleet-wide), and a run export whose ledger
+//! is marked `"taxonomy": 1` must classify every incident with a
+//! closed-world `failure_class` whose `is_actionable` bit matches.
+//! Pre-taxonomy documents (no marker, no `burn_scope`) still validate
+//! under the original rules, so old evidence keeps passing unmodified. Directory arguments are validated as spill
 //! directories; a directory argument under which no spill
 //! `manifest.json` exists is itself a failure (never a silent fallback
 //! to the default sweep). `--evdb DIR` validates an indexed evidence
@@ -212,6 +219,127 @@ fn check_slo_report(doc: &JsonValue) -> Vec<String> {
     bad
 }
 
+const FAILURE_CLASSES: [&str; 3] = ["service-fault", "client-workload", "transient-abort"];
+const SCOPES: [&str; 4] = ["all", "service", "client", "abort"];
+
+/// Per-scope arithmetic on one `scopes` object: every integer column's
+/// `all` row must equal the sum of the three class rows. Returns the
+/// summed columns as (incidents, downtime_secs) for the caller's own
+/// cross-checks.
+fn check_scope_arithmetic(scopes: &JsonValue, who: &str, bad: &mut Vec<String>) -> (u64, u64) {
+    let col = |scope: &str, key: &str| -> u64 {
+        scopes
+            .get(scope)
+            .and_then(|s| s.get(key))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    for scope in SCOPES {
+        if scopes.get(scope).is_none() {
+            bad.push(format!("{who}: scopes lacks the {scope:?} row"));
+            return (0, 0);
+        }
+    }
+    for key in ["incidents", "downtime_secs", "repair_secs"] {
+        let parts = col("service", key) + col("client", key) + col("abort", key);
+        if col("all", key) != parts {
+            bad.push(format!(
+                "{who}: scope {key} does not close: all {} != service+client+abort {parts}",
+                col("all", key)
+            ));
+        }
+    }
+    (col("all", "incidents"), col("all", "downtime_secs"))
+}
+
+/// Taxonomy checks on an SLO report that declares a `burn_scope`.
+/// Pre-taxonomy reports (no such key) skip this entirely.
+fn check_slo_scopes(doc: &JsonValue) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Some(scope) = doc.get("burn_scope").and_then(|v| v.as_str()) else {
+        return bad;
+    };
+    if !SCOPES.contains(&scope) {
+        bad.push(format!("burn_scope {scope:?} is not a failure scope"));
+    }
+    match doc.get("scope_downtime_secs") {
+        Some(sd) => {
+            let get = |s: &str| sd.get(s).and_then(|v| v.as_u64()).unwrap_or(0);
+            let parts = get("service") + get("client") + get("abort");
+            if get("all") != parts {
+                bad.push(format!(
+                    "scope_downtime_secs does not close: all {} != service+client+abort {parts}",
+                    get("all")
+                ));
+            }
+            if doc.get("total_downtime_secs").and_then(|v| v.as_u64()) != Some(get("all")) {
+                bad.push("total_downtime_secs disagrees with scope_downtime_secs.all".to_string());
+            }
+        }
+        None => bad.push("burn_scope present but scope_downtime_secs missing".to_string()),
+    }
+    for s in doc.get("services").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+        let name = s.get("service").and_then(|v| v.as_str()).unwrap_or("?");
+        match s.get("target").and_then(|v| v.as_f64()) {
+            Some(t) if (0.0..=1.0).contains(&t) => {}
+            other => bad.push(format!(
+                "{name}: target missing or outside [0,1]: {other:?}"
+            )),
+        }
+        let Some(scopes) = s.get("scopes") else {
+            bad.push(format!("{name}: taxonomy-era row lacks a scopes object"));
+            continue;
+        };
+        let (all_inc, all_down) = check_scope_arithmetic(scopes, name, &mut bad);
+        // The legacy columns are defined as the all-scope view.
+        if s.get("incidents").and_then(|v| v.as_u64()) != Some(all_inc) {
+            bad.push(format!("{name}: legacy incidents != scopes.all.incidents"));
+        }
+        if s.get("downtime_secs").and_then(|v| v.as_u64()) != Some(all_down) {
+            bad.push(format!(
+                "{name}: legacy downtime_secs != scopes.all.downtime_secs"
+            ));
+        }
+    }
+    bad
+}
+
+/// Taxonomy checks on a run export's ledger: once the export is marked
+/// `"taxonomy": 1`, an unclassified or inconsistently classified
+/// incident is a failure. Unmarked (pre-taxonomy) ledgers pass — their
+/// classification is backfilled at evdb ingest instead.
+fn check_ledger_taxonomy(ledger: &JsonValue) -> Vec<String> {
+    let mut bad = Vec::new();
+    if ledger.get("taxonomy").and_then(|v| v.as_u64()) != Some(1) {
+        return bad;
+    }
+    for inc in ledger
+        .get("incidents")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&[])
+    {
+        let id = inc.get("id").and_then(|v| v.as_u64()).unwrap_or(0);
+        let class = inc.get("failure_class").and_then(|v| v.as_str());
+        match class {
+            Some(c) if FAILURE_CLASSES.contains(&c) => {
+                let expect = c == "service-fault";
+                if inc.get("is_actionable").and_then(|v| v.as_bool()) != Some(expect) {
+                    bad.push(format!(
+                        "incident {id}: is_actionable disagrees with class {c:?}"
+                    ));
+                }
+            }
+            Some(c) => bad.push(format!(
+                "incident {id}: failure_class {c:?} is not in the closed world"
+            )),
+            None => bad.push(format!(
+                "incident {id}: unclassified in a taxonomy-marked export"
+            )),
+        }
+    }
+    bad
+}
+
 fn check_file(path: &PathBuf) -> Vec<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -227,12 +355,18 @@ fn check_file(path: &PathBuf) -> Vec<String> {
         return check_ontology_report(&doc);
     }
     if doc.get("report").and_then(|v| v.as_str()) == Some("slo") {
-        return check_slo_report(&doc);
+        let mut bad = check_slo_report(&doc);
+        bad.extend(check_slo_scopes(&doc));
+        return bad;
     }
-    match doc.get("profile") {
+    let mut bad = match doc.get("profile") {
         Some(profile) => check_profile(profile),
         None => Vec::new(),
+    };
+    if let Some(ledger) = doc.get("ledger") {
+        bad.extend(check_ledger_taxonomy(ledger));
     }
+    bad
 }
 
 /// Recursively collect every directory under `dir` (inclusive) that

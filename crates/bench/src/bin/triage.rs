@@ -12,11 +12,17 @@
 //! and where did the run spend its wall-clock time.
 //!
 //! ```text
-//! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N]
+//! cargo run --release -p intelliqos-bench --bin triage [--seed N] [--days N] [--scope all|service|client]
 //! cargo run --release -p intelliqos-bench --bin triage -- --incident N [--seed N] [--days N]
 //! cargo run --release -p intelliqos-bench --bin triage -- --incident N --evdb results/evdb
 //! cargo run --release -p intelliqos-bench --bin triage -- --incident N --evidence results/evidence
 //! ```
+//!
+//! `--scope` selects which failure classes burn the SLO error budget
+//! (default `service`: only actionable service faults). The SLO
+//! observatory section reports both the configured burn scope and the
+//! scoped vs all-class downtime split, so a noisy client workload can
+//! be separated from real service faults at a glance.
 //!
 //! With `--incident N` the tool instead renders the complete causal
 //! timeline of one incident — every trace event carrying that incident's
@@ -36,15 +42,17 @@ use std::path::Path;
 
 use intelliqos_bench::{banner, HarnessOpts};
 use intelliqos_core::divergence::{first_divergence, first_trace_divergence};
+use intelliqos_core::slo::SloScope;
 use intelliqos_core::{
     run_export_json, IncidentId, ManagementMode, ProfileReport, ScenarioConfig, World,
 };
 use intelliqos_evdb::{render_corr_timelines, scan_query, Query, Rec, Store};
 use intelliqos_simkern::{SimDuration, Subsystem};
 
-fn run_instrumented(seed: u64, days: u64, mode: ManagementMode) -> World {
+fn run_instrumented(seed: u64, days: u64, scope: SloScope, mode: ManagementMode) -> World {
     let mut cfg = ScenarioConfig::small(seed, mode);
     cfg.horizon = SimDuration::from_days(days);
+    cfg.slo.burn_scope = scope;
     let mut world = World::build(cfg).enable_trace().enable_profile();
     world.run_to_end();
     world
@@ -69,12 +77,15 @@ fn render_incident(world: &World, name: &str, id: IncidentId) -> bool {
             .unwrap_or_else(|| "-".into())
     };
     println!(
-        "ledger: onset={} detected={} diagnosed={} restored={} escalated={}",
+        "ledger: onset={} detected={} diagnosed={} restored={} escalated={} \
+         class={} actionable={}",
         rec.onset.as_secs(),
         stamp(rec.detected),
         stamp(rec.diagnosed),
         stamp(rec.restored),
-        rec.escalated
+        rec.escalated,
+        rec.failure_class(),
+        rec.is_actionable()
     );
     for a in &rec.attempts {
         println!(
@@ -202,9 +213,17 @@ fn main() {
         banner("TRIAGE", "incident-correlated causal timeline");
         println!("seed={} horizon={}d incident={id}\n", opts.seed, opts.days);
         let (manual, agents): (World, World) = std::thread::scope(|s| {
-            let m = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::ManualOps));
-            let a =
-                s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+            let m = s.spawn(|| {
+                run_instrumented(opts.seed, opts.days, opts.scope, ManagementMode::ManualOps)
+            });
+            let a = s.spawn(|| {
+                run_instrumented(
+                    opts.seed,
+                    opts.days,
+                    opts.scope,
+                    ManagementMode::Intelliagents,
+                )
+            });
             // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
             (m.join().expect("manual run"), a.join().expect("agent run"))
         });
@@ -226,9 +245,25 @@ fn main() {
     println!("seed={} horizon={}d\n", opts.seed, opts.days);
 
     let (manual, agents, replay): (World, World, World) = std::thread::scope(|s| {
-        let m = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::ManualOps));
-        let a = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
-        let r = s.spawn(|| run_instrumented(opts.seed, opts.days, ManagementMode::Intelliagents));
+        let m = s.spawn(|| {
+            run_instrumented(opts.seed, opts.days, opts.scope, ManagementMode::ManualOps)
+        });
+        let a = s.spawn(|| {
+            run_instrumented(
+                opts.seed,
+                opts.days,
+                opts.scope,
+                ManagementMode::Intelliagents,
+            )
+        });
+        let r = s.spawn(|| {
+            run_instrumented(
+                opts.seed,
+                opts.days,
+                opts.scope,
+                ManagementMode::Intelliagents,
+            )
+        });
         (
             // qoslint::allow(no-panic, join propagates a worker panic; nothing to recover)
             m.join().expect("manual run"),
@@ -273,11 +308,16 @@ fn main() {
         }
     }
 
-    println!("\n--- slo observatory ---");
+    println!("\n--- slo observatory (burn scope {}) ---", opts.scope);
     for (name, world) in [("manual", &manual), ("agents", &agents)] {
+        let report = world.slo.report(world.cfg.horizon);
+        println!("{name}: {}", report.render_summary());
         println!(
-            "{name}: {}",
-            world.slo.report(world.cfg.horizon).render_summary()
+            "{name}: scope {}: downtime {}s of {}s all-class, availability {:.5}",
+            opts.scope,
+            report.scope_downtime_secs(opts.scope),
+            report.scope_downtime_secs(SloScope::All),
+            report.fleet_availability_scoped(opts.scope)
         );
     }
 

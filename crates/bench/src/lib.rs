@@ -22,6 +22,9 @@
 //! * `--evdb DIR` — after the evidence lands, rebuild the indexed
 //!   evidence store at `DIR` (`evdb ingest` inline), so queries and
 //!   indexed triage are available immediately after the run.
+//! * `--scope all|service|client` — which failure classes burn the SLO
+//!   error budget (default `service`: only actionable service faults
+//!   page; `all` restores the pre-taxonomy behaviour).
 //!
 //! Instrumented runs also drop a schema-validated `slo_report`
 //! (`<bin>_<label>_slo.json`) with per-service availability, downtime
@@ -33,6 +36,7 @@ pub use microbench::{black_box, Bencher, Criterion};
 
 use std::path::{Path, PathBuf};
 
+use intelliqos_core::slo::SloScope;
 use intelliqos_core::{run_export_json, ManagementMode, ProfileReport, ScenarioConfig, World};
 use intelliqos_simkern::{SimDuration, SpillConfig, Subsystem, TraceOptions};
 
@@ -101,13 +105,16 @@ pub struct HarnessOpts {
     /// Rebuild the indexed evidence store here after the run
     /// (`--evdb DIR`).
     pub evdb: Option<String>,
+    /// Which failure classes burn the error budget (`--scope`).
+    pub scope: SloScope,
 }
 
 impl HarnessOpts {
     /// Parse `--seed`, `--days`, `--full`, `--profile`, `--trace`,
     /// `--trace-file DIR`, `--trace-cap N` / `--trace-cap tag=N`
-    /// (repeatable), `--trace-only tag[,tag...]`, and `--evdb DIR`
-    /// from `std::env::args`, with the given default horizon.
+    /// (repeatable), `--trace-only tag[,tag...]`, `--evdb DIR`, and
+    /// `--scope all|service|client` from `std::env::args`, with the
+    /// given default horizon.
     pub fn parse(default_days: u64) -> HarnessOpts {
         Self::parse_from(std::env::args().skip(1), default_days)
     }
@@ -126,6 +133,7 @@ impl HarnessOpts {
             trace_caps: Vec::new(),
             trace_only: None,
             evdb: None,
+            scope: SloScope::Service,
         };
         let mut i = 0;
         while i < args.len() {
@@ -187,6 +195,18 @@ impl HarnessOpts {
                     opts.evdb = args.get(i + 1).cloned();
                     i += 1;
                 }
+                "--scope" => {
+                    if let Some(v) = args.get(i + 1) {
+                        // `abort` exists internally for the arithmetic
+                        // cross-check but is not an operator-facing
+                        // burn policy.
+                        match SloScope::parse(v) {
+                            Some(s) if s != SloScope::Abort => opts.scope = s,
+                            _ => eprintln!("ignoring bad --scope value: {v} (all|service|client)"),
+                        }
+                    }
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -243,6 +263,7 @@ impl HarnessOpts {
         if !self.full {
             cfg.horizon = SimDuration::from_days(self.days);
         }
+        cfg.slo.burn_scope = self.scope;
         cfg
     }
 
@@ -488,6 +509,23 @@ mod tests {
         assert!(m.ends_with("manualops"));
         assert!(a.ends_with("intelliagents"));
         assert_eq!(manual.capacity, 1024);
+    }
+
+    #[test]
+    fn scope_flag_parses_and_reaches_the_scenario() {
+        let opts = HarnessOpts::parse_from(std::iter::empty::<String>(), 7);
+        assert_eq!(opts.scope, SloScope::Service, "actionable-only default");
+        let args = ["--scope", "all"].map(String::from);
+        let opts = HarnessOpts::parse_from(args, 7);
+        assert_eq!(opts.scope, SloScope::All);
+        let cfg = opts.site(ManagementMode::ManualOps);
+        assert_eq!(cfg.slo.burn_scope, SloScope::All);
+        // `abort` and garbage are rejected, keeping the default.
+        for bad in ["abort", "everything"] {
+            let args = ["--scope", bad].map(String::from);
+            let opts = HarnessOpts::parse_from(args, 7);
+            assert_eq!(opts.scope, SloScope::Service, "{bad} must not parse");
+        }
     }
 
     #[test]

@@ -57,6 +57,95 @@ impl Actor {
     }
 }
 
+/// Why an incident burned (or should not burn) the error budget — the
+/// actionable-failure taxonomy. Mixing these together makes the burn
+/// rate un-actionable: a page about an operator-induced outage or an
+/// auto-healed blip is noise, a page about a real service fault is the
+/// signal the budget exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureClass {
+    /// The service itself failed and the failure needed (or still
+    /// needs) human attention — the actionable class.
+    ServiceFault,
+    /// Induced by operators or the job stream (the `Human` and
+    /// `Mid-crash` Figure 2 categories): real downtime, but the fix is
+    /// on the client/workload side, not the service.
+    ClientWorkload,
+    /// A transient blip the software layer healed on its own without
+    /// ever paging a human — the retried-abort shape that should not
+    /// page anyone twice.
+    TransientAbort,
+}
+
+impl FailureClass {
+    /// Every class, taxonomy order. Index positions are stable and used
+    /// as accumulator slots by the SLO tracker.
+    pub const ALL: [FailureClass; 3] = [
+        FailureClass::ServiceFault,
+        FailureClass::ClientWorkload,
+        FailureClass::TransientAbort,
+    ];
+
+    /// Lower-case tag used in exports and query filters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureClass::ServiceFault => "service-fault",
+            FailureClass::ClientWorkload => "client-workload",
+            FailureClass::TransientAbort => "transient-abort",
+        }
+    }
+
+    /// Parse the closed-world label set; anything else is `None`.
+    pub fn parse(s: &str) -> Option<FailureClass> {
+        FailureClass::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// Stable accumulator index (position in [`FailureClass::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether failures of this class should count against the error
+    /// budget by default. Only real service faults are actionable.
+    pub fn is_actionable(self) -> bool {
+        matches!(self, FailureClass::ServiceFault)
+    }
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classify a failure from the fields every ledger export has carried
+/// since PR 1 — the injected fault's Figure 2 label, the resolving
+/// actor (if closed), and whether humans were paged. Working over
+/// exported strings (not live enums) is what makes evidence backfill a
+/// pure, idempotent re-derivation: no re-simulation needed, and two
+/// ingests of the same old export classify identically.
+///
+/// Precedence: operator/workload-induced categories are
+/// `client-workload` regardless of who repaired them; otherwise a
+/// fault the software layer closed on its own without paging anyone is
+/// a `transient-abort`; everything else — escalated, human-repaired,
+/// or still open — is a `service-fault` (the conservative fallback:
+/// unclassifiable records burn budget rather than hide).
+pub fn classify_failure(
+    category_label: &str,
+    resolving_actor: Option<&str>,
+    escalated: bool,
+) -> FailureClass {
+    if matches!(category_label, "Human" | "Mid-crash") {
+        return FailureClass::ClientWorkload;
+    }
+    let auto = matches!(resolving_actor, Some("agent") | Some("admin"));
+    if auto && !escalated {
+        return FailureClass::TransientAbort;
+    }
+    FailureClass::ServiceFault
+}
+
 /// One recorded repair try on an incident.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepairAttempt {
@@ -117,6 +206,24 @@ impl Incident {
     pub fn attempts(&self) -> &[RepairAttempt] {
         &self.attempts
     }
+
+    /// This incident's failure class under the actionable-failure
+    /// taxonomy (derived, never stored — so live runs and evidence
+    /// backfill can never disagree).
+    pub fn failure_class(&self) -> FailureClass {
+        classify_failure(
+            self.category.label(),
+            self.repaired_by().map(Actor::label),
+            self.escalated,
+        )
+    }
+
+    /// Whether this incident counts against the error budget by
+    /// default.
+    pub fn is_actionable(&self) -> bool {
+        self.failure_class().is_actionable()
+    }
+
     /// Detection latency, if detected.
     pub fn detection_latency(&self) -> Option<SimDuration> {
         self.detected.map(|d| d.since(self.onset))
@@ -499,11 +606,24 @@ impl DowntimeLedger {
 
     /// Per-category totals over closed incidents.
     pub fn totals(&self) -> BTreeMap<FaultCategory, CategoryTotals> {
+        self.totals_scoped(crate::slo::SloScope::All)
+    }
+
+    /// Per-category totals over closed incidents admitted by `scope` —
+    /// the Figure 2 accounting restricted to one failure class (or all
+    /// of them). `totals_scoped(SloScope::All)` equals [`Self::totals`].
+    pub fn totals_scoped(
+        &self,
+        scope: crate::slo::SloScope,
+    ) -> BTreeMap<FaultCategory, CategoryTotals> {
         let mut out: BTreeMap<FaultCategory, CategoryTotals> = BTreeMap::new();
         for inc in self.incidents.values() {
             let Some(downtime) = inc.downtime() else {
                 continue;
             };
+            if !scope.admits(inc.failure_class()) {
+                continue;
+            }
             let t = out.entry(inc.category).or_default();
             t.incidents += 1;
             t.downtime_hours += downtime.as_hours_f64();
@@ -532,6 +652,15 @@ impl DowntimeLedger {
     /// figure legend.
     pub fn figure2_rows(&self) -> Vec<(FaultCategory, f64)> {
         let totals = self.totals();
+        FaultCategory::ALL
+            .iter()
+            .map(|c| (*c, totals.get(c).map(|t| t.downtime_hours).unwrap_or(0.0)))
+            .collect()
+    }
+
+    /// The Figure 2 breakdown restricted to one accounting scope.
+    pub fn figure2_rows_scoped(&self, scope: crate::slo::SloScope) -> Vec<(FaultCategory, f64)> {
+        let totals = self.totals_scoped(scope);
         FaultCategory::ALL
             .iter()
             .map(|c| (*c, totals.get(c).map(|t| t.downtime_hours).unwrap_or(0.0)))
@@ -594,7 +723,12 @@ impl DowntimeLedger {
                 ));
             }
             out.push_str("], ");
-            out.push_str(&format!("\"escalated\": {}", inc.escalated));
+            out.push_str(&format!("\"escalated\": {}, ", inc.escalated));
+            out.push_str(&format!(
+                "\"failure_class\": {}, ",
+                json_str(inc.failure_class().label())
+            ));
+            out.push_str(&format!("\"is_actionable\": {}", inc.is_actionable()));
             out.push('}');
         }
         out.push_str("\n  ],\n  \"totals\": {\n");
@@ -617,7 +751,7 @@ impl DowntimeLedger {
             ));
         }
         out.push_str(&format!(
-            "\n  }},\n  \"total_downtime_hours\": {:.4},\n  \"open_incidents\": {}\n}}\n",
+            "\n  }},\n  \"total_downtime_hours\": {:.4},\n  \"open_incidents\": {},\n  \"taxonomy\": 1\n}}\n",
             self.total_downtime_hours(),
             self.open_incidents().len()
         ));

@@ -18,6 +18,7 @@ use intelliqos_simkern::{SimDuration, YEAR};
 
 use crate::agents::AgentParts;
 use crate::downtime::CategoryTotals;
+use crate::slo::SloConfig;
 
 /// Who runs the datacenter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,13 @@ pub struct ScenarioConfig {
     /// ports, dangling references) that [`crate::world::World`] must
     /// refuse to construct.
     pub extra_services: Vec<(String, ServiceSpec)>,
+    /// Declared availability objectives: the scenario-wide target,
+    /// burn window/threshold, the burn scope (which failure classes
+    /// consume budget), and per-service target overrides. Validated at
+    /// `World::try_build` alongside the site ontology — a target
+    /// outside `(0, 1)`, a duplicate key, or a key naming no deployed
+    /// service, host, or infrastructure domain refuses construction.
+    pub slo: SloConfig,
 }
 
 impl ScenarioConfig {
@@ -114,6 +122,21 @@ impl ScenarioConfig {
             agent_parts: AgentParts::all(),
             resched: ReschedPolicy::Dgspl,
             extra_services: Vec::new(),
+            // Differentiated objectives, not one constant: the shared
+            // infrastructure singletons carry tighter targets than the
+            // 99.99 % scenario default (one LSF master or DNS outage
+            // stalls every analyst), while the network domain — whose
+            // incidents aggregate whole-segment outages — reports
+            // against a deliberately looser budget line.
+            slo: SloConfig {
+                service_targets: vec![
+                    ("dns-1".to_string(), 0.99999),
+                    ("lsf-master".to_string(), 0.99999),
+                    ("mktdata-1".to_string(), 0.99995),
+                    ("network".to_string(), 0.9995),
+                ],
+                ..SloConfig::default()
+            },
         }
     }
 
@@ -236,6 +259,19 @@ mod tests {
         assert_eq!(cfg.agent_period, SimDuration::from_mins(5));
         assert_eq!(cfg.admin_period, SimDuration::from_mins(10));
         assert_eq!(cfg.horizon.as_secs(), YEAR);
+    }
+
+    #[test]
+    fn presets_declare_differentiated_slo_targets() {
+        let cfg = ScenarioConfig::financial_site(1, ManagementMode::ManualOps);
+        assert!((cfg.slo.target_for("lsf-master") - 0.99999).abs() < 1e-12);
+        assert!((cfg.slo.target_for("dns-1") - 0.99999).abs() < 1e-12);
+        assert!(cfg.slo.target_for("network") < cfg.slo.availability_target);
+        // Anything undeclared reports against the scenario default.
+        assert!((cfg.slo.target_for("trades-db-000") - cfg.slo.availability_target).abs() < 1e-12);
+        // The small preset inherits the declarations.
+        let small = ScenarioConfig::small(1, ManagementMode::Intelliagents);
+        assert_eq!(small.slo.service_targets, cfg.slo.service_targets);
     }
 
     #[test]

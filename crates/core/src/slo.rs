@@ -12,6 +12,19 @@
 //! sustainable rate — the Google-SRE-style fast-burn page, evaluated
 //! online at incident close.
 //!
+//! Two refinements make the budget actionable rather than a mixed bag:
+//!
+//! * every closed incident carries a [`FailureClass`], and the burn
+//!   accounting is **scoped** — by default only `service-fault`
+//!   (actionable) downtime burns the budget, with `client-workload`
+//!   and `transient-abort` downtime tracked separately and reported
+//!   per scope;
+//! * targets are **declared, differentiated objects** on the scenario
+//!   ([`SloConfig::service_targets`]) instead of one compile-time
+//!   constant, validated at `World::try_build`, so a best-effort batch
+//!   tier and a 99.99% database tier each report against their own
+//!   budget line.
+//!
 //! Everything here is simulation-time arithmetic over ledger events:
 //! deterministic, allocation-light, and always on (a run without
 //! incidents costs nothing beyond the struct).
@@ -20,12 +33,74 @@ use std::collections::BTreeMap;
 
 use intelliqos_simkern::{SimDuration, SimTime};
 
-use crate::downtime::{json_str, IncidentId};
+use crate::downtime::{json_str, FailureClass, IncidentId};
 
-/// Availability-SLO parameters.
+/// Which failure classes an accounting view admits. `Service` (the
+/// default burn scope) counts only actionable failures; `All` is the
+/// legacy undifferentiated view; `Client` and `Abort` isolate the
+/// non-actionable classes so the arithmetic closes:
+/// `all == service + client + abort` in every integer column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloScope {
+    /// Every closed incident, regardless of class.
+    All,
+    /// Only `service-fault` incidents — the actionable budget view.
+    Service,
+    /// Only `client-workload` incidents.
+    Client,
+    /// Only `transient-abort` incidents.
+    Abort,
+}
+
+impl SloScope {
+    /// Every scope, report order.
+    pub const ALL: [SloScope; 4] = [
+        SloScope::All,
+        SloScope::Service,
+        SloScope::Client,
+        SloScope::Abort,
+    ];
+
+    /// Lower-case tag used in exports and the `--scope` CLI toggle.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloScope::All => "all",
+            SloScope::Service => "service",
+            SloScope::Client => "client",
+            SloScope::Abort => "abort",
+        }
+    }
+
+    /// Parse the closed-world label set; anything else is `None`.
+    pub fn parse(s: &str) -> Option<SloScope> {
+        SloScope::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// Does an incident of `class` count under this scope?
+    pub fn admits(self, class: FailureClass) -> bool {
+        match self {
+            SloScope::All => true,
+            SloScope::Service => class == FailureClass::ServiceFault,
+            SloScope::Client => class == FailureClass::ClientWorkload,
+            SloScope::Abort => class == FailureClass::TransientAbort,
+        }
+    }
+}
+
+impl std::fmt::Display for SloScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Availability-SLO parameters — the declared QoS objectives of a
+/// scenario, carried on `ScenarioConfig` and validated at
+/// `World::try_build` (targets in `(0, 1)`, no duplicate service keys,
+/// keys resolving to real hosts/services).
 #[derive(Debug, Clone)]
 pub struct SloConfig {
-    /// Availability target in `(0, 1)`; the paper claims 99.99%.
+    /// Scenario-wide availability target in `(0, 1)`; the paper claims
+    /// 99.99%. Services without an override report against this.
     pub availability_target: f64,
     /// Burn-rate evaluation window.
     pub window: SimDuration,
@@ -35,6 +110,14 @@ pub struct SloConfig {
     /// on ≳14 min of downtime per day — routine for hours-long manual
     /// repairs, rare for minutes-long agent heals.
     pub burn_threshold: f64,
+    /// Which failure classes burn the budget. Defaults to
+    /// [`SloScope::Service`]: only actionable failures page.
+    pub burn_scope: SloScope,
+    /// Per-service target overrides, `(slo key, target)` pairs. The
+    /// key is whatever the ledger charges the incident to — a service
+    /// name (`trades-db-003`), a hostname (`db003`), or an
+    /// infrastructure domain (`network`, `site`).
+    pub service_targets: Vec<(String, f64)>,
 }
 
 impl Default for SloConfig {
@@ -43,13 +126,28 @@ impl Default for SloConfig {
             availability_target: 0.9999,
             window: SimDuration::from_hours(24),
             burn_threshold: 100.0,
+            burn_scope: SloScope::Service,
+            service_targets: Vec::new(),
         }
+    }
+}
+
+impl SloConfig {
+    /// The availability target `service` reports against: its declared
+    /// override, or the scenario-wide default.
+    pub fn target_for(&self, service: &str) -> f64 {
+        self.service_targets
+            .iter()
+            .find(|(k, _)| k == service)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.availability_target)
     }
 }
 
 /// One fast-burn alert: `service` consumed its error budget at
 /// `burn_rate ×` the sustainable rate over the configured window ending
-/// at `at`.
+/// at `at`. Only incidents admitted by the configured burn scope feed
+/// the window, so the page is actionable by construction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloAlert {
     /// When the alert fired (the incident-close instant).
@@ -62,15 +160,38 @@ pub struct SloAlert {
     pub burn_rate: f64,
 }
 
+/// Integer accumulators for one failure class of one service.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassSlo {
+    incidents: u64,
+    downtime: SimDuration,
+    repair: SimDuration,
+}
+
 #[derive(Debug, Clone, Default)]
 struct ServiceSlo {
-    downtime: SimDuration,
-    incidents: u64,
-    repair: SimDuration,
+    /// Accumulators indexed by [`FailureClass::index`].
+    by_class: [ClassSlo; 3],
     burn_alerts: u64,
-    /// Closed downtime episodes `(onset, restored)` still inside the
-    /// burn window; pruned as the window slides.
-    episodes: Vec<(SimTime, SimTime)>,
+    /// Closed downtime episodes `(onset, restored, class)` still inside
+    /// the burn window; pruned as the window slides.
+    episodes: Vec<(SimTime, SimTime, FailureClass)>,
+}
+
+impl ServiceSlo {
+    /// Sum the accumulators the scope admits.
+    fn scoped(&self, scope: SloScope) -> ClassSlo {
+        let mut out = ClassSlo::default();
+        for class in FailureClass::ALL {
+            if scope.admits(class) {
+                let c = &self.by_class[class.index()];
+                out.incidents += c.incidents;
+                out.downtime += c.downtime;
+                out.repair += c.repair;
+            }
+        }
+        out
+    }
 }
 
 /// Online SLO state for one run. Fed by the world at every incident
@@ -100,36 +221,44 @@ impl SloTracker {
         &self.cfg
     }
 
-    /// Account one closed incident: charge `restored - onset` of
-    /// downtime to `service`, update MTTR, slide the burn window, and
-    /// return the fast-burn alert if the window blew its threshold.
+    /// Account one closed incident of failure class `class`: charge
+    /// `restored - onset` of downtime to `service` under that class,
+    /// update MTTR, slide the burn window, and return the fast-burn
+    /// alert if the window blew its threshold. Only episodes the
+    /// configured burn scope admits feed the window — a client-induced
+    /// outage or an auto-healed blip never pages under the default
+    /// `service` scope.
     pub fn on_close(
         &mut self,
         service: &str,
         incident: IncidentId,
+        class: FailureClass,
         onset: SimTime,
         detected: SimTime,
         restored: SimTime,
     ) -> Option<SloAlert> {
+        let burn_scope = self.cfg.burn_scope;
         let st = self.services.entry(service.to_string()).or_default();
-        st.incidents += 1;
-        st.downtime += restored.since(onset);
-        st.repair += restored.since(detected);
-        st.episodes.push((onset, restored));
+        let c = &mut st.by_class[class.index()];
+        c.incidents += 1;
+        c.downtime += restored.since(onset);
+        c.repair += restored.since(detected);
+        st.episodes.push((onset, restored, class));
 
-        // Window downtime: overlap of every recent episode with
-        // [restored - window, restored].
+        // Window downtime: overlap of every recent in-scope episode
+        // with [restored - window, restored].
         let wstart =
             SimTime::from_secs(restored.as_secs().saturating_sub(self.cfg.window.as_secs()));
-        st.episodes.retain(|&(_, end)| end >= wstart);
+        st.episodes.retain(|&(_, end, _)| end >= wstart);
         // Episodes close in time order, so every retained end is within
         // the window; the overlap is end minus the clamped start.
         let window_downtime: u64 = st
             .episodes
             .iter()
-            .map(|&(s, e)| e.as_secs() - s.as_secs().max(wstart.as_secs()))
+            .filter(|&&(_, _, cls)| burn_scope.admits(cls))
+            .map(|&(s, e, _)| e.as_secs() - s.as_secs().max(wstart.as_secs()))
             .sum();
-        let budget = (1.0 - self.cfg.availability_target) * self.cfg.window.as_secs() as f64;
+        let budget = (1.0 - self.cfg.target_for(service)) * self.cfg.window.as_secs() as f64;
         if budget <= 0.0 {
             return None;
         }
@@ -157,35 +286,47 @@ impl SloTracker {
     /// Snapshot the availability report for a run of length `horizon`.
     pub fn report(&self, horizon: SimDuration) -> SloReport {
         let horizon_secs = horizon.as_secs().max(1);
-        let budget = (1.0 - self.cfg.availability_target) * horizon_secs as f64;
         let services = self
             .services
             .iter()
             .map(|(name, st)| {
-                let downtime_secs = st.downtime.as_secs();
-                let availability =
-                    (1.0 - downtime_secs as f64 / horizon_secs as f64).clamp(0.0, 1.0);
-                ServiceSloRow {
+                let target = self.cfg.target_for(name);
+                let mut row = ServiceSloRow {
                     service: name.clone(),
-                    incidents: st.incidents,
-                    downtime_secs,
-                    availability,
-                    budget_secs: budget,
-                    budget_remaining_secs: budget - downtime_secs as f64,
-                    repair_secs: st.repair.as_secs(),
-                    mttr_secs: if st.incidents == 0 {
-                        0.0
-                    } else {
-                        st.repair.as_secs() as f64 / st.incidents as f64
-                    },
+                    target,
+                    incidents: 0,
+                    downtime_secs: 0,
+                    availability: 0.0,
+                    budget_secs: 0.0,
+                    budget_remaining_secs: 0.0,
+                    repair_secs: 0,
+                    mttr_secs: 0.0,
                     burn_alerts: st.burn_alerts,
-                }
+                    scopes: SloScope::ALL
+                        .into_iter()
+                        .map(|scope| {
+                            let c = st.scoped(scope);
+                            ScopeSloRow {
+                                scope,
+                                incidents: c.incidents,
+                                downtime_secs: c.downtime.as_secs(),
+                                repair_secs: c.repair.as_secs(),
+                                availability: 0.0,
+                                mttr_secs: 0.0,
+                                burn_rate: 0.0,
+                            }
+                        })
+                        .collect(),
+                };
+                row.recompute(horizon_secs);
+                row
             })
             .collect();
         SloReport {
             target: self.cfg.availability_target,
             window_secs: self.cfg.window.as_secs(),
             burn_threshold: self.cfg.burn_threshold,
+            burn_scope: self.cfg.burn_scope,
             horizon_secs,
             fleet_size: self.fleet_size,
             services,
@@ -194,14 +335,42 @@ impl SloTracker {
     }
 }
 
-/// One service's availability accounting over the run.
+/// One accounting scope of one service: the same integer numerators
+/// and derived figures, restricted to the failure classes the scope
+/// admits. `burn_rate` here is horizon budget utilisation — downtime ÷
+/// the whole-run budget at the row's target — not the windowed paging
+/// rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeSloRow {
+    /// Which classes this row counts.
+    pub scope: SloScope,
+    /// Closed incidents admitted by the scope.
+    pub incidents: u64,
+    /// Downtime charged under the scope, seconds.
+    pub downtime_secs: u64,
+    /// Repair time under the scope, seconds (integer MTTR numerator).
+    pub repair_secs: u64,
+    /// `1 - downtime / horizon`, clamped to `[0, 1]`.
+    pub availability: f64,
+    /// Mean time to repair over the scope's incidents, seconds.
+    pub mttr_secs: f64,
+    /// Scope downtime ÷ horizon budget at the service's target.
+    pub burn_rate: f64,
+}
+
+/// One service's availability accounting over the run. The top-level
+/// fields are the undifferentiated (`all`-scope) view every consumer
+/// has always read; `scopes` carries the per-class breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSloRow {
     /// The accounting key (service name, hostname, or domain).
     pub service: String,
-    /// Closed incidents charged to it.
+    /// The availability target this service reports against (its
+    /// declared override, or the scenario default).
+    pub target: f64,
+    /// Closed incidents charged to it (all scopes).
     pub incidents: u64,
-    /// Total downtime charged, seconds.
+    /// Total downtime charged, seconds (all scopes).
     pub downtime_secs: u64,
     /// `1 - downtime / horizon`, clamped to `[0, 1]`.
     pub availability: f64,
@@ -217,18 +386,74 @@ pub struct ServiceSloRow {
     pub mttr_secs: f64,
     /// Fast-burn alerts fired for this service.
     pub burn_alerts: u64,
+    /// Per-scope breakdown, [`SloScope::ALL`] order. The integer
+    /// columns close: `all == service + client + abort`.
+    pub scopes: Vec<ScopeSloRow>,
+}
+
+impl ServiceSloRow {
+    /// Recompute every derived float from the integer numerators and
+    /// the row's own target — the one code path both `report` and
+    /// `merge` use, which is what makes merged reports bit-equal to a
+    /// single-tracker computation.
+    fn recompute(&mut self, horizon_secs: u64) {
+        let horizon = horizon_secs.max(1) as f64;
+        let budget = (1.0 - self.target) * horizon;
+        for s in &mut self.scopes {
+            s.availability = (1.0 - s.downtime_secs as f64 / horizon).clamp(0.0, 1.0);
+            s.mttr_secs = if s.incidents == 0 {
+                0.0
+            } else {
+                s.repair_secs as f64 / s.incidents as f64
+            };
+            s.burn_rate = if budget > 0.0 {
+                s.downtime_secs as f64 / budget
+            } else {
+                0.0
+            };
+        }
+        let all = self
+            .scopes
+            .iter()
+            .find(|s| s.scope == SloScope::All)
+            .cloned()
+            .unwrap_or(ScopeSloRow {
+                scope: SloScope::All,
+                incidents: 0,
+                downtime_secs: 0,
+                repair_secs: 0,
+                availability: 1.0,
+                mttr_secs: 0.0,
+                burn_rate: 0.0,
+            });
+        self.incidents = all.incidents;
+        self.downtime_secs = all.downtime_secs;
+        self.repair_secs = all.repair_secs;
+        self.availability = all.availability;
+        self.mttr_secs = all.mttr_secs;
+        self.budget_secs = budget;
+        self.budget_remaining_secs = budget - all.downtime_secs as f64;
+    }
+
+    /// The breakdown row for one scope.
+    pub fn scope_row(&self, scope: SloScope) -> Option<&ScopeSloRow> {
+        self.scopes.iter().find(|s| s.scope == scope)
+    }
 }
 
 /// The schema-validated `slo_report` document exported next to every
 /// figure's evidence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloReport {
-    /// Availability target the budgets are computed against.
+    /// Scenario-wide availability target (per-service rows may carry
+    /// their own).
     pub target: f64,
     /// Burn-rate window, seconds.
     pub window_secs: u64,
     /// Burn-rate alert threshold.
     pub burn_threshold: f64,
+    /// Which failure classes burned the budget in this run.
+    pub burn_scope: SloScope,
     /// Run length, seconds.
     pub horizon_secs: u64,
     /// Servers in the fleet (denominator of the fleet availability).
@@ -240,9 +465,18 @@ pub struct SloReport {
 }
 
 impl SloReport {
-    /// Total downtime across every service key, seconds.
+    /// Total downtime across every service key, seconds (all scopes).
     pub fn total_downtime_secs(&self) -> u64 {
         self.services.iter().map(|s| s.downtime_secs).sum()
+    }
+
+    /// Total downtime under one scope, seconds.
+    pub fn scope_downtime_secs(&self, scope: SloScope) -> u64 {
+        self.services
+            .iter()
+            .filter_map(|s| s.scope_row(scope))
+            .map(|s| s.downtime_secs)
+            .sum()
     }
 
     /// Fleet-wide availability: `1 - total_downtime / (fleet × horizon)`
@@ -251,6 +485,13 @@ impl SloReport {
     pub fn fleet_availability(&self) -> f64 {
         let denom = (self.fleet_size * self.horizon_secs) as f64;
         (1.0 - self.total_downtime_secs() as f64 / denom).clamp(0.0, 1.0)
+    }
+
+    /// Fleet-wide availability counting only the downtime one scope
+    /// admits.
+    pub fn fleet_availability_scoped(&self, scope: SloScope) -> f64 {
+        let denom = (self.fleet_size * self.horizon_secs) as f64;
+        (1.0 - self.scope_downtime_secs(scope) as f64 / denom).clamp(0.0, 1.0)
     }
 
     /// Serialise as JSON. Hand-rolled (no serde in the tree); validated
@@ -279,6 +520,10 @@ impl SloReport {
             self.target, self.window_secs, self.burn_threshold
         ));
         out.push_str(&format!(
+            "  \"burn_scope\": {},\n",
+            json_str(self.burn_scope.label())
+        ));
+        out.push_str(&format!(
             "  \"horizon_secs\": {},\n  \"fleet_size\": {},\n",
             self.horizon_secs, self.fleet_size
         ));
@@ -287,17 +532,29 @@ impl SloReport {
             self.total_downtime_secs(),
             self.fleet_availability()
         ));
-        out.push_str("  \"services\": [");
+        out.push_str("  \"scope_downtime_secs\": {");
+        for (i, scope) in SloScope::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{}: {}",
+                json_str(scope.label()),
+                self.scope_downtime_secs(scope)
+            ));
+        }
+        out.push_str("},\n  \"services\": [");
         for (i, s) in self.services.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"service\": {}, \"incidents\": {}, \"downtime_secs\": {}, \
-                 \"availability\": {:.8}, \"budget_secs\": {:.2}, \
+                "\n    {{\"service\": {}, \"target\": {:.6}, \"incidents\": {}, \
+                 \"downtime_secs\": {}, \"availability\": {:.8}, \"budget_secs\": {:.2}, \
                  \"budget_remaining_secs\": {:.2}, \"repair_secs\": {}, \
-                 \"mttr_secs\": {:.2}, \"burn_alerts\": {}}}",
+                 \"mttr_secs\": {:.2}, \"burn_alerts\": {}, \"scopes\": {{",
                 json_str(&s.service),
+                s.target,
                 s.incidents,
                 s.downtime_secs,
                 s.availability,
@@ -307,6 +564,24 @@ impl SloReport {
                 s.mttr_secs,
                 s.burn_alerts
             ));
+            for (j, sc) in s.scopes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {}: {{\"incidents\": {}, \"downtime_secs\": {}, \
+                     \"repair_secs\": {}, \"availability\": {:.8}, \"mttr_secs\": {:.2}, \
+                     \"burn_rate\": {:.4}}}",
+                    json_str(sc.scope.label()),
+                    sc.incidents,
+                    sc.downtime_secs,
+                    sc.repair_secs,
+                    sc.availability,
+                    sc.mttr_secs,
+                    sc.burn_rate
+                ));
+            }
+            out.push_str("}}");
         }
         if !self.services.is_empty() {
             out.push_str("\n  ");
@@ -334,14 +609,16 @@ impl SloReport {
     /// Merge `other` into `self` — the fleet-assembly operation: rows
     /// for the same service key combine as if one tracker had accounted
     /// every incident. Downtime, repair time, incident and alert counts
-    /// add as integers; availability, budgets, and MTTR are then
-    /// recomputed from the merged integers, so the result is exactly
-    /// the single-ledger computation, not an average of averages.
-    /// Disjoint services interleave in key order, fleet sizes add, and
-    /// the alert streams merge in firing order. The two reports must
-    /// describe the same SLO regime — identical target, window, burn
-    /// threshold, and horizon — because the derived numbers are only
-    /// comparable against one budget line.
+    /// add as integers per scope; availability, budgets, burn rates and
+    /// MTTR are then recomputed from the merged integers, so the result
+    /// is exactly the single-ledger computation, not an average of
+    /// averages. Disjoint services interleave in key order, fleet sizes
+    /// add, and the alert streams merge in firing order. The two
+    /// reports must describe the same SLO regime — identical default
+    /// target, window, burn threshold, burn scope, and horizon, plus
+    /// identical per-service targets wherever a key appears in both —
+    /// because the derived numbers are only comparable against one
+    /// budget line.
     pub fn merge(&mut self, other: &SloReport) -> Result<(), String> {
         if self.target.to_bits() != other.target.to_bits()
             || self.window_secs != other.window_secs
@@ -357,11 +634,30 @@ impl SloReport {
                 other.burn_threshold
             ));
         }
+        if self.burn_scope != other.burn_scope {
+            return Err(format!(
+                "burn scope mismatch: {} vs {}",
+                self.burn_scope, other.burn_scope
+            ));
+        }
         if self.horizon_secs != other.horizon_secs {
             return Err(format!(
                 "horizon mismatch: {} vs {} seconds",
                 self.horizon_secs, other.horizon_secs
             ));
+        }
+        for row in &other.services {
+            if let Ok(i) = self
+                .services
+                .binary_search_by(|r| r.service.cmp(&row.service))
+            {
+                if self.services[i].target.to_bits() != row.target.to_bits() {
+                    return Err(format!(
+                        "per-service target mismatch for {}: {} vs {}",
+                        row.service, self.services[i].target, row.target
+                    ));
+                }
+            }
         }
         self.fleet_size += other.fleet_size;
         for row in &other.services {
@@ -371,25 +667,20 @@ impl SloReport {
             {
                 Ok(i) => {
                     let r = &mut self.services[i];
-                    r.incidents += row.incidents;
-                    r.downtime_secs += row.downtime_secs;
-                    r.repair_secs += row.repair_secs;
                     r.burn_alerts += row.burn_alerts;
+                    for (mine, theirs) in r.scopes.iter_mut().zip(&row.scopes) {
+                        debug_assert_eq!(mine.scope, theirs.scope);
+                        mine.incidents += theirs.incidents;
+                        mine.downtime_secs += theirs.downtime_secs;
+                        mine.repair_secs += theirs.repair_secs;
+                    }
                 }
                 Err(i) => self.services.insert(i, row.clone()),
             }
         }
-        let horizon = self.horizon_secs.max(1) as f64;
-        let budget = (1.0 - self.target) * horizon;
+        let horizon_secs = self.horizon_secs;
         for r in &mut self.services {
-            r.availability = (1.0 - r.downtime_secs as f64 / horizon).clamp(0.0, 1.0);
-            r.budget_secs = budget;
-            r.budget_remaining_secs = budget - r.downtime_secs as f64;
-            r.mttr_secs = if r.incidents == 0 {
-                0.0
-            } else {
-                r.repair_secs as f64 / r.incidents as f64
-            };
+            r.recompute(horizon_secs);
         }
         let mut alerts = Vec::with_capacity(self.alerts.len() + other.alerts.len());
         alerts.extend(self.alerts.iter().cloned());
@@ -409,13 +700,18 @@ impl SloReport {
             .filter(|s| s.budget_remaining_secs < 0.0)
             .count();
         format!(
-            "slo: fleet availability {:.5} (target {:.4}), {} service key(s), \
-             {} over budget, {} burn alert(s)",
+            "slo: fleet availability {:.5} (target {:.4}, burn scope {}), {} service key(s), \
+             {} over budget, {} burn alert(s); downtime by class: \
+             service {}s / client {}s / abort {}s",
             self.fleet_availability(),
             self.target,
+            self.burn_scope,
             self.services.len(),
             blown,
-            self.alerts.len()
+            self.alerts.len(),
+            self.scope_downtime_secs(SloScope::Service),
+            self.scope_downtime_secs(SloScope::Client),
+            self.scope_downtime_secs(SloScope::Abort),
         )
     }
 }
@@ -431,9 +727,21 @@ mod tests {
         onset_s: u64,
         restored_s: u64,
     ) -> Option<SloAlert> {
+        close_class(t, svc, id, FailureClass::ServiceFault, onset_s, restored_s)
+    }
+
+    fn close_class(
+        t: &mut SloTracker,
+        svc: &str,
+        id: u64,
+        class: FailureClass,
+        onset_s: u64,
+        restored_s: u64,
+    ) -> Option<SloAlert> {
         t.on_close(
             svc,
             IncidentId(id),
+            class,
             SimTime::from_secs(onset_s),
             SimTime::from_secs(onset_s),
             SimTime::from_secs(restored_s),
@@ -464,6 +772,7 @@ mod tests {
             availability_target: 0.9999,
             window: SimDuration::from_hours(24),
             burn_threshold: 100.0,
+            ..SloConfig::default()
         };
         // Budget per 24 h window: 8.64 s; threshold: 864 s of downtime.
         let mut t = SloTracker::new(cfg, 1);
@@ -478,11 +787,101 @@ mod tests {
     }
 
     #[test]
+    fn non_actionable_downtime_never_pages_under_default_scope() {
+        // The same downtime that pages as a service fault stays silent
+        // when it is client-induced or an auto-healed blip — the burn
+        // window only admits what the scope admits.
+        let mut t = SloTracker::new(SloConfig::default(), 1);
+        assert!(close_class(&mut t, "db003", 0, FailureClass::ClientWorkload, 0, 2000).is_none());
+        assert!(
+            close_class(&mut t, "db003", 1, FailureClass::TransientAbort, 3000, 5000).is_none()
+        );
+        assert!(t.alerts().is_empty(), "non-actionable downtime paged");
+        // The downtime is still accounted — just not against the burn
+        // window.
+        let r = t.report(SimDuration::from_days(1));
+        let row = &r.services[0];
+        assert_eq!(row.downtime_secs, 4000);
+        assert_eq!(row.scope_row(SloScope::Service).unwrap().downtime_secs, 0);
+        assert_eq!(row.scope_row(SloScope::Client).unwrap().downtime_secs, 2000);
+        assert_eq!(row.scope_row(SloScope::Abort).unwrap().downtime_secs, 2000);
+        // An actionable fault of the same size pages immediately.
+        assert!(close(&mut t, "db003", 2, 10_000, 12_000).is_some());
+    }
+
+    #[test]
+    fn all_scope_burn_counts_every_class() {
+        let cfg = SloConfig {
+            burn_scope: SloScope::All,
+            ..SloConfig::default()
+        };
+        let mut t = SloTracker::new(cfg, 1);
+        let alert = close_class(&mut t, "db003", 0, FailureClass::ClientWorkload, 0, 2000);
+        assert!(
+            alert.is_some(),
+            "under --scope all, client downtime burns too"
+        );
+    }
+
+    #[test]
+    fn scope_columns_close_to_the_all_row() {
+        let mut t = SloTracker::new(SloConfig::default(), 4);
+        close_class(&mut t, "a", 0, FailureClass::ServiceFault, 0, 300);
+        close_class(&mut t, "a", 1, FailureClass::ClientWorkload, 400, 500);
+        close_class(&mut t, "a", 2, FailureClass::TransientAbort, 600, 660);
+        close_class(&mut t, "a", 3, FailureClass::ServiceFault, 700, 730);
+        let r = t.report(SimDuration::from_days(1));
+        let row = &r.services[0];
+        for col in [
+            |s: &ScopeSloRow| s.incidents,
+            |s: &ScopeSloRow| s.downtime_secs,
+            |s: &ScopeSloRow| s.repair_secs,
+        ] {
+            let all = col(row.scope_row(SloScope::All).unwrap());
+            let parts = col(row.scope_row(SloScope::Service).unwrap())
+                + col(row.scope_row(SloScope::Client).unwrap())
+                + col(row.scope_row(SloScope::Abort).unwrap());
+            assert_eq!(all, parts, "scope columns must close");
+        }
+        assert_eq!(row.incidents, 4);
+        assert_eq!(row.downtime_secs, 490);
+    }
+
+    #[test]
+    fn per_service_targets_give_each_service_its_own_budget() {
+        let cfg = SloConfig {
+            service_targets: vec![("batch".to_string(), 0.99), ("db003".to_string(), 0.99999)],
+            ..SloConfig::default()
+        };
+        let mut t = SloTracker::new(cfg, 2);
+        close(&mut t, "batch", 0, 0, 600);
+        close(&mut t, "db003", 1, 0, 600);
+        close(&mut t, "web001", 2, 0, 600);
+        let r = t.report(SimDuration::from_days(1));
+        let by_key = |k: &str| r.services.iter().find(|s| s.service == k).unwrap();
+        let batch = by_key("batch");
+        let db = by_key("db003");
+        let web = by_key("web001");
+        assert!((batch.target - 0.99).abs() < 1e-12);
+        assert!((db.target - 0.99999).abs() < 1e-12);
+        assert!((web.target - 0.9999).abs() < 1e-12, "default applies");
+        // Same downtime, different budgets: the loose target keeps
+        // budget in hand, the tight one is blown.
+        assert!((batch.budget_secs - 864.0).abs() < 1e-9);
+        assert!(batch.budget_remaining_secs > 0.0);
+        assert!(db.budget_remaining_secs < 0.0);
+        // And the tight target pages where the loose one does not.
+        assert!(t.alerts().iter().any(|a| a.service == "db003"));
+        assert!(!t.alerts().iter().any(|a| a.service == "batch"));
+    }
+
+    #[test]
     fn burn_window_slides_past_old_episodes() {
         let cfg = SloConfig {
             availability_target: 0.9999,
             window: SimDuration::from_hours(1),
             burn_threshold: 100.0, // 0.36 s budget/h → 36 s threshold
+            ..SloConfig::default()
         };
         let mut t = SloTracker::new(cfg, 1);
         assert!(close(&mut t, "a", 0, 0, 100).is_some());
@@ -504,6 +903,9 @@ mod tests {
         assert!(json.contains("\"report\": \"slo\""));
         assert!(json.contains("\"service\": \"db003\""));
         assert!(json.contains("\"burn_rate\""));
+        assert!(json.contains("\"burn_scope\": \"service\""));
+        assert!(json.contains("\"scope_downtime_secs\""));
+        assert!(json.contains("\"scopes\": {"));
         let depth = json.chars().fold(0i64, |d, c| match c {
             '{' | '[' => d + 1,
             '}' | ']' => d - 1,
@@ -511,12 +913,14 @@ mod tests {
         });
         assert_eq!(depth, 0);
         assert!(r.render_summary().contains("1 over budget"));
+        assert!(r.render_summary().contains("burn scope service"));
     }
 
     fn close_det(
         t: &mut SloTracker,
         svc: &str,
         id: u64,
+        class: FailureClass,
         onset_s: u64,
         detected_s: u64,
         restored_s: u64,
@@ -524,6 +928,7 @@ mod tests {
         t.on_close(
             svc,
             IncidentId(id),
+            class,
             SimTime::from_secs(onset_s),
             SimTime::from_secs(detected_s),
             SimTime::from_secs(restored_s),
@@ -535,24 +940,29 @@ mod tests {
         // The same incident stream fed whole into one tracker, and
         // split across two trackers whose reports are then merged: the
         // per-service availability and MTTR must match exactly (bit
-        // equality, not epsilon), because merge recomputes them from
-        // the summed integer numerators.
-        let incidents: [(&str, u64, u64, u64); 7] = [
-            ("db003", 100, 130, 400),
-            ("web001", 50, 55, 150),
-            ("db003", 10_000, 10_200, 10_600),
-            ("lsf", 2_000, 2_001, 2_047),
-            ("web001", 40_000, 40_010, 41_000),
-            ("db003", 80_000, 80_003, 80_900),
-            ("mail", 5, 6, 7),
+        // equality, not epsilon) in every scope, because merge
+        // recomputes them from the summed integer numerators.
+        use FailureClass::{ClientWorkload as CW, ServiceFault as SF, TransientAbort as TA};
+        let incidents: [(&str, FailureClass, u64, u64, u64); 7] = [
+            ("db003", SF, 100, 130, 400),
+            ("web001", TA, 50, 55, 150),
+            ("db003", CW, 10_000, 10_200, 10_600),
+            ("lsf", SF, 2_000, 2_001, 2_047),
+            ("web001", SF, 40_000, 40_010, 41_000),
+            ("db003", TA, 80_000, 80_003, 80_900),
+            ("mail", CW, 5, 6, 7),
         ];
-        let mut whole = SloTracker::new(SloConfig::default(), 10);
-        let mut left = SloTracker::new(SloConfig::default(), 6);
-        let mut right = SloTracker::new(SloConfig::default(), 4);
-        for (i, &(svc, onset, det, rest)) in incidents.iter().enumerate() {
-            close_det(&mut whole, svc, i as u64, onset, det, rest);
+        let cfg = SloConfig {
+            service_targets: vec![("db003".to_string(), 0.99999)],
+            ..SloConfig::default()
+        };
+        let mut whole = SloTracker::new(cfg.clone(), 10);
+        let mut left = SloTracker::new(cfg.clone(), 6);
+        let mut right = SloTracker::new(cfg, 4);
+        for (i, &(svc, class, onset, det, rest)) in incidents.iter().enumerate() {
+            close_det(&mut whole, svc, i as u64, class, onset, det, rest);
             let half = if i % 2 == 0 { &mut left } else { &mut right };
-            close_det(half, svc, i as u64, onset, det, rest);
+            close_det(half, svc, i as u64, class, onset, det, rest);
         }
         let horizon = SimDuration::from_days(2);
         let single = whole.report(horizon);
@@ -563,6 +973,7 @@ mod tests {
         assert_eq!(merged.services.len(), single.services.len());
         for (m, s) in merged.services.iter().zip(&single.services) {
             assert_eq!(m.service, s.service);
+            assert_eq!(m.target.to_bits(), s.target.to_bits());
             assert_eq!(m.incidents, s.incidents);
             assert_eq!(m.downtime_secs, s.downtime_secs);
             assert_eq!(m.repair_secs, s.repair_secs);
@@ -583,8 +994,29 @@ mod tests {
                 m.budget_remaining_secs.to_bits(),
                 s.budget_remaining_secs.to_bits()
             );
+            for (ms, ss) in m.scopes.iter().zip(&s.scopes) {
+                assert_eq!(ms.scope, ss.scope);
+                assert_eq!(ms.incidents, ss.incidents);
+                assert_eq!(ms.downtime_secs, ss.downtime_secs);
+                assert_eq!(ms.repair_secs, ss.repair_secs);
+                assert_eq!(
+                    ms.availability.to_bits(),
+                    ss.availability.to_bits(),
+                    "scope {} availability for {} must merge exactly",
+                    ms.scope,
+                    m.service
+                );
+                assert_eq!(ms.mttr_secs.to_bits(), ss.mttr_secs.to_bits());
+                assert_eq!(ms.burn_rate.to_bits(), ss.burn_rate.to_bits());
+            }
         }
         assert_eq!(merged.total_downtime_secs(), single.total_downtime_secs());
+        for scope in SloScope::ALL {
+            assert_eq!(
+                merged.scope_downtime_secs(scope),
+                single.scope_downtime_secs(scope)
+            );
+        }
         assert_eq!(
             merged.fleet_availability().to_bits(),
             single.fleet_availability().to_bits()
@@ -619,6 +1051,32 @@ mod tests {
         };
         let c = SloTracker::new(other_cfg, 1).report(SimDuration::from_days(1));
         assert!(a.merge(&c).is_err(), "target mismatch must be rejected");
+        let scoped_cfg = SloConfig {
+            burn_scope: SloScope::All,
+            ..SloConfig::default()
+        };
+        let d = SloTracker::new(scoped_cfg, 1).report(SimDuration::from_days(1));
+        assert!(a.merge(&d).is_err(), "scope mismatch must be rejected");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_per_service_targets() {
+        let tight = SloConfig {
+            service_targets: vec![("db003".to_string(), 0.99999)],
+            ..SloConfig::default()
+        };
+        let mut a_t = SloTracker::new(tight, 1);
+        close(&mut a_t, "db003", 0, 0, 10);
+        let mut b_t = SloTracker::new(SloConfig::default(), 1);
+        close(&mut b_t, "db003", 1, 0, 10);
+        let horizon = SimDuration::from_days(1);
+        let mut a = a_t.report(horizon);
+        let b = b_t.report(horizon);
+        let err = a.merge(&b).unwrap_err();
+        assert!(
+            err.contains("per-service target mismatch"),
+            "rows for one key must share a budget line: {err}"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use intelliqos_lsf::workload::{Arrival, WorkloadGenerator};
 
 use intelliqos_ontology::dgspl::Dgspl;
 use intelliqos_qoslint::ontology::{check_site, SiteOntology};
-use intelliqos_qoslint::{diag::render_report, Diagnostic};
+use intelliqos_qoslint::{diag::render_report, Diagnostic, Severity};
 
 use intelliqos_services::distributed::{DistributedApp, E2eResult};
 use intelliqos_services::instance::{ServiceId, ServiceStatus};
@@ -49,7 +49,7 @@ use crate::notify::NotificationBus;
 use crate::ontogen;
 use crate::resched::DgsplSelector;
 use crate::scenario::{ManagementMode, ReschedPolicy, ScenarioConfig, ScenarioReport};
-use crate::slo::{SloConfig, SloTracker};
+use crate::slo::SloTracker;
 use crate::status::run_status_agent;
 
 use intelliqos_ontology::constraint::ConstraintStore;
@@ -511,7 +511,7 @@ impl World {
             rng_detect: SimRng::stream(seed, "detect"),
             rng_repair: SimRng::stream(seed, "repair"),
             rng_target: SimRng::stream(seed, "target"),
-            slo: SloTracker::new(SloConfig::default(), servers.len() as u64),
+            slo: SloTracker::new(cfg.slo.clone(), servers.len() as u64),
             cfg,
             servers,
             fabric,
@@ -545,13 +545,101 @@ impl World {
             public_segs: vec![pub1, pub2],
         };
         world.install_ontologies();
-        let diags = world.ontology_diagnostics();
+        let mut diags = world.slo_declaration_diagnostics();
+        diags.extend(world.ontology_diagnostics());
         if !diags.is_empty() {
             return Err(OntologyError { diags });
         }
         world.bring_up_services();
         world.schedule_tapes();
         Ok(world)
+    }
+
+    /// Validate the scenario's declared SLO objectives: targets must
+    /// lie strictly inside `(0, 1)`, the burn window and threshold must
+    /// be positive, per-service keys must be unique, and every key must
+    /// resolve to a deployed service name, an allocated hostname, or a
+    /// known infrastructure domain — a typo'd key would silently report
+    /// against the default target forever, so it refuses construction
+    /// instead, through the same diagnostic path as the ontology gate.
+    pub fn slo_declaration_diagnostics(&self) -> Vec<Diagnostic> {
+        // Domains the ledger charges without a host or service: segment
+        // outages ("network") and unattributed site-wide incidents.
+        const DOMAINS: [&str; 2] = ["network", "site"];
+        let slo = self.slo.config();
+        let mut diags = Vec::new();
+        let mut err = |rule: &'static str, location: String, message: String, hint: &str| {
+            diags.push(Diagnostic {
+                rule,
+                severity: Severity::Error,
+                location,
+                line: 0,
+                col: 0,
+                message,
+                hint: hint.to_string(),
+            });
+        };
+        let check_target = |t: f64| t.is_finite() && t > 0.0 && t < 1.0;
+        if !check_target(slo.availability_target) {
+            err(
+                "slo-target",
+                "slo://default".to_string(),
+                format!(
+                    "scenario availability target {} is not in (0, 1)",
+                    slo.availability_target
+                ),
+                "declare a fractional availability like 0.9999",
+            );
+        }
+        if slo.window.as_secs() == 0 {
+            err(
+                "slo-window",
+                "slo://default".to_string(),
+                "burn window is zero".to_string(),
+                "a zero-length window gives every incident an infinite burn rate",
+            );
+        }
+        if !(slo.burn_threshold.is_finite() && slo.burn_threshold > 0.0) {
+            err(
+                "slo-threshold",
+                "slo://default".to_string(),
+                format!("burn threshold {} is not positive", slo.burn_threshold),
+                "declare a positive burn-rate multiple like 100.0",
+            );
+        }
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (key, target) in &slo.service_targets {
+            let loc = format!("slo://{key}");
+            if !seen.insert(key.as_str()) {
+                err(
+                    "slo-duplicate-key",
+                    loc.clone(),
+                    format!("service target for {key} declared more than once"),
+                    "each service key may carry one target",
+                );
+            }
+            if !check_target(*target) {
+                err(
+                    "slo-target",
+                    loc.clone(),
+                    format!("availability target {target} for {key} is not in (0, 1)"),
+                    "declare a fractional availability like 0.9999",
+                );
+            }
+            let resolves = DOMAINS.contains(&key.as_str())
+                || self.registry.by_name(key).is_some()
+                || self.servers.values().any(|s| s.hostname == *key);
+            if !resolves {
+                err(
+                    "slo-unknown-key",
+                    loc,
+                    format!("{key} names no deployed service, host, or domain"),
+                    "use a service name (trades-db-000), a hostname (db000), \
+                     or an infrastructure domain (network, site)",
+                );
+            }
+        }
+        diags
     }
 
     /// Run the qoslint ontology pass over this world's materialised
@@ -680,6 +768,14 @@ impl World {
         self.trace
             .emit(self.queue.now(), Subsystem::Kernel, "run-start", || {
                 format!("seed={seed} mode={mode:?} horizon={}s", horizon.as_secs())
+            });
+        // Record which failure classes burn budget this run, so a
+        // replayed trace is self-describing about its SLO regime.
+        let slo_cfg = self.slo.config();
+        let (scope, targets) = (slo_cfg.burn_scope, slo_cfg.service_targets.len());
+        self.trace
+            .emit(self.queue.now(), Subsystem::Slo, "burn-scope", || {
+                format!("scope={scope} service_targets={targets}")
             });
         let run_timer = self.profiler.start();
         let mut processed: u64 = 0;
@@ -1662,16 +1758,35 @@ impl World {
             .unwrap_or_else(|| "service".to_string())
     }
 
-    /// Feed one just-closed incident to the online SLO tracker; emits
-    /// the fast-burn `SloAlert` trace event when the service blew its
-    /// windowed budget. Call immediately after `ledger.restore`.
+    /// Feed one just-closed incident to the online SLO tracker: derive
+    /// its failure class from the fault label and repair history, emit
+    /// the `classified` trace event, and charge the downtime under that
+    /// class — firing the fast-burn `SloAlert` trace event only when an
+    /// episode the configured burn scope admits blew the windowed
+    /// budget. Call immediately after `ledger.restore`.
     fn slo_observe(&mut self, inc: IncidentId, now: SimTime) {
         let Some(rec) = self.ledger.get(inc) else {
             return;
         };
         let service = rec.service.clone();
+        let class = rec.failure_class();
         let (onset, detected) = (rec.onset, rec.detected.unwrap_or(rec.onset));
-        if let Some(alert) = self.slo.on_close(&service, inc, onset, detected, now) {
+        self.metrics.inc(match class {
+            crate::downtime::FailureClass::ServiceFault => "slo.class.service-fault",
+            crate::downtime::FailureClass::ClientWorkload => "slo.class.client-workload",
+            crate::downtime::FailureClass::TransientAbort => "slo.class.transient-abort",
+        });
+        self.trace
+            .emit_corr(now, Subsystem::Slo, "classified", Some(inc.0), || {
+                format!(
+                    "inc={inc} service={service} class={class} actionable={}",
+                    class.is_actionable()
+                )
+            });
+        if let Some(alert) = self
+            .slo
+            .on_close(&service, inc, class, onset, detected, now)
+        {
             self.metrics.inc("slo.alerts");
             let burn = alert.burn_rate;
             self.trace

@@ -4,6 +4,7 @@
 //! evdb ingest [EVIDENCE_DIR] [--store DIR] [--full]
 //! evdb query  [--store DIR | --scan EVIDENCE_DIR] [--kind inc|trc|slo]
 //!             [--run R] [--service S] [--category C] [--subsystem S]
+//!             [--class C] [--actionable true|false]
 //!             [--corr N] [--window T0..T1] [--stats]
 //! evdb diff RUN_A RUN_B [--store DIR]
 //! ```
@@ -17,8 +18,11 @@
 //! scan instead — the two print byte-identical lines for the same
 //! filter, which CI checks. `--category` takes an incident category
 //! label or a registered trace event code, `--subsystem` a registered
-//! subsystem tag; anything outside that closed world is rejected with
-//! a suggestion rather than answered emptily. `--stats` writes
+//! subsystem tag, and `--class` one of the three failure-class labels
+//! (`service-fault`, `client-workload`, `transient-abort`); anything
+//! outside that closed world is rejected with a suggestion rather than
+//! answered emptily. `--actionable` filters incidents on whether they
+//! count against the error budget. `--stats` writes
 //! `query_report.json` (indexed mode) with the `source_files_read`
 //! counter that proves the index never re-opened raw evidence. `diff`
 //! contrasts two runs side by side.
@@ -35,7 +39,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: evdb ingest [EVIDENCE_DIR] [--store DIR] [--full]\n       \
          evdb query [--store DIR | --scan EVIDENCE_DIR] [--kind inc|trc|slo] [--run R]\n              \
-         [--service S] [--category C] [--subsystem S] [--corr N] [--window T0..T1] [--stats]\n       \
+         [--service S] [--category C] [--subsystem S] [--class C] [--actionable true|false]\n              \
+         [--corr N] [--window T0..T1] [--stats]\n       \
          evdb diff RUN_A RUN_B [--store DIR]"
     );
     ExitCode::from(2)
@@ -142,6 +147,18 @@ fn cmd_query(args: &[String]) -> ExitCode {
             },
             "--subsystem" => match value("--subsystem") {
                 Ok(v) => q.subsystem = Some(v),
+                Err(code) => return code,
+            },
+            "--class" => match value("--class") {
+                Ok(v) => q.class = Some(v),
+                Err(code) => return code,
+            },
+            "--actionable" => match value("--actionable") {
+                Ok(v) => match v.as_str() {
+                    "true" | "1" => q.actionable = Some(true),
+                    "false" | "0" => q.actionable = Some(false),
+                    other => return fail(&format!("bad --actionable {other:?} (true|false)")),
+                },
                 Err(code) => return code,
             },
             "--corr" => match value("--corr") {

@@ -145,6 +145,8 @@ mod tests {
             actor: None,
             action: None,
             escalated,
+            failure_class: "service-fault".to_string(),
+            is_actionable: true,
             attempts: Vec::new(),
         })
     }
@@ -165,6 +167,7 @@ mod tests {
                 availability: 0.99930556,
                 mttr_secs: 110.0,
                 burn_alerts: 0,
+                target: 0.9999,
             }),
         ];
         let text = diff_runs(&a, "m", &b, "g");

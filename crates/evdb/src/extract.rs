@@ -22,6 +22,7 @@
 
 use std::path::{Path, PathBuf};
 
+use intelliqos_core::downtime::{classify_failure, FailureClass};
 use intelliqos_core::jsonv::{self, JsonValue};
 use intelliqos_simkern::trace::read_spill_chunks;
 
@@ -376,6 +377,10 @@ fn extract_slo(doc: &JsonValue, run: &str, path: &Path, ex: &mut Extraction) {
             .push(format!("{}: slo report without services", path.display()));
         return;
     };
+    // Pre-taxonomy reports carry one document-level target and no
+    // per-row targets; the backfill lets their rows inherit it, so a
+    // re-ingest classifies old evidence without mutating the files.
+    let doc_target = doc.get("target").and_then(|v| v.as_f64()).unwrap_or(0.9999);
     for (i, s) in services.iter().enumerate() {
         let Some(service) = s.get("service").and_then(|v| v.as_str()) else {
             ex.warnings
@@ -393,6 +398,10 @@ fn extract_slo(doc: &JsonValue, run: &str, path: &Path, ex: &mut Extraction) {
                 .unwrap_or(0.0),
             mttr_secs: s.get("mttr_secs").and_then(|v| v.as_f64()).unwrap_or(0.0),
             burn_alerts: s.get("burn_alerts").and_then(|v| v.as_u64()).unwrap_or(0),
+            target: s
+                .get("target")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(doc_target),
         }));
     }
 }
@@ -454,22 +463,40 @@ fn extract_incident(inc: &JsonValue, run: &str) -> Result<IncidentRec, String> {
     }
     let opt_str =
         |key: &str| -> Option<String> { inc.get(key).and_then(|v| v.as_str()).map(String::from) };
+    let category = opt_str("category").unwrap_or_default();
+    let actor = opt_str("actor");
+    let escalated = inc
+        .get("escalated")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    // Taxonomy backfill: a post-taxonomy export carries the class; a
+    // pre-taxonomy export (or an unknown label) re-derives it with the
+    // ledger's own classifier over the exported fields. Deterministic
+    // either way, so re-ingesting old evidence is idempotent and the
+    // old files never need rewriting.
+    let failure_class = opt_str("failure_class")
+        .as_deref()
+        .and_then(FailureClass::parse)
+        .unwrap_or_else(|| classify_failure(&category, actor.as_deref(), escalated));
+    let is_actionable = inc
+        .get("is_actionable")
+        .and_then(|v| v.as_bool())
+        .unwrap_or_else(|| failure_class.is_actionable());
     Ok(IncidentRec {
         run: run.to_string(),
         id,
-        category: opt_str("category").unwrap_or_default(),
+        category,
         service: opt_str("service").unwrap_or_default(),
         description: opt_str("description").unwrap_or_default(),
         onset: inc.get("onset").and_then(|v| v.as_u64()).unwrap_or(0),
         detected: inc.get("detected").and_then(|v| v.as_u64()),
         diagnosed: inc.get("diagnosed").and_then(|v| v.as_u64()),
         restored: inc.get("restored").and_then(|v| v.as_u64()),
-        actor: opt_str("actor"),
+        actor,
         action: opt_str("action"),
-        escalated: inc
-            .get("escalated")
-            .and_then(|v| v.as_bool())
-            .unwrap_or(false),
+        escalated,
+        failure_class: failure_class.label().to_string(),
+        is_actionable,
         attempts,
     })
 }

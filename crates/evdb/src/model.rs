@@ -91,6 +91,13 @@ pub struct IncidentRec {
     pub action: Option<String>,
     /// Whether the incident escalated to a human.
     pub escalated: bool,
+    /// Failure-class label (`service-fault`, `client-workload`,
+    /// `transient-abort`). Pre-taxonomy exports gain it at extraction
+    /// via the same classifier the ledger uses, so backfill is pure
+    /// deterministic re-derivation.
+    pub failure_class: String,
+    /// Whether the incident counts against the error budget by default.
+    pub is_actionable: bool,
     /// Every repair attempt, in time order.
     pub attempts: Vec<AttemptRec>,
 }
@@ -131,6 +138,10 @@ pub struct SloRec {
     pub mttr_secs: f64,
     /// Fast-burn alerts fired.
     pub burn_alerts: u64,
+    /// The availability target this service reports against. Old
+    /// reports without a per-row target inherit the document-level
+    /// target at extraction.
+    pub target: f64,
 }
 
 /// Any stored evidence record.
@@ -181,7 +192,7 @@ impl Rec {
     pub fn render_line(&self) -> String {
         match self {
             Rec::Incident(r) => format!(
-                "inc {} #{} {} {} onset={} restored={} escalated={} {}",
+                "inc {} #{} {} {} onset={} restored={} escalated={} class={} actionable={} {}",
                 r.run,
                 r.id,
                 r.category,
@@ -190,6 +201,8 @@ impl Rec {
                 r.restored
                     .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 r.escalated,
+                r.failure_class,
+                r.is_actionable,
                 r.description
             ),
             Rec::Trace(r) => format!(
@@ -203,14 +216,16 @@ impl Rec {
                 r.detail
             ),
             Rec::Slo(r) => format!(
-                "slo {} {} incidents={} downtime={} availability={:.8} mttr={:.2} alerts={}",
+                "slo {} {} incidents={} downtime={} availability={:.8} mttr={:.2} alerts={} \
+                 target={:.6}",
                 r.run,
                 r.service,
                 r.incidents,
                 r.downtime_secs,
                 r.availability,
                 r.mttr_secs,
-                r.burn_alerts
+                r.burn_alerts,
+                r.target
             ),
         }
     }
@@ -321,7 +336,7 @@ impl IncidentRec {
             .collect::<Vec<_>>()
             .join(";");
         format!(
-            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.id,
             escape(&self.category),
             escape(&self.service),
@@ -333,6 +348,8 @@ impl IncidentRec {
             opt_str_field(self.actor.as_deref()),
             opt_str_field(self.action.as_deref()),
             u8::from(self.escalated),
+            escape(&self.failure_class),
+            u8::from(self.is_actionable),
             attempts
         )
     }
@@ -340,12 +357,12 @@ impl IncidentRec {
     /// Parse a segment row written by [`IncidentRec::to_row`].
     pub fn from_row(run: &str, row: &str) -> Result<IncidentRec, String> {
         let f: Vec<&str> = row.split('|').collect();
-        if f.len() != 12 {
-            return Err(format!("incident row has {} fields, want 12", f.len()));
+        if f.len() != 14 {
+            return Err(format!("incident row has {} fields, want 14", f.len()));
         }
         let mut attempts = Vec::new();
-        if !f[11].is_empty() {
-            for part in f[11].split(';') {
+        if !f[13].is_empty() {
+            for part in f[13].split(';') {
                 let a: Vec<&str> = part.split(',').collect();
                 if a.len() != 4 {
                     return Err(format!("attempt has {} fields, want 4", a.len()));
@@ -371,6 +388,8 @@ impl IncidentRec {
             actor: parse_opt_str(f[8])?,
             action: parse_opt_str(f[9])?,
             escalated: parse_bool(f[10])?,
+            failure_class: unescape(f[11])?,
+            is_actionable: parse_bool(f[12])?,
             attempts,
         })
     }
@@ -413,21 +432,22 @@ impl SloRec {
     /// `Display`, so the parse-back is bit-exact.
     pub fn to_row(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}",
             escape(&self.service),
             self.incidents,
             self.downtime_secs,
             self.availability,
             self.mttr_secs,
-            self.burn_alerts
+            self.burn_alerts,
+            self.target
         )
     }
 
     /// Parse a segment row written by [`SloRec::to_row`].
     pub fn from_row(run: &str, row: &str) -> Result<SloRec, String> {
         let f: Vec<&str> = row.split('|').collect();
-        if f.len() != 6 {
-            return Err(format!("slo row has {} fields, want 6", f.len()));
+        if f.len() != 7 {
+            return Err(format!("slo row has {} fields, want 7", f.len()));
         }
         Ok(SloRec {
             run: run.to_string(),
@@ -437,6 +457,7 @@ impl SloRec {
             availability: parse_f64(f[3])?,
             mttr_secs: parse_f64(f[4])?,
             burn_alerts: parse_u64(f[5])?,
+            target: parse_f64(f[6])?,
         })
     }
 }
@@ -489,6 +510,8 @@ mod tests {
             actor: Some("db_agent".to_string()),
             action: None,
             escalated: false,
+            failure_class: "client-workload".to_string(),
+            is_actionable: false,
             attempts: vec![
                 AttemptRec {
                     at: 140,
@@ -528,10 +551,12 @@ mod tests {
             availability: 1.0 - 1234.0 / 172_800.0,
             mttr_secs: 1234.0 / 4.0,
             burn_alerts: 1,
+            target: 0.99999,
         };
         let back = SloRec::from_row("r", &s.to_row()).unwrap();
         assert_eq!(back.availability.to_bits(), s.availability.to_bits());
         assert_eq!(back.mttr_secs.to_bits(), s.mttr_secs.to_bits());
+        assert_eq!(back.target.to_bits(), s.target.to_bits());
         assert_eq!(back, s);
     }
 
@@ -550,6 +575,8 @@ mod tests {
             actor: None,
             action: Some(String::new()),
             escalated: true,
+            failure_class: "service-fault".to_string(),
+            is_actionable: true,
             attempts: Vec::new(),
         };
         let back = IncidentRec::from_row("r", &rec.to_row()).unwrap();
@@ -577,6 +604,8 @@ mod tests {
             actor: None,
             action: None,
             escalated: false,
+            failure_class: "service-fault".to_string(),
+            is_actionable: true,
             attempts: Vec::new(),
         });
         let trc = Rec::Trace(TraceRec {

@@ -30,6 +30,11 @@ pub struct Query {
     pub category: Option<String>,
     /// Trace subsystem tag (`fault`, `agent`, ...); trace events only.
     pub subsystem: Option<String>,
+    /// Failure-class label (`service-fault`, `client-workload`,
+    /// `transient-abort`); incidents only.
+    pub class: Option<String>,
+    /// Actionability filter; incidents only.
+    pub actionable: Option<bool>,
     /// Correlation id (incident id, trace `corr`).
     pub corr: Option<u64>,
     /// Inclusive time window over incident onset / trace `at`.
@@ -58,11 +63,15 @@ impl Query {
         }
         match kind {
             Kind::Incident => self.subsystem.is_none(),
-            Kind::Trace => self.service.is_none(),
+            Kind::Trace => {
+                self.service.is_none() && self.class.is_none() && self.actionable.is_none()
+            }
             Kind::Slo => {
                 self.corr.is_none()
                     && self.category.is_none()
                     && self.subsystem.is_none()
+                    && self.class.is_none()
+                    && self.actionable.is_none()
                     && self.window.is_none()
             }
         }
@@ -102,6 +111,24 @@ impl Query {
                 ));
             }
         }
+        if let Some(c) = self.class.as_deref() {
+            use intelliqos_core::downtime::FailureClass;
+            use intelliqos_simkern::trace::{edit_distance, NEAR_MISS_DISTANCE};
+            if FailureClass::parse(c).is_none() {
+                let hint = FailureClass::ALL
+                    .into_iter()
+                    .map(|f| (f.label(), edit_distance(c, f.label())))
+                    .min_by_key(|&(l, d)| (d, l))
+                    .filter(|&(_, d)| d <= NEAR_MISS_DISTANCE)
+                    .map(|(l, _)| format!("; did you mean {l:?}?"))
+                    .unwrap_or_default();
+                let labels: Vec<&str> = FailureClass::ALL.iter().map(|f| f.label()).collect();
+                return Err(format!(
+                    "class {c:?} is not a failure class (one of: {}){hint}",
+                    labels.join(", ")
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -120,6 +147,8 @@ impl Query {
                 self.corr.is_none_or(|c| r.id == c)
                     && self.service.as_deref().is_none_or(|s| r.service == s)
                     && self.category.as_deref().is_none_or(|c| r.category == c)
+                    && self.class.as_deref().is_none_or(|c| r.failure_class == c)
+                    && self.actionable.is_none_or(|a| r.is_actionable == a)
                     && self
                         .window
                         .is_none_or(|(t0, t1)| r.onset >= t0 && r.onset <= t1)
@@ -167,7 +196,64 @@ mod tests {
             availability: 1.0,
             mttr_secs: 0.0,
             burn_alerts: 0,
+            target: 0.9999,
         })));
+    }
+
+    fn incident(class: &str, actionable: bool) -> Rec {
+        Rec::Incident(crate::model::IncidentRec {
+            run: "r".to_string(),
+            id: 1,
+            category: "Hardware".to_string(),
+            service: "db003".to_string(),
+            description: String::new(),
+            onset: 0,
+            detected: None,
+            diagnosed: None,
+            restored: None,
+            actor: None,
+            action: None,
+            escalated: false,
+            failure_class: class.to_string(),
+            is_actionable: actionable,
+            attempts: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn class_and_actionable_filter_incidents_only() {
+        let q = Query {
+            class: Some("service-fault".to_string()),
+            ..Query::default()
+        };
+        assert!(q.matches(&incident("service-fault", true)));
+        assert!(!q.matches(&incident("client-workload", false)));
+        assert!(!q.matches(&trace(None, 0)), "class excludes trace events");
+        let q = Query {
+            actionable: Some(false),
+            ..Query::default()
+        };
+        assert!(q.matches(&incident("transient-abort", false)));
+        assert!(!q.matches(&incident("service-fault", true)));
+        assert!(!q.admits_kind(Kind::Slo));
+        assert!(!q.admits_kind(Kind::Trace));
+    }
+
+    #[test]
+    fn validate_holds_class_to_the_closed_world() {
+        let with_class = |c: &str| Query {
+            class: Some(c.to_string()),
+            ..Query::default()
+        };
+        assert!(with_class("service-fault").validate().is_ok());
+        assert!(with_class("client-workload").validate().is_ok());
+        assert!(with_class("transient-abort").validate().is_ok());
+        let err = with_class("servce-fault").validate().unwrap_err();
+        assert!(
+            err.contains("service-fault"),
+            "typo suggests the label: {err}"
+        );
+        assert!(with_class("everything").validate().is_err());
     }
 
     #[test]
@@ -209,6 +295,7 @@ mod tests {
             availability: 1.0,
             mttr_secs: 0.0,
             burn_alerts: 0,
+            target: 0.9999,
         })));
     }
 

@@ -47,11 +47,24 @@ pub const INGEST_REPORT: &str = "ingest_report.json";
 /// The last query's cost report.
 pub const QUERY_REPORT: &str = "query_report.json";
 
-const SEG_VERSION: u64 = 1;
+// Version 2 added the failure-taxonomy columns (incident
+// `failure_class`/`is_actionable`, SLO per-row `target`). A version-1
+// store fails to load under the new parser, which makes
+// `build_incremental` fall back to a full rebuild — old evidence gains
+// classification on re-ingest without any migration step.
+const SEG_VERSION: u64 = 2;
 
 fn index_fields(kind: Kind) -> &'static [&'static str] {
     match kind {
-        Kind::Incident => &["corr", "service", "category", "run", "time"],
+        Kind::Incident => &[
+            "corr",
+            "service",
+            "category",
+            "class",
+            "actionable",
+            "run",
+            "time",
+        ],
         Kind::Trace => &["corr", "category", "subsystem", "run", "time"],
         Kind::Slo => &["service", "run"],
     }
@@ -69,6 +82,8 @@ fn field_keys(rec: &Rec, field: &str) -> Option<String> {
         (Rec::Incident(r), "corr") => Some(r.id.to_string()),
         (Rec::Incident(r), "service") => Some(r.service.clone()),
         (Rec::Incident(r), "category") => Some(r.category.clone()),
+        (Rec::Incident(r), "class") => Some(r.failure_class.clone()),
+        (Rec::Incident(r), "actionable") => Some(u8::from(r.is_actionable).to_string()),
         (Rec::Incident(r), "time") => Some(time_bucket(r.onset)),
         (Rec::Trace(r), "corr") => r.corr.map(|c| c.to_string()),
         (Rec::Trace(r), "category") => Some(r.code.clone()),
@@ -476,6 +491,16 @@ impl Store {
                 return Plan::exact("subsystem", s.clone());
             }
         }
+        if let Some(c) = &q.class {
+            if has("class") {
+                return Plan::exact("class", c.clone());
+            }
+        }
+        if let Some(a) = q.actionable {
+            if has("actionable") {
+                return Plan::exact("actionable", u8::from(a).to_string());
+            }
+        }
         if let Some(r) = &q.run {
             return Plan::exact("run", r.clone());
         }
@@ -740,7 +765,7 @@ impl Store {
         let body = format!(
             "{{\n  \"report\": \"evdb_query\",\n  \"query\": {{\n    \"kind\": {},\n    \
              \"run\": {},\n    \"service\": {},\n    \"category\": {},\n    \"subsystem\": {},\n    \
-             \"corr\": {},\n    \
+             \"class\": {},\n    \"actionable\": {},\n    \"corr\": {},\n    \
              \"window\": {}\n  }},\n  \"stats\": {{\n    \"index_files_read\": {},\n    \
              \"segments_read\": {},\n    \"rows_loaded\": {},\n    \"rows_matched\": {},\n    \
              \"bytes_read\": {},\n    \"source_files_read\": {}\n  }}\n}}\n",
@@ -758,6 +783,11 @@ impl Store {
             q.subsystem
                 .as_deref()
                 .map_or_else(|| "null".to_string(), json_str),
+            q.class
+                .as_deref()
+                .map_or_else(|| "null".to_string(), json_str),
+            q.actionable
+                .map_or_else(|| "null".to_string(), |a| a.to_string()),
             q.corr.map_or_else(|| "null".to_string(), |c| c.to_string()),
             window,
             stats.index_files_read,

@@ -92,6 +92,8 @@ mod tests {
                 actor: Some("db_agent".to_string()),
                 action: Some("restart".to_string()),
                 escalated: false,
+                failure_class: "transient-abort".to_string(),
+                is_actionable: false,
                 attempts: vec![AttemptRec {
                     at: 130,
                     actor: "db_agent".to_string(),

@@ -14,6 +14,7 @@ mod common;
 use std::path::{Path, PathBuf};
 
 use common::{cases, Gen};
+use intelliqos_core::downtime::{classify_failure, FailureClass};
 use intelliqos_core::slo::{SloConfig, SloTracker};
 use intelliqos_core::IncidentId;
 use intelliqos_evdb::{render_corr_timelines, scan_query, Kind, Query, Store};
@@ -46,9 +47,17 @@ fn opt_str(v: Option<&str>) -> String {
     v.map_or_else(|| "null".to_string(), json_str)
 }
 
-const CATEGORIES: &[&str] = &["MidJobDbCrash", "DiskFull", "DaemonHang", "NfsStale"];
+const CATEGORIES: &[&str] = &[
+    "MidJobDbCrash",
+    "DiskFull",
+    "DaemonHang",
+    "NfsStale",
+    "Mid-crash",
+    "Human",
+];
 const SERVICES: &[&str] = &["db003", "web001", "lsf", "mail", "nfs02"];
 const CODES: &[&str] = &["inject", "detect", "diagnose", "heal", "sweep", "dispatch"];
+const ACTORS: &[&str] = &["agent", "admin", "human"];
 
 /// Write one synthetic run export (`{run}.json`) plus its SLO report
 /// (`{run}_slo.json`); returns the incident ids it used.
@@ -66,10 +75,21 @@ fn write_run(dir: &Path, run: &str, g: &mut Gen) -> Vec<u64> {
             .map(|d| d + g.u64_in(1, 7_000))
             .filter(|_| g.bool());
         let service = *g.choose(SERVICES);
+        let category = *g.choose(CATEGORIES);
+        let actor = g.bool().then(|| {
+            if g.bool() {
+                g.choose(ACTORS).to_string()
+            } else {
+                g.ident()
+            }
+        });
+        let escalated = g.bool();
+        let class = classify_failure(category, actor.as_deref(), escalated);
         if let (Some(det), Some(rest)) = (detected, restored) {
             tracker.on_close(
                 service,
                 IncidentId(id),
+                class,
                 SimTime::from_secs(onset),
                 SimTime::from_secs(det),
                 SimTime::from_secs(rest),
@@ -87,20 +107,31 @@ fn write_run(dir: &Path, run: &str, g: &mut Gen) -> Vec<u64> {
                 )
             })
             .collect();
-        let category = g.choose(CATEGORIES);
+        // Half the incidents carry explicit taxonomy fields (the shape
+        // current exports write); the rest are pre-taxonomy and must be
+        // backfilled identically by both backends at extract time.
+        let taxonomy = if g.bool() {
+            format!(
+                ", \"failure_class\": {}, \"is_actionable\": {}",
+                json_str(class.label()),
+                class.is_actionable()
+            )
+        } else {
+            String::new()
+        };
         incidents.push(format!(
             "{{\"id\": {id}, \"category\": {}, \"service\": {}, \"description\": {}, \
              \"onset\": {onset}, \"detected\": {}, \"diagnosed\": {}, \"restored\": {}, \
-             \"actor\": {}, \"action\": {}, \"escalated\": {}, \"attempts\": [{}]}}",
+             \"actor\": {}, \"action\": {}, \"escalated\": {escalated}{taxonomy}, \
+             \"attempts\": [{}]}}",
             json_str(category),
             json_str(service),
             json_str(&g.ascii_value(20)),
             opt_num(detected),
             opt_num(diagnosed),
             opt_num(restored),
-            opt_str(g.bool().then(|| g.ident()).as_deref()),
+            opt_str(actor.as_deref()),
             opt_str(g.bool().then(|| g.ascii_value(10)).as_deref()),
-            g.bool(),
             attempts.join(", ")
         ));
     }
@@ -211,6 +242,18 @@ fn random_query(g: &mut Gen, runs: &[String]) -> Query {
     }
     if g.usize_in(0, 3) == 0 {
         q.subsystem = Some(g.choose(Subsystem::ALL.as_slice()).tag().to_string());
+    }
+    if g.usize_in(0, 3) == 0 {
+        q.class = Some(if g.bool() {
+            g.choose(&FailureClass::ALL).label().to_string()
+        } else {
+            // Programmatic queries skip the CLI's closed-world check;
+            // both backends must answer an unknown class emptily.
+            "no-such-class".to_string()
+        });
+    }
+    if g.usize_in(0, 4) == 0 {
+        q.actionable = Some(g.bool());
     }
     if g.usize_in(0, 3) == 0 {
         q.corr = Some(g.u64_in(0, 6));
@@ -406,4 +449,118 @@ fn incremental_reingest_matches_a_full_rebuild_byte_for_byte() {
         );
         let _ = std::fs::remove_dir_all(&trial_dir);
     });
+}
+
+/// Backfill idempotency: a pre-taxonomy export — incidents without
+/// `failure_class`/`is_actionable`, an SLO report with one document
+/// target and no per-row targets — ingests cleanly, the derived
+/// classification is queryable through both backends, and re-ingesting
+/// the same evidence (incrementally or from scratch) reproduces every
+/// store byte without touching the evidence files.
+#[test]
+fn pretaxonomy_evidence_backfills_idempotently() {
+    let trial_dir = std::env::temp_dir().join("intelliqos-evdb-backfill");
+    let evidence = trial_dir.join("evidence");
+    let _ = std::fs::remove_dir_all(&trial_dir);
+    std::fs::create_dir_all(&evidence).unwrap();
+
+    // One incident per expected class, written in the exact field order
+    // the pre-taxonomy exporter used.
+    let export = concat!(
+        "{\n\"seed\": 7,\n\"mode\": \"Test\",\n\"ledger\": {\"incidents\": [",
+        "{\"id\": 0, \"category\": \"Hardware\", \"service\": \"db003\", ",
+        "\"description\": \"disk died\", \"onset\": 100, \"detected\": 160, ",
+        "\"diagnosed\": 200, \"restored\": 900, \"actor\": \"agent\", ",
+        "\"action\": \"restart\", \"escalated\": false, \"attempts\": []}, ",
+        "{\"id\": 1, \"category\": \"Mid-crash\", \"service\": \"db003\", ",
+        "\"description\": \"client killed mid-run\", \"onset\": 2000, ",
+        "\"detected\": 2050, \"diagnosed\": null, \"restored\": 2400, ",
+        "\"actor\": \"agent\", \"action\": \"resync\", \"escalated\": false, ",
+        "\"attempts\": []}, ",
+        "{\"id\": 2, \"category\": \"Software\", \"service\": \"web001\", ",
+        "\"description\": \"daemon hang\", \"onset\": 5000, \"detected\": 5100, ",
+        "\"diagnosed\": 5200, \"restored\": 9000, \"actor\": \"human\", ",
+        "\"action\": \"manual fix\", \"escalated\": true, \"attempts\": []}",
+        "]},\n\"trace\": {\"events\": []}\n}\n"
+    );
+    std::fs::write(evidence.join("old_run.json"), export).unwrap();
+    let slo = concat!(
+        "{\n\"report\": \"slo\",\n\"seed\": 7,\n\"mode\": \"Test\",\n",
+        "\"target\": 0.999,\n\"services\": [",
+        "{\"service\": \"db003\", \"incidents\": 2, \"downtime_secs\": 1200, ",
+        "\"availability\": 99.2, \"mttr_secs\": 545.0, \"burn_alerts\": 0}",
+        "]\n}\n"
+    );
+    std::fs::write(evidence.join("old_run_slo.json"), slo).unwrap();
+
+    // Everything except the ingest report, whose parsed/reused cost
+    // counters legitimately differ between incremental and full paths.
+    let snapshot = |dir: &Path| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        files.sort();
+        files
+            .into_iter()
+            .filter(|p| p.file_name().is_none_or(|n| n != "ingest_report.json"))
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(&p).unwrap(),
+                )
+            })
+            .collect()
+    };
+
+    let store_dir = trial_dir.join("store");
+    Store::build(&evidence, &store_dir).unwrap();
+    let first = snapshot(&store_dir);
+    // Re-ingest twice more: once incrementally, once from scratch.
+    Store::build_incremental(&evidence, &store_dir).unwrap();
+    assert_eq!(snapshot(&store_dir), first, "incremental re-ingest drifted");
+    Store::build(&evidence, &store_dir).unwrap();
+    assert_eq!(snapshot(&store_dir), first, "full re-ingest drifted");
+
+    // The backfilled classification answers queries, identically from
+    // the index and the linear scan over the untouched old files.
+    let store = Store::open(&store_dir).unwrap();
+    let expect = [
+        ("transient-abort", 1usize), // auto-closed, not escalated
+        ("client-workload", 1),      // Mid-crash category
+        ("service-fault", 1),        // escalated to a human
+    ];
+    for (class, count) in expect {
+        let q = Query {
+            class: Some(class.to_string()),
+            ..Query::default()
+        };
+        let (indexed, stats) = store.query(&q).unwrap();
+        let (scanned, _, _) = scan_query(&evidence, &q).unwrap();
+        assert_eq!(indexed, scanned, "backends diverged for class {class}");
+        assert_eq!(indexed.len(), count, "wrong count for class {class}");
+        assert_eq!(stats.source_files_read, 0);
+    }
+    let q = Query {
+        actionable: Some(false),
+        ..Query::default()
+    };
+    let (indexed, _) = store.query(&q).unwrap();
+    assert_eq!(indexed.len(), 2, "two of the three classes do not burn");
+
+    // The inherited document-level target reached the SLO row.
+    let q = Query {
+        kind: Some(Kind::Slo),
+        ..Query::default()
+    };
+    let (rows, _) = store.query(&q).unwrap();
+    assert_eq!(rows.len(), 1);
+    if let intelliqos_evdb::Rec::Slo(row) = &rows[0] {
+        assert_eq!(row.target.to_bits(), 0.999f64.to_bits());
+    } else {
+        panic!("expected an SLO row");
+    }
+
+    let _ = std::fs::remove_dir_all(&trial_dir);
 }

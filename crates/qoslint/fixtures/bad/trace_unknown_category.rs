@@ -1,6 +1,7 @@
-// Fixture: exactly one trace-unknown-category finding — the category
-// is nowhere in simkern::trace::TRACE_REGISTRY and not close to any
-// registered spelling.
+// Fixture: exactly one trace-unknown-category finding — the `slo`
+// category is nowhere in simkern::trace::TRACE_REGISTRY and not close
+// to any registered spelling (the real slo codes are burn-alert,
+// burn-scope, and classified).
 pub fn announce(t: &mut Trace, at: SimTime) {
-    t.emit(at, Subsystem::Fault, "made-up-channel", || String::new());
+    t.emit(at, Subsystem::Slo, "budget-chime", || String::new());
 }

@@ -218,6 +218,16 @@ pub const TRACE_REGISTRY: &[CategorySpec] = &[
         code: "burn-alert",
         doc: "an error-budget burn crossed the paging threshold",
     },
+    CategorySpec {
+        subsystem: Subsystem::Slo,
+        code: "classified",
+        doc: "an incident was assigned its failure class at ledger close",
+    },
+    CategorySpec {
+        subsystem: Subsystem::Slo,
+        code: "burn-scope",
+        doc: "a run declared which failure classes burn the error budget",
+    },
 ];
 
 /// Edit distance at or under which an unregistered code is reported as

@@ -266,6 +266,98 @@ fn slo_report_is_consistent_with_the_ledger() {
     }
 }
 
+/// The actionable-failure taxonomy is consistent across all three
+/// layers: every ledger incident classifies deterministically from its
+/// own fields, the scoped ledger/SLO columns close exactly
+/// (`all == service + client + abort`), and the observatory emits one
+/// `classified` trace event per closed incident.
+#[test]
+fn failure_taxonomy_is_consistent_across_ledger_slo_and_trace() {
+    use intelliqos::core::downtime::{classify_failure, FailureClass};
+    use intelliqos::core::slo::SloScope;
+    for mode in [ManagementMode::ManualOps, ManagementMode::Intelliagents] {
+        let (world, _) = run_traced(23, mode);
+
+        // Classification is a pure function of the incident record, so
+        // evidence backfill can never disagree with the live run.
+        let mut class_counts = [0u64; 3];
+        for inc in world.ledger.incidents() {
+            let rederived = classify_failure(
+                inc.category.label(),
+                inc.repaired_by().map(|a| a.label()),
+                inc.escalated,
+            );
+            assert_eq!(inc.failure_class(), rederived, "{mode:?} {}", inc.id);
+            assert_eq!(
+                inc.is_actionable(),
+                inc.failure_class() == FailureClass::ServiceFault,
+                "{mode:?} {}",
+                inc.id
+            );
+            if inc.restored.is_some() {
+                class_counts[inc.failure_class().index()] += 1;
+            }
+        }
+
+        // Per-category scoped totals close: the all-scope column equals
+        // the sum of the three class columns, per integer field.
+        let all = world.ledger.totals_scoped(SloScope::All);
+        let by_class = [
+            world.ledger.totals_scoped(SloScope::Service),
+            world.ledger.totals_scoped(SloScope::Client),
+            world.ledger.totals_scoped(SloScope::Abort),
+        ];
+        for (cat, t) in &all {
+            let parts: u64 = by_class
+                .iter()
+                .map(|m| m.get(cat).map(|t| t.incidents).unwrap_or(0))
+                .sum();
+            assert_eq!(
+                t.incidents, parts,
+                "{mode:?} {cat:?} incidents do not close"
+            );
+        }
+        assert_eq!(all, world.ledger.totals(), "totals() is the all-scope view");
+
+        // The SLO report's fleet-wide scope split closes the same way,
+        // and every service row carries a meaningful target.
+        let report = world.slo.report(world.cfg.horizon);
+        let parts = report.scope_downtime_secs(SloScope::Service)
+            + report.scope_downtime_secs(SloScope::Client)
+            + report.scope_downtime_secs(SloScope::Abort);
+        assert_eq!(report.scope_downtime_secs(SloScope::All), parts, "{mode:?}");
+        for row in &report.services {
+            assert!(
+                row.target > 0.0 && row.target < 1.0,
+                "{mode:?} {}: target {}",
+                row.service,
+                row.target
+            );
+        }
+
+        // One `classified` trace event per closed incident, each naming
+        // a closed-world class label.
+        let classified: Vec<_> = world
+            .trace
+            .events()
+            .into_iter()
+            .filter(|e| e.code == "classified")
+            .collect();
+        let closed: u64 = class_counts.iter().sum();
+        assert_eq!(classified.len() as u64, closed, "{mode:?}");
+        for ev in &classified {
+            assert!(
+                FailureClass::ALL
+                    .iter()
+                    .any(|c| ev.detail.contains(&format!("class={c}"))),
+                "{mode:?}: unlabelled classification event: {}",
+                ev.detail
+            );
+        }
+        assert!(closed > 0, "{mode:?}: scenario must close incidents");
+    }
+}
+
 fn spill_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("intelliqos-obs-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
